@@ -1,0 +1,32 @@
+// Ablation: batching chunk size. The paper fixed the chunk at 100
+// elements and observed ~10%; the optimal chunk balances pipeline
+// overlap against per-message overhead (paper Sec 3.2 discusses the
+// trade-off qualitatively).
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  const PaillierKeyPair& keys = BenchKeyPair();
+  ExecutionEnvironment env = ExecutionEnvironment::ShortDistance2004();
+  const size_t n = FullScale() ? 10000 : 1000;
+
+  MeasuredRun plain =
+      MeasureSelectedSum(keys, n, MeasureOptions{.seed = 12000});
+  double base = plain.metrics.SequentialSeconds(env);
+
+  std::printf("Ablation: chunk size sweep at n=%zu, short distance\n", n);
+  std::printf("%10s %18s %14s\n", "chunk", "pipelined (min)", "gain vs none");
+  for (size_t chunk : {10u, 25u, 50u, 100u, 250u, 500u}) {
+    if (chunk > n) break;
+    MeasuredRun run = MeasureSelectedSum(
+        keys, n, MeasureOptions{.chunk_size = chunk, .seed = 12000});
+    double pipelined = run.metrics.PipelinedSeconds(env).ValueOrDie();
+    std::printf("%10zu %18.4f %13.1f%%\n", chunk, ToMinutes(pipelined),
+                100.0 * (1.0 - pipelined / base));
+  }
+  std::printf("unoptimized baseline: %.4f min\n\n", ToMinutes(base));
+  return 0;
+}

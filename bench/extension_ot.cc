@@ -1,0 +1,64 @@
+// Extension bench: base OT vs IKNP OT extension.
+//
+// The Yao baseline needs one oblivious transfer per evaluator input bit
+// (one per database row for the selected-sum circuit). Base OT pays two
+// 1024-bit exponentiations per transfer; the IKNP extension pays 128
+// base OTs once and then only symmetric crypto per transfer. This bench
+// locates the crossover and the asymptotic speedup.
+
+#include "bench/figlib.h"
+#include "common/stopwatch.h"
+#include "yao/ot_extension.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  ChaCha20Rng rng(2200);
+  std::vector<size_t> sizes =
+      FullScale() ? std::vector<size_t>{128, 512, 2048, 8192, 32768}
+                  : std::vector<size_t>{128, 512, 2048};
+
+  std::printf("Extension: base OT vs IKNP extension (per batch)\n");
+  std::printf("%8s %14s %14s %12s %14s %14s\n", "m", "base (s)", "iknp (s)",
+              "speedup", "base KB", "iknp KB");
+  for (size_t m : sizes) {
+    std::vector<std::pair<Label, Label>> messages;
+    std::vector<bool> choices;
+    for (size_t i = 0; i < m; ++i) {
+      messages.emplace_back(Label::Random(rng), Label::Random(rng));
+      choices.push_back(i % 3 == 0);
+    }
+
+    Stopwatch base_timer;
+    OtBatchResult base =
+        RunBatchObliviousTransfer(messages, choices, rng).ValueOrDie();
+    double base_s = base_timer.ElapsedSeconds();
+
+    Stopwatch ext_timer;
+    OtBatchResult ext =
+        RunIknpObliviousTransfer(messages, choices, rng).ValueOrDie();
+    double ext_s = ext_timer.ElapsedSeconds();
+
+    for (size_t i = 0; i < m; ++i) {
+      const Label& expected =
+          choices[i] ? messages[i].second : messages[i].first;
+      if (base.received[i] != expected || ext.received[i] != expected) {
+        std::printf("CORRECTNESS FAILURE at m=%zu i=%zu\n", m, i);
+        return 1;
+      }
+    }
+
+    double base_kb = (base.receiver_to_sender.bytes +
+                      base.sender_to_receiver.bytes) / 1024.0;
+    double ext_kb = (ext.receiver_to_sender.bytes +
+                     ext.sender_to_receiver.bytes) / 1024.0;
+    std::printf("%8zu %14.3f %14.3f %12.1f %14.1f %14.1f\n", m, base_s,
+                ext_s, base_s / ext_s, base_kb, ext_kb);
+  }
+  std::printf(
+      "\nexpected shape: base OT scales linearly in m; IKNP is flat-ish "
+      "(128 base OTs +\nsymmetric work), so the speedup grows with m — "
+      "crossing 1x right around m = 128.\n\n");
+  return 0;
+}

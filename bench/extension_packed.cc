@@ -1,0 +1,70 @@
+// Extension bench: packed multi-query amortization.
+//
+// The paper answers one statistic per protocol pass. Packing B queries
+// into Damgård–Jurik plaintext slots answers B selected sums with ONE
+// pass — same index-vector traffic, same server sweep. This bench
+// measures the amortized cost per query against B separate Paillier
+// runs (e.g. a B-bucket private histogram).
+
+#include "bench/figlib.h"
+#include "core/packed_sum.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  const size_t n = FullScale() ? 5000 : 600;
+  ChaCha20Rng key_rng(1900);
+  // s = 2 over a 512-bit modulus: 1023 plaintext bits = up to 18 slots
+  // of 56 bits.
+  DjKeyPair dj = DamgardJurik::GenerateKeyPair(512, 2, key_rng).ValueOrDie();
+  const PaillierKeyPair& paillier = BenchKeyPair();
+
+  ChaCha20Rng rng(1901);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n);
+
+  std::printf("Extension: packed multi-query (n=%zu, 512-bit modulus, "
+              "s=2)\n", n);
+  std::printf("%4s %16s %18s %16s %14s\n", "B", "packed total (s)",
+              "separate total (s)", "amortized/query", "speedup");
+  for (size_t b : {1u, 2u, 4u, 8u, 16u}) {
+    std::vector<SelectionVector> queries;
+    for (size_t q = 0; q < b; ++q) {
+      queries.push_back(gen.RandomSelection(n, n / 2));
+    }
+
+    PackedSumResult packed =
+        RunPackedMultiSum(dj.private_key, db, queries, {}, rng)
+            .ValueOrDie();
+    double packed_total = packed.client_encrypt_s + packed.server_compute_s +
+                          packed.client_decrypt_s;
+    // Verify against plaintext.
+    for (size_t q = 0; q < b; ++q) {
+      if (packed.sums[q] != BigInt(db.SelectedSum(queries[q]).ValueOrDie())) {
+        std::printf("CORRECTNESS FAILURE at B=%zu\n", b);
+        return 1;
+      }
+    }
+
+    // Separate runs under plain Paillier.
+    double separate_total = 0;
+    for (size_t q = 0; q < b; ++q) {
+      MeasuredRun run = MeasureSelectedSum(paillier, n,
+                                           MeasureOptions{.seed = 1902 + q});
+      separate_total += run.metrics.client_encrypt_s +
+                        run.metrics.server_compute_s +
+                        run.metrics.client_decrypt_s;
+    }
+
+    std::printf("%4zu %16.3f %18.3f %16.3f %13.1fx\n", b, packed_total,
+                separate_total, packed_total / b,
+                separate_total / packed_total);
+  }
+  std::printf(
+      "\nexpected shape: packed cost is flat in B (one pass) while separate "
+      "cost grows linearly;\ns=2 arithmetic costs ~4-5x Paillier per op, so "
+      "the crossover lands around B=4 and the\nspeedup approaches that "
+      "ratio's reciprocal of B for large batches.\n\n");
+  return 0;
+}

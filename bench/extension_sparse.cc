@@ -1,0 +1,54 @@
+// Extension bench: the sparse regime. The paper's SPFE framing promises
+// "efficiency improvements whenever the number of data elements involved
+// in the computation is significantly fewer than the total number". The
+// linear protocol of Figure 1 cannot exploit sparsity; the blinded-PIR
+// sparse protocol can. This bench locates the communication crossover.
+
+#include "bench/figlib.h"
+#include "pir/sparse_sum.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  const PaillierKeyPair& keys = BenchKeyPair();
+  const size_t n = FullScale() ? 10000 : 1600;
+  size_t ct = keys.public_key.CiphertextBytes();
+
+  ChaCha20Rng rng(2000);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n);
+
+  // Linear protocol cost is independent of m.
+  double linear_kb = (static_cast<double>(n) * ct + ct) / 1024.0;
+
+  std::printf("Extension: sparse private sum vs linear protocol, n=%zu\n",
+              n);
+  std::printf("%6s %16s %16s %12s %10s\n", "m", "sparse KB", "linear KB",
+              "winner", "correct");
+  for (size_t m : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    std::vector<size_t> indices;
+    uint64_t truth = 0;
+    for (size_t j = 0; j < m; ++j) {
+      size_t idx = static_cast<size_t>(rng.NextBelow(n));
+      indices.push_back(idx);
+      truth += db.value(idx);
+    }
+    SparseSumResult sparse =
+        RunSparsePrivateSum(keys.private_key, db, indices, {}, rng)
+            .ValueOrDie();
+    double sparse_kb = (sparse.client_to_server.bytes +
+                        sparse.server_to_client.bytes) / 1024.0;
+    bool correct = sparse.total == BigInt(truth);
+    std::printf("%6zu %16.1f %16.1f %12s %10s\n", m, sparse_kb, linear_kb,
+                sparse_kb < linear_kb ? "sparse" : "linear",
+                correct ? "yes" : "NO");
+    if (!correct) return 1;
+  }
+  std::printf(
+      "\nexpected shape: sparse communication is ~m * 5*sqrt(n) "
+      "ciphertext-widths; the linear\nprotocol is flat at n+1. The "
+      "crossover sits near m = sqrt(n)/5 — exactly the\n\"m significantly "
+      "fewer than n\" regime the SPFE paper targets.\n\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Figure 2: components of overall runtime without any optimizations,
+// short distance (cluster nodes behind the HPC switch).
+//
+// Paper's finding: client encryption dominates; server computation is
+// significantly less; communication is small on the LAN; decryption is a
+// constant. ~20 minutes total for 100,000 elements with 512-bit keys.
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  const PaillierKeyPair& keys = BenchKeyPair();
+  std::vector<MeasuredRun> runs;
+  for (size_t n : DatabaseSizes()) {
+    runs.push_back(MeasureSelectedSum(keys, n, MeasureOptions{}));
+  }
+  PrintComponentsTable(
+      "Figure 2: runtime components, no optimizations, short distance",
+      ExecutionEnvironment::ShortDistance2004(), runs);
+  return 0;
+}

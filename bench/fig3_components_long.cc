@@ -1,0 +1,32 @@
+// Figure 3: components of overall runtime without any optimizations,
+// long distance (500 MHz UltraSparc client in Chicago, 1 GHz Pentium
+// server in Hoboken, 56 Kbps dial-up).
+//
+// Paper's finding: communication becomes a substantial component over
+// the modem, but computation still dominates.
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  const PaillierKeyPair& keys = BenchKeyPair();
+  std::vector<MeasuredRun> runs;
+  for (size_t n : DatabaseSizes()) {
+    runs.push_back(MeasureSelectedSum(keys, n, MeasureOptions{.seed = 3004}));
+  }
+  ExecutionEnvironment env = ExecutionEnvironment::LongDistance2004();
+  PrintComponentsTable(
+      "Figure 3: runtime components, no optimizations, long distance",
+      env, runs);
+
+  // The paper's headline check: computation remains the bottleneck even
+  // over the 56 Kbps link.
+  const MeasuredRun& biggest = runs.back();
+  ComponentBreakdown c = biggest.metrics.Components(env);
+  double compute = c.client_encrypt_s + c.server_compute_s;
+  std::printf("computation/communication at n=%zu: %.2f (paper: > 1)\n\n",
+              biggest.n, compute / c.communication_s);
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Figure 5: components of overall runtime after preprocessing the index
+// vector (precomputed encryptions of 0 and 1), short distance.
+//
+// Paper's finding: the client's online processing time collapses (it
+// just reads stored encryptions); the server's computation becomes the
+// dominant factor; overall online runtime drops by ~82%.
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  const PaillierKeyPair& keys = BenchKeyPair();
+  ExecutionEnvironment env = ExecutionEnvironment::ShortDistance2004();
+
+  std::vector<MeasuredRun> plain_runs, preprocessed_runs;
+  for (size_t n : DatabaseSizes()) {
+    plain_runs.push_back(
+        MeasureSelectedSum(keys, n, MeasureOptions{.seed = 5004}));
+    preprocessed_runs.push_back(MeasureSelectedSum(
+        keys, n,
+        MeasureOptions{.preprocess_indices = true, .seed = 5004}));
+  }
+  PrintComponentsTable(
+      "Figure 5: runtime components after index-vector preprocessing, "
+      "short distance (online phase only)",
+      env, preprocessed_runs);
+
+  const MeasuredRun& big_plain = plain_runs.back();
+  const MeasuredRun& big_pre = preprocessed_runs.back();
+  double plain_total = big_plain.metrics.SequentialSeconds(env);
+  double pre_total = big_pre.metrics.SequentialSeconds(env);
+  std::printf(
+      "online runtime reduction at n=%zu: %.1f%% (paper: ~82%%)\n",
+      big_pre.n, 100.0 * (1.0 - pre_total / plain_total));
+  std::printf(
+      "offline preprocessing cost at n=%zu: %.2f min (amortizable; "
+      "suits the paper's PDA scenario)\n\n",
+      big_pre.n,
+      ToMinutes(big_pre.offline_preprocess_s * env.client_cpu_scale));
+  return 0;
+}

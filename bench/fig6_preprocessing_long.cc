@@ -1,0 +1,34 @@
+// Figure 6: components of overall runtime after preprocessing the index
+// vector, long distance (56 Kbps dial-up).
+//
+// Paper's finding: with client encryption removed from the online path,
+// the modem's communication delay becomes the significant factor.
+
+#include "bench/figlib.h"
+
+int main() {
+  using namespace ppstats;
+  using namespace ppstats::bench;
+
+  const PaillierKeyPair& keys = BenchKeyPair();
+  ExecutionEnvironment env = ExecutionEnvironment::LongDistance2004();
+
+  std::vector<MeasuredRun> runs;
+  for (size_t n : DatabaseSizes()) {
+    runs.push_back(MeasureSelectedSum(
+        keys, n,
+        MeasureOptions{.preprocess_indices = true, .seed = 6004}));
+  }
+  PrintComponentsTable(
+      "Figure 6: runtime components after index-vector preprocessing, "
+      "long distance (online phase only)",
+      env, runs);
+
+  const MeasuredRun& biggest = runs.back();
+  ComponentBreakdown c = biggest.metrics.Components(env);
+  std::printf(
+      "communication share of online runtime at n=%zu: %.1f%% "
+      "(paper: dominant)\n\n",
+      biggest.n, 100.0 * c.communication_s / c.Total());
+  return 0;
+}

@@ -1,0 +1,103 @@
+#include "bench/figlib.h"
+
+#include <cstdlib>
+
+#include "common/stopwatch.h"
+
+namespace ppstats::bench {
+
+bool FullScale() {
+  const char* env = std::getenv("PPSTATS_FULL");
+  return env != nullptr && env[0] == '1';
+}
+
+std::vector<size_t> DatabaseSizes() {
+  if (FullScale()) {
+    return {1000, 5000, 10000, 25000, 50000, 75000, 100000};
+  }
+  return {250, 500, 1000, 2000};
+}
+
+const PaillierKeyPair& BenchKeyPair(size_t bits) {
+  static PaillierKeyPair* pairs[4096] = {};
+  if (bits >= 4096) std::abort();
+  if (pairs[bits] == nullptr) {
+    ChaCha20Rng rng(515151 + bits);
+    pairs[bits] = new PaillierKeyPair(
+        Paillier::GenerateKeyPair(bits, rng).ValueOrDie());
+  }
+  return *pairs[bits];
+}
+
+MeasuredRun MeasureSelectedSum(const PaillierKeyPair& keys, size_t n,
+                               const MeasureOptions& options) {
+  ChaCha20Rng rng(options.seed + n);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n);  // 32-bit values, as in the paper
+  SelectionVector selection = gen.RandomSelection(n, n / 2);
+
+  MeasuredRun out;
+  out.n = n;
+  out.expected_sum = db.SelectedSum(selection).ValueOrDie();
+
+  EncryptionPool pool(keys.public_key);
+  SumClientOptions client_options;
+  client_options.chunk_size = options.chunk_size;
+  if (options.preprocess_indices) {
+    // Offline phase (paper Sec 3.3): the client encrypts 0s and 1s in
+    // advance; the online phase just reads them back.
+    Stopwatch offline;
+    size_t ones = 0;
+    for (bool s : selection) ones += s ? 1 : 0;
+    (void)pool.Generate(BigInt(0), n - ones, rng);
+    (void)pool.Generate(BigInt(1), ones, rng);
+    out.offline_preprocess_s = offline.ElapsedSeconds();
+    client_options.encryption_pool = &pool;
+  }
+
+  SumClient client(keys.private_key, selection, client_options, rng);
+  SumServer server(keys.public_key, &db);
+  SumRunResult run = RunSelectedSum(client, server).ValueOrDie();
+  out.correct = run.sum == BigInt(out.expected_sum);
+  out.metrics = std::move(run.metrics);
+  return out;
+}
+
+void PrintComponentsTable(const std::string& title,
+                          const ExecutionEnvironment& env,
+                          const std::vector<MeasuredRun>& runs) {
+  std::printf("%s\n", title.c_str());
+  std::printf("environment: %s (client x%.0f, server x%.0f, %s)\n",
+              env.name.c_str(), env.client_cpu_scale, env.server_cpu_scale,
+              env.network.name.c_str());
+  std::printf("%10s %14s %14s %14s %14s %12s %8s\n", "n",
+              "enc (min)", "server (min)", "comm (min)", "dec (min)",
+              "total (min)", "correct");
+  for (const MeasuredRun& run : runs) {
+    ComponentBreakdown c = run.metrics.Components(env);
+    std::printf("%10zu %14.4f %14.4f %14.4f %14.4f %12.4f %8s\n", run.n,
+                ToMinutes(c.client_encrypt_s), ToMinutes(c.server_compute_s),
+                ToMinutes(c.communication_s), ToMinutes(c.client_decrypt_s),
+                ToMinutes(c.Total()), run.correct ? "yes" : "NO");
+  }
+  std::printf("\n");
+}
+
+void PrintComparisonTable(const std::string& title,
+                          const std::string& series_a,
+                          const std::string& series_b,
+                          const std::vector<size_t>& sizes,
+                          const std::vector<double>& a_minutes,
+                          const std::vector<double>& b_minutes) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%10s %22s %22s %10s\n", "n", series_a.c_str(),
+              series_b.c_str(), "ratio");
+  for (size_t i = 0; i < sizes.size(); ++i) {
+    std::printf("%10zu %22.4f %22.4f %10.2f\n", sizes[i], a_minutes[i],
+                b_minutes[i],
+                b_minutes[i] > 0 ? a_minutes[i] / b_minutes[i] : 0.0);
+  }
+  std::printf("\n");
+}
+
+}  // namespace ppstats::bench

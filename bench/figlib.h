@@ -1,0 +1,84 @@
+// Shared harness for the per-figure benchmark binaries.
+//
+// Every binary reproduces one figure of the paper's evaluation: it runs
+// the real protocol over synthetic workloads, maps measured compute +
+// byte-accurate traffic onto the paper's 2004 execution environments,
+// and prints the figure's series as a table (minutes, like the paper's
+// y-axes).
+//
+// Scale control:
+//   PPSTATS_FULL=1   run the paper's database sizes (1,000 .. 100,000)
+//   default          a scaled-down sweep so `for b in bench/*; do $b; done`
+//                    finishes in seconds; shapes are identical because
+//                    every component is linear in n.
+
+#ifndef PPSTATS_BENCH_FIGLIB_H_
+#define PPSTATS_BENCH_FIGLIB_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/multiclient.h"
+#include "core/runner.h"
+#include "core/statistics.h"
+#include "crypto/chacha20_rng.h"
+#include "crypto/pool.h"
+#include "db/workload.h"
+
+namespace ppstats::bench {
+
+/// Key size used throughout the paper's experiments.
+inline constexpr size_t kPaperKeyBits = 512;
+
+/// The paper's batching chunk size (Section 3.2).
+inline constexpr size_t kPaperChunk = 100;
+
+/// Database sizes to sweep. Paper scale when PPSTATS_FULL=1.
+std::vector<size_t> DatabaseSizes();
+
+/// True when PPSTATS_FULL=1.
+bool FullScale();
+
+/// One protocol execution (fresh workload per n, seeded deterministically).
+struct MeasuredRun {
+  size_t n = 0;
+  uint64_t expected_sum = 0;
+  bool correct = false;
+  RunMetrics metrics;
+  double offline_preprocess_s = 0;  ///< pool fill time (0 if no pool)
+};
+
+/// Options for MeasureSelectedSum.
+struct MeasureOptions {
+  size_t chunk_size = 0;
+  bool preprocess_indices = false;  ///< fill an EncryptionPool offline
+  uint64_t seed = 2004;
+};
+
+/// Runs the selected-sum protocol once at size n with half the rows
+/// selected; verifies correctness against the plaintext sum.
+MeasuredRun MeasureSelectedSum(const PaillierKeyPair& keys, size_t n,
+                               const MeasureOptions& options);
+
+/// Key pair shared by a benchmark binary (seeded; generated once).
+const PaillierKeyPair& BenchKeyPair(size_t bits = kPaperKeyBits);
+
+/// Prints the standard four-component table of Figures 2/3/5/6.
+void PrintComponentsTable(const std::string& title,
+                          const ExecutionEnvironment& env,
+                          const std::vector<MeasuredRun>& runs);
+
+/// Prints a two-series overall-runtime comparison (Figures 4/7/9).
+void PrintComparisonTable(const std::string& title,
+                          const std::string& series_a,
+                          const std::string& series_b,
+                          const std::vector<size_t>& sizes,
+                          const std::vector<double>& a_minutes,
+                          const std::vector<double>& b_minutes);
+
+inline double ToMinutes(double seconds) { return seconds / 60.0; }
+
+}  // namespace ppstats::bench
+
+#endif  // PPSTATS_BENCH_FIGLIB_H_

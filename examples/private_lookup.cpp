@@ -1,0 +1,58 @@
+// Scenario: private record lookup. A credit bureau holds a score table;
+// a bank needs one customer's score but must not reveal *which*
+// customer it is investigating (that alone is market-moving
+// information). Computational PIR retrieves the record with sublinear
+// communication — the direction the paper's underlying theory (selective
+// private function evaluation) points for large databases.
+//
+//   build/examples/private_lookup
+
+#include <cstdio>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+#include "pir/pir.h"
+
+int main() {
+  using namespace ppstats;
+
+  ChaCha20Rng rng(88);
+  const size_t n = 10000;
+
+  WorkloadGenerator gen(rng);
+  Database scores_raw = gen.UniformDatabase(n, 550);
+  std::vector<uint32_t> values = scores_raw.values();
+  for (auto& v : values) v += 300;  // 300..850
+  Database db("credit-scores", std::move(values));
+
+  const size_t customer = 4711;
+  PaillierKeyPair keys = Paillier::GenerateKeyPair(512, rng).ValueOrDie();
+
+  Result<PirRunResult> single =
+      RunSingleLevelPir(db, customer, keys.private_key, rng);
+  Result<PirRunResult> two =
+      RunTwoLevelPir(db, customer, keys.private_key, rng);
+  if (!single.ok() || !two.ok()) {
+    std::fprintf(stderr, "PIR failed\n");
+    return 1;
+  }
+
+  std::printf("customer #%zu score: %u (table says %u) — %s\n", customer,
+              single->value, db.value(customer),
+              single->value == db.value(customer) ? "correct" : "WRONG");
+  std::printf("\ncommunication for one private lookup over %zu records:\n",
+              n);
+  std::printf("  ship whole table:       %8.1f KB (leaks everything)\n",
+              n * 4.0 / 1024);
+  std::printf("  single-level PIR:       %8.1f KB  (%zux%zu matrix)\n",
+              (single->client_to_server.bytes +
+               single->server_to_client.bytes) / 1024.0,
+              single->layout.rows, single->layout.cols);
+  std::printf("  two-level PIR:          %8.1f KB  (response: ONE "
+              "ciphertext)\n",
+              (two->client_to_server.bytes + two->server_to_client.bytes) /
+                  1024.0);
+  std::printf("\nthe bureau never learns which record was touched; the bank "
+              "learns only one score.\n");
+  return 0;
+}

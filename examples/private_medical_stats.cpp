@@ -1,0 +1,66 @@
+// Scenario: a researcher computes cohort statistics over a hospital's
+// database. The hospital must not learn which patients are in the
+// researcher's cohort (that would reveal the study's inclusion
+// criteria); the researcher must learn only aggregates, not individual
+// records. This is the kind of privacy-preserving data mining workload
+// the paper's introduction motivates.
+//
+//   build/examples/private_medical_stats
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/statistics.h"
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+int main() {
+  using namespace ppstats;
+
+  ChaCha20Rng rng(2024);
+
+  // The hospital's database: systolic blood pressure readings for 2,000
+  // patients (synthetic, skewed like real clinical measurements).
+  WorkloadGenerator gen(rng);
+  Database readings = gen.UniformDatabase(2000, 80);  // offsets over 100
+  std::vector<uint32_t> values = readings.values();
+  for (auto& v : values) v += 100;  // 100..180 mmHg
+  Database db("systolic-bp", std::move(values));
+
+  // The researcher's cohort: ~15% of patients matched the (secret)
+  // inclusion criteria.
+  SelectionVector cohort = gen.BernoulliSelection(db.size(), 0.15);
+
+  // 1,024-bit keys: a stronger-than-paper setting a real deployment
+  // would use today.
+  PaillierKeyPair keys = Paillier::GenerateKeyPair(1024, rng).ValueOrDie();
+
+  // Mean and variance need two protocol runs (sum, sum of squares); the
+  // library batches the index vector in chunks of 100 (paper Sec 3.2).
+  SumClientOptions options;
+  options.chunk_size = 100;
+  Result<PrivateVarianceResult> stats =
+      PrivateVariance(keys.private_key, db, cohort, rng, options);
+  if (!stats.ok()) {
+    std::fprintf(stderr, "failed: %s\n", stats.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("cohort size:        %zu patients (known to researcher)\n",
+              stats->count);
+  std::printf("cohort mean BP:     %.1f mmHg\n", stats->mean);
+  std::printf("cohort variance:    %.1f (std dev %.1f mmHg)\n",
+              stats->variance, std::sqrt(stats->variance));
+  std::printf("\nwhat each side saw:\n");
+  std::printf("  hospital: %llu encrypted index vectors, zero plaintext bits"
+              " about the cohort\n",
+              static_cast<unsigned long long>(
+                  stats->metrics.client_to_server.messages));
+  std::printf("  researcher: 2 ciphertexts (sum, sum of squares), nothing "
+              "about non-cohort patients\n");
+  std::printf("  wire total: %.1f KB\n",
+              (stats->metrics.client_to_server.bytes +
+               stats->metrics.server_to_client.bytes) /
+                  1024.0);
+  return 0;
+}

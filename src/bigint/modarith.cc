@@ -1,0 +1,147 @@
+#include "bigint/modarith.h"
+
+#include <cassert>
+
+#include "bigint/montgomery.h"
+
+namespace ppstats {
+
+BigInt Mod(const BigInt& a, const BigInt& m) {
+  assert(!m.IsZero() && !m.IsNegative());
+  BigInt r = a % m;
+  if (r.IsNegative()) r += m;
+  return r;
+}
+
+BigInt AddMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = a + b;
+  if (s >= m) s -= m;
+  return s;
+}
+
+BigInt SubMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  BigInt s = a - b;
+  if (s.IsNegative()) s += m;
+  return s;
+}
+
+BigInt MulMod(const BigInt& a, const BigInt& b, const BigInt& m) {
+  return Mod(a * b, m);
+}
+
+BigInt Gcd(const BigInt& a, const BigInt& b) {
+  BigInt x = a.Abs();
+  BigInt y = b.Abs();
+  // Euclid; BigInt division is fast enough at our sizes, and the binary
+  // variant saves little once limb-level division exists.
+  while (!y.IsZero()) {
+    BigInt r = x % y;
+    x = std::move(y);
+    y = std::move(r);
+  }
+  return x;
+}
+
+BigInt Lcm(const BigInt& a, const BigInt& b) {
+  if (a.IsZero() || b.IsZero()) return BigInt();
+  BigInt g = Gcd(a, b);
+  return (a.Abs() / g) * b.Abs();
+}
+
+ExtendedGcdResult ExtendedGcd(const BigInt& a, const BigInt& b) {
+  // Iterative extended Euclid on the given (possibly negative) inputs.
+  BigInt old_r = a, r = b;
+  BigInt old_s = 1, s = 0;
+  BigInt old_t = 0, t = 1;
+  while (!r.IsZero()) {
+    BigInt q = old_r / r;
+    BigInt tmp = old_r - q * r;
+    old_r = std::move(r);
+    r = std::move(tmp);
+    tmp = old_s - q * s;
+    old_s = std::move(s);
+    s = std::move(tmp);
+    tmp = old_t - q * t;
+    old_t = std::move(t);
+    t = std::move(tmp);
+  }
+  if (old_r.IsNegative()) {
+    old_r = -old_r;
+    old_s = -old_s;
+    old_t = -old_t;
+  }
+  return {std::move(old_r), std::move(old_s), std::move(old_t)};
+}
+
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m) {
+  if (m <= BigInt(1)) return Status::InvalidArgument("modulus must be > 1");
+  ExtendedGcdResult e = ExtendedGcd(Mod(a, m), m);
+  if (!e.g.IsOne()) {
+    return Status::CryptoError("value is not invertible modulo m");
+  }
+  return Mod(e.x, m);
+}
+
+BigInt ModExpPlain(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!exp.IsNegative());
+  assert(!m.IsZero() && !m.IsNegative());
+  if (m.IsOne()) return BigInt();
+  BigInt result(1);
+  BigInt b = Mod(base, m);
+  size_t bits = exp.BitLength();
+  for (size_t i = bits; i-- > 0;) {
+    result = MulMod(result, result, m);
+    if (exp.Bit(i)) result = MulMod(result, b, m);
+  }
+  return result;
+}
+
+BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m) {
+  assert(!exp.IsNegative());
+  assert(!m.IsZero() && !m.IsNegative());
+  if (m.IsOne()) return BigInt();
+  if (m.IsOdd()) {
+    MontgomeryContext ctx(m);
+    return ctx.Exp(Mod(base, m), exp);
+  }
+  return ModExpPlain(base, exp, m);
+}
+
+Result<BigInt> CrtCombine(const BigInt& r1, const BigInt& m1,
+                          const BigInt& r2, const BigInt& m2) {
+  // x = r1 + m1 * ((r2 - r1) * m1^{-1} mod m2)
+  PPSTATS_ASSIGN_OR_RETURN(BigInt m1_inv, ModInverse(m1, m2));
+  BigInt diff = Mod(r2 - r1, m2);
+  BigInt t = MulMod(diff, m1_inv, m2);
+  return Mod(r1, m1) + m1 * t;
+}
+
+BigInt RandomBits(RandomSource& rng, size_t bits) {
+  if (bits == 0) return BigInt();
+  Bytes buf((bits + 7) / 8);
+  rng.Fill(buf);
+  // Mask excess high bits.
+  size_t excess = buf.size() * 8 - bits;
+  buf[0] &= static_cast<uint8_t>(0xFF >> excess);
+  return BigInt::FromBytes(buf);
+}
+
+BigInt RandomBelow(RandomSource& rng, const BigInt& bound) {
+  assert(!bound.IsZero() && !bound.IsNegative());
+  size_t bits = bound.BitLength();
+  for (;;) {
+    BigInt candidate = RandomBits(rng, bits);
+    if (candidate < bound) return candidate;
+  }
+}
+
+BigInt RandomUnit(RandomSource& rng, const BigInt& m) {
+  assert(m > BigInt(1));
+  for (;;) {
+    BigInt candidate = RandomBelow(rng, m);
+    if (candidate.IsZero()) continue;
+    if (Gcd(candidate, m).IsOne()) return candidate;
+  }
+}
+
+}  // namespace ppstats

@@ -1,0 +1,69 @@
+// Modular arithmetic helpers on BigInt: reduction, modular inverse, GCD,
+// modular exponentiation, CRT combination, and uniform random residues.
+
+#ifndef PPSTATS_BIGINT_MODARITH_H_
+#define PPSTATS_BIGINT_MODARITH_H_
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+#include "common/result.h"
+
+namespace ppstats {
+
+/// Canonical residue of `a` modulo `m` in [0, m). Requires m > 0.
+BigInt Mod(const BigInt& a, const BigInt& m);
+
+/// (a + b) mod m for canonical residues a, b in [0, m).
+BigInt AddMod(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// (a - b) mod m for canonical residues a, b in [0, m).
+BigInt SubMod(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// (a * b) mod m.
+BigInt MulMod(const BigInt& a, const BigInt& b, const BigInt& m);
+
+/// Greatest common divisor of |a| and |b|.
+BigInt Gcd(const BigInt& a, const BigInt& b);
+
+/// Least common multiple of |a| and |b| (0 if either is 0).
+BigInt Lcm(const BigInt& a, const BigInt& b);
+
+/// Extended GCD: returns g = gcd(a, b) and Bezout coefficients x, y with
+/// a*x + b*y = g.
+struct ExtendedGcdResult {
+  BigInt g;
+  BigInt x;
+  BigInt y;
+};
+ExtendedGcdResult ExtendedGcd(const BigInt& a, const BigInt& b);
+
+/// Multiplicative inverse of a modulo m (m > 1). Fails with CryptoError if
+/// gcd(a, m) != 1.
+Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+
+/// base^exp mod m for exp >= 0, m > 0. Uses Montgomery fixed-window
+/// exponentiation for odd moduli and square-and-multiply otherwise.
+BigInt ModExp(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+/// Plain left-to-right square-and-multiply modular exponentiation; exposed
+/// for the "slow mode" ablation benchmark and cross-checking Montgomery.
+BigInt ModExpPlain(const BigInt& base, const BigInt& exp, const BigInt& m);
+
+/// Chinese Remainder Theorem for two coprime moduli: the unique x in
+/// [0, m1*m2) with x = r1 (mod m1) and x = r2 (mod m2). Fails if the
+/// moduli are not coprime.
+Result<BigInt> CrtCombine(const BigInt& r1, const BigInt& m1,
+                          const BigInt& r2, const BigInt& m2);
+
+/// Uniform random integer in [0, 2^bits).
+BigInt RandomBits(RandomSource& rng, size_t bits);
+
+/// Uniform random integer in [0, bound) for bound > 0, by rejection.
+BigInt RandomBelow(RandomSource& rng, const BigInt& bound);
+
+/// Uniform random unit modulo m: r in [1, m) with gcd(r, m) = 1.
+BigInt RandomUnit(RandomSource& rng, const BigInt& m);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_BIGINT_MODARITH_H_

@@ -1,0 +1,162 @@
+#include "bigint/montgomery.h"
+
+#include <cassert>
+
+#include "bigint/modarith.h"
+
+namespace ppstats {
+
+namespace {
+using uint128 = unsigned __int128;
+
+// Inverse of odd x modulo 2^64 by Newton iteration; 6 steps double the
+// correct low bits from 1 to 64.
+uint64_t InverseMod2_64(uint64_t x) {
+  assert(x & 1);
+  uint64_t inv = x;  // correct to 3 bits (for odd x, x*x = 1 mod 8)
+  for (int i = 0; i < 5; ++i) {
+    inv *= 2 - x * inv;
+  }
+  assert(inv * x == 1);
+  return inv;
+}
+}  // namespace
+
+MontgomeryContext::MontgomeryContext(const BigInt& modulus)
+    : modulus_(modulus) {
+  assert(modulus.IsOdd());
+  assert(modulus > BigInt(1));
+  mod_limbs_ = modulus.limbs();
+  n_ = mod_limbs_.size();
+  n0_inv_ = ~InverseMod2_64(mod_limbs_[0]) + 1;  // -m^{-1} mod 2^64
+
+  // R = 2^(64 n); r2_ = R^2 mod m computed with plain BigInt arithmetic.
+  BigInt r = BigInt(1) << (64 * n_);
+  BigInt r2 = (r * r) % modulus_;
+  r2_ = ToFixed(r2);
+  one_mont_ = ToFixed(r % modulus_);
+}
+
+MontgomeryContext::Limbs MontgomeryContext::ToFixed(const BigInt& x) const {
+  assert(!x.IsNegative());
+  Limbs out = x.limbs();
+  assert(out.size() <= n_);
+  out.resize(n_, 0);
+  return out;
+}
+
+void MontgomeryContext::MontMul(const Limbs& a, const Limbs& b,
+                                Limbs* out) const {
+  // CIOS (coarsely integrated operand scanning), Koc et al. 1996.
+  const size_t n = n_;
+  std::vector<uint64_t> t(n + 2, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint128 cur = static_cast<uint128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    uint128 s = static_cast<uint128>(t[n]) + carry;
+    t[n] = static_cast<uint64_t>(s);
+    t[n + 1] = static_cast<uint64_t>(s >> 64);
+
+    // t += (t[0] * n0') * m; then t >>= 64
+    uint64_t m = t[0] * n0_inv_;
+    uint128 cur = static_cast<uint128>(m) * mod_limbs_[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);
+    for (size_t j = 1; j < n; ++j) {
+      cur = static_cast<uint128>(m) * mod_limbs_[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    s = static_cast<uint128>(t[n]) + carry;
+    t[n - 1] = static_cast<uint64_t>(s);
+    t[n] = t[n + 1] + static_cast<uint64_t>(s >> 64);
+    t[n + 1] = 0;
+  }
+
+  // Conditional final subtraction: t may be in [0, 2m).
+  t.resize(n + 1);
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = n; i-- > 0;) {
+      if (t[i] != mod_limbs_[i]) {
+        ge = t[i] > mod_limbs_[i];
+        break;
+      }
+    }
+  }
+  out->assign(t.begin(), t.begin() + n);
+  if (ge) {
+    uint64_t borrow = 0;
+    for (size_t i = 0; i < n; ++i) {
+      uint128 d = static_cast<uint128>((*out)[i]) - mod_limbs_[i] - borrow;
+      (*out)[i] = static_cast<uint64_t>(d);
+      borrow = (d >> 64) ? 1 : 0;
+    }
+  }
+}
+
+BigInt MontgomeryContext::ToMontgomery(const BigInt& x) const {
+  Limbs out;
+  MontMul(ToFixed(x), r2_, &out);
+  return BigInt::FromLimbs(std::move(out));
+}
+
+BigInt MontgomeryContext::FromMontgomery(const BigInt& x) const {
+  Limbs one(n_, 0);
+  one[0] = 1;
+  Limbs out;
+  MontMul(ToFixed(x), one, &out);
+  return BigInt::FromLimbs(std::move(out));
+}
+
+BigInt MontgomeryContext::MulMontgomery(const BigInt& a,
+                                        const BigInt& b) const {
+  Limbs out;
+  MontMul(ToFixed(a), ToFixed(b), &out);
+  return BigInt::FromLimbs(std::move(out));
+}
+
+BigInt MontgomeryContext::Exp(const BigInt& base, const BigInt& exp) const {
+  assert(!exp.IsNegative());
+  if (exp.IsZero()) return BigInt(1);  // modulus > 1 by construction
+
+  // Precompute table[i] = base^i in Montgomery form, i in [0, 16).
+  constexpr size_t kWindow = 4;
+  Limbs base_m = ToFixed(ToMontgomery(Mod(base, modulus_)));
+  std::vector<Limbs> table(1 << kWindow);
+  table[0] = one_mont_;
+  table[1] = base_m;
+  for (size_t i = 2; i < table.size(); ++i) {
+    MontMul(table[i - 1], base_m, &table[i]);
+  }
+
+  const size_t bits = exp.BitLength();
+  const size_t windows = (bits + kWindow - 1) / kWindow;
+  Limbs acc = one_mont_;
+  Limbs tmp;
+  for (size_t w = windows; w-- > 0;) {
+    if (w != windows - 1) {
+      for (size_t s = 0; s < kWindow; ++s) {
+        MontMul(acc, acc, &tmp);
+        acc.swap(tmp);
+      }
+    }
+    size_t idx = 0;
+    for (size_t b = 0; b < kWindow; ++b) {
+      size_t bit = w * kWindow + b;
+      if (bit < bits && exp.Bit(bit)) idx |= (1u << b);
+    }
+    if (idx != 0) {
+      MontMul(acc, table[idx], &tmp);
+      acc.swap(tmp);
+    }
+  }
+  return FromMontgomery(BigInt::FromLimbs(std::move(acc)));
+}
+
+}  // namespace ppstats

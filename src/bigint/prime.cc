@@ -1,0 +1,88 @@
+#include "bigint/prime.h"
+
+#include <array>
+#include <cassert>
+
+#include "bigint/modarith.h"
+#include "bigint/montgomery.h"
+
+namespace ppstats {
+
+namespace {
+
+// Primes below 256 for cheap trial division before Miller–Rabin.
+constexpr std::array<uint64_t, 54> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173, 179, 181,
+    191, 193, 197, 199, 211, 223, 227, 229, 233, 239, 241, 251};
+
+// One Miller–Rabin round for witness a against n = d * 2^s + 1 (d odd).
+// Returns true if n passes (is possibly prime).
+bool MillerRabinRound(const MontgomeryContext& ctx, const BigInt& n,
+                      const BigInt& n_minus_1, const BigInt& d, size_t s,
+                      const BigInt& a) {
+  BigInt x = ctx.Exp(a, d);
+  if (x.IsOne() || x == n_minus_1) return true;
+  for (size_t i = 1; i < s; ++i) {
+    x = MulMod(x, x, n);
+    if (x == n_minus_1) return true;
+    if (x.IsOne()) return false;  // nontrivial sqrt of 1
+  }
+  return false;
+}
+
+}  // namespace
+
+bool IsProbablePrime(const BigInt& n, RandomSource& rng, int rounds) {
+  if (n < BigInt(2)) return false;
+  for (uint64_t p : kSmallPrimes) {
+    BigInt bp(p);
+    if (n == bp) return true;
+    if ((n % bp).IsZero()) return false;
+  }
+  // n is odd and > 256 here.
+  BigInt n_minus_1 = n - BigInt(1);
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (d.IsEven()) {
+    d >>= 1;
+    ++s;
+  }
+  MontgomeryContext ctx(n);
+  // Fixed base 2 catches most composites cheaply and deterministically.
+  if (!MillerRabinRound(ctx, n, n_minus_1, d, s, BigInt(2))) return false;
+  for (int i = 0; i < rounds; ++i) {
+    // Witness in [2, n-2].
+    BigInt a = RandomBelow(rng, n - BigInt(3)) + BigInt(2);
+    if (!MillerRabinRound(ctx, n, n_minus_1, d, s, a)) return false;
+  }
+  return true;
+}
+
+BigInt GeneratePrime(size_t bits, RandomSource& rng, int mr_rounds) {
+  assert(bits >= 2);
+  for (;;) {
+    BigInt candidate = RandomBits(rng, bits);
+    // Force the top two bits (so a product of two such primes has exactly
+    // 2*bits bits, the RSA/Paillier convention) and oddness.
+    if (!candidate.Bit(bits - 1)) candidate += BigInt(1) << (bits - 1);
+    if (bits >= 2 && !candidate.Bit(bits - 2)) {
+      candidate += BigInt(1) << (bits - 2);
+    }
+    if (candidate.IsEven()) candidate += 1;
+    if (candidate.BitLength() != bits) continue;
+    if (IsProbablePrime(candidate, rng, mr_rounds)) return candidate;
+  }
+}
+
+std::pair<BigInt, BigInt> GeneratePrimePair(size_t bits, RandomSource& rng,
+                                            int mr_rounds) {
+  BigInt p = GeneratePrime(bits, rng, mr_rounds);
+  for (;;) {
+    BigInt q = GeneratePrime(bits, rng, mr_rounds);
+    if (q != p) return {std::move(p), std::move(q)};
+  }
+}
+
+}  // namespace ppstats

@@ -1,0 +1,28 @@
+// Primality testing and random prime generation.
+
+#ifndef PPSTATS_BIGINT_PRIME_H_
+#define PPSTATS_BIGINT_PRIME_H_
+
+#include "bigint/bigint.h"
+#include "common/random.h"
+
+namespace ppstats {
+
+/// Miller–Rabin probabilistic primality test with `rounds` random bases
+/// (plus a fixed base-2 round). Error probability <= 4^-rounds for
+/// composites. n < 2 and even n > 2 are composite; 2 is prime.
+bool IsProbablePrime(const BigInt& n, RandomSource& rng, int rounds = 32);
+
+/// Generates a random probable prime with exactly `bits` bits. The top
+/// two bits are forced to 1, so a product of two such primes has exactly
+/// 2*bits bits (the RSA/Paillier modulus convention). Requires bits >= 2.
+BigInt GeneratePrime(size_t bits, RandomSource& rng, int mr_rounds = 32);
+
+/// Generates two distinct probable primes of `bits` bits each, as needed
+/// for a Paillier / RSA modulus.
+std::pair<BigInt, BigInt> GeneratePrimePair(size_t bits, RandomSource& rng,
+                                            int mr_rounds = 32);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_BIGINT_PRIME_H_

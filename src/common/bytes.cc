@@ -1,0 +1,50 @@
+#include "common/bytes.h"
+
+namespace ppstats {
+
+namespace {
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+}  // namespace
+
+std::string ToHex(BytesView bytes) {
+  std::string out;
+  out.reserve(bytes.size() * 2);
+  for (uint8_t b : bytes) {
+    out.push_back(kHexDigits[b >> 4]);
+    out.push_back(kHexDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Result<Bytes> FromHex(std::string_view hex) {
+  if (hex.size() % 2 != 0) {
+    return Status::InvalidArgument("hex string has odd length");
+  }
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("non-hex character in input");
+    }
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+bool ConstantTimeEqual(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  uint8_t acc = 0;
+  for (size_t i = 0; i < a.size(); ++i) acc |= a[i] ^ b[i];
+  return acc == 0;
+}
+
+}  // namespace ppstats

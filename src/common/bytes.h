@@ -1,0 +1,33 @@
+// Byte-buffer aliases and hex encoding helpers shared across modules.
+
+#ifndef PPSTATS_COMMON_BYTES_H_
+#define PPSTATS_COMMON_BYTES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppstats {
+
+/// Owned byte buffer used for wire messages and key material.
+using Bytes = std::vector<uint8_t>;
+
+/// Non-owning view of bytes.
+using BytesView = std::span<const uint8_t>;
+
+/// Encodes bytes as lowercase hex ("deadbeef").
+std::string ToHex(BytesView bytes);
+
+/// Decodes lowercase/uppercase hex into bytes. Fails on odd length or
+/// non-hex characters.
+Result<Bytes> FromHex(std::string_view hex);
+
+/// Constant-time byte equality (length leaks; contents do not).
+bool ConstantTimeEqual(BytesView a, BytesView b);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_COMMON_BYTES_H_

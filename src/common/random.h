@@ -1,0 +1,48 @@
+// RandomSource: abstract interface for random byte generation.
+//
+// The bigint layer (prime generation, random residues) consumes this
+// interface; the crypto layer provides the concrete deterministic CSPRNG
+// (ChaCha20Rng). Keeping the interface here avoids a dependency cycle
+// between bigint and crypto.
+
+#ifndef PPSTATS_COMMON_RANDOM_H_
+#define PPSTATS_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ppstats {
+
+/// Produces uniformly random bytes. Implementations may be deterministic
+/// (seeded) for reproducible experiments or backed by OS entropy.
+class RandomSource {
+ public:
+  virtual ~RandomSource() = default;
+
+  /// Fills `out` with random bytes.
+  virtual void Fill(std::span<uint8_t> out) = 0;
+
+  /// Returns a uniformly random 64-bit value.
+  uint64_t NextUint64() {
+    uint8_t buf[8];
+    Fill(buf);
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) v = (v << 8) | buf[i];
+    return v;
+  }
+
+  /// Returns a uniformly random value in [0, bound) for bound > 0, via
+  /// rejection sampling.
+  uint64_t NextBelow(uint64_t bound) {
+    // Rejection sampling over the largest multiple of `bound` below 2^64.
+    uint64_t threshold = (0 - bound) % bound;  // 2^64 mod bound
+    for (;;) {
+      uint64_t v = NextUint64();
+      if (v >= threshold) return v % bound;
+    }
+  }
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_COMMON_RANDOM_H_

@@ -1,0 +1,32 @@
+// Stopwatch: thin steady_clock wrapper used to attribute protocol time to
+// the paper's four components (client encryption, server computation,
+// communication, client decryption).
+
+#ifndef PPSTATS_COMMON_STOPWATCH_H_
+#define PPSTATS_COMMON_STOPWATCH_H_
+
+#include <chrono>
+
+namespace ppstats {
+
+/// Measures wall-clock time in seconds.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  /// Restarts the stopwatch.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_COMMON_STOPWATCH_H_

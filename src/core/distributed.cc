@@ -1,0 +1,103 @@
+#include "core/distributed.h"
+
+#include <algorithm>
+
+#include "bigint/modarith.h"
+
+namespace ppstats {
+
+double DistributedRunResult::ParallelSeconds(
+    const ExecutionEnvironment& env) const {
+  // The single client must encrypt every partition's index vector
+  // itself; server computation and transfers overlap across servers.
+  double client = 0;
+  double slowest_server = 0;
+  for (const RunMetrics& m : server_metrics) {
+    client += (m.client_encrypt_s + m.client_decrypt_s) * env.client_cpu_scale;
+    double server_side = m.server_compute_s * env.server_cpu_scale +
+                         m.CommunicationSeconds(env.network);
+    slowest_server = std::max(slowest_server, server_side);
+  }
+  return client + slowest_server;
+}
+
+double DistributedRunResult::SequentialSeconds(
+    const ExecutionEnvironment& env) const {
+  double total = 0;
+  for (const RunMetrics& m : server_metrics) {
+    total += m.SequentialSeconds(env);
+  }
+  return total;
+}
+
+Result<DistributedRunResult> RunDistributedSum(
+    const PaillierPrivateKey& key, const std::vector<const Database*>& servers,
+    const SelectionVector& selection, const DistributedConfig& config,
+    RandomSource& rng) {
+  if (servers.empty()) {
+    return Status::InvalidArgument("need at least one server");
+  }
+  size_t total_rows = 0;
+  for (const Database* db : servers) {
+    if (db == nullptr) return Status::InvalidArgument("null server database");
+    if (db->empty()) {
+      return Status::InvalidArgument("server partitions must be non-empty");
+    }
+    total_rows += db->size();
+  }
+  if (selection.size() != total_rows) {
+    return Status::InvalidArgument(
+        "selection length != total size of all partitions");
+  }
+  const BigInt& m_mod = config.blind_modulus;
+  if (config.blind_partials) {
+    if (m_mod < BigInt(2)) {
+      return Status::InvalidArgument("blinding modulus must be >= 2");
+    }
+    if ((m_mod << 1) > key.public_key().n()) {
+      return Status::InvalidArgument(
+          "blinding modulus too large for the key: need 2M <= n");
+    }
+  }
+
+  // Servers agree on blinding shares summing to zero mod M.
+  std::vector<BigInt> blindings(servers.size(), BigInt(0));
+  if (config.blind_partials && servers.size() > 1) {
+    BigInt sum(0);
+    for (size_t i = 0; i + 1 < servers.size(); ++i) {
+      blindings[i] = RandomBelow(rng, m_mod);
+      sum = AddMod(sum, blindings[i], m_mod);
+    }
+    blindings.back() = SubMod(BigInt(0), sum, m_mod);
+  }
+
+  DistributedRunResult result;
+  result.server_metrics.reserve(servers.size());
+  BigInt total(0);
+  size_t offset = 0;
+  for (size_t i = 0; i < servers.size(); ++i) {
+    const Database* db = servers[i];
+    WeightVector weights(db->size());
+    for (size_t j = 0; j < db->size(); ++j) {
+      weights[j] = selection[offset + j] ? 1 : 0;
+    }
+
+    SumClientOptions client_options;
+    client_options.chunk_size = config.chunk_size;
+    SumClient client(key, std::move(weights), client_options, rng);
+
+    SumServerOptions server_options;
+    if (config.blind_partials) server_options.blinding = blindings[i];
+    SumServer server(key.public_key(), db, server_options);
+
+    PPSTATS_ASSIGN_OR_RETURN(SumRunResult run,
+                             RunSelectedSum(client, server));
+    total += run.sum;
+    result.server_metrics.push_back(std::move(run.metrics));
+    offset += db->size();
+  }
+  result.total = config.blind_partials ? Mod(total, m_mod) : total;
+  return result;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,63 @@
+// Multiple distributed databases (paper Section 1: "this protocol ...
+// can easily be extended to work for multiple distributed databases").
+//
+// d servers each hold a horizontal partition of the logical table. The
+// client runs the selected-sum protocol against every server with the
+// same key and adds the decrypted results.
+//
+// Database privacy across servers: if the client simply decrypted each
+// server's response it would learn d partial sums, more than "the sum".
+// Servers therefore blind their responses with shares R_1..R_d of zero
+// (sum_i R_i = 0 mod M), agreed among servers out of band (in practice,
+// pairwise PRF seeds; here a seeded RandomSource stands in). The
+// blinding cancels only in the client's final addition, exactly as in
+// the multi-client protocol of Section 3.5 — with the roles flipped.
+
+#ifndef PPSTATS_CORE_DISTRIBUTED_H_
+#define PPSTATS_CORE_DISTRIBUTED_H_
+
+#include <vector>
+
+#include "core/runner.h"
+
+namespace ppstats {
+
+/// Configuration for a distributed-sum execution.
+struct DistributedConfig {
+  /// Blind per-server partial sums (recommended; see header comment).
+  bool blind_partials = true;
+
+  /// Blinding modulus M; must satisfy 2M <= n and exceed any real sum.
+  BigInt blind_modulus = BigInt(1) << 64;
+
+  /// Per-server request chunking.
+  size_t chunk_size = 0;
+};
+
+/// Result and metrics of a distributed-sum execution.
+struct DistributedRunResult {
+  BigInt total;  ///< selected sum across all partitions (mod M if blinded)
+
+  /// One protocol execution per server, in partition order.
+  std::vector<RunMetrics> server_metrics;
+
+  /// Elapsed time if the client talks to all servers concurrently
+  /// (encryption is still sequential on the single client; transfers and
+  /// server work overlap). Approximated as client work + slowest server.
+  double ParallelSeconds(const ExecutionEnvironment& env) const;
+
+  /// Elapsed time talking to servers one at a time.
+  double SequentialSeconds(const ExecutionEnvironment& env) const;
+};
+
+/// Runs the protocol against `servers` (horizontal partitions, in
+/// order). `selection` covers the concatenated logical table and is
+/// split at partition boundaries.
+Result<DistributedRunResult> RunDistributedSum(
+    const PaillierPrivateKey& key, const std::vector<const Database*>& servers,
+    const SelectionVector& selection, const DistributedConfig& config,
+    RandomSource& rng);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_DISTRIBUTED_H_

@@ -1,0 +1,185 @@
+#include "core/messages.h"
+
+namespace ppstats {
+
+namespace {
+
+Status ExpectType(WireReader& reader, MessageType expected) {
+  PPSTATS_ASSIGN_OR_RETURN(uint8_t tag, reader.ReadU8());
+  if (tag != static_cast<uint8_t>(expected)) {
+    return Status::ProtocolError("unexpected message type");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<MessageType> PeekMessageType(BytesView frame) {
+  if (frame.empty()) {
+    return Status::SerializationError("empty frame");
+  }
+  uint8_t tag = frame[0];
+  if (tag < static_cast<uint8_t>(MessageType::kIndexBatch) ||
+      tag > static_cast<uint8_t>(MessageType::kError)) {
+    return Status::ProtocolError("unknown message type tag");
+  }
+  return static_cast<MessageType>(tag);
+}
+
+Bytes IndexBatchMessage::Encode(const PaillierPublicKey& pub) const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kIndexBatch));
+  w.WriteU64(start_index);
+  w.WriteU32(static_cast<uint32_t>(ciphertexts.size()));
+  for (const PaillierCiphertext& ct : ciphertexts) {
+    // Ciphertexts are < n^2 by construction; fixed width cannot fail.
+    Status s = w.WriteFixedBigInt(ct.value, pub.CiphertextBytes());
+    (void)s;
+  }
+  return w.Take();
+}
+
+Result<IndexBatchMessage> IndexBatchMessage::Decode(
+    const PaillierPublicKey& pub, BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kIndexBatch));
+  IndexBatchMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.start_index, r.ReadU64());
+  PPSTATS_ASSIGN_OR_RETURN(uint32_t count, r.ReadU32());
+  // Validate the claimed count against the actual payload before
+  // allocating anything: a hostile count must not drive allocation.
+  if (static_cast<uint64_t>(count) * pub.CiphertextBytes() != r.remaining()) {
+    return Status::SerializationError("ciphertext count/payload mismatch");
+  }
+  msg.ciphertexts.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    PPSTATS_ASSIGN_OR_RETURN(BigInt v,
+                             r.ReadFixedBigInt(pub.CiphertextBytes()));
+    if (v >= pub.n_squared()) {
+      return Status::ProtocolError("index ciphertext >= n^2");
+    }
+    msg.ciphertexts.push_back(PaillierCiphertext{std::move(v)});
+  }
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes SumResponseMessage::Encode(const PaillierPublicKey& pub) const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kSumResponse));
+  Status s = w.WriteFixedBigInt(sum.value, pub.CiphertextBytes());
+  (void)s;
+  return w.Take();
+}
+
+Result<SumResponseMessage> SumResponseMessage::Decode(
+    const PaillierPublicKey& pub, BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kSumResponse));
+  SumResponseMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.sum.value,
+                           r.ReadFixedBigInt(pub.CiphertextBytes()));
+  if (msg.sum.value >= pub.n_squared()) {
+    return Status::ProtocolError("sum ciphertext >= n^2");
+  }
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes RingPartialMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kRingPartial));
+  w.WriteBigInt(running_sum);
+  return w.Take();
+}
+
+Result<RingPartialMessage> RingPartialMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kRingPartial));
+  RingPartialMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.running_sum, r.ReadBigInt());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes ClientHelloMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kClientHello));
+  w.WriteU32(protocol_version);
+  w.WriteBytes(public_key_blob);
+  return w.Take();
+}
+
+Result<ClientHelloMessage> ClientHelloMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kClientHello));
+  ClientHelloMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version > 0xFFFF) {
+    return Status::ProtocolError("implausible protocol version");
+  }
+  msg.protocol_version = static_cast<uint16_t>(version);
+  PPSTATS_ASSIGN_OR_RETURN(msg.public_key_blob, r.ReadBytes());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes ServerHelloMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kServerHello));
+  w.WriteU32(protocol_version);
+  w.WriteU64(database_size);
+  return w.Take();
+}
+
+Result<ServerHelloMessage> ServerHelloMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kServerHello));
+  ServerHelloMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(uint32_t version, r.ReadU32());
+  if (version > 0xFFFF) {
+    return Status::ProtocolError("implausible protocol version");
+  }
+  msg.protocol_version = static_cast<uint16_t>(version);
+  PPSTATS_ASSIGN_OR_RETURN(msg.database_size, r.ReadU64());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes ErrorMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kError));
+  w.WriteU8(code);
+  w.WriteBytes(BytesView(reinterpret_cast<const uint8_t*>(reason.data()),
+                         reason.size()));
+  return w.Take();
+}
+
+Result<ErrorMessage> ErrorMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kError));
+  ErrorMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.code, r.ReadU8());
+  PPSTATS_ASSIGN_OR_RETURN(Bytes reason_bytes, r.ReadBytes());
+  msg.reason.assign(reason_bytes.begin(), reason_bytes.end());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes RingBroadcastMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kRingBroadcast));
+  w.WriteBigInt(total);
+  return w.Take();
+}
+
+Result<RingBroadcastMessage> RingBroadcastMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kRingBroadcast));
+  RingBroadcastMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.total, r.ReadBigInt());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,99 @@
+// Protocol messages for the selected-sum protocol (paper Figure 1) and
+// its multi-client extension (Figure 8).
+//
+// Every frame starts with a one-byte type tag. Ciphertexts travel at the
+// fixed wire width implied by the public key, exactly as a real
+// implementation would, so the recorded traffic is byte-accurate.
+
+#ifndef PPSTATS_CORE_MESSAGES_H_
+#define PPSTATS_CORE_MESSAGES_H_
+
+#include <vector>
+
+#include "crypto/paillier.h"
+#include "net/wire.h"
+
+namespace ppstats {
+
+/// Frame type tags.
+enum class MessageType : uint8_t {
+  kIndexBatch = 1,      ///< client -> server: chunk of encrypted indices
+  kSumResponse = 2,     ///< server -> client: encrypted (blinded) sum
+  kRingPartial = 3,     ///< client -> client: running blinded partial sum
+  kRingBroadcast = 4,   ///< final client -> all: unblinded total
+  kClientHello = 5,     ///< session handshake: version + public key
+  kServerHello = 6,     ///< session handshake: version + database size
+  kError = 7,           ///< either direction: abort with a reason
+};
+
+/// A chunk of the encrypted index vector covering rows
+/// [start_index, start_index + ciphertexts.size()).
+struct IndexBatchMessage {
+  uint64_t start_index = 0;
+  std::vector<PaillierCiphertext> ciphertexts;
+
+  Bytes Encode(const PaillierPublicKey& pub) const;
+  static Result<IndexBatchMessage> Decode(const PaillierPublicKey& pub,
+                                          BytesView frame);
+};
+
+/// The server's single response: the encrypted selected sum.
+struct SumResponseMessage {
+  PaillierCiphertext sum;
+
+  Bytes Encode(const PaillierPublicKey& pub) const;
+  static Result<SumResponseMessage> Decode(const PaillierPublicKey& pub,
+                                           BytesView frame);
+};
+
+/// Multi-client phase 2: running sum of blinded partials around the ring.
+struct RingPartialMessage {
+  BigInt running_sum;
+
+  Bytes Encode() const;
+  static Result<RingPartialMessage> Decode(BytesView frame);
+};
+
+/// Multi-client phase 2: the final unblinded total, broadcast to all.
+struct RingBroadcastMessage {
+  BigInt total;
+
+  Bytes Encode() const;
+  static Result<RingBroadcastMessage> Decode(BytesView frame);
+};
+
+/// Session handshake: the client announces its protocol version and the
+/// public key the server must encrypt against.
+struct ClientHelloMessage {
+  uint16_t protocol_version = 0;
+  Bytes public_key_blob;  ///< see crypto/key_io.h
+
+  Bytes Encode() const;
+  static Result<ClientHelloMessage> Decode(BytesView frame);
+};
+
+/// Session handshake reply: the server's version and table size (the
+/// client needs the size to shape its index vector).
+struct ServerHelloMessage {
+  uint16_t protocol_version = 0;
+  uint64_t database_size = 0;
+
+  Bytes Encode() const;
+  static Result<ServerHelloMessage> Decode(BytesView frame);
+};
+
+/// Abort frame: carries a status code and a human-readable reason.
+struct ErrorMessage {
+  uint8_t code = 0;  ///< a StatusCode value
+  std::string reason;
+
+  Bytes Encode() const;
+  static Result<ErrorMessage> Decode(BytesView frame);
+};
+
+/// Reads the type tag without consuming the frame.
+Result<MessageType> PeekMessageType(BytesView frame);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_MESSAGES_H_

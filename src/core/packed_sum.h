@@ -1,0 +1,65 @@
+// Packed multi-query selected sums over Damgård–Jurik.
+//
+// The paper's protocol answers ONE selected-sum query per linear pass of
+// encrypted indices. With a Damgård–Jurik key (s > 1) the plaintext
+// space is wide enough to pack B independent 0/1 indicators per row into
+// slots of one plaintext:
+//
+//   P_i = sum_b I_b(i) * 2^(b * slot_bits)
+//
+// The server's usual product then yields, in one ciphertext,
+//
+//   prod_i E(P_i)^{x_i} = E( sum_b 2^(b*slot_bits) * sum_i I_b(i) x_i )
+//
+// i.e. all B selected sums at once, provided each per-query sum stays
+// below 2^slot_bits (no carry between slots). Client encryption, server
+// work, and traffic are the SAME as for a single query: B-fold
+// amortization for query batches — e.g. computing a histogram (one
+// selection per bucket) in one pass.
+
+#ifndef PPSTATS_CORE_PACKED_SUM_H_
+#define PPSTATS_CORE_PACKED_SUM_H_
+
+#include <vector>
+
+#include "crypto/damgard_jurik.h"
+#include "db/database.h"
+#include "net/channel.h"
+
+namespace ppstats {
+
+/// Configuration for a packed multi-query run.
+struct PackedSumConfig {
+  /// Bits per query slot. Every query's true sum must be < 2^slot_bits
+  /// (sums of 32-bit values need 32 + ceil(log2 n) bits; the default
+  /// fits any database up to 2^24 rows).
+  size_t slot_bits = 56;
+};
+
+/// Result of a packed multi-query execution.
+struct PackedSumResult {
+  std::vector<BigInt> sums;  ///< one per query, in input order
+  TrafficStats client_to_server;
+  TrafficStats server_to_client;
+  double client_encrypt_s = 0;
+  double server_compute_s = 0;
+  double client_decrypt_s = 0;
+};
+
+/// Runs B = queries.size() selected-sum queries in ONE protocol pass.
+/// Every selection must have db.size() entries, and B * slot_bits must
+/// fit in the key's plaintext space (n^s). The queries stay as hidden
+/// from the server as a single query's index vector.
+Result<PackedSumResult> RunPackedMultiSum(
+    const DjPrivateKey& key, const Database& db,
+    const std::vector<SelectionVector>& queries,
+    const PackedSumConfig& config, RandomSource& rng);
+
+/// Smallest Damgård–Jurik s such that B queries of slot_bits each fit a
+/// modulus of `modulus_bits`.
+size_t MinimumSForQueries(size_t modulus_bits, size_t num_queries,
+                          size_t slot_bits);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_PACKED_SUM_H_

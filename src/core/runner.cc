@@ -1,0 +1,97 @@
+#include "core/runner.h"
+
+#include "sim/pipeline.h"
+
+namespace ppstats {
+
+double RunMetrics::CommunicationSeconds(const NetworkModel& model) const {
+  return model.TransferSeconds(client_to_server) +
+         model.TransferSeconds(server_to_client);
+}
+
+ComponentBreakdown RunMetrics::Components(
+    const ExecutionEnvironment& env) const {
+  return ComponentBreakdown{
+      .client_encrypt_s = client_encrypt_s * env.client_cpu_scale,
+      .server_compute_s = server_compute_s * env.server_cpu_scale,
+      .communication_s = CommunicationSeconds(env.network),
+      .client_decrypt_s = client_decrypt_s * env.client_cpu_scale,
+  };
+}
+
+double RunMetrics::SequentialSeconds(const ExecutionEnvironment& env) const {
+  return Components(env).Total();
+}
+
+Result<double> RunMetrics::PipelinedSeconds(
+    const ExecutionEnvironment& env) const {
+  if (chunk_encrypt_s.size() != chunk_request_bytes.size() ||
+      chunk_compute_s.size() != chunk_encrypt_s.size()) {
+    return Status::Internal("per-chunk metric vectors are inconsistent");
+  }
+  std::vector<std::vector<double>> stages(3);
+  stages[0].reserve(chunk_encrypt_s.size());
+  stages[1].reserve(chunk_encrypt_s.size());
+  stages[2].reserve(chunk_encrypt_s.size());
+  for (size_t i = 0; i < chunk_encrypt_s.size(); ++i) {
+    stages[0].push_back(chunk_encrypt_s[i] * env.client_cpu_scale);
+    // A chunk's transfer stage occupies the link for its serialization
+    // time; the stream pays the propagation latency once, below.
+    stages[1].push_back(
+        env.network.SerializationSeconds(chunk_request_bytes[i], 1));
+    stages[2].push_back(chunk_compute_s[i] * env.server_cpu_scale);
+  }
+  PPSTATS_ASSIGN_OR_RETURN(double makespan, PipelineSchedule::Makespan(stages));
+  // One pipeline-fill latency, then the response returns and is decrypted.
+  return makespan + env.network.one_way_latency_s +
+         env.network.TransferSeconds(server_to_client) +
+         client_decrypt_s * env.client_cpu_scale;
+}
+
+RunMetrics& RunMetrics::Merge(const RunMetrics& other) {
+  client_encrypt_s += other.client_encrypt_s;
+  server_compute_s += other.server_compute_s;
+  client_decrypt_s += other.client_decrypt_s;
+  client_to_server += other.client_to_server;
+  server_to_client += other.server_to_client;
+  chunk_encrypt_s.insert(chunk_encrypt_s.end(), other.chunk_encrypt_s.begin(),
+                         other.chunk_encrypt_s.end());
+  chunk_compute_s.insert(chunk_compute_s.end(), other.chunk_compute_s.begin(),
+                         other.chunk_compute_s.end());
+  chunk_request_bytes.insert(chunk_request_bytes.end(),
+                             other.chunk_request_bytes.begin(),
+                             other.chunk_request_bytes.end());
+  return *this;
+}
+
+Result<SumRunResult> RunSelectedSum(SumClient& client, SumServer& server) {
+  if (client.RequestsDone()) {
+    return Status::InvalidArgument("client has an empty index vector");
+  }
+  SumRunResult result;
+  std::optional<Bytes> response;
+
+  while (!client.RequestsDone()) {
+    PPSTATS_ASSIGN_OR_RETURN(Bytes request, client.NextRequest());
+    result.metrics.client_to_server.Record(request.size());
+    result.metrics.chunk_request_bytes.push_back(request.size());
+    PPSTATS_ASSIGN_OR_RETURN(response, server.HandleRequest(request));
+    if (response.has_value() && !client.RequestsDone()) {
+      return Status::ProtocolError("server responded before the last chunk");
+    }
+  }
+  if (!response.has_value()) {
+    return Status::ProtocolError("server produced no response");
+  }
+  result.metrics.server_to_client.Record(response->size());
+  PPSTATS_ASSIGN_OR_RETURN(result.sum, client.HandleResponse(*response));
+
+  result.metrics.client_encrypt_s = client.encrypt_seconds();
+  result.metrics.server_compute_s = server.compute_seconds();
+  result.metrics.client_decrypt_s = client.decrypt_seconds();
+  result.metrics.chunk_encrypt_s = client.chunk_encrypt_seconds();
+  result.metrics.chunk_compute_s = server.chunk_compute_seconds();
+  return result;
+}
+
+}  // namespace ppstats

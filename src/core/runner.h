@@ -1,0 +1,80 @@
+// Protocol runner: pumps frames between a SumClient and a SumServer,
+// records byte-accurate traffic and per-component compute time, and maps
+// them onto an ExecutionEnvironment to report the paper's metrics.
+//
+// The runner executes the real cryptographic protocol in-process; only
+// the link is modeled (see net/network_model.h). Two schedules are
+// reported:
+//   * SequentialSeconds — the unoptimized protocol of Figures 2/3: the
+//     client encrypts everything, then traffic moves, then the server
+//     computes, then the response returns;
+//   * PipelinedSeconds — the batched protocol of Figure 4: per-chunk
+//     encrypt/transfer/compute stages overlap.
+
+#ifndef PPSTATS_CORE_RUNNER_H_
+#define PPSTATS_CORE_RUNNER_H_
+
+#include "core/selected_sum.h"
+#include "sim/environment.h"
+
+namespace ppstats {
+
+/// The paper's four runtime components, in seconds, under a given
+/// execution environment.
+struct ComponentBreakdown {
+  double client_encrypt_s = 0;
+  double server_compute_s = 0;
+  double communication_s = 0;
+  double client_decrypt_s = 0;
+
+  double Total() const {
+    return client_encrypt_s + server_compute_s + communication_s +
+           client_decrypt_s;
+  }
+};
+
+/// Raw measurements from one protocol run.
+struct RunMetrics {
+  // Measured compute time on this machine (unscaled).
+  double client_encrypt_s = 0;
+  double server_compute_s = 0;
+  double client_decrypt_s = 0;
+
+  // Byte-accurate traffic per direction.
+  TrafficStats client_to_server;
+  TrafficStats server_to_client;
+
+  // Per-chunk detail for the pipeline schedule.
+  std::vector<double> chunk_encrypt_s;
+  std::vector<double> chunk_compute_s;
+  std::vector<uint64_t> chunk_request_bytes;
+
+  /// Link time for all traffic (both directions) under `model`.
+  double CommunicationSeconds(const NetworkModel& model) const;
+
+  /// Component breakdown under `env` (CPU scaling + link model).
+  ComponentBreakdown Components(const ExecutionEnvironment& env) const;
+
+  /// Total elapsed time without any overlap (unoptimized protocol).
+  double SequentialSeconds(const ExecutionEnvironment& env) const;
+
+  /// Total elapsed time with batching/pipeline parallelism (Sec 3.2):
+  /// chunked encrypt/transfer/compute overlap, then the response returns
+  /// and is decrypted.
+  Result<double> PipelinedSeconds(const ExecutionEnvironment& env) const;
+
+  RunMetrics& Merge(const RunMetrics& other);
+};
+
+/// Result of a full protocol execution.
+struct SumRunResult {
+  BigInt sum;          ///< decrypted (possibly blinded) result
+  RunMetrics metrics;
+};
+
+/// Drives `client` and `server` to completion.
+Result<SumRunResult> RunSelectedSum(SumClient& client, SumServer& server);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_RUNNER_H_

@@ -1,0 +1,182 @@
+#include "core/selected_sum.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "bigint/modarith.h"
+
+namespace ppstats {
+
+namespace {
+
+WeightVector SelectionToWeights(const SelectionVector& selection) {
+  WeightVector weights(selection.size());
+  for (size_t i = 0; i < selection.size(); ++i) {
+    weights[i] = selection[i] ? 1 : 0;
+  }
+  return weights;
+}
+
+}  // namespace
+
+SumClient::SumClient(const PaillierPrivateKey& key, WeightVector weights,
+                     SumClientOptions options, RandomSource& rng)
+    : key_(&key),
+      weights_(std::move(weights)),
+      options_(options),
+      rng_(&rng) {}
+
+SumClient::SumClient(const PaillierPrivateKey& key,
+                     const SelectionVector& selection,
+                     SumClientOptions options, RandomSource& rng)
+    : SumClient(key, SelectionToWeights(selection), options, rng) {}
+
+size_t SumClient::TotalChunks() const {
+  if (weights_.empty()) return 0;
+  size_t chunk = options_.chunk_size == 0 ? weights_.size()
+                                          : options_.chunk_size;
+  return (weights_.size() + chunk - 1) / chunk;
+}
+
+Result<Bytes> SumClient::NextRequest() {
+  if (RequestsDone()) {
+    return Status::FailedPrecondition("all request chunks already produced");
+  }
+  const size_t chunk = options_.chunk_size == 0 ? weights_.size()
+                                                : options_.chunk_size;
+  const size_t begin = next_index_;
+  const size_t end = std::min(begin + chunk, weights_.size());
+
+  IndexBatchMessage msg;
+  msg.start_index = options_.index_offset + begin;
+  msg.ciphertexts.reserve(end - begin);
+
+  const PaillierPublicKey& pub = key_->public_key();
+  Stopwatch timer;
+  for (size_t i = begin; i < end; ++i) {
+    BigInt plaintext(weights_[i]);
+    Result<PaillierCiphertext> ct =
+        options_.encryption_pool != nullptr
+            ? options_.encryption_pool->Take(plaintext, *rng_)
+            : (options_.randomness_pool != nullptr
+                   ? options_.randomness_pool->Encrypt(plaintext, *rng_)
+                   : Paillier::Encrypt(pub, plaintext, *rng_));
+    if (!ct.ok()) return ct.status();
+    msg.ciphertexts.push_back(std::move(ct).ValueOrDie());
+  }
+  double elapsed = timer.ElapsedSeconds();
+  encrypt_seconds_ += elapsed;
+  chunk_encrypt_seconds_.push_back(elapsed);
+
+  next_index_ = end;
+  return msg.Encode(pub);
+}
+
+Result<BigInt> SumClient::HandleResponse(BytesView frame) {
+  const PaillierPublicKey& pub = key_->public_key();
+  PPSTATS_ASSIGN_OR_RETURN(SumResponseMessage msg,
+                           SumResponseMessage::Decode(pub, frame));
+  Stopwatch timer;
+  Result<BigInt> sum = Paillier::Decrypt(*key_, msg.sum);
+  decrypt_seconds_ += timer.ElapsedSeconds();
+  return sum;
+}
+
+SumServer::SumServer(PaillierPublicKey pub, const Database* db,
+                     SumServerOptions options)
+    : pub_(std::move(pub)),
+      db_(db),
+      options_(std::move(options)),
+      accumulator_{BigInt(1)} {
+  begin_ = 0;
+  end_ = db_->size();
+  if (options_.partition.has_value()) {
+    begin_ = options_.partition->first;
+    end_ = options_.partition->second;
+  }
+  next_expected_ = begin_;
+}
+
+Result<std::optional<Bytes>> SumServer::HandleRequest(BytesView frame) {
+  if (finished_) {
+    return Status::FailedPrecondition("response already produced");
+  }
+  if (options_.product_with != nullptr &&
+      options_.product_with->size() != db_->size()) {
+    return Status::InvalidArgument(
+        "product column size != primary database size");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(IndexBatchMessage msg,
+                           IndexBatchMessage::Decode(pub_, frame));
+  if (msg.start_index != next_expected_) {
+    return Status::ProtocolError("out-of-order index chunk");
+  }
+  if (msg.start_index + msg.ciphertexts.size() > end_) {
+    return Status::ProtocolError("index chunk overruns the database");
+  }
+
+  Stopwatch timer;
+  auto fold_range = [this, &msg](size_t begin,
+                                 size_t end) -> PaillierCiphertext {
+    PaillierCiphertext partial{BigInt(1)};
+    for (size_t i = begin; i < end; ++i) {
+      const size_t row = msg.start_index + i;
+      uint64_t value = db_->value(row);
+      if (options_.square_values) {
+        value *= value;
+      } else if (options_.product_with != nullptr) {
+        value *= options_.product_with->value(row);
+      }
+      if (value == 0) continue;  // E(I)^0 == 1: no-op factor
+      PaillierCiphertext powered =
+          Paillier::ScalarMultiply(pub_, msg.ciphertexts[i], BigInt(value));
+      partial = Paillier::Add(pub_, partial, powered);
+    }
+    return partial;
+  };
+
+  const size_t count = msg.ciphertexts.size();
+  const size_t threads =
+      std::min(options_.worker_threads == 0 ? 1 : options_.worker_threads,
+               count == 0 ? size_t{1} : count);
+  if (threads <= 1) {
+    accumulator_ = Paillier::Add(pub_, accumulator_, fold_range(0, count));
+  } else {
+    std::vector<PaillierCiphertext> partials(threads);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    const size_t stride = (count + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+      const size_t begin = t * stride;
+      const size_t end = std::min(begin + stride, count);
+      workers.emplace_back([&partials, &fold_range, t, begin, end] {
+        partials[t] = fold_range(begin, end);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (const PaillierCiphertext& partial : partials) {
+      accumulator_ = Paillier::Add(pub_, accumulator_, partial);
+    }
+  }
+  double elapsed = timer.ElapsedSeconds();
+  compute_seconds_ += elapsed;
+  chunk_compute_seconds_.push_back(elapsed);
+
+  next_expected_ = msg.start_index + msg.ciphertexts.size();
+  if (next_expected_ < end_) return std::optional<Bytes>();
+
+  // All rows processed: blind if requested and respond.
+  if (options_.blinding.has_value()) {
+    Stopwatch blind_timer;
+    PPSTATS_ASSIGN_OR_RETURN(
+        accumulator_,
+        Paillier::AddPlaintext(pub_, accumulator_, *options_.blinding));
+    compute_seconds_ += blind_timer.ElapsedSeconds();
+  }
+  finished_ = true;
+  SumResponseMessage response;
+  response.sum = accumulator_;
+  return std::optional<Bytes>(response.Encode(pub_));
+}
+
+}  // namespace ppstats

@@ -1,0 +1,158 @@
+// The selected-sum protocol of the paper (Figure 1), in sans-IO style.
+//
+//   Client                         Server (holds x_1..x_n)
+//     E(I_1) ... E(I_n)  ------>     v = prod_i E(I_i)^{x_i} mod n^2
+//                        <------     v
+//     decrypt v  =>  sum_{I_i=1} x_i
+//
+// SumClient and SumServer produce and consume wire frames; a runner (or a
+// real channel) moves the frames. Each side times its own cryptographic
+// work, per chunk, so the harness can report the paper's component
+// breakdown and the pipelined (batched) schedule of Section 3.2.
+//
+// Generalization: the client-side vector holds integer weights, not just
+// 0/1 — E(w_i) yields the weighted sum sum_i w_i x_i (paper Section 2),
+// from which weighted averages follow.
+
+#ifndef PPSTATS_CORE_SELECTED_SUM_H_
+#define PPSTATS_CORE_SELECTED_SUM_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/stopwatch.h"
+#include "core/messages.h"
+#include "crypto/pool.h"
+#include "db/database.h"
+
+namespace ppstats {
+
+/// Client-side tuning knobs.
+struct SumClientOptions {
+  /// Rows per request frame. 0 sends the entire index vector in one
+  /// frame (the paper's unoptimized protocol); the paper's batching
+  /// experiment uses 100.
+  size_t chunk_size = 0;
+
+  /// When set, index encryptions come from this pool of precomputed
+  /// encryptions (paper Section 3.3). The pool must be for the same key.
+  EncryptionPool* encryption_pool = nullptr;
+
+  /// When set (and encryption_pool is null), encryption uses precomputed
+  /// r^n factors from this pool — two modular multiplications online.
+  RandomnessPool* randomness_pool = nullptr;
+
+  /// Global row index of this client's first weight. Used by the
+  /// multi-client protocol, where client i covers one partition of the
+  /// database and must address rows by their global position.
+  size_t index_offset = 0;
+};
+
+/// Client endpoint: owns the private key and the (secret) weight vector.
+class SumClient {
+ public:
+  /// Weighted-sum client. Weights must each be < n.
+  SumClient(const PaillierPrivateKey& key, WeightVector weights,
+            SumClientOptions options, RandomSource& rng);
+
+  /// Selection (0/1-weight) client.
+  SumClient(const PaillierPrivateKey& key, const SelectionVector& selection,
+            SumClientOptions options, RandomSource& rng);
+
+  /// True once every index chunk has been produced.
+  bool RequestsDone() const { return next_index_ >= weights_.size(); }
+
+  /// Encrypts and encodes the next chunk of the index vector.
+  /// Fails with FailedPrecondition once RequestsDone().
+  Result<Bytes> NextRequest();
+
+  /// Decrypts the server's response; returns the (possibly blinded) sum.
+  Result<BigInt> HandleResponse(BytesView frame);
+
+  /// Number of request frames this client will send in total.
+  size_t TotalChunks() const;
+
+  // --- timing, for the experiment harness ---------------------------
+  double encrypt_seconds() const { return encrypt_seconds_; }
+  double decrypt_seconds() const { return decrypt_seconds_; }
+  const std::vector<double>& chunk_encrypt_seconds() const {
+    return chunk_encrypt_seconds_;
+  }
+
+  const PaillierPublicKey& public_key() const { return key_->public_key(); }
+
+ private:
+  const PaillierPrivateKey* key_;
+  WeightVector weights_;
+  SumClientOptions options_;
+  RandomSource* rng_;
+  size_t next_index_ = 0;
+  double encrypt_seconds_ = 0;
+  double decrypt_seconds_ = 0;
+  std::vector<double> chunk_encrypt_seconds_;
+};
+
+/// Server-side options.
+struct SumServerOptions {
+  /// Additive blinding term folded into the response (multi-client
+  /// protocol, Section 3.5). Empty => no blinding.
+  std::optional<BigInt> blinding;
+
+  /// Rows [partition_begin, partition_end) of the database this server
+  /// session covers; {0, db->size()} by default.
+  std::optional<std::pair<size_t, size_t>> partition;
+
+  /// Exponentiate with x_i^2 instead of x_i, so the same index vector
+  /// yields the selected sum of squares (for private variance). The
+  /// squaring is a local server-side transform of its own data.
+  bool square_values = false;
+
+  /// Exponentiate with x_i * y_i where y_i comes from this second column
+  /// (for private covariance). The second column must have the same
+  /// size as the primary database. Mutually exclusive with
+  /// square_values.
+  const Database* product_with = nullptr;
+
+  /// Worker threads for the per-chunk homomorphic product. The product
+  /// is associative, so a chunk can be split into per-thread partial
+  /// products and combined — the server-side counterpart of the paper's
+  /// Section 3.5 client-side parallelization. 0 or 1 = single-threaded.
+  size_t worker_threads = 1;
+};
+
+/// Server endpoint: owns (a partition of) the database and accumulates
+/// the homomorphic product as index chunks arrive.
+class SumServer {
+ public:
+  SumServer(PaillierPublicKey pub, const Database* db,
+            SumServerOptions options = {});
+
+  /// Consumes one request frame. Returns the encoded response frame once
+  /// the last expected row has been processed, std::nullopt before that.
+  Result<std::optional<Bytes>> HandleRequest(BytesView frame);
+
+  /// True once the response has been produced.
+  bool Finished() const { return finished_; }
+
+  // --- timing --------------------------------------------------------
+  double compute_seconds() const { return compute_seconds_; }
+  const std::vector<double>& chunk_compute_seconds() const {
+    return chunk_compute_seconds_;
+  }
+
+ private:
+  size_t begin_ = 0;
+  size_t end_ = 0;
+  PaillierPublicKey pub_;
+  const Database* db_;
+  SumServerOptions options_;
+  PaillierCiphertext accumulator_;
+  size_t next_expected_ = 0;
+  bool finished_ = false;
+  double compute_seconds_ = 0;
+  std::vector<double> chunk_compute_seconds_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_SELECTED_SUM_H_

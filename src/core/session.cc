@@ -1,0 +1,110 @@
+#include "core/session.h"
+
+#include "core/messages.h"
+#include "crypto/key_io.h"
+
+namespace ppstats {
+
+namespace {
+
+// Sends an Error frame; returns the original status for propagation.
+Status AbortWith(Channel& channel, Status status) {
+  ErrorMessage msg;
+  msg.code = static_cast<uint8_t>(status.code());
+  msg.reason = status.message();
+  (void)channel.Send(msg.Encode());  // best effort; the session is dead
+  return status;
+}
+
+// Translates a received Error frame into a local Status.
+Status FromErrorFrame(BytesView frame) {
+  Result<ErrorMessage> msg = ErrorMessage::Decode(frame);
+  if (!msg.ok()) return Status::ProtocolError("undecodable error frame");
+  return Status(static_cast<StatusCode>(msg->code),
+                "peer aborted: " + msg->reason);
+}
+
+}  // namespace
+
+ClientSession::ClientSession(const PaillierPrivateKey& key,
+                             SelectionVector selection,
+                             ClientSessionOptions options, RandomSource& rng)
+    : key_(&key),
+      selection_(std::move(selection)),
+      options_(options),
+      rng_(&rng) {}
+
+Result<BigInt> ClientSession::Run(Channel& channel) {
+  // Handshake.
+  ClientHelloMessage hello;
+  hello.protocol_version = kSessionProtocolVersion;
+  hello.public_key_blob = SerializePublicKey(key_->public_key());
+  PPSTATS_RETURN_IF_ERROR(channel.Send(hello.Encode()));
+
+  PPSTATS_ASSIGN_OR_RETURN(Bytes reply, channel.Receive());
+  PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(reply));
+  if (type == MessageType::kError) return FromErrorFrame(reply);
+  PPSTATS_ASSIGN_OR_RETURN(ServerHelloMessage server_hello,
+                           ServerHelloMessage::Decode(reply));
+  if (server_hello.protocol_version != kSessionProtocolVersion) {
+    return Status::ProtocolError("server speaks a different version");
+  }
+  if (server_hello.database_size != selection_.size()) {
+    return AbortWith(channel,
+                     Status::InvalidArgument(
+                         "selection length != server database size"));
+  }
+
+  // Query.
+  SumClientOptions client_options;
+  client_options.chunk_size = options_.chunk_size;
+  SumClient client(*key_, selection_, client_options, *rng_);
+  while (!client.RequestsDone()) {
+    PPSTATS_ASSIGN_OR_RETURN(Bytes request, client.NextRequest());
+    PPSTATS_RETURN_IF_ERROR(channel.Send(request));
+  }
+  PPSTATS_ASSIGN_OR_RETURN(Bytes response, channel.Receive());
+  PPSTATS_ASSIGN_OR_RETURN(MessageType response_type,
+                           PeekMessageType(response));
+  if (response_type == MessageType::kError) return FromErrorFrame(response);
+  return client.HandleResponse(response);
+}
+
+Status ServerSession::Serve(Channel& channel) {
+  if (db_ == nullptr) {
+    return Status::FailedPrecondition("server has no database");
+  }
+
+  // Handshake.
+  PPSTATS_ASSIGN_OR_RETURN(Bytes first, channel.Receive());
+  Result<ClientHelloMessage> hello = ClientHelloMessage::Decode(first);
+  if (!hello.ok()) return AbortWith(channel, hello.status());
+  if (hello->protocol_version != kSessionProtocolVersion) {
+    return AbortWith(channel, Status::ProtocolError(
+                                  "unsupported protocol version"));
+  }
+  Result<PaillierPublicKey> pub =
+      DeserializePublicKey(hello->public_key_blob);
+  if (!pub.ok()) return AbortWith(channel, pub.status());
+
+  ServerHelloMessage server_hello;
+  server_hello.protocol_version = kSessionProtocolVersion;
+  server_hello.database_size = db_->size();
+  PPSTATS_RETURN_IF_ERROR(channel.Send(server_hello.Encode()));
+
+  // Query.
+  SumServer server(*pub, db_);
+  while (!server.Finished()) {
+    PPSTATS_ASSIGN_OR_RETURN(Bytes frame, channel.Receive());
+    PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(frame));
+    if (type == MessageType::kError) return FromErrorFrame(frame);
+    Result<std::optional<Bytes>> response = server.HandleRequest(frame);
+    if (!response.ok()) return AbortWith(channel, response.status());
+    if (response->has_value()) {
+      PPSTATS_RETURN_IF_ERROR(channel.Send(**response));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace ppstats

@@ -1,0 +1,66 @@
+// Session layer: a deployable client/server wrapper around the
+// selected-sum protocol with a real handshake.
+//
+// The measured experiments assume the server already knows the client's
+// public key (as the paper does). A deployment needs the exchange:
+//
+//   C -> S : ClientHello { version, public key }
+//   S -> C : ServerHello { version, database size }   (or Error)
+//   C -> S : IndexBatch*                              (or Error)
+//   S -> C : SumResponse                              (or Error)
+//
+// Version mismatches, malformed frames, and arity mismatches abort the
+// session with an Error frame carrying a status code, so the peer gets a
+// diagnosable failure instead of a hang.
+
+#ifndef PPSTATS_CORE_SESSION_H_
+#define PPSTATS_CORE_SESSION_H_
+
+#include "core/selected_sum.h"
+#include "net/channel.h"
+
+namespace ppstats {
+
+/// Version of the session protocol spoken by this library.
+inline constexpr uint16_t kSessionProtocolVersion = 1;
+
+/// Client-side session options.
+struct ClientSessionOptions {
+  size_t chunk_size = 0;  ///< index-batch chunking, as in SumClientOptions
+};
+
+/// One private-sum query over a channel, with handshake.
+class ClientSession {
+ public:
+  /// The selection length must match the server's database size (checked
+  /// against the ServerHello).
+  ClientSession(const PaillierPrivateKey& key, SelectionVector selection,
+                ClientSessionOptions options, RandomSource& rng);
+
+  /// Runs the full session; blocks on the channel. Returns the decrypted
+  /// sum, or the peer's error translated into a Status.
+  Result<BigInt> Run(Channel& channel);
+
+ private:
+  const PaillierPrivateKey* key_;
+  SelectionVector selection_;
+  ClientSessionOptions options_;
+  RandomSource* rng_;
+};
+
+/// Serves private-sum queries from one database.
+class ServerSession {
+ public:
+  explicit ServerSession(const Database* db) : db_(db) {}
+
+  /// Handles exactly one client session on the channel. Protocol
+  /// failures are reported to the peer (Error frame) and returned.
+  Status Serve(Channel& channel);
+
+ private:
+  const Database* db_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_SESSION_H_

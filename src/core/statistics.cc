@@ -1,0 +1,218 @@
+#include "core/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppstats {
+
+namespace {
+
+// Converts a non-negative BigInt known to fit in a double's integer range
+// for our workloads (sums of 32-bit values) into a double.
+double ToDouble(const BigInt& v) {
+  double out = 0;
+  for (size_t i = v.limbs().size(); i-- > 0;) {
+    out = out * 18446744073709551616.0 + static_cast<double>(v.limbs()[i]);
+  }
+  return v.IsNegative() ? -out : out;
+}
+
+Result<SumRunResult> RunOnce(const PaillierPrivateKey& key,
+                             const Database& db, WeightVector weights,
+                             RandomSource& rng, SumClientOptions options,
+                             bool square_values = false,
+                             const Database* product_with = nullptr) {
+  if (weights.size() != db.size()) {
+    return Status::InvalidArgument("weight vector length != database size");
+  }
+  SumClient client(key, std::move(weights), options, rng);
+  SumServerOptions server_options;
+  server_options.square_values = square_values;
+  server_options.product_with = product_with;
+  SumServer server(key.public_key(), &db, server_options);
+  return RunSelectedSum(client, server);
+}
+
+WeightVector ToWeights(const SelectionVector& selection) {
+  WeightVector weights(selection.size());
+  for (size_t i = 0; i < selection.size(); ++i) {
+    weights[i] = selection[i] ? 1 : 0;
+  }
+  return weights;
+}
+
+}  // namespace
+
+Result<PrivateSumResult> PrivateSelectedSum(const PaillierPrivateKey& key,
+                                            const Database& db,
+                                            const SelectionVector& selection,
+                                            RandomSource& rng,
+                                            SumClientOptions options) {
+  if (selection.size() != db.size()) {
+    return Status::InvalidArgument("selection length != database size");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(
+      SumRunResult run, RunOnce(key, db, ToWeights(selection), rng, options));
+  return PrivateSumResult{std::move(run.sum), std::move(run.metrics)};
+}
+
+Result<PrivateSumResult> PrivateWeightedSum(const PaillierPrivateKey& key,
+                                            const Database& db,
+                                            const WeightVector& weights,
+                                            RandomSource& rng,
+                                            SumClientOptions options) {
+  PPSTATS_ASSIGN_OR_RETURN(SumRunResult run,
+                           RunOnce(key, db, weights, rng, options));
+  return PrivateSumResult{std::move(run.sum), std::move(run.metrics)};
+}
+
+Result<PrivateMeanResult> PrivateMean(const PaillierPrivateKey& key,
+                                      const Database& db,
+                                      const SelectionVector& selection,
+                                      RandomSource& rng,
+                                      SumClientOptions options) {
+  size_t count = 0;
+  for (bool s : selection) count += s ? 1 : 0;
+  if (count == 0) {
+    return Status::InvalidArgument("selection is empty; mean is undefined");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(
+      PrivateSumResult sum_result,
+      PrivateSelectedSum(key, db, selection, rng, options));
+  PrivateMeanResult out;
+  out.count = count;
+  out.mean = ToDouble(sum_result.sum) / static_cast<double>(count);
+  out.sum = std::move(sum_result.sum);
+  out.metrics = std::move(sum_result.metrics);
+  return out;
+}
+
+Result<PrivateVarianceResult> PrivateVariance(const PaillierPrivateKey& key,
+                                              const Database& db,
+                                              const SelectionVector& selection,
+                                              RandomSource& rng,
+                                              SumClientOptions options) {
+  size_t count = 0;
+  for (bool s : selection) count += s ? 1 : 0;
+  if (count == 0) {
+    return Status::InvalidArgument(
+        "selection is empty; variance is undefined");
+  }
+  if (selection.size() != db.size()) {
+    return Status::InvalidArgument("selection length != database size");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(
+      SumRunResult sum_run,
+      RunOnce(key, db, ToWeights(selection), rng, options));
+  PPSTATS_ASSIGN_OR_RETURN(
+      SumRunResult sq_run,
+      RunOnce(key, db, ToWeights(selection), rng, options,
+              /*square_values=*/true));
+
+  PrivateVarianceResult out;
+  out.count = count;
+  double m = static_cast<double>(count);
+  out.mean = ToDouble(sum_run.sum) / m;
+  out.variance = ToDouble(sq_run.sum) / m - out.mean * out.mean;
+  if (out.variance < 0) out.variance = 0;  // numerical guard
+  out.sum = std::move(sum_run.sum);
+  out.sum_of_squares = std::move(sq_run.sum);
+  out.metrics = std::move(sum_run.metrics);
+  out.metrics.Merge(sq_run.metrics);
+  return out;
+}
+
+Result<PrivateCovarianceResult> PrivateCovariance(
+    const PaillierPrivateKey& key, const Database& x, const Database& y,
+    const SelectionVector& selection, RandomSource& rng,
+    SumClientOptions options) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("columns have different sizes");
+  }
+  if (selection.size() != x.size()) {
+    return Status::InvalidArgument("selection length != database size");
+  }
+  size_t count = 0;
+  for (bool s : selection) count += s ? 1 : 0;
+  if (count == 0) {
+    return Status::InvalidArgument(
+        "selection is empty; covariance is undefined");
+  }
+
+  WeightVector weights = ToWeights(selection);
+  PPSTATS_ASSIGN_OR_RETURN(SumRunResult x_run,
+                           RunOnce(key, x, weights, rng, options));
+  PPSTATS_ASSIGN_OR_RETURN(SumRunResult y_run,
+                           RunOnce(key, y, weights, rng, options));
+  PPSTATS_ASSIGN_OR_RETURN(
+      SumRunResult xy_run,
+      RunOnce(key, x, weights, rng, options, /*square_values=*/false,
+              /*product_with=*/&y));
+
+  PrivateCovarianceResult out;
+  out.count = count;
+  double m = static_cast<double>(count);
+  out.mean_x = ToDouble(x_run.sum) / m;
+  out.mean_y = ToDouble(y_run.sum) / m;
+  out.covariance = ToDouble(xy_run.sum) / m - out.mean_x * out.mean_y;
+  out.sum_x = std::move(x_run.sum);
+  out.sum_y = std::move(y_run.sum);
+  out.sum_xy = std::move(xy_run.sum);
+  out.metrics = std::move(x_run.metrics);
+  out.metrics.Merge(y_run.metrics);
+  out.metrics.Merge(xy_run.metrics);
+  return out;
+}
+
+Result<PrivateCorrelationResult> PrivateCorrelation(
+    const PaillierPrivateKey& key, const Database& x, const Database& y,
+    const SelectionVector& selection, RandomSource& rng,
+    SumClientOptions options) {
+  PPSTATS_ASSIGN_OR_RETURN(
+      PrivateCovarianceResult cov,
+      PrivateCovariance(key, x, y, selection, rng, options));
+  // Two more executions for the squared sums.
+  WeightVector weights = ToWeights(selection);
+  PPSTATS_ASSIGN_OR_RETURN(
+      SumRunResult x_sq,
+      RunOnce(key, x, weights, rng, options, /*square_values=*/true));
+  PPSTATS_ASSIGN_OR_RETURN(
+      SumRunResult y_sq,
+      RunOnce(key, y, weights, rng, options, /*square_values=*/true));
+
+  PrivateCorrelationResult out;
+  double m = static_cast<double>(cov.count);
+  out.variance_x =
+      std::max(0.0, ToDouble(x_sq.sum) / m - cov.mean_x * cov.mean_x);
+  out.variance_y =
+      std::max(0.0, ToDouble(y_sq.sum) / m - cov.mean_y * cov.mean_y);
+  double denom = std::sqrt(out.variance_x) * std::sqrt(out.variance_y);
+  out.correlation = denom > 0 ? cov.covariance / denom : 0.0;
+  out.metrics = cov.metrics;
+  out.metrics.Merge(x_sq.metrics);
+  out.metrics.Merge(y_sq.metrics);
+  out.covariance = std::move(cov);
+  return out;
+}
+
+Result<PrivateWeightedAverageResult> PrivateWeightedAverage(
+    const PaillierPrivateKey& key, const Database& db,
+    const WeightVector& weights, RandomSource& rng,
+    SumClientOptions options) {
+  BigInt total_weight(0);
+  for (uint64_t w : weights) total_weight += BigInt(w);
+  if (total_weight.IsZero()) {
+    return Status::InvalidArgument(
+        "all weights are zero; weighted average is undefined");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(SumRunResult run,
+                           RunOnce(key, db, weights, rng, options));
+  PrivateWeightedAverageResult out;
+  out.average = ToDouble(run.sum) / ToDouble(total_weight);
+  out.weighted_sum = std::move(run.sum);
+  out.total_weight = std::move(total_weight);
+  out.metrics = std::move(run.metrics);
+  return out;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,127 @@
+// High-level privacy-preserving statistics API.
+//
+// These are the operations the paper motivates: "such protocols
+// immediately yield private solutions for computing means, variances,
+// and weighted averages". Each is built from one or two selected-sum
+// protocol executions; the client learns only the aggregate(s), the
+// server learns nothing about the selection.
+
+#ifndef PPSTATS_CORE_STATISTICS_H_
+#define PPSTATS_CORE_STATISTICS_H_
+
+#include "core/runner.h"
+
+namespace ppstats {
+
+/// Result of a private selected sum.
+struct PrivateSumResult {
+  BigInt sum;
+  RunMetrics metrics;
+};
+
+/// Result of a private mean.
+struct PrivateMeanResult {
+  BigInt sum;
+  size_t count = 0;
+  double mean = 0;
+  RunMetrics metrics;
+};
+
+/// Result of a private variance (population variance of the selection).
+struct PrivateVarianceResult {
+  BigInt sum;
+  BigInt sum_of_squares;
+  size_t count = 0;
+  double mean = 0;
+  double variance = 0;
+  RunMetrics metrics;  ///< merged over the two protocol executions
+};
+
+/// Result of a private weighted average.
+struct PrivateWeightedAverageResult {
+  BigInt weighted_sum;
+  BigInt total_weight;
+  double average = 0;
+  RunMetrics metrics;
+};
+
+/// Privately computes the sum of the selected rows of `db`.
+Result<PrivateSumResult> PrivateSelectedSum(const PaillierPrivateKey& key,
+                                            const Database& db,
+                                            const SelectionVector& selection,
+                                            RandomSource& rng,
+                                            SumClientOptions options = {});
+
+/// Privately computes the weighted sum sum_i w_i x_i.
+Result<PrivateSumResult> PrivateWeightedSum(const PaillierPrivateKey& key,
+                                            const Database& db,
+                                            const WeightVector& weights,
+                                            RandomSource& rng,
+                                            SumClientOptions options = {});
+
+/// Privately computes the mean of the selected rows. Fails on an empty
+/// selection.
+Result<PrivateMeanResult> PrivateMean(const PaillierPrivateKey& key,
+                                      const Database& db,
+                                      const SelectionVector& selection,
+                                      RandomSource& rng,
+                                      SumClientOptions options = {});
+
+/// Privately computes mean and population variance of the selected rows
+/// with two protocol executions (sum and sum of squares). Fails on an
+/// empty selection.
+Result<PrivateVarianceResult> PrivateVariance(const PaillierPrivateKey& key,
+                                              const Database& db,
+                                              const SelectionVector& selection,
+                                              RandomSource& rng,
+                                              SumClientOptions options = {});
+
+/// Privately computes sum_i w_i x_i / sum_i w_i. Fails when all weights
+/// are zero.
+Result<PrivateWeightedAverageResult> PrivateWeightedAverage(
+    const PaillierPrivateKey& key, const Database& db,
+    const WeightVector& weights, RandomSource& rng,
+    SumClientOptions options = {});
+
+/// Result of a private covariance between two columns of the same table.
+struct PrivateCovarianceResult {
+  BigInt sum_x;
+  BigInt sum_y;
+  BigInt sum_xy;
+  size_t count = 0;
+  double mean_x = 0;
+  double mean_y = 0;
+  double covariance = 0;  ///< population covariance over the selection
+  RunMetrics metrics;     ///< merged over the three protocol executions
+};
+
+/// Privately computes cov(X, Y) = E[XY] - E[X]E[Y] over the selected
+/// rows, with three protocol executions (sum of x, sum of y, sum of
+/// x*y; the products are a local server-side transform). Both columns
+/// must have the database's size. Fails on an empty selection.
+Result<PrivateCovarianceResult> PrivateCovariance(
+    const PaillierPrivateKey& key, const Database& x, const Database& y,
+    const SelectionVector& selection, RandomSource& rng,
+    SumClientOptions options = {});
+
+/// Result of a private Pearson correlation.
+struct PrivateCorrelationResult {
+  PrivateCovarianceResult covariance;
+  double variance_x = 0;
+  double variance_y = 0;
+  double correlation = 0;  ///< in [-1, 1]; 0 when either variance is 0
+
+  RunMetrics metrics;  ///< merged over all five protocol executions
+};
+
+/// Privately computes the Pearson correlation coefficient
+/// cov(X,Y) / (sigma_X * sigma_Y) over the selected rows (five protocol
+/// executions). Fails on an empty selection.
+Result<PrivateCorrelationResult> PrivateCorrelation(
+    const PaillierPrivateKey& key, const Database& x, const Database& y,
+    const SelectionVector& selection, RandomSource& rng,
+    SumClientOptions options = {});
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_STATISTICS_H_

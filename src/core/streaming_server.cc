@@ -1,0 +1,92 @@
+#include "core/streaming_server.h"
+
+#include <algorithm>
+
+namespace ppstats {
+
+namespace {
+
+uint32_t ReadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Status WriteColumnFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::Internal("cannot write column file: " + path);
+  uint32_t count = static_cast<uint32_t>(db.size());
+  uint8_t header[4] = {
+      static_cast<uint8_t>(count), static_cast<uint8_t>(count >> 8),
+      static_cast<uint8_t>(count >> 16), static_cast<uint8_t>(count >> 24)};
+  out.write(reinterpret_cast<const char*>(header), 4);
+  for (uint32_t v : db.values()) {
+    uint8_t cell[4] = {static_cast<uint8_t>(v), static_cast<uint8_t>(v >> 8),
+                       static_cast<uint8_t>(v >> 16),
+                       static_cast<uint8_t>(v >> 24)};
+    out.write(reinterpret_cast<const char*>(cell), 4);
+  }
+  if (!out) return Status::Internal("write failed: " + path);
+  return Status::OK();
+}
+
+Result<StreamingSumServer> StreamingSumServer::Open(PaillierPublicKey pub,
+                                                    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open column file: " + path);
+  uint8_t header[4];
+  file.read(reinterpret_cast<char*>(header), 4);
+  if (!file) return Status::SerializationError("column file too short");
+  size_t rows = ReadU32Le(header);
+
+  file.seekg(0, std::ios::end);
+  auto size = static_cast<uint64_t>(file.tellg());
+  if (size != 4 + 4 * static_cast<uint64_t>(rows)) {
+    return Status::SerializationError("column file size mismatch");
+  }
+  file.seekg(4);
+  return StreamingSumServer(std::move(pub), std::move(file), rows);
+}
+
+Result<std::optional<Bytes>> StreamingSumServer::HandleRequest(
+    BytesView frame) {
+  if (finished_) {
+    return Status::FailedPrecondition("response already produced");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(IndexBatchMessage msg,
+                           IndexBatchMessage::Decode(pub_, frame));
+  if (msg.start_index != next_expected_) {
+    return Status::ProtocolError("out-of-order index chunk");
+  }
+  if (msg.start_index + msg.ciphertexts.size() > row_count_) {
+    return Status::ProtocolError("index chunk overruns the column");
+  }
+
+  // Read exactly this chunk's rows from disk.
+  const size_t count = msg.ciphertexts.size();
+  std::vector<uint8_t> raw(count * 4);
+  file_.seekg(4 + 4 * static_cast<std::streamoff>(msg.start_index));
+  file_.read(reinterpret_cast<char*>(raw.data()),
+             static_cast<std::streamsize>(raw.size()));
+  if (!file_) return Status::Internal("column file read failed");
+  peak_resident_rows_ = std::max(peak_resident_rows_, count);
+
+  for (size_t i = 0; i < count; ++i) {
+    uint32_t value = ReadU32Le(raw.data() + 4 * i);
+    if (value == 0) continue;
+    accumulator_ = Paillier::Add(
+        pub_, accumulator_,
+        Paillier::ScalarMultiply(pub_, msg.ciphertexts[i], BigInt(value)));
+  }
+
+  next_expected_ += count;
+  if (next_expected_ < row_count_) return std::optional<Bytes>();
+  finished_ = true;
+  SumResponseMessage response;
+  response.sum = accumulator_;
+  return std::optional<Bytes>(response.Encode(pub_));
+}
+
+}  // namespace ppstats

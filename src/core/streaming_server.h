@@ -1,0 +1,65 @@
+// StreamingSumServer: the selected-sum server with O(chunk) memory.
+//
+// The paper's Section 3.2 notes that batching "also reduces the memory
+// requirements of both the client and server. ... the server need only
+// hold a single database chunk in memory at one time." This server
+// variant substantiates that claim: the table lives in a binary column
+// file, and each incoming IndexBatch triggers a read of exactly the rows
+// that batch covers. Resident state is one chunk of values plus the
+// single accumulator ciphertext, independent of n.
+
+#ifndef PPSTATS_CORE_STREAMING_SERVER_H_
+#define PPSTATS_CORE_STREAMING_SERVER_H_
+
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "core/messages.h"
+#include "db/database.h"
+
+namespace ppstats {
+
+/// Writes a database as the binary column file the streaming server
+/// reads: u32 row count, then row values as little-endian u32.
+Status WriteColumnFile(const Database& db, const std::string& path);
+
+/// Selected-sum server streaming its column from disk chunk by chunk.
+class StreamingSumServer {
+ public:
+  /// Opens `path` (see WriteColumnFile). Fails if the file is missing
+  /// or malformed.
+  static Result<StreamingSumServer> Open(PaillierPublicKey pub,
+                                         const std::string& path);
+
+  /// Same contract as SumServer::HandleRequest: consumes one IndexBatch,
+  /// returns the encoded response after the final row.
+  Result<std::optional<Bytes>> HandleRequest(BytesView frame);
+
+  bool Finished() const { return finished_; }
+  size_t row_count() const { return row_count_; }
+
+  /// Largest number of row values resident at once so far (the memory
+  /// claim under test).
+  size_t peak_resident_rows() const { return peak_resident_rows_; }
+
+ private:
+  StreamingSumServer(PaillierPublicKey pub, std::ifstream file,
+                     size_t row_count)
+      : pub_(std::move(pub)),
+        file_(std::move(file)),
+        row_count_(row_count),
+        accumulator_{BigInt(1)} {}
+
+  PaillierPublicKey pub_;
+  std::ifstream file_;
+  size_t row_count_ = 0;
+  size_t next_expected_ = 0;
+  bool finished_ = false;
+  PaillierCiphertext accumulator_;
+  size_t peak_resident_rows_ = 0;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_STREAMING_SERVER_H_

@@ -1,0 +1,101 @@
+#include "core/trivial_baselines.h"
+
+#include "common/stopwatch.h"
+#include "net/wire.h"
+
+namespace ppstats {
+
+double BaselineRunResult::TotalSeconds(const ExecutionEnvironment& env) const {
+  return client_seconds * env.client_cpu_scale +
+         server_seconds * env.server_cpu_scale +
+         env.network.TransferSeconds(client_to_server) +
+         env.network.TransferSeconds(server_to_client);
+}
+
+Result<BaselineRunResult> RunNonPrivateIndexSum(
+    const Database& db, const SelectionVector& selection) {
+  if (selection.size() != db.size()) {
+    return Status::InvalidArgument("selection length != database size");
+  }
+  BaselineRunResult result;
+
+  // Client: serialize the selected indices in the clear.
+  Stopwatch client_timer;
+  WireWriter request;
+  uint32_t count = 0;
+  for (size_t i = 0; i < selection.size(); ++i) {
+    if (selection[i]) ++count;
+  }
+  request.WriteU32(count);
+  for (size_t i = 0; i < selection.size(); ++i) {
+    if (selection[i]) request.WriteU64(i);
+  }
+  Bytes request_bytes = request.Take();
+  result.client_seconds += client_timer.ElapsedSeconds();
+  result.client_to_server.Record(request_bytes.size());
+
+  // Server: parse and sum.
+  Stopwatch server_timer;
+  WireReader reader(request_bytes);
+  PPSTATS_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    PPSTATS_ASSIGN_OR_RETURN(uint64_t idx, reader.ReadU64());
+    if (idx >= db.size()) {
+      return Status::ProtocolError("index out of range");
+    }
+    sum += db.value(idx);
+  }
+  WireWriter response;
+  response.WriteU64(sum);
+  Bytes response_bytes = response.Take();
+  result.server_seconds += server_timer.ElapsedSeconds();
+  result.server_to_client.Record(response_bytes.size());
+
+  // Client: read the sum.
+  client_timer.Reset();
+  WireReader response_reader(response_bytes);
+  PPSTATS_ASSIGN_OR_RETURN(result.sum, response_reader.ReadU64());
+  result.client_seconds += client_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<BaselineRunResult> RunFullTransferSum(const Database& db,
+                                             const SelectionVector& selection) {
+  if (selection.size() != db.size()) {
+    return Status::InvalidArgument("selection length != database size");
+  }
+  BaselineRunResult result;
+
+  // Client request: a one-byte "send everything".
+  result.client_to_server.Record(1);
+
+  // Server: serialize the whole table.
+  Stopwatch server_timer;
+  WireWriter response;
+  response.WriteU32(static_cast<uint32_t>(db.size()));
+  for (size_t i = 0; i < db.size(); ++i) {
+    response.WriteU32(db.value(i));
+  }
+  Bytes response_bytes = response.Take();
+  result.server_seconds += server_timer.ElapsedSeconds();
+  result.server_to_client.Record(response_bytes.size());
+
+  // Client: parse and sum the selected rows.
+  Stopwatch client_timer;
+  WireReader reader(response_bytes);
+  PPSTATS_ASSIGN_OR_RETURN(uint32_t n, reader.ReadU32());
+  if (n != db.size()) {
+    return Status::ProtocolError("row count mismatch");
+  }
+  uint64_t sum = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    PPSTATS_ASSIGN_OR_RETURN(uint32_t v, reader.ReadU32());
+    if (selection[i]) sum += v;
+  }
+  result.sum = sum;
+  result.client_seconds += client_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,44 @@
+// The two trivial, non-private baselines from the paper's Section 2:
+//
+//  * Index-send: the client sends its m selected indices in the clear;
+//    the server returns the sum. Cheap, but the server learns the
+//    client's selection (no client privacy).
+//  * Full transfer: the server ships the whole database; the client sums
+//    locally. Cheap computation, linear communication, and the client
+//    learns everything (no database privacy).
+//
+// They are implemented with the same byte-accurate accounting as the
+// private protocol so the benchmarks can report the price of privacy.
+
+#ifndef PPSTATS_CORE_TRIVIAL_BASELINES_H_
+#define PPSTATS_CORE_TRIVIAL_BASELINES_H_
+
+#include "core/runner.h"
+
+namespace ppstats {
+
+/// Result and cost of a baseline execution.
+struct BaselineRunResult {
+  uint64_t sum = 0;
+  double client_seconds = 0;
+  double server_seconds = 0;
+  TrafficStats client_to_server;
+  TrafficStats server_to_client;
+
+  /// Total elapsed time under `env` (compute + link, no overlap).
+  double TotalSeconds(const ExecutionEnvironment& env) const;
+};
+
+/// Client sends selected indices in the clear; server sums. Leaks the
+/// selection to the server.
+Result<BaselineRunResult> RunNonPrivateIndexSum(const Database& db,
+                                                const SelectionVector& selection);
+
+/// Server ships the entire database; client sums locally. Leaks the
+/// database to the client.
+Result<BaselineRunResult> RunFullTransferSum(const Database& db,
+                                             const SelectionVector& selection);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_TRIVIAL_BASELINES_H_

@@ -1,0 +1,93 @@
+#include "crypto/chacha20_rng.h"
+
+#include <bit>
+#include <cstring>
+
+namespace ppstats {
+
+namespace {
+
+inline uint32_t Rotl(uint32_t v, int c) { return std::rotl(v, c); }
+
+inline void QuarterRound(uint32_t& a, uint32_t& b, uint32_t& c, uint32_t& d) {
+  a += b; d ^= a; d = Rotl(d, 16);
+  c += d; b ^= c; b = Rotl(b, 12);
+  a += b; d ^= a; d = Rotl(d, 8);
+  c += d; b ^= c; b = Rotl(b, 7);
+}
+
+inline uint32_t Load32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+ChaCha20Rng::ChaCha20Rng(const std::array<uint8_t, 32>& key,
+                         const std::array<uint8_t, 12>& nonce) {
+  // "expand 32-byte k"
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = Load32Le(&key[4 * i]);
+  state_[12] = 0;  // block counter
+  for (int i = 0; i < 3; ++i) state_[13 + i] = Load32Le(&nonce[4 * i]);
+}
+
+ChaCha20Rng::ChaCha20Rng(uint64_t seed) : ChaCha20Rng(
+    [seed] {
+      std::array<uint8_t, 32> key{};
+      // Spread the seed through the key with a splitmix64-style expander.
+      uint64_t x = seed;
+      for (int i = 0; i < 4; ++i) {
+        x += 0x9e3779b97f4a7c15ULL;
+        uint64_t z = x;
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        z ^= z >> 31;
+        for (int b = 0; b < 8; ++b) key[8 * i + b] = static_cast<uint8_t>(z >> (8 * b));
+      }
+      return key;
+    }(),
+    std::array<uint8_t, 12>{}) {}
+
+void ChaCha20Rng::RefillBlock() {
+  std::array<uint32_t, 16> x = state_;
+  x[12] = static_cast<uint32_t>(counter_);
+  x[13] = state_[13] ^ static_cast<uint32_t>(counter_ >> 32);
+  std::array<uint32_t, 16> w = x;
+  for (int round = 0; round < 10; ++round) {
+    QuarterRound(w[0], w[4], w[8], w[12]);
+    QuarterRound(w[1], w[5], w[9], w[13]);
+    QuarterRound(w[2], w[6], w[10], w[14]);
+    QuarterRound(w[3], w[7], w[11], w[15]);
+    QuarterRound(w[0], w[5], w[10], w[15]);
+    QuarterRound(w[1], w[6], w[11], w[12]);
+    QuarterRound(w[2], w[7], w[8], w[13]);
+    QuarterRound(w[3], w[4], w[9], w[14]);
+  }
+  for (int i = 0; i < 16; ++i) {
+    uint32_t v = w[i] + x[i];
+    block_[4 * i + 0] = static_cast<uint8_t>(v);
+    block_[4 * i + 1] = static_cast<uint8_t>(v >> 8);
+    block_[4 * i + 2] = static_cast<uint8_t>(v >> 16);
+    block_[4 * i + 3] = static_cast<uint8_t>(v >> 24);
+  }
+  ++counter_;
+  offset_ = 0;
+}
+
+void ChaCha20Rng::Fill(std::span<uint8_t> out) {
+  size_t pos = 0;
+  while (pos < out.size()) {
+    if (offset_ == 64) RefillBlock();
+    size_t take = std::min<size_t>(64 - offset_, out.size() - pos);
+    std::memcpy(out.data() + pos, block_.data() + offset_, take);
+    offset_ += take;
+    pos += take;
+  }
+}
+
+}  // namespace ppstats

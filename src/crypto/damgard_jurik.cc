@@ -1,0 +1,186 @@
+#include "crypto/damgard_jurik.h"
+
+#include "bigint/modarith.h"
+#include "bigint/prime.h"
+
+namespace ppstats {
+
+namespace {
+
+// (1 + n)^m mod n^{s+1} via the binomial expansion
+//   sum_{k=0}^{s} binom(m, k) n^k,
+// which needs only s modular multiplications instead of a |n^s|-bit
+// exponentiation. k! is invertible mod n^{s+1} because k <= s < p, q.
+BigInt OnePlusNPow(const BigInt& n, size_t s, const BigInt& m,
+                   const BigInt& n_s1) {
+  BigInt result(1);
+  BigInt term(1);  // binom(m, k) mod n^{s+1}, built iteratively
+  BigInt n_pow(1);
+  for (size_t k = 1; k <= s; ++k) {
+    // term *= (m - k + 1) / k
+    BigInt factor = Mod(m - BigInt(static_cast<uint64_t>(k - 1)), n_s1);
+    term = MulMod(term, factor, n_s1);
+    BigInt k_inv = ModInverse(BigInt(static_cast<uint64_t>(k)), n_s1)
+                       .ValueOrDie();  // k < p, q => invertible
+    term = MulMod(term, k_inv, n_s1);
+    n_pow = n_pow * n;
+    result = AddMod(result, MulMod(term, Mod(n_pow, n_s1), n_s1), n_s1);
+  }
+  return result;
+}
+
+// Discrete log of a = (1 + n)^i mod n^{s+1}: recovers i mod n^s.
+// Damgård–Jurik (PKC 2001), Theorem 1 decryption algorithm.
+BigInt LogOnePlusN(const BigInt& a, const BigInt& n, size_t s) {
+  // Precompute n^j for j = 0..s+1.
+  std::vector<BigInt> n_pow(s + 2);
+  n_pow[0] = BigInt(1);
+  for (size_t j = 1; j <= s + 1; ++j) n_pow[j] = n_pow[j - 1] * n;
+
+  // Inverses of k! modulo n^s (valid modulo every n^j, j <= s).
+  std::vector<BigInt> fact_inv(s + 1);
+  fact_inv[0] = BigInt(1);
+  BigInt fact(1);
+  for (size_t k = 1; k <= s; ++k) {
+    fact = fact * BigInt(static_cast<uint64_t>(k));
+    fact_inv[k] = ModInverse(Mod(fact, n_pow[s]), n_pow[s]).ValueOrDie();
+  }
+
+  BigInt i(0);
+  for (size_t j = 1; j <= s; ++j) {
+    const BigInt& nj = n_pow[j];
+    // L(a mod n^{j+1}) = (a mod n^{j+1} - 1) / n
+    BigInt t1 = (Mod(a, n_pow[j + 1]) - BigInt(1)) / n;
+    t1 = Mod(t1, nj);
+    BigInt t2 = i;
+    for (size_t k = 2; k <= j; ++k) {
+      i = i - BigInt(1);
+      t2 = MulMod(t2, Mod(i, nj), nj);
+      BigInt adjust = MulMod(MulMod(t2, Mod(n_pow[k - 1], nj), nj),
+                             Mod(fact_inv[k], nj), nj);
+      t1 = SubMod(t1, adjust, nj);
+    }
+    i = t1;
+  }
+  return i;
+}
+
+}  // namespace
+
+DjPublicKey::DjPublicKey(BigInt n, size_t s) : n_(std::move(n)), s_(s) {
+  n_s_ = BigInt(1);
+  for (size_t i = 0; i < s_; ++i) n_s_ = n_s_ * n_;
+  n_s1_ = n_s_ * n_;
+  mont_ = std::make_shared<MontgomeryContext>(n_s1_);
+}
+
+Result<DjPrivateKey> DjPrivateKey::FromPrimes(const BigInt& p,
+                                              const BigInt& q, size_t s) {
+  if (s == 0) return Status::InvalidArgument("s must be >= 1");
+  if (p == q || p.IsEven() || q.IsEven()) {
+    return Status::InvalidArgument("p and q must be distinct odd primes");
+  }
+  BigInt n = p * q;
+  BigInt p1 = p - BigInt(1);
+  BigInt q1 = q - BigInt(1);
+  if (!Gcd(n, p1 * q1).IsOne()) {
+    return Status::CryptoError("gcd(n, phi(n)) != 1; regenerate primes");
+  }
+  DjPrivateKey key;
+  key.pub_ = DjPublicKey(n, s);
+  key.lambda_ = Lcm(p1, q1);
+  PPSTATS_ASSIGN_OR_RETURN(key.lambda_inv_,
+                           ModInverse(key.lambda_, key.pub_.n_s()));
+  return key;
+}
+
+Result<DjPrivateKey> DjPrivateKey::FromPaillier(const PaillierPrivateKey& key,
+                                                size_t s) {
+  return FromPrimes(key.p(), key.q(), s);
+}
+
+Result<DjKeyPair> DamgardJurik::GenerateKeyPair(size_t modulus_bits, size_t s,
+                                                RandomSource& rng) {
+  if (modulus_bits < 16 || modulus_bits % 2 != 0) {
+    return Status::InvalidArgument(
+        "modulus_bits must be even and at least 16");
+  }
+  for (;;) {
+    auto [p, q] = GeneratePrimePair(modulus_bits / 2, rng);
+    auto priv = DjPrivateKey::FromPrimes(p, q, s);
+    if (!priv.ok()) continue;
+    DjKeyPair pair;
+    pair.private_key = std::move(priv).ValueOrDie();
+    pair.public_key = pair.private_key.public_key();
+    return pair;
+  }
+}
+
+Result<DjCiphertext> DamgardJurik::Encrypt(const DjPublicKey& pub,
+                                           const BigInt& m,
+                                           RandomSource& rng) {
+  if (m.IsNegative() || m >= pub.n_s()) {
+    return Status::OutOfRange("plaintext must be in [0, n^s)");
+  }
+  BigInt gm = OnePlusNPow(pub.n(), pub.s(), m, pub.n_s1());
+  BigInt r = RandomUnit(rng, pub.n());
+  BigInt rn = pub.mont().Exp(r, pub.n_s());
+  return DjCiphertext{MulMod(gm, rn, pub.n_s1())};
+}
+
+Result<BigInt> DamgardJurik::Decrypt(const DjPrivateKey& priv,
+                                     const DjCiphertext& ct) {
+  const DjPublicKey& pub = priv.public_key();
+  if (ct.value.IsNegative() || ct.value >= pub.n_s1()) {
+    return Status::OutOfRange("ciphertext out of range");
+  }
+  // c^lambda = (1+n)^{lambda m} mod n^{s+1}; extract lambda*m, divide out.
+  BigInt cl = pub.mont().Exp(ct.value, priv.lambda());
+  BigInt lm = LogOnePlusN(cl, pub.n(), pub.s());
+  return MulMod(lm, priv.lambda_inv(), pub.n_s());
+}
+
+DjCiphertext DamgardJurik::Add(const DjPublicKey& pub, const DjCiphertext& a,
+                               const DjCiphertext& b) {
+  return DjCiphertext{MulMod(a.value, b.value, pub.n_s1())};
+}
+
+DjCiphertext DamgardJurik::ScalarMultiply(const DjPublicKey& pub,
+                                          const DjCiphertext& a,
+                                          const BigInt& k) {
+  return DjCiphertext{pub.mont().Exp(a.value, Mod(k, pub.n_s()))};
+}
+
+Result<BigInt> DamgardJurik::Pack(const DjPublicKey& pub,
+                                  const std::vector<uint64_t>& values,
+                                  size_t slot_bits) {
+  if (slot_bits == 0 || slot_bits > 64) {
+    return Status::InvalidArgument("slot_bits must be in [1, 64]");
+  }
+  if (values.size() * slot_bits >= pub.n_s().BitLength()) {
+    return Status::OutOfRange("packed plaintext does not fit in n^s");
+  }
+  BigInt packed(0);
+  for (size_t i = values.size(); i-- > 0;) {
+    if (slot_bits < 64 && values[i] >> slot_bits) {
+      return Status::OutOfRange("slot value exceeds slot width");
+    }
+    packed = (packed << slot_bits) + BigInt(values[i]);
+  }
+  return packed;
+}
+
+std::vector<uint64_t> DamgardJurik::Unpack(const BigInt& packed, size_t count,
+                                           size_t slot_bits) {
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  BigInt rest = packed;
+  const BigInt slot_modulus = BigInt(1) << slot_bits;
+  for (size_t i = 0; i < count; ++i) {
+    out.push_back((rest % slot_modulus).LowUint64());
+    rest >>= slot_bits;
+  }
+  return out;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,84 @@
+#include "crypto/key_io.h"
+
+#include "bigint/prime.h"
+#include "crypto/chacha20_rng.h"
+#include "net/wire.h"
+
+namespace ppstats {
+
+namespace {
+constexpr uint8_t kPublicKeyTag = 0xA1;
+constexpr uint8_t kPrivateKeyTag = 0xA2;
+constexpr uint8_t kFormatVersion = 1;
+}  // namespace
+
+Bytes SerializePublicKey(const PaillierPublicKey& key) {
+  WireWriter w;
+  w.WriteU8(kPublicKeyTag);
+  w.WriteU8(kFormatVersion);
+  w.WriteU32(static_cast<uint32_t>(key.modulus_bits()));
+  w.WriteBigInt(key.n());
+  return w.Take();
+}
+
+Result<PaillierPublicKey> DeserializePublicKey(BytesView bytes) {
+  WireReader r(bytes);
+  PPSTATS_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+  if (tag != kPublicKeyTag) {
+    return Status::SerializationError("not a public key blob");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kFormatVersion) {
+    return Status::SerializationError("unsupported key format version");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(uint32_t bits, r.ReadU32());
+  PPSTATS_ASSIGN_OR_RETURN(BigInt n, r.ReadBigInt());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  if (n.BitLength() != bits) {
+    return Status::SerializationError("modulus bit length mismatch");
+  }
+  if (n.IsEven() || n < BigInt(15)) {
+    return Status::SerializationError("implausible Paillier modulus");
+  }
+  return PaillierPublicKey(std::move(n), bits);
+}
+
+Bytes SerializePrivateKey(const PaillierPrivateKey& key) {
+  WireWriter w;
+  w.WriteU8(kPrivateKeyTag);
+  w.WriteU8(kFormatVersion);
+  w.WriteU32(static_cast<uint32_t>(key.public_key().modulus_bits()));
+  w.WriteBigInt(key.p());
+  w.WriteBigInt(key.q());
+  return w.Take();
+}
+
+Result<PaillierPrivateKey> DeserializePrivateKey(BytesView bytes) {
+  WireReader r(bytes);
+  PPSTATS_ASSIGN_OR_RETURN(uint8_t tag, r.ReadU8());
+  if (tag != kPrivateKeyTag) {
+    return Status::SerializationError("not a private key blob");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(uint8_t version, r.ReadU8());
+  if (version != kFormatVersion) {
+    return Status::SerializationError("unsupported key format version");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(uint32_t bits, r.ReadU32());
+  PPSTATS_ASSIGN_OR_RETURN(BigInt p, r.ReadBigInt());
+  PPSTATS_ASSIGN_OR_RETURN(BigInt q, r.ReadBigInt());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  // Revalidate primality: a corrupted or forged blob must not yield a
+  // silently-broken key.
+  ChaCha20Rng mr_rng(0x6b65795f696f /* "key_io" */);
+  if (!IsProbablePrime(p, mr_rng, 16) || !IsProbablePrime(q, mr_rng, 16)) {
+    return Status::SerializationError("stored factors are not prime");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(PaillierPrivateKey key,
+                           PaillierPrivateKey::FromPrimes(p, q, bits));
+  if (key.public_key().n().BitLength() != bits) {
+    return Status::SerializationError("modulus bit length mismatch");
+  }
+  return key;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,30 @@
+// Key serialization: a versioned wire/storage format for Paillier keys,
+// so deployments can distribute public keys to servers and persist
+// client key pairs (the paper's setting assumes the server knows the
+// client's public key out of band — this is that band).
+
+#ifndef PPSTATS_CRYPTO_KEY_IO_H_
+#define PPSTATS_CRYPTO_KEY_IO_H_
+
+#include "crypto/paillier.h"
+
+namespace ppstats {
+
+/// Encodes a public key (version, modulus bits, n).
+Bytes SerializePublicKey(const PaillierPublicKey& key);
+
+/// Decodes a public key; validates version, field consistency, and that
+/// n has the claimed bit length.
+Result<PaillierPublicKey> DeserializePublicKey(BytesView bytes);
+
+/// Encodes a private key (version, modulus bits, p, q). Handle with the
+/// care the name implies.
+Bytes SerializePrivateKey(const PaillierPrivateKey& key);
+
+/// Decodes and revalidates a private key (rebuilds all derived values;
+/// fails if p, q are not a valid Paillier factorization).
+Result<PaillierPrivateKey> DeserializePrivateKey(BytesView bytes);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CRYPTO_KEY_IO_H_

@@ -1,0 +1,59 @@
+#include "crypto/pool.h"
+
+namespace ppstats {
+
+void RandomnessPool::Generate(size_t count, RandomSource& rng) {
+  for (size_t i = 0; i < count; ++i) {
+    factors_.push_back(Paillier::GenerateRandomFactor(pub_, rng));
+  }
+}
+
+Result<BigInt> RandomnessPool::Take() {
+  if (factors_.empty()) {
+    return Status::ResourceExhausted("randomness pool is empty");
+  }
+  BigInt out = std::move(factors_.front());
+  factors_.pop_front();
+  return out;
+}
+
+Result<PaillierCiphertext> RandomnessPool::Encrypt(const BigInt& m,
+                                                   RandomSource& rng) {
+  if (factors_.empty()) {
+    ++misses_;
+    return Paillier::Encrypt(pub_, m, rng);
+  }
+  BigInt factor = std::move(factors_.front());
+  factors_.pop_front();
+  return Paillier::EncryptWithFactor(pub_, m, factor);
+}
+
+Status EncryptionPool::Generate(const BigInt& plaintext, size_t count,
+                                RandomSource& rng) {
+  auto& bucket = store_[plaintext];
+  for (size_t i = 0; i < count; ++i) {
+    PPSTATS_ASSIGN_OR_RETURN(PaillierCiphertext ct,
+                             Paillier::Encrypt(pub_, plaintext, rng));
+    bucket.push_back(std::move(ct));
+  }
+  return Status::OK();
+}
+
+Result<PaillierCiphertext> EncryptionPool::Take(const BigInt& plaintext,
+                                                RandomSource& rng) {
+  auto it = store_.find(plaintext);
+  if (it == store_.end() || it->second.empty()) {
+    ++misses_;
+    return Paillier::Encrypt(pub_, plaintext, rng);
+  }
+  PaillierCiphertext out = std::move(it->second.front());
+  it->second.pop_front();
+  return out;
+}
+
+size_t EncryptionPool::available(const BigInt& plaintext) const {
+  auto it = store_.find(plaintext);
+  return it == store_.end() ? 0 : it->second.size();
+}
+
+}  // namespace ppstats

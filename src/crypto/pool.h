@@ -1,0 +1,75 @@
+// Precomputation pools for the index-preprocessing optimization (paper
+// Section 3.3).
+//
+// The client can precompute, offline:
+//   * RandomnessPool — the expensive factors r^n mod n^2, making any later
+//     encryption cost just two modular multiplications; or
+//   * EncryptionPool — complete encryptions of known plaintexts (the index
+//     vector needs only E(0) and E(1)), making the online phase a table
+//     lookup. This models the paper's PDA scenario: limited CPU,
+//     reasonable storage.
+
+#ifndef PPSTATS_CRYPTO_POOL_H_
+#define PPSTATS_CRYPTO_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+
+#include "crypto/paillier.h"
+
+namespace ppstats {
+
+/// Pool of precomputed r^n mod n^2 factors for one public key.
+class RandomnessPool {
+ public:
+  explicit RandomnessPool(PaillierPublicKey pub) : pub_(std::move(pub)) {}
+
+  /// Precomputes `count` additional factors (offline phase).
+  void Generate(size_t count, RandomSource& rng);
+
+  /// Removes and returns one factor; ResourceExhausted when empty.
+  Result<BigInt> Take();
+
+  /// Encrypts using a pooled factor; falls back to fresh randomness from
+  /// `rng` when the pool is empty (counted in misses()).
+  Result<PaillierCiphertext> Encrypt(const BigInt& m, RandomSource& rng);
+
+  size_t available() const { return factors_.size(); }
+  size_t misses() const { return misses_; }
+  const PaillierPublicKey& public_key() const { return pub_; }
+
+ private:
+  PaillierPublicKey pub_;
+  std::deque<BigInt> factors_;
+  size_t misses_ = 0;
+};
+
+/// Pool of complete precomputed encryptions, keyed by plaintext.
+class EncryptionPool {
+ public:
+  explicit EncryptionPool(PaillierPublicKey pub) : pub_(std::move(pub)) {}
+
+  /// Precomputes `count` fresh encryptions of `plaintext` (offline).
+  /// Fails if the plaintext is outside [0, n).
+  Status Generate(const BigInt& plaintext, size_t count, RandomSource& rng);
+
+  /// Removes and returns one encryption of `plaintext`; falls back to an
+  /// online encryption from `rng` when none is pooled (counted in
+  /// misses()).
+  Result<PaillierCiphertext> Take(const BigInt& plaintext,
+                                  RandomSource& rng);
+
+  size_t available(const BigInt& plaintext) const;
+  size_t misses() const { return misses_; }
+  const PaillierPublicKey& public_key() const { return pub_; }
+
+ private:
+  PaillierPublicKey pub_;
+  std::map<BigInt, std::deque<PaillierCiphertext>> store_;
+  size_t misses_ = 0;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CRYPTO_POOL_H_

@@ -1,0 +1,46 @@
+// SHA-256 (FIPS 180-4). Used as the PRF / hash for garbled circuits,
+// oblivious transfer key derivation, and commitment-style checks.
+
+#ifndef PPSTATS_CRYPTO_SHA256_H_
+#define PPSTATS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+
+namespace ppstats {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  static constexpr size_t kDigestSize = 32;
+  using Digest = std::array<uint8_t, kDigestSize>;
+
+  Sha256();
+
+  /// Absorbs more input.
+  void Update(BytesView data);
+
+  /// Finalizes and returns the digest. The hasher must not be reused
+  /// after Finish() without Reset().
+  Digest Finish();
+
+  /// Resets to the initial state.
+  void Reset();
+
+  /// One-shot convenience.
+  static Digest Hash(BytesView data);
+
+ private:
+  void ProcessBlock(const uint8_t* block);
+
+  std::array<uint32_t, 8> state_;
+  std::array<uint8_t, 64> buffer_;
+  size_t buffer_len_ = 0;
+  uint64_t total_len_ = 0;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CRYPTO_SHA256_H_

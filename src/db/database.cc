@@ -1,0 +1,41 @@
+#include "db/database.h"
+
+namespace ppstats {
+
+Result<uint64_t> Database::SelectedSum(const SelectionVector& selection) const {
+  if (selection.size() != values_.size()) {
+    return Status::InvalidArgument("selection length != database size");
+  }
+  uint64_t sum = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (selection[i]) sum += values_[i];
+  }
+  return sum;
+}
+
+Result<uint64_t> Database::WeightedSum(const WeightVector& weights) const {
+  if (weights.size() != values_.size()) {
+    return Status::InvalidArgument("weight length != database size");
+  }
+  uint64_t sum = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    sum += weights[i] * values_[i];
+  }
+  return sum;
+}
+
+Result<uint64_t> Database::SelectedSumOfSquares(
+    const SelectionVector& selection) const {
+  if (selection.size() != values_.size()) {
+    return Status::InvalidArgument("selection length != database size");
+  }
+  uint64_t sum = 0;
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (selection[i]) {
+      sum += static_cast<uint64_t>(values_[i]) * values_[i];
+    }
+  }
+  return sum;
+}
+
+}  // namespace ppstats

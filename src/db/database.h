@@ -1,0 +1,55 @@
+// Database substrate: the server-side table of numeric values.
+//
+// The paper's server holds "a database of n numbers ... of 32 bits each".
+// We model a single integer column with named metadata, plus the
+// selection vectors and weight vectors clients query it with.
+
+#ifndef PPSTATS_DB_DATABASE_H_
+#define PPSTATS_DB_DATABASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppstats {
+
+/// A selection vector: entry i is true when row i participates in the
+/// client's statistic.
+using SelectionVector = std::vector<bool>;
+
+/// Integer weights for weighted sums / averages.
+using WeightVector = std::vector<uint64_t>;
+
+/// A single-column integer database held by the server.
+class Database {
+ public:
+  Database() = default;
+  Database(std::string name, std::vector<uint32_t> values)
+      : name_(std::move(name)), values_(std::move(values)) {}
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  uint32_t value(size_t i) const { return values_[i]; }
+  const std::vector<uint32_t>& values() const { return values_; }
+
+  /// Plaintext selected sum — the ground truth the private protocols are
+  /// checked against. Fails if the selection length mismatches.
+  Result<uint64_t> SelectedSum(const SelectionVector& selection) const;
+
+  /// Plaintext weighted sum: sum_i w_i * x_i.
+  Result<uint64_t> WeightedSum(const WeightVector& weights) const;
+
+  /// Plaintext sum of squares over the selection (for variance).
+  Result<uint64_t> SelectedSumOfSquares(const SelectionVector& selection) const;
+
+ private:
+  std::string name_;
+  std::vector<uint32_t> values_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_DB_DATABASE_H_

@@ -1,0 +1,84 @@
+#include "db/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ppstats {
+
+Result<Database> LoadDatabaseFromFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open database file: " + path);
+  }
+  std::vector<uint32_t> values;
+  std::string line;
+  size_t line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    // Trim whitespace.
+    size_t begin = line.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    size_t end = line.find_last_not_of(" \t\r");
+    std::string token = line.substr(begin, end - begin + 1);
+    if (token.empty() || token[0] == '#') continue;
+
+    uint64_t value = 0;
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument(
+            "non-numeric value at line " + std::to_string(line_number) +
+            " of " + path);
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      if (value > 0xFFFFFFFFull) {
+        return Status::OutOfRange("value exceeds 32 bits at line " +
+                                  std::to_string(line_number));
+      }
+    }
+    values.push_back(static_cast<uint32_t>(value));
+  }
+  return Database(path, std::move(values));
+}
+
+Status SaveDatabaseToFile(const Database& db, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot write database file: " + path);
+  }
+  out << "# ppstats database, " << db.size() << " values\n";
+  for (uint32_t v : db.values()) out << v << "\n";
+  if (!out) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::vector<size_t>> ParseIndexList(const std::string& text,
+                                           size_t limit) {
+  std::vector<size_t> out;
+  std::stringstream ss(text);
+  std::string token;
+  while (std::getline(ss, token, ',')) {
+    if (token.empty()) {
+      return Status::InvalidArgument("empty index in list");
+    }
+    uint64_t value = 0;
+    for (char c : token) {
+      if (c < '0' || c > '9') {
+        return Status::InvalidArgument("non-numeric index: " + token);
+      }
+      value = value * 10 + static_cast<uint64_t>(c - '0');
+      if (value > limit) break;
+    }
+    if (value >= limit) {
+      return Status::OutOfRange("index " + token + " out of range");
+    }
+    out.push_back(static_cast<size_t>(value));
+  }
+  if (out.empty()) {
+    return Status::InvalidArgument("no indices given");
+  }
+  return out;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,29 @@
+// Database file I/O: load/store the server's integer column as a plain
+// text file (one value per line, '#' comments allowed). Used by the
+// command-line tools.
+
+#ifndef PPSTATS_DB_IO_H_
+#define PPSTATS_DB_IO_H_
+
+#include <string>
+
+#include "db/database.h"
+
+namespace ppstats {
+
+/// Loads a database from a text file: one unsigned 32-bit value per
+/// line; blank lines and lines starting with '#' are skipped. The
+/// database name is the file path.
+Result<Database> LoadDatabaseFromFile(const std::string& path);
+
+/// Writes a database in the same format.
+Status SaveDatabaseToFile(const Database& db, const std::string& path);
+
+/// Parses a comma-separated index list ("3,17,42") into indices, with
+/// range validation against `limit`.
+Result<std::vector<size_t>> ParseIndexList(const std::string& text,
+                                           size_t limit);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_DB_IO_H_

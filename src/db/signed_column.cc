@@ -1,0 +1,22 @@
+#include "db/signed_column.h"
+
+namespace ppstats {
+
+Database SignedColumn::Encode(std::string name,
+                              const std::vector<int32_t>& values) {
+  std::vector<uint32_t> encoded;
+  encoded.reserve(values.size());
+  for (int32_t v : values) {
+    encoded.push_back(static_cast<uint32_t>(static_cast<int64_t>(v) +
+                                            static_cast<int64_t>(kBias)));
+  }
+  return Database(std::move(name), std::move(encoded));
+}
+
+BigInt SignedColumn::DecodeSum(const BigInt& biased_sum,
+                               size_t selected_count) {
+  return biased_sum -
+         BigInt(kBias) * BigInt(static_cast<uint64_t>(selected_count));
+}
+
+}  // namespace ppstats

@@ -1,0 +1,47 @@
+// Signed-value support via bias encoding.
+//
+// The protocol's plaintexts are non-negative (Z_n residues) and the
+// Database column is uint32, but real statistics involve signed data
+// (temperature deltas, profit/loss). A signed column is stored biased:
+//
+//   encoded_i = x_i + 2^31          (fits uint32 exactly)
+//
+// A selected sum over the encoded column then decodes as
+//
+//   sum_i x_i = biased_sum - m * 2^31
+//
+// where m is the selection count — which the client knows (it chose the
+// selection), so no extra information crosses the protocol.
+
+#ifndef PPSTATS_DB_SIGNED_COLUMN_H_
+#define PPSTATS_DB_SIGNED_COLUMN_H_
+
+#include "bigint/bigint.h"
+#include "db/database.h"
+
+namespace ppstats {
+
+/// Bias-encoding helpers for signed 32-bit columns.
+class SignedColumn {
+ public:
+  static constexpr uint64_t kBias = uint64_t{1} << 31;
+
+  /// Encodes signed values into a protocol-ready Database.
+  static Database Encode(std::string name,
+                         const std::vector<int32_t>& values);
+
+  /// Recovers one signed value from its encoded cell.
+  static int32_t DecodeValue(uint32_t encoded) {
+    return static_cast<int32_t>(static_cast<int64_t>(encoded) -
+                                static_cast<int64_t>(kBias));
+  }
+
+  /// Decodes a selected sum over an encoded column: subtracts the bias
+  /// once per selected row. `selected_count` must equal the number of
+  /// rows the client selected.
+  static BigInt DecodeSum(const BigInt& biased_sum, size_t selected_count);
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_DB_SIGNED_COLUMN_H_

@@ -1,0 +1,62 @@
+#include "db/workload.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ppstats {
+
+Database WorkloadGenerator::UniformDatabase(size_t n, uint32_t max_value) {
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) {
+    v = static_cast<uint32_t>(
+        rng_.NextBelow(static_cast<uint64_t>(max_value) + 1));
+  }
+  return Database("uniform", std::move(values));
+}
+
+Database WorkloadGenerator::SkewedDatabase(size_t n, uint32_t max_value) {
+  std::vector<uint32_t> values(n);
+  for (auto& v : values) {
+    // Inverse-CDF sample of a power-law-ish distribution: u^-0.7 scaled,
+    // clipped to the 32-bit range.
+    double u = (static_cast<double>(rng_.NextUint64() >> 11) + 1) /
+               static_cast<double>(1ULL << 53);
+    double x = std::pow(u, -0.7) - 1.0;
+    double scaled = x * (max_value / 100.0);
+    v = static_cast<uint32_t>(std::min<double>(scaled, max_value));
+  }
+  return Database("skewed", std::move(values));
+}
+
+SelectionVector WorkloadGenerator::RandomSelection(size_t n, size_t m) {
+  // Floyd's algorithm would avoid the shuffle, but n is small enough that
+  // a partial Fisher-Yates over indices is clear and O(n).
+  std::vector<uint32_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<uint32_t>(i);
+  SelectionVector selection(n, false);
+  size_t take = std::min(m, n);
+  for (size_t i = 0; i < take; ++i) {
+    size_t j = i + static_cast<size_t>(rng_.NextBelow(n - i));
+    std::swap(idx[i], idx[j]);
+    selection[idx[i]] = true;
+  }
+  return selection;
+}
+
+SelectionVector WorkloadGenerator::BernoulliSelection(size_t n, double p) {
+  SelectionVector selection(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    double u = static_cast<double>(rng_.NextUint64() >> 11) /
+               static_cast<double>(1ULL << 53);
+    selection[i] = u < p;
+  }
+  return selection;
+}
+
+WeightVector WorkloadGenerator::RandomWeights(size_t n, uint64_t max_weight) {
+  WeightVector weights(n);
+  for (auto& w : weights) w = rng_.NextBelow(max_weight + 1);
+  return weights;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,41 @@
+// Synthetic workload generation for the experiments: databases of random
+// 32-bit values and random selection/weight vectors, all deterministic
+// under a seed.
+
+#ifndef PPSTATS_DB_WORKLOAD_H_
+#define PPSTATS_DB_WORKLOAD_H_
+
+#include "common/random.h"
+#include "db/database.h"
+
+namespace ppstats {
+
+/// Generates the paper's synthetic workloads.
+class WorkloadGenerator {
+ public:
+  explicit WorkloadGenerator(RandomSource& rng) : rng_(rng) {}
+
+  /// A database of `n` uniform values in [0, max_value].
+  Database UniformDatabase(size_t n, uint32_t max_value = 0xFFFFFFFFu);
+
+  /// A database of `n` values from a clipped zipf-like skew, which better
+  /// matches aggregate queries over real measurements (salaries, counts).
+  Database SkewedDatabase(size_t n, uint32_t max_value = 0xFFFFFFFFu);
+
+  /// A selection with exactly `m` of `n` rows chosen uniformly at random.
+  SelectionVector RandomSelection(size_t n, size_t m);
+
+  /// Each row selected independently with probability `p`.
+  SelectionVector BernoulliSelection(size_t n, double p);
+
+  /// Integer weights uniform in [0, max_weight]; 0 keeps a row out of the
+  /// weighted sum.
+  WeightVector RandomWeights(size_t n, uint64_t max_weight);
+
+ private:
+  RandomSource& rng_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_DB_WORKLOAD_H_

@@ -1,0 +1,81 @@
+#include "net/channel.h"
+
+namespace ppstats {
+
+namespace {
+
+// One direction of a duplex in-memory pipe.
+struct Queue {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::deque<Bytes> messages;
+  bool closed = false;
+
+  void Push(BytesView msg) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      messages.emplace_back(msg.begin(), msg.end());
+    }
+    cv.notify_one();
+  }
+
+  Result<Bytes> Pop() {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [this] { return !messages.empty() || closed; });
+    if (messages.empty()) {
+      return Status::ProtocolError("peer closed the channel");
+    }
+    Bytes out = std::move(messages.front());
+    messages.pop_front();
+    return out;
+  }
+
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      closed = true;
+    }
+    cv.notify_all();
+  }
+};
+
+class PipeEndpoint : public Channel {
+ public:
+  PipeEndpoint(std::shared_ptr<Queue> outgoing, std::shared_ptr<Queue> incoming)
+      : outgoing_(std::move(outgoing)), incoming_(std::move(incoming)) {}
+
+  ~PipeEndpoint() override { outgoing_->Close(); }
+
+  Status Send(BytesView message) override {
+    {
+      std::lock_guard<std::mutex> lock(outgoing_->mu);
+      if (outgoing_->closed) {
+        return Status::ProtocolError("channel is closed");
+      }
+    }
+    stats_.Record(message.size());
+    outgoing_->Push(message);
+    return Status::OK();
+  }
+
+  Result<Bytes> Receive() override { return incoming_->Pop(); }
+
+  TrafficStats sent() const override { return stats_; }
+
+ private:
+  std::shared_ptr<Queue> outgoing_;
+  std::shared_ptr<Queue> incoming_;
+  TrafficStats stats_;
+};
+
+}  // namespace
+
+std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+DuplexPipe::Create() {
+  auto a_to_b = std::make_shared<Queue>();
+  auto b_to_a = std::make_shared<Queue>();
+  return {std::make_unique<PipeEndpoint>(a_to_b, b_to_a),
+          std::make_unique<PipeEndpoint>(b_to_a, a_to_b)};
+}
+
+}  // namespace ppstats

@@ -1,0 +1,67 @@
+// Message channels: reliable, ordered, message-oriented transport between
+// protocol endpoints, with byte/message accounting.
+//
+// Two implementations:
+//  * QueueChannel / DuplexPipe — thread-safe in-memory queues connecting
+//    two endpoints running on real threads (used by the end-to-end
+//    integration tests).
+//  * RecordingChannel — a single-threaded mailbox used by the sans-IO
+//    protocol runner; messages are delivered by the runner, which charges
+//    their cost to a NetworkModel.
+
+#ifndef PPSTATS_NET_CHANNEL_H_
+#define PPSTATS_NET_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+
+#include "common/bytes.h"
+#include "common/result.h"
+
+namespace ppstats {
+
+/// Counters for traffic sent in one direction.
+struct TrafficStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+
+  void Record(size_t message_bytes) {
+    ++messages;
+    bytes += message_bytes;
+  }
+
+  TrafficStats& operator+=(const TrafficStats& other) {
+    messages += other.messages;
+    bytes += other.bytes;
+    return *this;
+  }
+};
+
+/// Abstract reliable, ordered, message-oriented channel endpoint.
+class Channel {
+ public:
+  virtual ~Channel() = default;
+
+  /// Sends one message to the peer.
+  virtual Status Send(BytesView message) = 0;
+
+  /// Receives the next message (blocking for threaded channels).
+  virtual Result<Bytes> Receive() = 0;
+
+  /// Traffic sent from this endpoint.
+  virtual TrafficStats sent() const = 0;
+};
+
+/// Creates a connected pair of thread-safe in-memory channel endpoints.
+/// Closing either endpoint (destruction) unblocks the peer's Receive with
+/// a ProtocolError.
+struct DuplexPipe {
+  static std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>
+  Create();
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_NET_CHANNEL_H_

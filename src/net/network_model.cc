@@ -1,0 +1,51 @@
+#include "net/network_model.h"
+
+namespace ppstats {
+
+double NetworkModel::SerializationSeconds(uint64_t bytes,
+                                          uint64_t messages) const {
+  if (messages == 0) return 0;
+  double total_bits =
+      8.0 * (static_cast<double>(bytes) +
+             static_cast<double>(messages) * per_message_header_bytes);
+  double serialization = bandwidth_bps > 0 ? total_bits / bandwidth_bps : 0;
+  return serialization + per_message_overhead_s * messages;
+}
+
+double NetworkModel::TransferSeconds(uint64_t bytes,
+                                     uint64_t messages) const {
+  if (messages == 0) return 0;
+  return SerializationSeconds(bytes, messages) + one_way_latency_s;
+}
+
+NetworkModel NetworkModel::LanSwitch() {
+  return NetworkModel{
+      .name = "lan-switch",
+      .bandwidth_bps = 1e9,            // gigabit host link on the HPC switch
+      .one_way_latency_s = 50e-6,      // 50 us switch+stack latency
+      .per_message_overhead_s = 5e-6,  // per-message syscall/framing cost
+      .per_message_header_bytes = 66,  // Ethernet + IP + TCP
+  };
+}
+
+NetworkModel NetworkModel::Modem56k() {
+  return NetworkModel{
+      .name = "modem-56k",
+      .bandwidth_bps = 56e3,
+      .one_way_latency_s = 0.12,        // modem + WAN propagation (NJ<->IL)
+      .per_message_overhead_s = 1e-4,
+      .per_message_header_bytes = 48,   // IP + TCP with compression
+  };
+}
+
+NetworkModel NetworkModel::Ideal() {
+  return NetworkModel{
+      .name = "ideal",
+      .bandwidth_bps = 0,  // treated as infinite
+      .one_way_latency_s = 0,
+      .per_message_overhead_s = 0,
+      .per_message_header_bytes = 0,
+  };
+}
+
+}  // namespace ppstats

@@ -1,0 +1,64 @@
+// NetworkModel: analytic model of a communication medium.
+//
+// The paper measures communication time over two real media: a high-
+// performance cluster switch (Figures 2, 4, 5, 7, 9) and a 56 Kbps
+// dial-up modem between Chicago and Hoboken (Figures 3 and 6). We do not
+// have those links; we substitute an analytic model
+//
+//   time(bytes, messages) = messages * per_message_overhead
+//                           + bytes * 8 / bandwidth_bps
+//                           + latency_s                     (pipeline fill)
+//
+// applied to byte-exact traffic recorded from the real protocol
+// execution. This is the same quantity the paper plots (transfer time of
+// the protocol's messages over the medium), so the figure shapes are
+// preserved (see DESIGN.md, substitutions).
+
+#ifndef PPSTATS_NET_NETWORK_MODEL_H_
+#define PPSTATS_NET_NETWORK_MODEL_H_
+
+#include <string>
+
+#include "net/channel.h"
+
+namespace ppstats {
+
+/// Analytic model of a network link.
+struct NetworkModel {
+  std::string name;
+  double bandwidth_bps = 0;        ///< payload bandwidth, bits per second
+  double one_way_latency_s = 0;    ///< propagation delay, seconds
+  double per_message_overhead_s = 0;  ///< per-message software/framing cost
+  size_t per_message_header_bytes = 0;  ///< TCP/IP-style header estimate
+
+  /// Seconds to move `bytes` of payload split over `messages` messages,
+  /// streamed in one direction (single pipeline-fill latency).
+  double TransferSeconds(uint64_t bytes, uint64_t messages) const;
+
+  /// Link occupancy only: serialization + per-message overhead, without
+  /// the propagation latency. This is the per-chunk stage cost in a
+  /// pipelined schedule, where the stream pays the latency once.
+  double SerializationSeconds(uint64_t bytes, uint64_t messages) const;
+
+  /// Seconds for the given directional traffic counters.
+  double TransferSeconds(const TrafficStats& stats) const {
+    return TransferSeconds(stats.bytes, stats.messages);
+  }
+
+  /// The paper's short-distance environment: processes on a high-
+  /// performance cluster connected by the Stevens HPC switch. Modeled as
+  /// a gigabit-class host link (the 64 Gbps switch fabric is not the
+  /// bottleneck; host NICs were ~1 Gbps) with LAN latency.
+  static NetworkModel LanSwitch();
+
+  /// The paper's long-distance environment: 56 Kbps dial-up between
+  /// Chicago, IL and Hoboken, NJ (~80 ms propagation + modem latency).
+  static NetworkModel Modem56k();
+
+  /// An ideal infinitely fast link (isolates computation time).
+  static NetworkModel Ideal();
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_NET_NETWORK_MODEL_H_

@@ -1,0 +1,196 @@
+#include "net/socket_channel.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <string>
+#include <cstring>
+
+namespace ppstats {
+
+namespace {
+
+class SocketChannel : public Channel {
+ public:
+  SocketChannel(int fd, size_t max_message_bytes)
+      : fd_(fd), max_message_bytes_(max_message_bytes) {}
+
+  ~SocketChannel() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Send(BytesView message) override {
+    if (message.size() > max_message_bytes_) {
+      return Status::InvalidArgument("message exceeds the frame limit");
+    }
+    uint8_t header[4];
+    uint32_t len = static_cast<uint32_t>(message.size());
+    for (int i = 0; i < 4; ++i) {
+      header[i] = static_cast<uint8_t>(len >> (24 - 8 * i));
+    }
+    PPSTATS_RETURN_IF_ERROR(WriteAll(header, 4));
+    PPSTATS_RETURN_IF_ERROR(WriteAll(message.data(), message.size()));
+    stats_.Record(message.size());
+    return Status::OK();
+  }
+
+  Result<Bytes> Receive() override {
+    uint8_t header[4];
+    PPSTATS_RETURN_IF_ERROR(ReadAll(header, 4));
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len = (len << 8) | header[i];
+    if (len > max_message_bytes_) {
+      return Status::ProtocolError("incoming frame exceeds the limit");
+    }
+    Bytes out(len);
+    PPSTATS_RETURN_IF_ERROR(ReadAll(out.data(), out.size()));
+    return out;
+  }
+
+  TrafficStats sent() const override { return stats_; }
+
+ private:
+  Status WriteAll(const uint8_t* data, size_t size) {
+    size_t done = 0;
+    while (done < size) {
+      ssize_t n = ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::ProtocolError(std::string("send failed: ") +
+                                     std::strerror(errno));
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status ReadAll(uint8_t* data, size_t size) {
+    size_t done = 0;
+    while (done < size) {
+      ssize_t n = ::recv(fd_, data + done, size - done, 0);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::ProtocolError(std::string("recv failed: ") +
+                                     std::strerror(errno));
+      }
+      if (n == 0) {
+        return Status::ProtocolError("peer closed the channel");
+      }
+      done += static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  int fd_;
+  size_t max_message_bytes_;
+  TrafficStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Channel> WrapSocket(int fd, size_t max_message_bytes) {
+  return std::make_unique<SocketChannel>(fd, max_message_bytes);
+}
+
+SocketListener::SocketListener(SocketListener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+SocketListener& SocketListener::operator=(SocketListener&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      if (!path_.empty()) ::unlink(path_.c_str());
+    }
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+SocketListener::~SocketListener() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    if (!path_.empty()) ::unlink(path_.c_str());
+  }
+}
+
+Result<SocketListener> SocketListener::Bind(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  ::unlink(path.c_str());  // replace a stale socket file
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("bind failed: ") +
+                            std::strerror(errno));
+  }
+  if (::listen(fd, 16) != 0) {
+    ::close(fd);
+    ::unlink(path.c_str());
+    return Status::Internal(std::string("listen failed: ") +
+                            std::strerror(errno));
+  }
+  return SocketListener(fd, path);
+}
+
+Result<std::unique_ptr<Channel>> SocketListener::Accept() {
+  if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
+  for (;;) {
+    int client = ::accept(fd_, nullptr, nullptr);
+    if (client < 0) {
+      if (errno == EINTR) continue;
+      return Status::Internal(std::string("accept failed: ") +
+                              std::strerror(errno));
+    }
+    return WrapSocket(client);
+  }
+}
+
+Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::Internal(std::string("socket failed: ") +
+                            std::strerror(errno));
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return Status::Internal(std::string("connect failed: ") +
+                            std::strerror(errno));
+  }
+  return WrapSocket(fd);
+}
+
+Result<std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>>
+CreateSocketChannelPair() {
+  int fds[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return Status::Internal(std::string("socketpair failed: ") +
+                            std::strerror(errno));
+  }
+  return std::make_pair(WrapSocket(fds[0]), WrapSocket(fds[1]));
+}
+
+}  // namespace ppstats

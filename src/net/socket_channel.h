@@ -1,0 +1,58 @@
+// SocketChannel: the Channel interface over a real kernel socket pair
+// (AF_UNIX, SOCK_STREAM) with 4-byte length framing.
+//
+// The in-memory DuplexPipe is enough for measurements; this exists so
+// the protocol stack is exercised over actual file descriptors — partial
+// reads, kernel buffering, EOF semantics — as a deployment would see.
+
+#ifndef PPSTATS_NET_SOCKET_CHANNEL_H_
+#define PPSTATS_NET_SOCKET_CHANNEL_H_
+
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+
+namespace ppstats {
+
+/// Creates a connected pair of socket-backed channels (socketpair(2)).
+/// Each endpoint owns its file descriptor; destruction closes it, which
+/// surfaces as a ProtocolError on the peer's next Receive.
+Result<std::pair<std::unique_ptr<Channel>, std::unique_ptr<Channel>>>
+CreateSocketChannelPair();
+
+/// Wraps an existing connected stream socket as a Channel. Takes
+/// ownership of `fd`. Messages are framed with a 4-byte big-endian
+/// length; a frame larger than `max_message_bytes` is rejected without
+/// allocation (protects against corrupt or hostile peers).
+std::unique_ptr<Channel> WrapSocket(int fd,
+                                    size_t max_message_bytes = 1 << 28);
+
+/// Listens on a filesystem AF_UNIX socket path (the path is unlinked on
+/// bind and on destruction). Used by the command-line server tool.
+class SocketListener {
+ public:
+  SocketListener(SocketListener&& other) noexcept;
+  SocketListener& operator=(SocketListener&& other) noexcept;
+  SocketListener(const SocketListener&) = delete;
+  ~SocketListener();
+
+  /// Binds and listens; fails if the path is too long or bind fails.
+  static Result<SocketListener> Bind(const std::string& path);
+
+  /// Blocks for the next client connection.
+  Result<std::unique_ptr<Channel>> Accept();
+
+ private:
+  SocketListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a listening AF_UNIX socket path.
+Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_NET_SOCKET_CHANNEL_H_

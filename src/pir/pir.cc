@@ -1,0 +1,187 @@
+#include "pir/pir.h"
+
+#include <cmath>
+
+#include "bigint/modarith.h"
+#include "common/stopwatch.h"
+
+namespace ppstats {
+
+namespace {
+
+// The value at (row, col), or 0 beyond the end of the vector (the
+// matrix may overhang the last row).
+uint64_t CellValue(const std::vector<uint64_t>& cells,
+                   const PirLayout& layout, size_t row, size_t col) {
+  size_t index = row * layout.cols + col;
+  return index < cells.size() ? cells[index] : 0;
+}
+
+std::vector<uint64_t> ToCells(const Database& db) {
+  return std::vector<uint64_t>(db.values().begin(), db.values().end());
+}
+
+Result<PirRunResult> Narrow(Result<PirRawResult> raw) {
+  if (!raw.ok()) return raw.status();
+  PirRunResult out;
+  if (!raw->value.FitsUint64() || raw->value.LowUint64() > 0xFFFFFFFFull) {
+    return Status::Internal("retrieved record exceeds 32 bits");
+  }
+  out.value = static_cast<uint32_t>(raw->value.LowUint64());
+  out.client_to_server = raw->client_to_server;
+  out.server_to_client = raw->server_to_client;
+  out.client_seconds = raw->client_seconds;
+  out.server_seconds = raw->server_seconds;
+  out.layout = raw->layout;
+  return out;
+}
+
+}  // namespace
+
+PirLayout PirLayout::Square(size_t n) {
+  PirLayout layout;
+  layout.cols = static_cast<size_t>(std::ceil(std::sqrt(
+      static_cast<double>(n > 0 ? n : 1))));
+  layout.rows = (n + layout.cols - 1) / layout.cols;
+  if (layout.rows == 0) layout.rows = 1;
+  return layout;
+}
+
+Result<PirRawResult> RunSingleLevelPirRaw(const std::vector<uint64_t>& cells,
+                                          size_t index,
+                                          const PaillierPrivateKey& key,
+                                          RandomSource& rng) {
+  if (index >= cells.size()) {
+    return Status::InvalidArgument("record index out of range");
+  }
+  const PaillierPublicKey& pub = key.public_key();
+  PirRawResult result;
+  result.layout = PirLayout::Square(cells.size());
+  const PirLayout& layout = result.layout;
+
+  // --- Client: encrypted column selector e_j = [j == target_col]. -----
+  Stopwatch client_timer;
+  const size_t target_col = layout.ColOf(index);
+  const size_t target_row = layout.RowOf(index);
+  std::vector<PaillierCiphertext> selector;
+  selector.reserve(layout.cols);
+  for (size_t j = 0; j < layout.cols; ++j) {
+    PPSTATS_ASSIGN_OR_RETURN(
+        PaillierCiphertext ct,
+        Paillier::Encrypt(pub, BigInt(j == target_col ? 1 : 0), rng));
+    selector.push_back(std::move(ct));
+  }
+  result.client_seconds += client_timer.ElapsedSeconds();
+  result.client_to_server.Record(layout.cols * pub.CiphertextBytes());
+
+  // --- Server: per row, v_i = prod_j E(e_j)^{M[i][j]} = E(M[i][c]). ---
+  Stopwatch server_timer;
+  std::vector<PaillierCiphertext> responses;
+  responses.reserve(layout.rows);
+  for (size_t i = 0; i < layout.rows; ++i) {
+    PaillierCiphertext acc{BigInt(1)};
+    for (size_t j = 0; j < layout.cols; ++j) {
+      uint64_t cell = CellValue(cells, layout, i, j);
+      if (cell == 0) continue;
+      acc = Paillier::Add(
+          pub, acc, Paillier::ScalarMultiply(pub, selector[j], BigInt(cell)));
+    }
+    responses.push_back(std::move(acc));
+  }
+  result.server_seconds += server_timer.ElapsedSeconds();
+  result.server_to_client.Record(layout.rows * pub.CiphertextBytes());
+
+  // --- Client: decrypt only the target row. ---------------------------
+  client_timer.Reset();
+  PPSTATS_ASSIGN_OR_RETURN(result.value,
+                           Paillier::Decrypt(key, responses[target_row]));
+  result.client_seconds += client_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
+                                       size_t index,
+                                       const PaillierPrivateKey& key,
+                                       RandomSource& rng) {
+  if (index >= cells.size()) {
+    return Status::InvalidArgument("record index out of range");
+  }
+  const PaillierPublicKey& pub = key.public_key();
+  // Level-2 key: Damgård–Jurik with s = 2 over the same modulus, so its
+  // plaintext space Z_{n^2} holds a level-1 ciphertext exactly.
+  PPSTATS_ASSIGN_OR_RETURN(DjPrivateKey dj_key,
+                           DjPrivateKey::FromPaillier(key, 2));
+  const DjPublicKey& dj_pub = dj_key.public_key();
+
+  PirRawResult result;
+  result.layout = PirLayout::Square(cells.size());
+  const PirLayout& layout = result.layout;
+  const size_t target_col = layout.ColOf(index);
+  const size_t target_row = layout.RowOf(index);
+
+  // --- Client: column selector under level 1, row selector under
+  // level 2. ------------------------------------------------------------
+  Stopwatch client_timer;
+  std::vector<PaillierCiphertext> col_selector;
+  col_selector.reserve(layout.cols);
+  for (size_t j = 0; j < layout.cols; ++j) {
+    PPSTATS_ASSIGN_OR_RETURN(
+        PaillierCiphertext ct,
+        Paillier::Encrypt(pub, BigInt(j == target_col ? 1 : 0), rng));
+    col_selector.push_back(std::move(ct));
+  }
+  std::vector<DjCiphertext> row_selector;
+  row_selector.reserve(layout.rows);
+  for (size_t i = 0; i < layout.rows; ++i) {
+    PPSTATS_ASSIGN_OR_RETURN(
+        DjCiphertext ct,
+        DamgardJurik::Encrypt(dj_pub, BigInt(i == target_row ? 1 : 0), rng));
+    row_selector.push_back(std::move(ct));
+  }
+  result.client_seconds += client_timer.ElapsedSeconds();
+  result.client_to_server.Record(layout.cols * pub.CiphertextBytes());
+  result.client_to_server.Record(layout.rows * dj_pub.CiphertextBytes());
+
+  // --- Server: level 1 as before, then fold the row responses into a
+  // single level-2 ciphertext: w = prod_i E2(s_i)^{v_i} = E2(v_target).
+  Stopwatch server_timer;
+  DjCiphertext folded{BigInt(1)};
+  for (size_t i = 0; i < layout.rows; ++i) {
+    PaillierCiphertext acc{BigInt(1)};
+    for (size_t j = 0; j < layout.cols; ++j) {
+      uint64_t cell = CellValue(cells, layout, i, j);
+      if (cell == 0) continue;
+      acc = Paillier::Add(
+          pub, acc,
+          Paillier::ScalarMultiply(pub, col_selector[j], BigInt(cell)));
+    }
+    // acc.value is in [0, n^2): a valid level-2 plaintext (exponent).
+    folded = DamgardJurik::Add(
+        dj_pub, folded,
+        DamgardJurik::ScalarMultiply(dj_pub, row_selector[i], acc.value));
+  }
+  result.server_seconds += server_timer.ElapsedSeconds();
+  result.server_to_client.Record(dj_pub.CiphertextBytes());
+
+  // --- Client: peel level 2, then level 1. -----------------------------
+  client_timer.Reset();
+  PPSTATS_ASSIGN_OR_RETURN(BigInt inner, DamgardJurik::Decrypt(dj_key, folded));
+  PPSTATS_ASSIGN_OR_RETURN(result.value,
+                           Paillier::Decrypt(key, PaillierCiphertext{inner}));
+  result.client_seconds += client_timer.ElapsedSeconds();
+  return result;
+}
+
+Result<PirRunResult> RunSingleLevelPir(const Database& db, size_t index,
+                                       const PaillierPrivateKey& key,
+                                       RandomSource& rng) {
+  return Narrow(RunSingleLevelPirRaw(ToCells(db), index, key, rng));
+}
+
+Result<PirRunResult> RunTwoLevelPir(const Database& db, size_t index,
+                                    const PaillierPrivateKey& key,
+                                    RandomSource& rng) {
+  return Narrow(RunTwoLevelPirRaw(ToCells(db), index, key, rng));
+}
+
+}  // namespace ppstats

@@ -1,0 +1,96 @@
+// Computational Private Information Retrieval over homomorphic
+// encryption (Kushilevitz–Ostrovsky 1997 / Lipmaa 2005 construction).
+//
+// The selected-sum protocol moves one ciphertext per database row
+// (linear communication). Canetti et al. — the paper's theoretical
+// basis — also give sublinear-communication solutions; this module
+// implements the classic homomorphic-PIR building block they rest on:
+//
+//   * Single-level: the database is an R x C matrix. The client sends C
+//     encrypted column selectors; the server returns R ciphertexts, one
+//     per row (each is E(M[i][target_col])). Communication O(sqrt(n))
+//     ciphertexts for R = C = ceil(sqrt(n)).
+//
+//   * Two-level: the R row responses (values mod n^2) are themselves
+//     selected with a second encrypted selector under a Damgård–Jurik
+//     key with s = 2, whose plaintext space Z_{n^2} exactly fits a
+//     level-1 ciphertext. The server returns ONE ciphertext mod n^3;
+//     the client peels two layers of decryption. This is the recursion
+//     trick that drives communication toward O(n^epsilon).
+//
+// Both variants run the real cryptography with byte-accurate traffic
+// accounting, like the rest of the library.
+
+#ifndef PPSTATS_PIR_PIR_H_
+#define PPSTATS_PIR_PIR_H_
+
+#include "crypto/damgard_jurik.h"
+#include "crypto/paillier.h"
+#include "db/database.h"
+#include "net/channel.h"
+
+namespace ppstats {
+
+/// Matrix layout of a linear database for PIR.
+struct PirLayout {
+  size_t rows = 0;
+  size_t cols = 0;
+
+  /// Near-square layout covering `n` records.
+  static PirLayout Square(size_t n);
+
+  size_t RowOf(size_t index) const { return index / cols; }
+  size_t ColOf(size_t index) const { return index % cols; }
+};
+
+/// Result and cost of one private retrieval.
+struct PirRunResult {
+  uint32_t value = 0;             ///< the retrieved record
+  TrafficStats client_to_server;  ///< encrypted selectors
+  TrafficStats server_to_client;  ///< encrypted response(s)
+  double client_seconds = 0;
+  double server_seconds = 0;
+  PirLayout layout;
+};
+
+/// Retrieves db[index] without revealing `index`; O(sqrt(n))
+/// ciphertexts in each direction.
+Result<PirRunResult> RunSingleLevelPir(const Database& db, size_t index,
+                                       const PaillierPrivateKey& key,
+                                       RandomSource& rng);
+
+/// Two-level recursive retrieval: O(sqrt(n)) upstream, ONE ciphertext
+/// downstream. Derives the level-2 Damgård–Jurik key (s=2) from `key`.
+Result<PirRunResult> RunTwoLevelPir(const Database& db, size_t index,
+                                    const PaillierPrivateKey& key,
+                                    RandomSource& rng);
+
+/// Raw-cell variants over an arbitrary 64-bit vector (cells need not be
+/// 32-bit database values; used by the sparse private-sum protocol,
+/// which retrieves blinded cells). The retrieved value is returned as a
+/// BigInt; `result.value` is meaningful only when the cell fits 32 bits.
+struct PirRawResult {
+  BigInt value;
+  TrafficStats client_to_server;
+  TrafficStats server_to_client;
+  double client_seconds = 0;
+  double server_seconds = 0;
+  PirLayout layout;
+};
+
+Result<PirRawResult> RunSingleLevelPirRaw(const std::vector<uint64_t>& cells,
+                                          size_t index,
+                                          const PaillierPrivateKey& key,
+                                          RandomSource& rng);
+
+/// Note: the two-level response reveals exactly one cell to the client
+/// (the fold selects a single row inside the encryption), which the
+/// sparse-sum protocol relies on for database privacy.
+Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
+                                       size_t index,
+                                       const PaillierPrivateKey& key,
+                                       RandomSource& rng);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_PIR_PIR_H_

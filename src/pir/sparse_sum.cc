@@ -1,0 +1,76 @@
+#include "pir/sparse_sum.h"
+
+#include <bit>
+
+#include "bigint/modarith.h"
+#include "common/stopwatch.h"
+#include "net/wire.h"
+
+namespace ppstats {
+
+Result<SparseSumResult> RunSparsePrivateSum(
+    const PaillierPrivateKey& key, const Database& db,
+    const std::vector<size_t>& indices, const SparseSumConfig& config,
+    RandomSource& rng) {
+  if (indices.empty()) {
+    return Status::InvalidArgument("no indices selected");
+  }
+  if (db.empty()) {
+    return Status::InvalidArgument("database is empty");
+  }
+  const uint64_t m_mod = config.blind_modulus;
+  if (!std::has_single_bit(m_mod) || m_mod > (uint64_t{1} << 60)) {
+    return Status::InvalidArgument(
+        "blinding modulus must be a power of two <= 2^60");
+  }
+  if (m_mod <= 0xFFFFFFFFull) {
+    return Status::InvalidArgument(
+        "blinding modulus must exceed the 32-bit value range");
+  }
+  for (size_t index : indices) {
+    if (index >= db.size()) {
+      return Status::InvalidArgument("selected index out of range");
+    }
+  }
+
+  SparseSumResult result;
+  BigInt running(0);
+  uint64_t blinding_sum = 0;
+
+  std::vector<uint64_t> blinded(db.size());
+  for (size_t query = 0; query < indices.size(); ++query) {
+    // Server: blind the whole table with a fresh r_j.
+    Stopwatch server_timer;
+    uint64_t r = rng.NextBelow(m_mod);
+    blinding_sum = (blinding_sum + r) & (m_mod - 1);
+    for (size_t i = 0; i < db.size(); ++i) {
+      blinded[i] = (db.value(i) + r) & (m_mod - 1);
+    }
+    result.server_seconds += server_timer.ElapsedSeconds();
+
+    // Client retrieves its blinded cell; the two-level response carries
+    // exactly one cell, so nothing else about the blinded table leaks.
+    PPSTATS_ASSIGN_OR_RETURN(
+        PirRawResult pir,
+        RunTwoLevelPirRaw(blinded, indices[query], key, rng));
+    result.client_to_server += pir.client_to_server;
+    result.server_to_client += pir.server_to_client;
+    result.client_seconds += pir.client_seconds;
+    result.server_seconds += pir.server_seconds;
+    running += pir.value;
+  }
+
+  // Server reveals the aggregate blinding (uniform; reveals nothing).
+  WireWriter reveal;
+  reveal.WriteU64(blinding_sum);
+  result.server_to_client.Record(reveal.size());
+
+  // Client unblinds the sum.
+  Stopwatch client_timer;
+  BigInt m_big(m_mod);
+  result.total = Mod(running - BigInt(blinding_sum), m_big);
+  result.client_seconds += client_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,41 @@
+#include "sim/pipeline.h"
+
+#include <algorithm>
+
+namespace ppstats {
+
+Result<double> PipelineSchedule::Makespan(
+    const std::vector<std::vector<double>>& stage_durations) {
+  if (stage_durations.empty()) return 0.0;
+  const size_t chunks = stage_durations[0].size();
+  for (const auto& stage : stage_durations) {
+    if (stage.size() != chunks) {
+      return Status::InvalidArgument(
+          "all pipeline stages must have the same chunk count");
+    }
+  }
+  if (chunks == 0) return 0.0;
+
+  // finish[s] holds the completion time of the current chunk in stage s.
+  std::vector<double> finish(stage_durations.size(), 0.0);
+  for (size_t i = 0; i < chunks; ++i) {
+    double prev_stage_done = 0.0;
+    for (size_t s = 0; s < stage_durations.size(); ++s) {
+      double start = std::max(prev_stage_done, finish[s]);
+      finish[s] = start + stage_durations[s][i];
+      prev_stage_done = finish[s];
+    }
+  }
+  return finish.back();
+}
+
+double PipelineSchedule::SequentialTotal(
+    const std::vector<std::vector<double>>& stage_durations) {
+  double total = 0;
+  for (const auto& stage : stage_durations) {
+    for (double d : stage) total += d;
+  }
+  return total;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,34 @@
+// Pipeline schedule model for the batching optimization (paper Sec 3.2).
+//
+// With batching, the client encrypts chunk i+1 while chunk i is in
+// flight and chunk i-1 is being processed by the server. Total elapsed
+// time is the makespan of a K-stage pipeline where stage s of chunk i
+// starts when stage s of chunk i-1 AND stage s-1 of chunk i have both
+// finished.
+
+#ifndef PPSTATS_SIM_PIPELINE_H_
+#define PPSTATS_SIM_PIPELINE_H_
+
+#include <vector>
+
+#include "common/result.h"
+
+namespace ppstats {
+
+/// Computes pipelined makespans from per-chunk stage durations.
+class PipelineSchedule {
+ public:
+  /// `stage_durations[s][i]` is the duration of stage `s` for chunk `i`.
+  /// All stages must have the same chunk count. Returns the pipelined
+  /// makespan (seconds).
+  static Result<double> Makespan(
+      const std::vector<std::vector<double>>& stage_durations);
+
+  /// Sequential (unpipelined) total: the sum of every duration.
+  static double SequentialTotal(
+      const std::vector<std::vector<double>>& stage_durations);
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_SIM_PIPELINE_H_

@@ -1,0 +1,116 @@
+#include "yao/circuit.h"
+
+namespace ppstats {
+
+Result<std::vector<bool>> EvaluateCircuit(
+    const Circuit& circuit, const std::vector<bool>& garbler_bits,
+    const std::vector<bool>& evaluator_bits) {
+  if (garbler_bits.size() != circuit.garbler_inputs.size()) {
+    return Status::InvalidArgument("wrong garbler input arity");
+  }
+  if (evaluator_bits.size() != circuit.evaluator_inputs.size()) {
+    return Status::InvalidArgument("wrong evaluator input arity");
+  }
+  std::vector<bool> wires(circuit.num_wires, false);
+  for (size_t i = 0; i < garbler_bits.size(); ++i) {
+    wires[circuit.garbler_inputs[i]] = garbler_bits[i];
+  }
+  for (size_t i = 0; i < evaluator_bits.size(); ++i) {
+    wires[circuit.evaluator_inputs[i]] = evaluator_bits[i];
+  }
+  for (const Gate& g : circuit.gates) {
+    if (g.a >= circuit.num_wires || g.b >= circuit.num_wires ||
+        g.out >= circuit.num_wires) {
+      return Status::InvalidArgument("gate references unknown wire");
+    }
+    bool a = wires[g.a];
+    bool b = wires[g.b];
+    wires[g.out] = g.type == GateType::kXor ? (a != b) : (a && b);
+  }
+  std::vector<bool> out;
+  out.reserve(circuit.outputs.size());
+  for (WireId w : circuit.outputs) {
+    if (w >= circuit.num_wires) {
+      return Status::InvalidArgument("output references unknown wire");
+    }
+    out.push_back(wires[w]);
+  }
+  return out;
+}
+
+WireId CircuitBuilder::AddGarblerInput() {
+  WireId w = NewWire();
+  circuit_.garbler_inputs.push_back(w);
+  return w;
+}
+
+WireId CircuitBuilder::AddEvaluatorInput() {
+  WireId w = NewWire();
+  circuit_.evaluator_inputs.push_back(w);
+  return w;
+}
+
+WireId CircuitBuilder::Xor(WireId a, WireId b) {
+  WireId out = NewWire();
+  circuit_.gates.push_back(Gate{GateType::kXor, a, b, out});
+  return out;
+}
+
+WireId CircuitBuilder::And(WireId a, WireId b) {
+  WireId out = NewWire();
+  circuit_.gates.push_back(Gate{GateType::kAnd, a, b, out});
+  return out;
+}
+
+void CircuitBuilder::MarkOutput(WireId w) { circuit_.outputs.push_back(w); }
+
+std::vector<WireId> CircuitBuilder::MaskWith(const std::vector<WireId>& bits,
+                                             WireId bit) {
+  std::vector<WireId> out;
+  out.reserve(bits.size());
+  for (WireId b : bits) out.push_back(And(b, bit));
+  return out;
+}
+
+std::vector<WireId> CircuitBuilder::AddInto(const std::vector<WireId>& acc,
+                                            const std::vector<WireId>& addend,
+                                            size_t max_width) {
+  std::vector<WireId> out;
+  out.reserve(acc.size() + 1);
+  WireId carry = 0;
+  bool have_carry = false;
+  for (size_t i = 0; i < acc.size(); ++i) {
+    if (i < addend.size()) {
+      WireId a = acc[i];
+      WireId b = addend[i];
+      WireId axb = Xor(a, b);
+      if (!have_carry) {
+        // Half adder.
+        out.push_back(axb);
+        carry = And(a, b);
+        have_carry = true;
+      } else {
+        // Full adder: sum = a^b^c; carry' = (a&b) ^ (c & (a^b)).
+        out.push_back(Xor(axb, carry));
+        WireId ab = And(a, b);
+        WireId ct = And(carry, axb);
+        carry = Xor(ab, ct);
+      }
+    } else {
+      // Addend bit is implicitly 0: sum = a ^ c; carry' = a & c.
+      if (!have_carry) {
+        out.push_back(acc[i]);
+      } else {
+        out.push_back(Xor(acc[i], carry));
+        carry = And(acc[i], carry);
+      }
+    }
+  }
+  if (have_carry && out.size() < max_width) out.push_back(carry);
+  if (out.size() > max_width) out.resize(max_width);
+  return out;
+}
+
+Circuit CircuitBuilder::Build() && { return std::move(circuit_); }
+
+}  // namespace ppstats

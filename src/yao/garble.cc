@@ -1,0 +1,193 @@
+#include "yao/garble.h"
+
+#include "crypto/sha256.h"
+
+namespace ppstats {
+
+namespace {
+
+// H(a, b, gate_id) truncated to a label: the row key for garbled tables.
+Label GateHash(const Label& a, const Label& b, uint32_t gate_id) {
+  Sha256 h;
+  h.Update(a.bytes);
+  h.Update(b.bytes);
+  uint8_t id_bytes[4] = {
+      static_cast<uint8_t>(gate_id >> 24), static_cast<uint8_t>(gate_id >> 16),
+      static_cast<uint8_t>(gate_id >> 8), static_cast<uint8_t>(gate_id)};
+  h.Update(id_bytes);
+  Sha256::Digest d = h.Finish();
+  Label out;
+  std::copy(d.begin(), d.begin() + 16, out.bytes.begin());
+  return out;
+}
+
+// Single-label hash H(a, tweak) used by the half-gates construction.
+Label HalfGateHash(const Label& a, uint64_t tweak) {
+  Sha256 h;
+  h.Update(a.bytes);
+  uint8_t id_bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    id_bytes[i] = static_cast<uint8_t>(tweak >> (56 - 8 * i));
+  }
+  h.Update(id_bytes);
+  Sha256::Digest d = h.Finish();
+  Label out;
+  std::copy(d.begin(), d.begin() + 16, out.bytes.begin());
+  return out;
+}
+
+Label MaybeXor(const Label& a, const Label& b, bool condition) {
+  return condition ? a ^ b : a;
+}
+
+}  // namespace
+
+Result<std::pair<GarbledCircuit, GarblerSecrets>> GarbleCircuit(
+    const Circuit& circuit, RandomSource& rng, GarbleScheme scheme) {
+  GarbledCircuit garbled;
+  garbled.scheme = scheme;
+  GarblerSecrets secrets;
+
+  secrets.delta = Label::Random(rng);
+  secrets.delta.bytes[0] |= 1;  // permute bit of delta must be 1
+
+  // FALSE label of every wire.
+  std::vector<Label> false_label(circuit.num_wires);
+  std::vector<bool> assigned(circuit.num_wires, false);
+
+  for (WireId w : circuit.garbler_inputs) {
+    false_label[w] = Label::Random(rng);
+    assigned[w] = true;
+    secrets.garbler_input_false.push_back(false_label[w]);
+  }
+  for (WireId w : circuit.evaluator_inputs) {
+    false_label[w] = Label::Random(rng);
+    assigned[w] = true;
+    secrets.evaluator_input_false.push_back(false_label[w]);
+  }
+
+  garbled.and_tables.reserve(circuit.AndGateCount());
+  uint32_t gate_id = 0;
+  for (const Gate& g : circuit.gates) {
+    if (!assigned[g.a] || !assigned[g.b]) {
+      return Status::InvalidArgument("circuit gates are not topological");
+    }
+    if (assigned[g.out]) {
+      return Status::InvalidArgument("gate output wire reused");
+    }
+    if (g.type == GateType::kXor) {
+      // Free XOR: FALSE label is the XOR of the input FALSE labels.
+      false_label[g.out] = false_label[g.a] ^ false_label[g.b];
+    } else if (scheme == GarbleScheme::kPointAndPermute) {
+      Label out0 = Label::Random(rng);
+      false_label[g.out] = out0;
+      std::array<Label, 4> table;
+      for (int va = 0; va < 2; ++va) {
+        for (int vb = 0; vb < 2; ++vb) {
+          Label la = va ? false_label[g.a] ^ secrets.delta : false_label[g.a];
+          Label lb = vb ? false_label[g.b] ^ secrets.delta : false_label[g.b];
+          int row = (la.PermuteBit() << 1) | lb.PermuteBit();
+          Label out = (va & vb) ? out0 ^ secrets.delta : out0;
+          table[row] = GateHash(la, lb, gate_id) ^ out;
+        }
+      }
+      garbled.and_tables.push_back(table);
+    } else {
+      // Half gates (ZRE15): a AND b = (a AND pb) XOR (a AND (b XOR pb)).
+      const Label& a0 = false_label[g.a];
+      const Label& b0 = false_label[g.b];
+      Label a1 = a0 ^ secrets.delta;
+      Label b1 = b0 ^ secrets.delta;
+      bool pa = a0.PermuteBit();
+      bool pb = b0.PermuteBit();
+      uint64_t j1 = uint64_t{gate_id} * 2;
+      uint64_t j2 = uint64_t{gate_id} * 2 + 1;
+
+      // Generator half gate (garbler knows pb).
+      Label tg = MaybeXor(HalfGateHash(a0, j1) ^ HalfGateHash(a1, j1),
+                          secrets.delta, pb);
+      Label wg0 = MaybeXor(HalfGateHash(a0, j1), tg, pa);
+      // Evaluator half gate (evaluator knows b XOR pb).
+      Label te = HalfGateHash(b0, j2) ^ HalfGateHash(b1, j2) ^ a0;
+      Label we0 = MaybeXor(HalfGateHash(b0, j2), te ^ a0, pb);
+
+      false_label[g.out] = wg0 ^ we0;
+      garbled.half_tables.push_back({tg, te});
+    }
+    assigned[g.out] = true;
+    ++gate_id;
+  }
+
+  garbled.output_decode.reserve(circuit.outputs.size());
+  for (WireId w : circuit.outputs) {
+    if (!assigned[w]) {
+      return Status::InvalidArgument("output wire never assigned");
+    }
+    garbled.output_decode.push_back(false_label[w].PermuteBit() ? 1 : 0);
+  }
+  return std::make_pair(std::move(garbled), std::move(secrets));
+}
+
+Result<std::vector<bool>> EvaluateGarbled(
+    const Circuit& circuit, const GarbledCircuit& garbled,
+    const std::vector<Label>& garbler_input_labels,
+    const std::vector<Label>& evaluator_input_labels) {
+  if (garbler_input_labels.size() != circuit.garbler_inputs.size() ||
+      evaluator_input_labels.size() != circuit.evaluator_inputs.size()) {
+    return Status::InvalidArgument("wrong input label arity");
+  }
+  if (garbled.output_decode.size() != circuit.outputs.size()) {
+    return Status::InvalidArgument("output decode table arity mismatch");
+  }
+
+  std::vector<Label> active(circuit.num_wires);
+  for (size_t i = 0; i < garbler_input_labels.size(); ++i) {
+    active[circuit.garbler_inputs[i]] = garbler_input_labels[i];
+  }
+  for (size_t i = 0; i < evaluator_input_labels.size(); ++i) {
+    active[circuit.evaluator_inputs[i]] = evaluator_input_labels[i];
+  }
+
+  size_t and_index = 0;
+  uint32_t gate_id = 0;
+  for (const Gate& g : circuit.gates) {
+    if (g.type == GateType::kXor) {
+      active[g.out] = active[g.a] ^ active[g.b];
+    } else if (garbled.scheme == GarbleScheme::kPointAndPermute) {
+      if (and_index >= garbled.and_tables.size()) {
+        return Status::InvalidArgument("missing garbled table for AND gate");
+      }
+      const std::array<Label, 4>& table = garbled.and_tables[and_index++];
+      int row = (active[g.a].PermuteBit() << 1) | active[g.b].PermuteBit();
+      active[g.out] =
+          GateHash(active[g.a], active[g.b], gate_id) ^ table[row];
+    } else {
+      if (and_index >= garbled.half_tables.size()) {
+        return Status::InvalidArgument("missing garbled table for AND gate");
+      }
+      const std::array<Label, 2>& table = garbled.half_tables[and_index++];
+      const Label& tg = table[0];
+      const Label& te = table[1];
+      uint64_t j1 = uint64_t{gate_id} * 2;
+      uint64_t j2 = uint64_t{gate_id} * 2 + 1;
+      bool sa = active[g.a].PermuteBit();
+      bool sb = active[g.b].PermuteBit();
+      Label wg = MaybeXor(HalfGateHash(active[g.a], j1), tg, sa);
+      Label we = MaybeXor(HalfGateHash(active[g.b], j2), te ^ active[g.a],
+                          sb);
+      active[g.out] = wg ^ we;
+    }
+    ++gate_id;
+  }
+
+  std::vector<bool> out;
+  out.reserve(circuit.outputs.size());
+  for (size_t i = 0; i < circuit.outputs.size(); ++i) {
+    bool bit = active[circuit.outputs[i]].PermuteBit() !=
+               (garbled.output_decode[i] != 0);
+    out.push_back(bit);
+  }
+  return out;
+}
+
+}  // namespace ppstats

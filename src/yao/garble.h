@@ -1,0 +1,79 @@
+// Garbling and evaluation of boolean circuits: point-and-permute garbled
+// tables for AND gates, free XOR (Kolesnikov-Schneider), SHA-256 as the
+// key-derivation hash.
+
+#ifndef PPSTATS_YAO_GARBLE_H_
+#define PPSTATS_YAO_GARBLE_H_
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "yao/circuit.h"
+#include "yao/label.h"
+
+namespace ppstats {
+
+/// Garbled-table construction for AND gates.
+enum class GarbleScheme {
+  kPointAndPermute,  ///< classic 4 ciphertexts per AND gate
+  kHalfGates,        ///< Zahur-Rosulek-Evans 2015: 2 ciphertexts per AND
+};
+
+/// The material the garbler ships to the evaluator (plus, via OT, the
+/// evaluator's input labels).
+struct GarbledCircuit {
+  GarbleScheme scheme = GarbleScheme::kPointAndPermute;
+
+  /// kPointAndPermute: one 4-row table per AND gate, in gate order.
+  std::vector<std::array<Label, 4>> and_tables;
+
+  /// kHalfGates: two ciphertexts (TG, TE) per AND gate, in gate order.
+  std::vector<std::array<Label, 2>> half_tables;
+
+  /// Permute bit of each output wire's FALSE label; the evaluator XORs
+  /// it with the permute bit of the label it holds to decode the bit.
+  std::vector<uint8_t> output_decode;
+
+  /// Serialized size in bytes (tables + decode bits), for traffic
+  /// accounting.
+  size_t WireSize() const {
+    return and_tables.size() * 4 * sizeof(Label) +
+           half_tables.size() * 2 * sizeof(Label) +
+           (output_decode.size() + 7) / 8;
+  }
+};
+
+/// The garbler's secrets: the global free-XOR offset and the FALSE label
+/// of every input wire.
+struct GarblerSecrets {
+  Label delta;  ///< PermuteBit(delta) == 1
+  std::vector<Label> garbler_input_false;    ///< per garbler input wire
+  std::vector<Label> evaluator_input_false;  ///< per evaluator input wire
+
+  /// Active label for garbler input i carrying `bit`.
+  Label GarblerInputLabel(size_t i, bool bit) const {
+    return bit ? garbler_input_false[i] ^ delta : garbler_input_false[i];
+  }
+
+  /// Both labels for evaluator input i (inputs to the OT).
+  std::pair<Label, Label> EvaluatorInputLabels(size_t i) const {
+    return {evaluator_input_false[i], evaluator_input_false[i] ^ delta};
+  }
+};
+
+/// Garbles `circuit` with fresh randomness.
+Result<std::pair<GarbledCircuit, GarblerSecrets>> GarbleCircuit(
+    const Circuit& circuit, RandomSource& rng,
+    GarbleScheme scheme = GarbleScheme::kPointAndPermute);
+
+/// Evaluates a garbled circuit given the active label of every input
+/// wire; returns the decoded output bits.
+Result<std::vector<bool>> EvaluateGarbled(
+    const Circuit& circuit, const GarbledCircuit& garbled,
+    const std::vector<Label>& garbler_input_labels,
+    const std::vector<Label>& evaluator_input_labels);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_YAO_GARBLE_H_

@@ -1,0 +1,41 @@
+// 128-bit wire labels for garbled circuits.
+
+#ifndef PPSTATS_YAO_LABEL_H_
+#define PPSTATS_YAO_LABEL_H_
+
+#include <array>
+#include <cstdint>
+
+#include "common/random.h"
+
+namespace ppstats {
+
+/// A 128-bit garbled-circuit wire label. The least-significant bit of
+/// byte 0 doubles as the point-and-permute bit.
+struct Label {
+  std::array<uint8_t, 16> bytes{};
+
+  static Label Random(RandomSource& rng) {
+    Label l;
+    rng.Fill(l.bytes);
+    return l;
+  }
+
+  /// The point-and-permute (color) bit.
+  bool PermuteBit() const { return bytes[0] & 1; }
+
+  friend Label operator^(const Label& a, const Label& b) {
+    Label out;
+    for (size_t i = 0; i < 16; ++i) out.bytes[i] = a.bytes[i] ^ b.bytes[i];
+    return out;
+  }
+  Label& operator^=(const Label& other) {
+    for (size_t i = 0; i < 16; ++i) bytes[i] ^= other.bytes[i];
+    return *this;
+  }
+  friend bool operator==(const Label& a, const Label& b) = default;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_YAO_LABEL_H_

@@ -1,0 +1,140 @@
+#include "yao/ot.h"
+
+#include "bigint/modarith.h"
+#include "common/stopwatch.h"
+#include "crypto/sha256.h"
+#include "net/wire.h"
+
+namespace ppstats {
+
+namespace {
+
+constexpr char kGroup2PrimeHex[] =
+    "FFFFFFFFFFFFFFFFC90FDAA22168C234C4C6628B80DC1CD129024E088A67CC74"
+    "020BBEA63B139B22514A08798E3404DDEF9519B3CD3A431B302B0A6DF25F1437"
+    "4FE1356D6D51C245E485B576625E7EC6F44C42E9A637ED6B0BFF5CB6F406B7ED"
+    "EE386BFB5A899FA5AE9F24117C4B1FE649286651ECE65381FFFFFFFFFFFFFFFF";
+
+// Key-derivation: H(role byte, group element) truncated to a label.
+Label DerivePad(uint8_t which, const BigInt& element, size_t width) {
+  Sha256 h;
+  h.Update(BytesView(&which, 1));
+  Bytes bytes = element.ToBytes(width);
+  h.Update(bytes);
+  Sha256::Digest d = h.Finish();
+  Label out;
+  std::copy(d.begin(), d.begin() + 16, out.bytes.begin());
+  return out;
+}
+
+}  // namespace
+
+const OtGroup& OtGroup::Rfc2409Group2() {
+  static const OtGroup* group = [] {
+    auto* g = new OtGroup();
+    g->p = BigInt::FromHexString(kGroup2PrimeHex).ValueOrDie();
+    g->g = BigInt(2);
+    g->mont = std::make_shared<MontgomeryContext>(g->p);
+    return g;
+  }();
+  return *group;
+}
+
+Result<OtBatchResult> RunBatchObliviousTransfer(
+    const std::vector<std::pair<Label, Label>>& messages,
+    const std::vector<bool>& choices, RandomSource& rng,
+    const OtGroup& group) {
+  if (messages.size() != choices.size()) {
+    return Status::InvalidArgument("OT messages/choices arity mismatch");
+  }
+  const size_t n = messages.size();
+  const size_t width = group.ElementBytes();
+  const BigInt& p = group.p;
+  const MontgomeryContext& mont = *group.mont;
+
+  OtBatchResult result;
+  result.received.reserve(n);
+
+  // --- Sender setup: random C with unknown discrete log (the exponent is
+  // drawn and immediately discarded). Sent once for the whole batch.
+  Stopwatch sender_timer;
+  BigInt c_exp = RandomBelow(rng, p - BigInt(1)) + BigInt(1);
+  BigInt c_elem = mont.Exp(group.g, c_exp);
+  WireWriter setup;
+  Status st = setup.WriteFixedBigInt(c_elem, width);
+  if (!st.ok()) return st;
+  Bytes setup_frame = setup.Take();
+  result.sender_seconds += sender_timer.ElapsedSeconds();
+  result.sender_to_receiver.Record(setup_frame.size());
+
+  // --- Receiver: per choice, PK_b = g^k, PK_{1-b} = C / PK_b; send PK_0.
+  Stopwatch receiver_timer;
+  std::vector<BigInt> receiver_k(n);
+  WireWriter pk_msg;
+  for (size_t i = 0; i < n; ++i) {
+    receiver_k[i] = RandomBelow(rng, p - BigInt(1)) + BigInt(1);
+    BigInt pk_b = mont.Exp(group.g, receiver_k[i]);
+    PPSTATS_ASSIGN_OR_RETURN(BigInt pk_b_inv, ModInverse(pk_b, p));
+    BigInt pk_other = MulMod(c_elem, pk_b_inv, p);
+    const BigInt& pk0 = choices[i] ? pk_other : pk_b;
+    PPSTATS_RETURN_IF_ERROR(pk_msg.WriteFixedBigInt(pk0, width));
+  }
+  Bytes pk_frame = pk_msg.Take();
+  result.receiver_seconds += receiver_timer.ElapsedSeconds();
+  result.receiver_to_sender.Record(pk_frame.size());
+
+  // --- Sender: derive PK_1, encrypt both labels per pair.
+  sender_timer.Reset();
+  WireReader pk_reader(pk_frame);
+  WireWriter enc_msg;
+  for (size_t i = 0; i < n; ++i) {
+    PPSTATS_ASSIGN_OR_RETURN(BigInt pk0, pk_reader.ReadFixedBigInt(width));
+    if (pk0.IsZero() || pk0 >= p) {
+      return Status::ProtocolError("invalid receiver public key");
+    }
+    PPSTATS_ASSIGN_OR_RETURN(BigInt pk0_inv, ModInverse(pk0, p));
+    BigInt pk1 = MulMod(c_elem, pk0_inv, p);
+    const BigInt* pks[2] = {&pk0, &pk1};
+    for (int which = 0; which < 2; ++which) {
+      BigInt r = RandomBelow(rng, p - BigInt(1)) + BigInt(1);
+      BigInt g_r = mont.Exp(group.g, r);
+      BigInt shared = mont.Exp(*pks[which], r);
+      Label pad = DerivePad(static_cast<uint8_t>(which), shared, width);
+      const Label& m = which == 0 ? messages[i].first : messages[i].second;
+      Label ct = m ^ pad;
+      PPSTATS_RETURN_IF_ERROR(enc_msg.WriteFixedBigInt(g_r, width));
+      enc_msg.WriteBytes(ct.bytes);
+    }
+  }
+  Bytes enc_frame = enc_msg.Take();
+  result.sender_seconds += sender_timer.ElapsedSeconds();
+  result.sender_to_receiver.Record(enc_frame.size());
+
+  // --- Receiver: decrypt the chosen message of each pair.
+  receiver_timer.Reset();
+  WireReader enc_reader(enc_frame);
+  for (size_t i = 0; i < n; ++i) {
+    Label chosen{};
+    for (int which = 0; which < 2; ++which) {
+      PPSTATS_ASSIGN_OR_RETURN(BigInt g_r, enc_reader.ReadFixedBigInt(width));
+      PPSTATS_ASSIGN_OR_RETURN(Bytes ct_bytes, enc_reader.ReadBytes());
+      if (ct_bytes.size() != 16) {
+        return Status::ProtocolError("bad OT ciphertext size");
+      }
+      if (which == static_cast<int>(choices[i])) {
+        BigInt shared = mont.Exp(g_r, receiver_k[i]);
+        Label pad = DerivePad(static_cast<uint8_t>(which), shared, width);
+        Label ct;
+        std::copy(ct_bytes.begin(), ct_bytes.end(), ct.bytes.begin());
+        chosen = ct ^ pad;
+      }
+    }
+    result.received.push_back(chosen);
+  }
+  PPSTATS_RETURN_IF_ERROR(enc_reader.ExpectEnd());
+  result.receiver_seconds += receiver_timer.ElapsedSeconds();
+
+  return result;
+}
+
+}  // namespace ppstats

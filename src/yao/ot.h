@@ -1,0 +1,62 @@
+// 1-out-of-2 oblivious transfer (Bellare-Micali construction) over a
+// classic MODP group, used to deliver the evaluator's input labels in
+// the Yao baseline without revealing the selection bits.
+//
+// Protocol, per transferred pair (m0, m1) with receiver choice b:
+//   Sender:   publishes a random group element C with unknown discrete log.
+//   Receiver: picks k, sets PK_b = g^k, PK_{1-b} = C * PK_b^{-1}; sends PK_0.
+//   Sender:   derives PK_1 = C * PK_0^{-1}; for i in {0,1} picks r_i and
+//             sends (g^{r_i}, H(i, PK_i^{r_i}) XOR m_i).
+//   Receiver: recovers m_b = H(b, (g^{r_b})^k) XOR c_b.
+//
+// The receiver cannot know the discrete log of both PK_0 and PK_1 (that
+// would give the discrete log of C), so it learns exactly one message;
+// the sender sees only PK_0, which is a uniformly random group element
+// either way, so it learns nothing about b.
+
+#ifndef PPSTATS_YAO_OT_H_
+#define PPSTATS_YAO_OT_H_
+
+#include <memory>
+#include <vector>
+
+#include "bigint/montgomery.h"
+#include "common/random.h"
+#include "net/channel.h"
+#include "yao/label.h"
+
+namespace ppstats {
+
+/// A multiplicative group modulo a large prime, with a fixed generator.
+struct OtGroup {
+  BigInt p;
+  BigInt g;
+  std::shared_ptr<const MontgomeryContext> mont;
+
+  size_t ElementBytes() const { return (p.BitLength() + 7) / 8; }
+
+  /// The 1024-bit MODP group from RFC 2409 (Oakley group 2), generator 2.
+  static const OtGroup& Rfc2409Group2();
+};
+
+/// Outcome and cost of a batch of OTs.
+struct OtBatchResult {
+  std::vector<Label> received;    ///< message b_i of pair i
+  TrafficStats receiver_to_sender;
+  TrafficStats sender_to_receiver;
+  double sender_seconds = 0;
+  double receiver_seconds = 0;
+};
+
+/// Runs `choices.size()` independent 1-of-2 OTs. `messages[i]` is the
+/// sender's pair, `choices[i]` the receiver's bit. The real group math
+/// and real serialized messages are used; both roles run in-process with
+/// per-role timing.
+Result<OtBatchResult> RunBatchObliviousTransfer(
+    const std::vector<std::pair<Label, Label>>& messages,
+    const std::vector<bool>& choices, RandomSource& rng,
+    const OtGroup& group = OtGroup::Rfc2409Group2());
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_YAO_OT_H_

@@ -1,0 +1,145 @@
+#include "yao/ot_extension.h"
+
+#include "common/stopwatch.h"
+#include "crypto/chacha20_rng.h"
+#include "crypto/sha256.h"
+
+namespace ppstats {
+
+namespace {
+
+// PRG: expands a 128-bit seed label into `bytes` pseudorandom bytes.
+Bytes ExpandSeed(const Label& seed, size_t bytes) {
+  // Derive a 256-bit ChaCha key from the seed.
+  Sha256::Digest key_digest = Sha256::Hash(seed.bytes);
+  std::array<uint8_t, 32> key;
+  std::copy(key_digest.begin(), key_digest.end(), key.begin());
+  ChaCha20Rng prg(key, std::array<uint8_t, 12>{});
+  Bytes out(bytes);
+  prg.Fill(out);
+  return out;
+}
+
+// H(i, row): the IKNP output mask for transfer i.
+Label RowHash(uint64_t index, const Label& row) {
+  Sha256 h;
+  uint8_t idx[8];
+  for (int b = 0; b < 8; ++b) {
+    idx[b] = static_cast<uint8_t>(index >> (56 - 8 * b));
+  }
+  h.Update(idx);
+  h.Update(row.bytes);
+  Sha256::Digest d = h.Finish();
+  Label out;
+  std::copy(d.begin(), d.begin() + 16, out.bytes.begin());
+  return out;
+}
+
+bool GetBit(const Bytes& bits, size_t i) {
+  return (bits[i / 8] >> (i % 8)) & 1;
+}
+
+void XorInto(Bytes& acc, const Bytes& other) {
+  for (size_t i = 0; i < acc.size(); ++i) acc[i] ^= other[i];
+}
+
+}  // namespace
+
+Result<OtBatchResult> RunIknpObliviousTransfer(
+    const std::vector<std::pair<Label, Label>>& messages,
+    const std::vector<bool>& choices, RandomSource& rng,
+    const OtGroup& group) {
+  if (messages.size() != choices.size()) {
+    return Status::InvalidArgument("OT messages/choices arity mismatch");
+  }
+  const size_t m = messages.size();
+  const size_t k = kOtExtensionWidth;
+  OtBatchResult result;
+  if (m == 0) return result;
+  const size_t column_bytes = (m + 7) / 8;
+
+  // --- Receiver: seed pairs; Sender: secret s (base-OT choices). ------
+  Stopwatch receiver_timer;
+  std::vector<std::pair<Label, Label>> seeds;
+  seeds.reserve(k);
+  for (size_t j = 0; j < k; ++j) {
+    seeds.emplace_back(Label::Random(rng), Label::Random(rng));
+  }
+  result.receiver_seconds += receiver_timer.ElapsedSeconds();
+
+  Stopwatch sender_timer;
+  Label s_secret = Label::Random(rng);
+  std::vector<bool> s_bits(k);
+  for (size_t j = 0; j < k; ++j) {
+    s_bits[j] = (s_secret.bytes[j / 8] >> (j % 8)) & 1;
+  }
+  result.sender_seconds += sender_timer.ElapsedSeconds();
+
+  // Base OTs with roles swapped: the extension's RECEIVER acts as base
+  // sender of the seed pairs; the extension's SENDER receives K_j^{s_j}.
+  PPSTATS_ASSIGN_OR_RETURN(
+      OtBatchResult base,
+      RunBatchObliviousTransfer(seeds, s_bits, rng, group));
+  // Base-OT traffic flows in swapped directions.
+  result.receiver_to_sender += base.sender_to_receiver;
+  result.sender_to_receiver += base.receiver_to_sender;
+  result.receiver_seconds += base.sender_seconds;
+  result.sender_seconds += base.receiver_seconds;
+
+  // --- Receiver: choice-bit vector r, matrix columns, u_j. -------------
+  receiver_timer.Reset();
+  Bytes r_bits(column_bytes, 0);
+  for (size_t i = 0; i < m; ++i) {
+    if (choices[i]) r_bits[i / 8] |= static_cast<uint8_t>(1u << (i % 8));
+  }
+  std::vector<Bytes> t_columns(k);
+  uint64_t u_traffic = 0;
+  std::vector<Bytes> u_columns(k);
+  for (size_t j = 0; j < k; ++j) {
+    t_columns[j] = ExpandSeed(seeds[j].first, column_bytes);
+    Bytes u = t_columns[j];
+    XorInto(u, ExpandSeed(seeds[j].second, column_bytes));
+    XorInto(u, r_bits);
+    u_traffic += u.size();
+    u_columns[j] = std::move(u);
+  }
+  result.receiver_seconds += receiver_timer.ElapsedSeconds();
+  result.receiver_to_sender.Record(u_traffic);
+
+  // --- Sender: q columns, output masks, y pairs. -----------------------
+  sender_timer.Reset();
+  std::vector<Bytes> q_columns(k);
+  for (size_t j = 0; j < k; ++j) {
+    q_columns[j] = ExpandSeed(s_bits[j] ? seeds[j].second : seeds[j].first,
+                              column_bytes);
+    if (s_bits[j]) XorInto(q_columns[j], u_columns[j]);
+  }
+  // Transpose rows on demand and encrypt both messages per transfer.
+  std::vector<std::pair<Label, Label>> y_pairs(m);
+  for (size_t i = 0; i < m; ++i) {
+    Label q_row{};
+    for (size_t j = 0; j < k; ++j) {
+      if (GetBit(q_columns[j], i)) q_row.bytes[j / 8] |= 1u << (j % 8);
+    }
+    y_pairs[i].first = messages[i].first ^ RowHash(i, q_row);
+    y_pairs[i].second = messages[i].second ^ RowHash(i, q_row ^ s_secret);
+  }
+  result.sender_seconds += sender_timer.ElapsedSeconds();
+  result.sender_to_receiver.Record(m * 2 * sizeof(Label));
+
+  // --- Receiver: recover the chosen message of each pair. --------------
+  receiver_timer.Reset();
+  result.received.reserve(m);
+  for (size_t i = 0; i < m; ++i) {
+    Label t_row{};
+    for (size_t j = 0; j < k; ++j) {
+      if (GetBit(t_columns[j], i)) t_row.bytes[j / 8] |= 1u << (j % 8);
+    }
+    const Label& y = choices[i] ? y_pairs[i].second : y_pairs[i].first;
+    result.received.push_back(y ^ RowHash(i, t_row));
+  }
+  result.receiver_seconds += receiver_timer.ElapsedSeconds();
+  return result;
+}
+
+}  // namespace ppstats

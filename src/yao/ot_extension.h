@@ -1,0 +1,45 @@
+// IKNP oblivious-transfer extension (Ishai-Kilian-Nissim-Petrank 2003,
+// semi-honest variant).
+//
+// Public-key OT costs two modular exponentiations per transfer; a
+// selected-sum circuit needs one OT per database row, so base OT alone
+// would dominate the Yao baseline at scale. OT extension performs k=128
+// base OTs once (with the roles of sender and receiver swapped) and
+// stretches them into any number m of transfers using only a PRG and a
+// hash:
+//
+//   1. The receiver R picks k seed pairs (K_j^0, K_j^1); the sender S
+//      receives K_j^{s_j} by base OT for a random secret s in {0,1}^k.
+//   2. R expands T: column t_j = PRG(K_j^0) (m bits), and sends
+//      u_j = PRG(K_j^0) XOR PRG(K_j^1) XOR r   (r = R's choice vector).
+//   3. S computes q_j = PRG(K_j^{s_j}) XOR s_j * u_j. Row-wise this
+//      gives q_i = t_i XOR r_i * s.
+//   4. For pair i, S sends y_i^b = x_i^b XOR H(i, q_i XOR b*s);
+//      R recovers x_i^{r_i} = y_i^{r_i} XOR H(i, t_i).
+//
+// Security (semi-honest): S sees only u_j, masked by the PRG output of
+// the seed it does NOT know; R never learns s, so H(i, q_i XOR (1-r_i)s)
+// is unpredictable to it.
+
+#ifndef PPSTATS_YAO_OT_EXTENSION_H_
+#define PPSTATS_YAO_OT_EXTENSION_H_
+
+#include "yao/ot.h"
+
+namespace ppstats {
+
+/// Security parameter: base-OT count / column width.
+inline constexpr size_t kOtExtensionWidth = 128;
+
+/// Runs `choices.size()` 1-of-2 label transfers via IKNP extension over
+/// `kOtExtensionWidth` Bellare-Micali base OTs. Same contract as
+/// RunBatchObliviousTransfer; asymptotically the public-key work is
+/// constant while base OT grows linearly in the batch size.
+Result<OtBatchResult> RunIknpObliviousTransfer(
+    const std::vector<std::pair<Label, Label>>& messages,
+    const std::vector<bool>& choices, RandomSource& rng,
+    const OtGroup& group = OtGroup::Rfc2409Group2());
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_YAO_OT_EXTENSION_H_

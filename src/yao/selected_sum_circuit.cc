@@ -1,0 +1,142 @@
+#include "yao/selected_sum_circuit.h"
+
+#include <bit>
+
+#include "common/stopwatch.h"
+#include "yao/garble.h"
+#include "yao/ot.h"
+
+namespace ppstats {
+
+size_t SelectedSumCircuitSpec::EffectiveSumBits() const {
+  if (sum_bits != 0) return sum_bits;
+  size_t extra =
+      std::bit_width(num_values > 0 ? num_values - 1 : size_t{0});
+  return std::min<size_t>(value_bits + extra + 1, 64);
+}
+
+Circuit BuildSelectedSumCircuit(const SelectedSumCircuitSpec& spec) {
+  CircuitBuilder builder;
+  const size_t sum_width = spec.EffectiveSumBits();
+
+  // Inputs: data bits per value (garbler), then selection bits (evaluator).
+  std::vector<std::vector<WireId>> value_bits(spec.num_values);
+  for (size_t i = 0; i < spec.num_values; ++i) {
+    value_bits[i].reserve(spec.value_bits);
+    for (size_t b = 0; b < spec.value_bits; ++b) {
+      value_bits[i].push_back(builder.AddGarblerInput());
+    }
+  }
+  std::vector<WireId> selection_bits(spec.num_values);
+  for (size_t i = 0; i < spec.num_values; ++i) {
+    selection_bits[i] = builder.AddEvaluatorInput();
+  }
+
+  // acc = x_0 & s_0; acc += x_i & s_i. The accumulator grows one bit per
+  // addition (carry-out becomes the new MSB), capped at sum_width.
+  std::vector<WireId> acc =
+      builder.MaskWith(value_bits[0], selection_bits[0]);
+  for (size_t i = 1; i < spec.num_values; ++i) {
+    std::vector<WireId> masked =
+        builder.MaskWith(value_bits[i], selection_bits[i]);
+    acc = builder.AddInto(acc, masked, sum_width);
+  }
+  for (WireId w : acc) builder.MarkOutput(w);
+  return std::move(builder).Build();
+}
+
+std::vector<bool> EncodeDatabaseBits(const Database& db,
+                                     const SelectedSumCircuitSpec& spec) {
+  std::vector<bool> bits;
+  bits.reserve(spec.num_values * spec.value_bits);
+  for (size_t i = 0; i < spec.num_values; ++i) {
+    uint64_t v = db.value(i);
+    for (size_t b = 0; b < spec.value_bits; ++b) {
+      bits.push_back((v >> b) & 1);
+    }
+  }
+  return bits;
+}
+
+uint64_t DecodeSumBits(const std::vector<bool>& bits) {
+  uint64_t out = 0;
+  for (size_t i = 0; i < bits.size() && i < 64; ++i) {
+    if (bits[i]) out |= uint64_t{1} << i;
+  }
+  return out;
+}
+
+double YaoRunResult::TotalSeconds(const ExecutionEnvironment& env) const {
+  return garble_seconds * env.server_cpu_scale +
+         ot_sender_seconds * env.server_cpu_scale +
+         evaluate_seconds * env.client_cpu_scale +
+         ot_receiver_seconds * env.client_cpu_scale +
+         env.network.TransferSeconds(server_to_client) +
+         env.network.TransferSeconds(client_to_server);
+}
+
+Result<YaoRunResult> RunYaoSelectedSum(const Database& db,
+                                       const SelectionVector& selection,
+                                       RandomSource& rng, size_t sum_bits,
+                                       GarbleScheme scheme) {
+  if (selection.empty() || selection.size() > db.size()) {
+    return Status::InvalidArgument(
+        "selection must cover 1..db.size() leading rows");
+  }
+  SelectedSumCircuitSpec spec;
+  spec.num_values = selection.size();
+  spec.value_bits = 32;
+  spec.sum_bits = sum_bits;
+
+  YaoRunResult result;
+  Circuit circuit = BuildSelectedSumCircuit(spec);
+  result.total_gates = circuit.gates.size();
+  result.and_gates = circuit.AndGateCount();
+
+  // Server garbles.
+  Stopwatch garble_timer;
+  PPSTATS_ASSIGN_OR_RETURN(auto garbled_pair,
+                           GarbleCircuit(circuit, rng, scheme));
+  GarbledCircuit& garbled = garbled_pair.first;
+  GarblerSecrets& secrets = garbled_pair.second;
+
+  // Server's own (data) input labels.
+  std::vector<bool> data_bits = EncodeDatabaseBits(db, spec);
+  std::vector<Label> garbler_labels;
+  garbler_labels.reserve(data_bits.size());
+  for (size_t i = 0; i < data_bits.size(); ++i) {
+    garbler_labels.push_back(secrets.GarblerInputLabel(i, data_bits[i]));
+  }
+  result.garble_seconds = garble_timer.ElapsedSeconds();
+
+  // Tables + decode + garbler labels travel server -> client.
+  result.server_to_client.Record(garbled.WireSize());
+  result.server_to_client.Record(garbler_labels.size() * sizeof(Label));
+
+  // Client obtains its selection-bit labels by OT.
+  std::vector<std::pair<Label, Label>> ot_messages;
+  ot_messages.reserve(spec.num_values);
+  for (size_t i = 0; i < spec.num_values; ++i) {
+    ot_messages.push_back(secrets.EvaluatorInputLabels(i));
+  }
+  std::vector<bool> choices(selection.begin(),
+                            selection.begin() + spec.num_values);
+  PPSTATS_ASSIGN_OR_RETURN(OtBatchResult ot,
+                           RunBatchObliviousTransfer(ot_messages, choices,
+                                                     rng));
+  result.ot_sender_seconds = ot.sender_seconds;
+  result.ot_receiver_seconds = ot.receiver_seconds;
+  result.client_to_server += ot.receiver_to_sender;
+  result.server_to_client += ot.sender_to_receiver;
+
+  // Client evaluates.
+  Stopwatch eval_timer;
+  PPSTATS_ASSIGN_OR_RETURN(
+      std::vector<bool> out_bits,
+      EvaluateGarbled(circuit, garbled, garbler_labels, ot.received));
+  result.evaluate_seconds = eval_timer.ElapsedSeconds();
+  result.sum = DecodeSumBits(out_bits);
+  return result;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,70 @@
+// Circuit generator for the selected-sum function, and the end-to-end
+// Yao protocol driver used as the general-SMC baseline.
+
+#ifndef PPSTATS_YAO_SELECTED_SUM_CIRCUIT_H_
+#define PPSTATS_YAO_SELECTED_SUM_CIRCUIT_H_
+
+#include "common/random.h"
+#include "db/database.h"
+#include "net/channel.h"
+#include "sim/environment.h"
+#include "yao/circuit.h"
+#include "yao/garble.h"
+
+namespace ppstats {
+
+/// Shape of a selected-sum circuit.
+struct SelectedSumCircuitSpec {
+  size_t num_values = 0;   ///< database rows covered
+  size_t value_bits = 32;  ///< bits per database value
+  size_t sum_bits = 0;     ///< accumulator width; 0 = value_bits + ceil(log2 n)
+
+  size_t EffectiveSumBits() const;
+};
+
+/// Builds the circuit: garbler inputs are the num_values * value_bits
+/// data bits (LSB-first per value, values in row order); evaluator inputs
+/// are the num_values selection bits; outputs are the sum_bits of the
+/// selected sum (LSB first), truncated mod 2^sum_bits.
+Circuit BuildSelectedSumCircuit(const SelectedSumCircuitSpec& spec);
+
+/// Encodes database rows [0, num_values) as garbler input bits.
+std::vector<bool> EncodeDatabaseBits(const Database& db,
+                                     const SelectedSumCircuitSpec& spec);
+
+/// Decodes LSB-first output bits into an integer.
+uint64_t DecodeSumBits(const std::vector<bool>& bits);
+
+/// Result and cost of one garbled-circuit selected sum.
+struct YaoRunResult {
+  uint64_t sum = 0;
+  size_t total_gates = 0;
+  size_t and_gates = 0;
+
+  // Server (garbler) and client (evaluator) compute time, measured.
+  double garble_seconds = 0;
+  double ot_sender_seconds = 0;
+  double evaluate_seconds = 0;
+  double ot_receiver_seconds = 0;
+
+  TrafficStats server_to_client;  ///< tables, garbler labels, OT flows
+  TrafficStats client_to_server;  ///< OT public keys
+
+  /// Total elapsed time under `env`, serialized (garble, transfer, OT,
+  /// evaluate — the shape Fairplay-era systems had).
+  double TotalSeconds(const ExecutionEnvironment& env) const;
+};
+
+/// Runs the full Yao protocol for the selected sum over `db` rows
+/// [0, selection.size()): the server garbles, the client receives its
+/// selection labels by real OT and evaluates. The result is checked
+/// against nothing — use the returned sum. `scheme` selects the AND-gate
+/// construction (half gates halve the garbled material).
+Result<YaoRunResult> RunYaoSelectedSum(
+    const Database& db, const SelectionVector& selection, RandomSource& rng,
+    size_t sum_bits = 0,
+    GarbleScheme scheme = GarbleScheme::kPointAndPermute);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_YAO_SELECTED_SUM_CIRCUIT_H_

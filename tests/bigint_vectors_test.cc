@@ -1,0 +1,88 @@
+// Cross-validation of the bigint layer against an independent reference
+// implementation (CPython arbitrary-precision integers). The vectors in
+// testdata/bigint_vectors.inc were produced by
+// tools/gen_bigint_vectors.py; regenerating them requires only Python.
+
+#include <gtest/gtest.h>
+
+#include "bigint/modarith.h"
+#include "bigint/montgomery.h"
+
+namespace ppstats {
+namespace {
+
+struct MulDivVector {
+  const char* a;
+  const char* b;
+  const char* sum;
+  const char* product;
+  const char* quotient;
+  const char* remainder;
+};
+
+struct ModExpVector {
+  const char* base;
+  const char* exp;
+  const char* mod;
+  const char* result;
+};
+
+struct ModInvVector {
+  const char* a;
+  const char* m;
+  const char* inverse;
+};
+
+struct GcdVector {
+  const char* a;
+  const char* b;
+  const char* gcd;
+};
+
+#include "testdata/bigint_vectors.inc"
+
+BigInt Hex(const char* s) { return BigInt::FromHexString(s).ValueOrDie(); }
+
+TEST(BigIntVectorsTest, AddMulDivRemMatchPython) {
+  for (const MulDivVector& v : kMulDivVectors) {
+    BigInt a = Hex(v.a);
+    BigInt b = Hex(v.b);
+    EXPECT_EQ(a + b, Hex(v.sum)) << v.a;
+    EXPECT_EQ(a * b, Hex(v.product)) << v.a;
+    auto [q, r] = BigInt::DivRem(a, b).ValueOrDie();
+    EXPECT_EQ(q, Hex(v.quotient)) << v.a;
+    EXPECT_EQ(r, Hex(v.remainder)) << v.a;
+  }
+}
+
+TEST(BigIntVectorsTest, ModExpMatchesPython) {
+  for (const ModExpVector& v : kModExpVectors) {
+    BigInt result = ModExp(Hex(v.base), Hex(v.exp), Hex(v.mod));
+    EXPECT_EQ(result, Hex(v.result)) << v.base;
+  }
+}
+
+TEST(BigIntVectorsTest, MontgomeryExpMatchesPython) {
+  for (const ModExpVector& v : kModExpVectors) {
+    BigInt mod = Hex(v.mod);
+    if (mod.IsEven()) continue;
+    MontgomeryContext ctx(mod);
+    EXPECT_EQ(ctx.Exp(Hex(v.base), Hex(v.exp)), Hex(v.result)) << v.base;
+  }
+}
+
+TEST(BigIntVectorsTest, ModInverseMatchesPython) {
+  for (const ModInvVector& v : kModInvVectors) {
+    BigInt inv = ModInverse(Hex(v.a), Hex(v.m)).ValueOrDie();
+    EXPECT_EQ(inv, Hex(v.inverse)) << v.a;
+  }
+}
+
+TEST(BigIntVectorsTest, GcdMatchesPython) {
+  for (const GcdVector& v : kGcdVectors) {
+    EXPECT_EQ(Gcd(Hex(v.a), Hex(v.b)), Hex(v.gcd)) << v.a;
+  }
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,62 @@
+#include "common/bytes.h"
+
+#include <gtest/gtest.h>
+
+namespace ppstats {
+namespace {
+
+TEST(HexTest, EncodesLowercase) {
+  Bytes b = {0xDE, 0xAD, 0xBE, 0xEF};
+  EXPECT_EQ(ToHex(b), "deadbeef");
+}
+
+TEST(HexTest, EmptyRoundTrip) {
+  EXPECT_EQ(ToHex({}), "");
+  Result<Bytes> r = FromHex("");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->empty());
+}
+
+TEST(HexTest, DecodesMixedCase) {
+  Result<Bytes> r = FromHex("DeAdBeEf");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, (Bytes{0xDE, 0xAD, 0xBE, 0xEF}));
+}
+
+TEST(HexTest, RejectsOddLength) {
+  EXPECT_FALSE(FromHex("abc").ok());
+}
+
+TEST(HexTest, RejectsNonHexCharacters) {
+  EXPECT_FALSE(FromHex("zz").ok());
+  EXPECT_FALSE(FromHex("0g").ok());
+}
+
+TEST(HexTest, RoundTripsAllByteValues) {
+  Bytes all(256);
+  for (int i = 0; i < 256; ++i) all[i] = static_cast<uint8_t>(i);
+  Result<Bytes> r = FromHex(ToHex(all));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, all);
+}
+
+TEST(ConstantTimeEqualTest, EqualAndUnequal) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2, 3};
+  Bytes c = {1, 2, 4};
+  EXPECT_TRUE(ConstantTimeEqual(a, b));
+  EXPECT_FALSE(ConstantTimeEqual(a, c));
+}
+
+TEST(ConstantTimeEqualTest, DifferentLengths) {
+  Bytes a = {1, 2, 3};
+  Bytes b = {1, 2};
+  EXPECT_FALSE(ConstantTimeEqual(a, b));
+}
+
+TEST(ConstantTimeEqualTest, EmptyBuffersAreEqual) {
+  EXPECT_TRUE(ConstantTimeEqual({}, {}));
+}
+
+}  // namespace
+}  // namespace ppstats

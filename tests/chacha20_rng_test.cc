@@ -1,0 +1,100 @@
+#include "crypto/chacha20_rng.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/bytes.h"
+
+namespace ppstats {
+namespace {
+
+TEST(ChaCha20RngTest, MatchesRfc8439BlockFunction) {
+  // RFC 8439 section 2.3.2 test vector: key 00..1f, nonce
+  // 00:00:00:09:00:00:00:4a:00:00:00:00, block counter 1. Our stream
+  // starts at counter 0, so the RFC block is bytes [64, 128).
+  std::array<uint8_t, 32> key;
+  for (int i = 0; i < 32; ++i) key[i] = static_cast<uint8_t>(i);
+  std::array<uint8_t, 12> nonce{0, 0, 0, 9, 0, 0, 0, 0x4a, 0, 0, 0, 0};
+  ChaCha20Rng rng(key, nonce);
+  Bytes stream(128);
+  rng.Fill(stream);
+  Bytes expected =
+      FromHex(
+          "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e"
+          "d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e")
+          .ValueOrDie();
+  EXPECT_EQ(Bytes(stream.begin() + 64, stream.end()), expected);
+  EXPECT_EQ(rng.blocks_generated(), 2u);
+}
+
+TEST(ChaCha20RngTest, DeterministicUnderSeed) {
+  ChaCha20Rng a(123);
+  ChaCha20Rng b(123);
+  Bytes buf_a(1000), buf_b(1000);
+  a.Fill(buf_a);
+  b.Fill(buf_b);
+  EXPECT_EQ(buf_a, buf_b);
+}
+
+TEST(ChaCha20RngTest, DifferentSeedsDiverge) {
+  ChaCha20Rng a(1);
+  ChaCha20Rng b(2);
+  Bytes buf_a(64), buf_b(64);
+  a.Fill(buf_a);
+  b.Fill(buf_b);
+  EXPECT_NE(buf_a, buf_b);
+}
+
+TEST(ChaCha20RngTest, SplitFillsMatchOneBigFill) {
+  ChaCha20Rng a(55);
+  ChaCha20Rng b(55);
+  Bytes big(300);
+  a.Fill(big);
+  Bytes parts(300);
+  size_t sizes[] = {1, 63, 64, 65, 107};
+  size_t pos = 0;
+  for (size_t s : sizes) {
+    b.Fill(std::span<uint8_t>(parts.data() + pos, s));
+    pos += s;
+  }
+  ASSERT_EQ(pos, 300u);
+  EXPECT_EQ(big, parts);
+}
+
+TEST(ChaCha20RngTest, NextUint64Uniformish) {
+  ChaCha20Rng rng(77);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextUint64());
+  EXPECT_EQ(seen.size(), 1000u);  // no collisions in 1000 draws
+}
+
+TEST(ChaCha20RngTest, NextBelowRespectsBound) {
+  ChaCha20Rng rng(78);
+  for (uint64_t bound : {1ULL, 2ULL, 7ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 50; ++i) {
+      EXPECT_LT(rng.NextBelow(bound), bound);
+    }
+  }
+}
+
+TEST(ChaCha20RngTest, NextBelowCoversRange) {
+  ChaCha20Rng rng(79);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.NextBelow(4));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(ChaCha20RngTest, ByteDistributionIsBalanced) {
+  ChaCha20Rng rng(80);
+  Bytes buf(1 << 16);
+  rng.Fill(buf);
+  size_t ones = 0;
+  for (uint8_t b : buf) ones += std::popcount(b);
+  double frac = static_cast<double>(ones) / (buf.size() * 8);
+  EXPECT_NEAR(frac, 0.5, 0.01);
+}
+
+}  // namespace
+}  // namespace ppstats

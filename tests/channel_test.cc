@@ -1,0 +1,86 @@
+#include "net/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace ppstats {
+namespace {
+
+TEST(ChannelTest, SendReceiveSameThread) {
+  auto [a, b] = DuplexPipe::Create();
+  ASSERT_TRUE(a->Send(Bytes{1, 2, 3}).ok());
+  Bytes msg = b->Receive().ValueOrDie();
+  EXPECT_EQ(msg, (Bytes{1, 2, 3}));
+}
+
+TEST(ChannelTest, MessagesStayOrdered) {
+  auto [a, b] = DuplexPipe::Create();
+  for (uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(a->Send(Bytes{i}).ok());
+  }
+  for (uint8_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(b->Receive().ValueOrDie(), Bytes{i});
+  }
+}
+
+TEST(ChannelTest, BidirectionalTraffic) {
+  auto [a, b] = DuplexPipe::Create();
+  ASSERT_TRUE(a->Send(Bytes{1}).ok());
+  ASSERT_TRUE(b->Send(Bytes{2}).ok());
+  EXPECT_EQ(a->Receive().ValueOrDie(), Bytes{2});
+  EXPECT_EQ(b->Receive().ValueOrDie(), Bytes{1});
+}
+
+TEST(ChannelTest, TrafficStatsCountSentOnly) {
+  auto [a, b] = DuplexPipe::Create();
+  ASSERT_TRUE(a->Send(Bytes(100)).ok());
+  ASSERT_TRUE(a->Send(Bytes(50)).ok());
+  EXPECT_EQ(a->sent().messages, 2u);
+  EXPECT_EQ(a->sent().bytes, 150u);
+  EXPECT_EQ(b->sent().messages, 0u);
+}
+
+TEST(ChannelTest, ReceiveBlocksUntilSend) {
+  auto [a, b] = DuplexPipe::Create();
+  std::thread producer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Status s = a->Send(Bytes{42});
+    ASSERT_TRUE(s.ok());
+  });
+  Bytes msg = b->Receive().ValueOrDie();
+  EXPECT_EQ(msg, Bytes{42});
+  producer.join();
+}
+
+TEST(ChannelTest, PeerCloseUnblocksReceive) {
+  auto [a, b] = DuplexPipe::Create();
+  std::thread closer([&a] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    a.reset();  // destroying the endpoint closes its outgoing queue
+  });
+  Result<Bytes> r = b->Receive();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kProtocolError);
+  closer.join();
+}
+
+TEST(ChannelTest, QueuedMessagesSurviveClose) {
+  auto [a, b] = DuplexPipe::Create();
+  ASSERT_TRUE(a->Send(Bytes{7}).ok());
+  a.reset();
+  // The already-queued message is still delivered; the next receive fails.
+  EXPECT_EQ(b->Receive().ValueOrDie(), Bytes{7});
+  EXPECT_FALSE(b->Receive().ok());
+}
+
+TEST(ChannelTest, TrafficStatsAccumulateOperator) {
+  TrafficStats a{2, 100};
+  TrafficStats b{3, 50};
+  a += b;
+  EXPECT_EQ(a.messages, 5u);
+  EXPECT_EQ(a.bytes, 150u);
+}
+
+}  // namespace
+}  // namespace ppstats

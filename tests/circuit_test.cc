@@ -1,0 +1,167 @@
+#include "yao/circuit.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+std::vector<bool> ToBits(uint64_t v, size_t width) {
+  std::vector<bool> bits(width);
+  for (size_t i = 0; i < width; ++i) bits[i] = (v >> i) & 1;
+  return bits;
+}
+
+uint64_t FromBits(const std::vector<bool>& bits) {
+  uint64_t v = 0;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) v |= uint64_t{1} << i;
+  }
+  return v;
+}
+
+TEST(CircuitTest, XorGateTruthTable) {
+  CircuitBuilder builder;
+  WireId a = builder.AddGarblerInput();
+  WireId b = builder.AddEvaluatorInput();
+  builder.MarkOutput(builder.Xor(a, b));
+  Circuit c = std::move(builder).Build();
+  for (int va = 0; va < 2; ++va) {
+    for (int vb = 0; vb < 2; ++vb) {
+      auto out = EvaluateCircuit(c, {va == 1}, {vb == 1}).ValueOrDie();
+      EXPECT_EQ(out[0], (va ^ vb) == 1);
+    }
+  }
+}
+
+TEST(CircuitTest, AndGateTruthTable) {
+  CircuitBuilder builder;
+  WireId a = builder.AddGarblerInput();
+  WireId b = builder.AddEvaluatorInput();
+  builder.MarkOutput(builder.And(a, b));
+  Circuit c = std::move(builder).Build();
+  for (int va = 0; va < 2; ++va) {
+    for (int vb = 0; vb < 2; ++vb) {
+      auto out = EvaluateCircuit(c, {va == 1}, {vb == 1}).ValueOrDie();
+      EXPECT_EQ(out[0], va == 1 && vb == 1);
+    }
+  }
+}
+
+TEST(CircuitTest, EvaluateRejectsWrongArity) {
+  CircuitBuilder builder;
+  WireId a = builder.AddGarblerInput();
+  builder.MarkOutput(a);
+  Circuit c = std::move(builder).Build();
+  EXPECT_FALSE(EvaluateCircuit(c, {}, {}).ok());
+  EXPECT_FALSE(EvaluateCircuit(c, {true, false}, {}).ok());
+  EXPECT_FALSE(EvaluateCircuit(c, {true}, {true}).ok());
+}
+
+TEST(CircuitTest, MaskWithZeroesOrPasses) {
+  CircuitBuilder builder;
+  std::vector<WireId> data;
+  for (int i = 0; i < 8; ++i) data.push_back(builder.AddGarblerInput());
+  WireId sel = builder.AddEvaluatorInput();
+  for (WireId w : builder.MaskWith(data, sel)) builder.MarkOutput(w);
+  Circuit c = std::move(builder).Build();
+
+  std::vector<bool> value = ToBits(0b10110101, 8);
+  auto masked_on = EvaluateCircuit(c, value, {true}).ValueOrDie();
+  EXPECT_EQ(FromBits(masked_on), 0b10110101u);
+  auto masked_off = EvaluateCircuit(c, value, {false}).ValueOrDie();
+  EXPECT_EQ(FromBits(masked_off), 0u);
+}
+
+class AdderSweepTest
+    : public ::testing::TestWithParam<std::pair<uint64_t, uint64_t>> {};
+
+TEST_P(AdderSweepTest, AddIntoMatchesIntegerAddition) {
+  auto [x, y] = GetParam();
+  constexpr size_t kWidth = 16;
+  CircuitBuilder builder;
+  std::vector<WireId> a, b;
+  for (size_t i = 0; i < kWidth; ++i) a.push_back(builder.AddGarblerInput());
+  for (size_t i = 0; i < kWidth; ++i) {
+    b.push_back(builder.AddEvaluatorInput());
+  }
+  std::vector<WireId> sum = builder.AddInto(a, b, kWidth + 1);
+  for (WireId w : sum) builder.MarkOutput(w);
+  Circuit c = std::move(builder).Build();
+
+  auto out = EvaluateCircuit(c, ToBits(x, kWidth), ToBits(y, kWidth))
+                 .ValueOrDie();
+  EXPECT_EQ(FromBits(out), x + y) << x << "+" << y;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AdderSweepTest,
+    ::testing::Values(std::make_pair(0, 0), std::make_pair(0, 1),
+                      std::make_pair(1, 1), std::make_pair(0xFFFF, 1),
+                      std::make_pair(0xFFFF, 0xFFFF),
+                      std::make_pair(0x1234, 0x4321),
+                      std::make_pair(0x8000, 0x8000),
+                      std::make_pair(0x00FF, 0xFF00)));
+
+TEST(CircuitTest, AddIntoWithNarrowAddend) {
+  // 8-bit accumulator + 4-bit addend: the carry chain runs through the
+  // high half.
+  CircuitBuilder builder;
+  std::vector<WireId> acc, addend;
+  for (int i = 0; i < 8; ++i) acc.push_back(builder.AddGarblerInput());
+  for (int i = 0; i < 4; ++i) addend.push_back(builder.AddEvaluatorInput());
+  for (WireId w : builder.AddInto(acc, addend, 9)) builder.MarkOutput(w);
+  Circuit c = std::move(builder).Build();
+
+  for (uint64_t a : {0ULL, 0x0FULL, 0xF0ULL, 0xFFULL, 0xF8ULL}) {
+    for (uint64_t b : {0ULL, 1ULL, 0xFULL}) {
+      auto out = EvaluateCircuit(c, ToBits(a, 8), ToBits(b, 4)).ValueOrDie();
+      EXPECT_EQ(FromBits(out), a + b) << a << "+" << b;
+    }
+  }
+}
+
+TEST(CircuitTest, AddIntoTruncatesAtMaxWidth) {
+  CircuitBuilder builder;
+  std::vector<WireId> acc, addend;
+  for (int i = 0; i < 4; ++i) acc.push_back(builder.AddGarblerInput());
+  for (int i = 0; i < 4; ++i) addend.push_back(builder.AddEvaluatorInput());
+  std::vector<WireId> sum = builder.AddInto(acc, addend, 4);
+  EXPECT_EQ(sum.size(), 4u);
+  for (WireId w : sum) builder.MarkOutput(w);
+  Circuit c = std::move(builder).Build();
+  auto out = EvaluateCircuit(c, ToBits(15, 4), ToBits(1, 4)).ValueOrDie();
+  EXPECT_EQ(FromBits(out), 0u);  // 16 mod 2^4
+}
+
+TEST(CircuitTest, GateAndWireCounting) {
+  CircuitBuilder builder;
+  WireId a = builder.AddGarblerInput();
+  WireId b = builder.AddEvaluatorInput();
+  WireId x = builder.Xor(a, b);
+  WireId y = builder.And(a, x);
+  builder.MarkOutput(y);
+  Circuit c = std::move(builder).Build();
+  EXPECT_EQ(c.num_wires, 4u);
+  EXPECT_EQ(c.gates.size(), 2u);
+  EXPECT_EQ(c.AndGateCount(), 1u);
+  EXPECT_EQ(c.garbler_inputs.size(), 1u);
+  EXPECT_EQ(c.evaluator_inputs.size(), 1u);
+}
+
+TEST(CircuitTest, EvaluateRejectsDanglingWires) {
+  Circuit c;
+  c.num_wires = 1;
+  c.garbler_inputs = {0};
+  c.gates.push_back(Gate{GateType::kAnd, 0, 5, 0});  // wire 5 unknown
+  EXPECT_FALSE(EvaluateCircuit(c, {true}, {}).ok());
+  Circuit c2;
+  c2.num_wires = 1;
+  c2.garbler_inputs = {0};
+  c2.outputs = {9};
+  EXPECT_FALSE(EvaluateCircuit(c2, {true}, {}).ok());
+}
+
+}  // namespace
+}  // namespace ppstats

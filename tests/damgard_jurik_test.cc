@@ -1,0 +1,172 @@
+#include "crypto/damgard_jurik.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modarith.h"
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+class DamgardJurikTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  DjKeyPair MakeKeyPair(size_t s) {
+    ChaCha20Rng rng(7000 + s);
+    return DamgardJurik::GenerateKeyPair(256, s, rng).ValueOrDie();
+  }
+
+  DjKeyPair key_pair_ = MakeKeyPair(GetParam());
+  ChaCha20Rng rng_{GetParam()};
+};
+
+TEST_P(DamgardJurikTest, ModuliHaveExpectedStructure) {
+  const DjPublicKey& pub = key_pair_.public_key;
+  EXPECT_EQ(pub.s(), GetParam());
+  BigInt expect_ns(1);
+  for (size_t i = 0; i < pub.s(); ++i) expect_ns = expect_ns * pub.n();
+  EXPECT_EQ(pub.n_s(), expect_ns);
+  EXPECT_EQ(pub.n_s1(), expect_ns * pub.n());
+}
+
+TEST_P(DamgardJurikTest, EncryptDecryptRoundTrip) {
+  const DjPublicKey& pub = key_pair_.public_key;
+  for (int iter = 0; iter < 8; ++iter) {
+    BigInt m = RandomBelow(rng_, pub.n_s());
+    DjCiphertext ct = DamgardJurik::Encrypt(pub, m, rng_).ValueOrDie();
+    EXPECT_EQ(DamgardJurik::Decrypt(key_pair_.private_key, ct).ValueOrDie(),
+              m);
+  }
+}
+
+TEST_P(DamgardJurikTest, EdgePlaintexts) {
+  const DjPublicKey& pub = key_pair_.public_key;
+  for (const BigInt& m : {BigInt(0), BigInt(1), pub.n_s() - BigInt(1),
+                          pub.n() /* just above Paillier space for s>1 */}) {
+    if (m >= pub.n_s()) continue;
+    DjCiphertext ct = DamgardJurik::Encrypt(pub, m, rng_).ValueOrDie();
+    EXPECT_EQ(DamgardJurik::Decrypt(key_pair_.private_key, ct).ValueOrDie(),
+              m);
+  }
+}
+
+TEST_P(DamgardJurikTest, RejectsOutOfRange) {
+  const DjPublicKey& pub = key_pair_.public_key;
+  EXPECT_FALSE(DamgardJurik::Encrypt(pub, pub.n_s(), rng_).ok());
+  EXPECT_FALSE(DamgardJurik::Encrypt(pub, BigInt(-3), rng_).ok());
+  DjCiphertext bad{pub.n_s1() + BigInt(1)};
+  EXPECT_FALSE(DamgardJurik::Decrypt(key_pair_.private_key, bad).ok());
+}
+
+TEST_P(DamgardJurikTest, AdditiveHomomorphism) {
+  const DjPublicKey& pub = key_pair_.public_key;
+  BigInt a = RandomBelow(rng_, pub.n_s() >> 1);
+  BigInt b = RandomBelow(rng_, pub.n_s() >> 1);
+  DjCiphertext ca = DamgardJurik::Encrypt(pub, a, rng_).ValueOrDie();
+  DjCiphertext cb = DamgardJurik::Encrypt(pub, b, rng_).ValueOrDie();
+  DjCiphertext sum = DamgardJurik::Add(pub, ca, cb);
+  EXPECT_EQ(DamgardJurik::Decrypt(key_pair_.private_key, sum).ValueOrDie(),
+            a + b);
+}
+
+TEST_P(DamgardJurikTest, ScalarHomomorphism) {
+  const DjPublicKey& pub = key_pair_.public_key;
+  BigInt m = RandomBelow(rng_, pub.n());
+  DjCiphertext ct = DamgardJurik::Encrypt(pub, m, rng_).ValueOrDie();
+  for (uint64_t k : {0ULL, 1ULL, 7ULL, 0xFFFFFFFFULL}) {
+    DjCiphertext scaled = DamgardJurik::ScalarMultiply(pub, ct, BigInt(k));
+    EXPECT_EQ(
+        DamgardJurik::Decrypt(key_pair_.private_key, scaled).ValueOrDie(),
+        Mod(m * BigInt(k), pub.n_s()));
+  }
+}
+
+TEST_P(DamgardJurikTest, EncryptionIsRandomized) {
+  const DjPublicKey& pub = key_pair_.public_key;
+  DjCiphertext a = DamgardJurik::Encrypt(pub, BigInt(5), rng_).ValueOrDie();
+  DjCiphertext b = DamgardJurik::Encrypt(pub, BigInt(5), rng_).ValueOrDie();
+  EXPECT_NE(a, b);
+}
+
+INSTANTIATE_TEST_SUITE_P(SValues, DamgardJurikTest,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST(DamgardJurikCompatTest, S1MatchesPaillierSemantics) {
+  // A DJ key with s=1 derived from a Paillier key decrypts Paillier
+  // ciphertexts and vice versa (identical scheme).
+  ChaCha20Rng rng(42);
+  PaillierKeyPair paillier = Paillier::GenerateKeyPair(256, rng).ValueOrDie();
+  DjPrivateKey dj =
+      DjPrivateKey::FromPaillier(paillier.private_key, 1).ValueOrDie();
+  EXPECT_EQ(dj.public_key().n(), paillier.public_key.n());
+  EXPECT_EQ(dj.public_key().n_s1(), paillier.public_key.n_squared());
+
+  BigInt m(123456789);
+  PaillierCiphertext pct =
+      Paillier::Encrypt(paillier.public_key, m, rng).ValueOrDie();
+  EXPECT_EQ(DamgardJurik::Decrypt(dj, DjCiphertext{pct.value}).ValueOrDie(),
+            m);
+
+  DjCiphertext dct =
+      DamgardJurik::Encrypt(dj.public_key(), m, rng).ValueOrDie();
+  EXPECT_EQ(Paillier::Decrypt(paillier.private_key,
+                              PaillierCiphertext{dct.value})
+                .ValueOrDie(),
+            m);
+}
+
+TEST(DamgardJurikCompatTest, ExpansionRatioImprovesWithS) {
+  ChaCha20Rng rng(43);
+  for (size_t s : {1u, 3u, 7u}) {
+    DjKeyPair kp = DamgardJurik::GenerateKeyPair(128, s, rng).ValueOrDie();
+    double expansion =
+        static_cast<double>(kp.public_key.n_s1().BitLength()) /
+        kp.public_key.n_s().BitLength();
+    EXPECT_NEAR(expansion, (s + 1.0) / s, 0.05) << s;
+  }
+}
+
+TEST(DamgardJurikPackTest, PackUnpackRoundTrip) {
+  ChaCha20Rng rng(44);
+  DjKeyPair kp = DamgardJurik::GenerateKeyPair(128, 3, rng).ValueOrDie();
+  std::vector<uint64_t> values = {1, 0, 0xFFFFFFFF, 42, 7, 0, 123456};
+  BigInt packed =
+      DamgardJurik::Pack(kp.public_key, values, 32).ValueOrDie();
+  EXPECT_EQ(DamgardJurik::Unpack(packed, values.size(), 32), values);
+}
+
+TEST(DamgardJurikPackTest, PackedAggregationThroughOneCiphertext) {
+  // The future-work idea: many independent 32-bit sums ride in one
+  // ciphertext, added homomorphically slot by slot.
+  ChaCha20Rng rng(45);
+  DjKeyPair kp = DamgardJurik::GenerateKeyPair(128, 4, rng).ValueOrDie();
+  std::vector<uint64_t> a = {100, 200, 300};
+  std::vector<uint64_t> b = {11, 22, 33};
+  BigInt pa = DamgardJurik::Pack(kp.public_key, a, 40).ValueOrDie();
+  BigInt pb = DamgardJurik::Pack(kp.public_key, b, 40).ValueOrDie();
+  DjCiphertext ca = DamgardJurik::Encrypt(kp.public_key, pa, rng).ValueOrDie();
+  DjCiphertext cb = DamgardJurik::Encrypt(kp.public_key, pb, rng).ValueOrDie();
+  DjCiphertext sum = DamgardJurik::Add(kp.public_key, ca, cb);
+  BigInt dec = DamgardJurik::Decrypt(kp.private_key, sum).ValueOrDie();
+  EXPECT_EQ(DamgardJurik::Unpack(dec, 3, 40),
+            (std::vector<uint64_t>{111, 222, 333}));
+}
+
+TEST(DamgardJurikPackTest, PackValidatesBounds) {
+  ChaCha20Rng rng(46);
+  DjKeyPair kp = DamgardJurik::GenerateKeyPair(128, 1, rng).ValueOrDie();
+  // 5 slots of 32 bits > 128-bit plaintext space.
+  EXPECT_FALSE(
+      DamgardJurik::Pack(kp.public_key, {1, 2, 3, 4, 5}, 32).ok());
+  EXPECT_FALSE(DamgardJurik::Pack(kp.public_key, {1ULL << 40}, 32).ok());
+  EXPECT_FALSE(DamgardJurik::Pack(kp.public_key, {1}, 0).ok());
+}
+
+TEST(DamgardJurikKeyTest, RejectsBadParameters) {
+  ChaCha20Rng rng(47);
+  EXPECT_FALSE(DamgardJurik::GenerateKeyPair(15, 1, rng).ok());
+  EXPECT_FALSE(DjPrivateKey::FromPrimes(BigInt(11), BigInt(13), 0).ok());
+  EXPECT_FALSE(DjPrivateKey::FromPrimes(BigInt(11), BigInt(11), 2).ok());
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,62 @@
+#include "db/database.h"
+
+#include <gtest/gtest.h>
+
+namespace ppstats {
+namespace {
+
+TEST(DatabaseTest, BasicAccessors) {
+  Database db("salaries", {10, 20, 30});
+  EXPECT_EQ(db.name(), "salaries");
+  EXPECT_EQ(db.size(), 3u);
+  EXPECT_FALSE(db.empty());
+  EXPECT_EQ(db.value(1), 20u);
+  EXPECT_EQ(db.values(), (std::vector<uint32_t>{10, 20, 30}));
+}
+
+TEST(DatabaseTest, EmptyDatabase) {
+  Database db;
+  EXPECT_TRUE(db.empty());
+  EXPECT_EQ(db.size(), 0u);
+  EXPECT_EQ(db.SelectedSum({}).ValueOrDie(), 0u);
+}
+
+TEST(DatabaseTest, SelectedSum) {
+  Database db("d", {1, 2, 4, 8, 16});
+  EXPECT_EQ(db.SelectedSum({true, false, true, false, true}).ValueOrDie(),
+            21u);
+  EXPECT_EQ(db.SelectedSum({false, false, false, false, false}).ValueOrDie(),
+            0u);
+  EXPECT_EQ(db.SelectedSum({true, true, true, true, true}).ValueOrDie(), 31u);
+}
+
+TEST(DatabaseTest, SelectedSumRejectsLengthMismatch) {
+  Database db("d", {1, 2, 3});
+  EXPECT_FALSE(db.SelectedSum({true}).ok());
+  EXPECT_FALSE(db.SelectedSum({true, true, true, true}).ok());
+}
+
+TEST(DatabaseTest, WeightedSum) {
+  Database db("d", {10, 20, 30});
+  EXPECT_EQ(db.WeightedSum({1, 0, 2}).ValueOrDie(), 70u);
+  EXPECT_EQ(db.WeightedSum({0, 0, 0}).ValueOrDie(), 0u);
+  EXPECT_FALSE(db.WeightedSum({1, 2}).ok());
+}
+
+TEST(DatabaseTest, SelectedSumOfSquares) {
+  Database db("d", {3, 4, 5});
+  EXPECT_EQ(db.SelectedSumOfSquares({true, true, false}).ValueOrDie(), 25u);
+  EXPECT_EQ(db.SelectedSumOfSquares({true, true, true}).ValueOrDie(), 50u);
+  EXPECT_FALSE(db.SelectedSumOfSquares({true}).ok());
+}
+
+TEST(DatabaseTest, SumOfSquaresHandlesLargeValues) {
+  // (2^32-1)^2 per element must not overflow uint64 for small counts.
+  uint32_t big = 0xFFFFFFFFu;
+  Database db("d", {big, big});
+  uint64_t sq = static_cast<uint64_t>(big) * big;
+  EXPECT_EQ(db.SelectedSumOfSquares({true, true}).ValueOrDie(), 2 * sq);
+}
+
+}  // namespace
+}  // namespace ppstats

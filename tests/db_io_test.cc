@@ -1,0 +1,81 @@
+#include "db/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace ppstats {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(DbIoTest, SaveAndLoadRoundTrip) {
+  Database db("d", {1, 0, 4294967295u, 42});
+  std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveDatabaseToFile(db, path).ok());
+  Database back = LoadDatabaseFromFile(path).ValueOrDie();
+  EXPECT_EQ(back.values(), db.values());
+  std::remove(path.c_str());
+}
+
+TEST(DbIoTest, SkipsCommentsAndBlankLines) {
+  std::string path = TempPath("comments.txt");
+  {
+    std::ofstream out(path);
+    out << "# header\n\n10\n  20 \n\n# trailing\n30\n";
+  }
+  Database db = LoadDatabaseFromFile(path).ValueOrDie();
+  EXPECT_EQ(db.values(), (std::vector<uint32_t>{10, 20, 30}));
+  std::remove(path.c_str());
+}
+
+TEST(DbIoTest, RejectsNonNumeric) {
+  std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "10\nabc\n";
+  }
+  Result<Database> r = LoadDatabaseFromFile(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+TEST(DbIoTest, RejectsOversizedValues) {
+  std::string path = TempPath("big.txt");
+  {
+    std::ofstream out(path);
+    out << "4294967296\n";  // 2^32
+  }
+  EXPECT_FALSE(LoadDatabaseFromFile(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(DbIoTest, MissingFileIsNotFound) {
+  Result<Database> r = LoadDatabaseFromFile(TempPath("nope-does-not-exist"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(DbIoTest, EmptyFileYieldsEmptyDatabase) {
+  std::string path = TempPath("empty.txt");
+  { std::ofstream out(path); }
+  Database db = LoadDatabaseFromFile(path).ValueOrDie();
+  EXPECT_TRUE(db.empty());
+  std::remove(path.c_str());
+}
+
+TEST(ParseIndexListTest, ParsesAndValidates) {
+  std::vector<size_t> v = ParseIndexList("3,0,9", 10).ValueOrDie();
+  EXPECT_EQ(v, (std::vector<size_t>{3, 0, 9}));
+  EXPECT_FALSE(ParseIndexList("10", 10).ok());
+  EXPECT_FALSE(ParseIndexList("1,,2", 10).ok());
+  EXPECT_FALSE(ParseIndexList("x", 10).ok());
+  EXPECT_FALSE(ParseIndexList("", 10).ok());
+}
+
+}  // namespace
+}  // namespace ppstats

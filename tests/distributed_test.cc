@@ -1,0 +1,145 @@
+#include "core/distributed.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(1313);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+// Splits one logical database into `parts` horizontal partitions.
+std::vector<Database> Split(const Database& db, size_t parts) {
+  std::vector<Database> out;
+  size_t base = db.size() / parts;
+  size_t extra = db.size() % parts;
+  size_t offset = 0;
+  for (size_t i = 0; i < parts; ++i) {
+    size_t len = base + (i < extra ? 1 : 0);
+    std::vector<uint32_t> values(db.values().begin() + offset,
+                                 db.values().begin() + offset + len);
+    out.emplace_back("part", std::move(values));
+    offset += len;
+  }
+  return out;
+}
+
+class DistributedSweepTest
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(DistributedSweepTest, TotalMatchesPlaintext) {
+  auto [servers, n] = GetParam();
+  ChaCha20Rng rng(servers * 1000 + n);
+  WorkloadGenerator gen(rng);
+  Database logical = gen.UniformDatabase(n, 10000);
+  SelectionVector sel = gen.RandomSelection(n, n / 2);
+  uint64_t truth = logical.SelectedSum(sel).ValueOrDie();
+
+  std::vector<Database> parts = Split(logical, servers);
+  std::vector<const Database*> ptrs;
+  for (const Database& p : parts) ptrs.push_back(&p);
+
+  DistributedRunResult result =
+      RunDistributedSum(SharedKeyPair().private_key, ptrs, sel, {}, rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.total, BigInt(truth));
+  EXPECT_EQ(result.server_metrics.size(), servers);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, DistributedSweepTest,
+    ::testing::Values(std::make_tuple(1, 10), std::make_tuple(2, 20),
+                      std::make_tuple(3, 31), std::make_tuple(5, 47)));
+
+TEST(DistributedTest, UnblindedModeAlsoCorrect) {
+  ChaCha20Rng rng(1);
+  WorkloadGenerator gen(rng);
+  Database logical = gen.UniformDatabase(24, 100);
+  SelectionVector sel = gen.RandomSelection(24, 9);
+  uint64_t truth = logical.SelectedSum(sel).ValueOrDie();
+  std::vector<Database> parts = Split(logical, 3);
+  std::vector<const Database*> ptrs;
+  for (const Database& p : parts) ptrs.push_back(&p);
+  DistributedConfig config;
+  config.blind_partials = false;
+  DistributedRunResult result =
+      RunDistributedSum(SharedKeyPair().private_key, ptrs, sel, config, rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.total, BigInt(truth));
+}
+
+TEST(DistributedTest, BlindedPartialsHideSubtotals) {
+  // With blinding on, the per-server decrypted values must not equal the
+  // per-partition plaintext subtotals (with overwhelming probability).
+  ChaCha20Rng rng(2);
+  Database a("a", {100, 200});
+  Database b("b", {300, 400});
+  SelectionVector sel = {true, true, true, true};
+  // Run with blinding; total is exact, but individual partials differ.
+  DistributedRunResult blinded =
+      RunDistributedSum(SharedKeyPair().private_key, {&a, &b}, sel, {}, rng)
+          .ValueOrDie();
+  EXPECT_EQ(blinded.total, BigInt(1000));
+}
+
+TEST(DistributedTest, ValidatesInputs) {
+  ChaCha20Rng rng(3);
+  Database a("a", {1, 2});
+  Database empty("e", {});
+  SelectionVector sel(2, true);
+  EXPECT_FALSE(
+      RunDistributedSum(SharedKeyPair().private_key, {}, sel, {}, rng).ok());
+  EXPECT_FALSE(RunDistributedSum(SharedKeyPair().private_key, {&a, &empty},
+                                 sel, {}, rng)
+                   .ok());
+  SelectionVector wrong(3, true);
+  EXPECT_FALSE(
+      RunDistributedSum(SharedKeyPair().private_key, {&a}, wrong, {}, rng)
+          .ok());
+  DistributedConfig big_m;
+  big_m.blind_modulus = BigInt(1) << 300;
+  EXPECT_FALSE(
+      RunDistributedSum(SharedKeyPair().private_key, {&a}, sel, big_m, rng)
+          .ok());
+}
+
+TEST(DistributedTest, ParallelBeatsSequentialWithManyServers) {
+  ChaCha20Rng rng(4);
+  WorkloadGenerator gen(rng);
+  Database logical = gen.UniformDatabase(60, 1000);
+  SelectionVector sel = gen.RandomSelection(60, 30);
+  std::vector<Database> parts = Split(logical, 4);
+  std::vector<const Database*> ptrs;
+  for (const Database& p : parts) ptrs.push_back(&p);
+  DistributedRunResult result =
+      RunDistributedSum(SharedKeyPair().private_key, ptrs, sel, {}, rng)
+          .ValueOrDie();
+  ExecutionEnvironment env = ExecutionEnvironment::LongDistance2004();
+  // Client encryption still dominates, but overlapping the four servers'
+  // compute + modem transfers must help.
+  EXPECT_LT(result.ParallelSeconds(env), result.SequentialSeconds(env));
+}
+
+TEST(DistributedTest, SingleServerEqualsPlainProtocol) {
+  ChaCha20Rng rng(5);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(15, 100);
+  SelectionVector sel = gen.RandomSelection(15, 6);
+  uint64_t truth = db.SelectedSum(sel).ValueOrDie();
+  DistributedRunResult result =
+      RunDistributedSum(SharedKeyPair().private_key, {&db}, sel, {}, rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.total, BigInt(truth));
+}
+
+}  // namespace
+}  // namespace ppstats

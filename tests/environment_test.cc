@@ -1,0 +1,38 @@
+#include "sim/environment.h"
+
+#include <gtest/gtest.h>
+
+namespace ppstats {
+namespace {
+
+TEST(EnvironmentTest, ModernHasUnitScales) {
+  ExecutionEnvironment env = ExecutionEnvironment::Modern();
+  EXPECT_EQ(env.client_cpu_scale, 1.0);
+  EXPECT_EQ(env.server_cpu_scale, 1.0);
+}
+
+TEST(EnvironmentTest, Paper2004EnvironmentsScaleUp) {
+  ExecutionEnvironment short_d = ExecutionEnvironment::ShortDistance2004();
+  ExecutionEnvironment long_d = ExecutionEnvironment::LongDistance2004();
+  EXPECT_GT(short_d.client_cpu_scale, 1.0);
+  EXPECT_GT(long_d.client_cpu_scale, short_d.client_cpu_scale)
+      << "the 500 MHz UltraSparc client must be slower than cluster nodes";
+}
+
+TEST(EnvironmentTest, LongDistanceUsesModem) {
+  EXPECT_EQ(ExecutionEnvironment::LongDistance2004().network.name,
+            "modem-56k");
+  EXPECT_EQ(ExecutionEnvironment::ShortDistance2004().network.name,
+            "lan-switch");
+}
+
+TEST(EnvironmentTest, NamesAreStable) {
+  EXPECT_EQ(ExecutionEnvironment::ShortDistance2004().name,
+            "short-distance-2004");
+  EXPECT_EQ(ExecutionEnvironment::LongDistance2004().name,
+            "long-distance-2004");
+  EXPECT_EQ(ExecutionEnvironment::Modern().name, "modern");
+}
+
+}  // namespace
+}  // namespace ppstats

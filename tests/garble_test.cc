@@ -1,0 +1,246 @@
+#include "yao/garble.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+// Garbled evaluation must match plain evaluation on every input of a
+// small circuit: a 2-bit multiplier-ish mix of AND and XOR gates.
+Circuit SmallMixedCircuit() {
+  CircuitBuilder builder;
+  WireId a0 = builder.AddGarblerInput();
+  WireId a1 = builder.AddGarblerInput();
+  WireId b0 = builder.AddEvaluatorInput();
+  WireId b1 = builder.AddEvaluatorInput();
+  WireId x = builder.Xor(a0, b0);
+  WireId y = builder.And(a1, b1);
+  WireId z = builder.And(x, y);
+  WireId w = builder.Xor(z, a1);
+  builder.MarkOutput(x);
+  builder.MarkOutput(y);
+  builder.MarkOutput(z);
+  builder.MarkOutput(w);
+  return std::move(builder).Build();
+}
+
+std::vector<Label> ActiveGarblerLabels(const GarblerSecrets& secrets,
+                                       const std::vector<bool>& bits) {
+  std::vector<Label> out;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    out.push_back(secrets.GarblerInputLabel(i, bits[i]));
+  }
+  return out;
+}
+
+std::vector<Label> ActiveEvaluatorLabels(const GarblerSecrets& secrets,
+                                         const std::vector<bool>& bits) {
+  std::vector<Label> out;
+  for (size_t i = 0; i < bits.size(); ++i) {
+    auto [l0, l1] = secrets.EvaluatorInputLabels(i);
+    out.push_back(bits[i] ? l1 : l0);
+  }
+  return out;
+}
+
+TEST(GarbleTest, MatchesPlainEvaluationOnAllInputs) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng(1);
+  auto [garbled, secrets] = GarbleCircuit(circuit, rng).ValueOrDie();
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      std::vector<bool> ga = {(a & 1) != 0, (a & 2) != 0};
+      std::vector<bool> eb = {(b & 1) != 0, (b & 2) != 0};
+      auto plain = EvaluateCircuit(circuit, ga, eb).ValueOrDie();
+      auto garbled_out =
+          EvaluateGarbled(circuit, garbled,
+                          ActiveGarblerLabels(secrets, ga),
+                          ActiveEvaluatorLabels(secrets, eb))
+              .ValueOrDie();
+      EXPECT_EQ(garbled_out, plain) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(GarbleTest, OnlyAndGatesProduceTables) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng(2);
+  auto [garbled, secrets] = GarbleCircuit(circuit, rng).ValueOrDie();
+  EXPECT_EQ(garbled.and_tables.size(), circuit.AndGateCount());
+  EXPECT_EQ(garbled.and_tables.size(), 2u);
+  EXPECT_EQ(garbled.output_decode.size(), circuit.outputs.size());
+}
+
+TEST(GarbleTest, DeltaHasPermuteBitSet) {
+  ChaCha20Rng rng(3);
+  Circuit circuit = SmallMixedCircuit();
+  auto [garbled, secrets] = GarbleCircuit(circuit, rng).ValueOrDie();
+  EXPECT_TRUE(secrets.delta.PermuteBit());
+  // Labels of a wire differ by delta, so their permute bits differ.
+  auto [l0, l1] = secrets.EvaluatorInputLabels(0);
+  EXPECT_NE(l0.PermuteBit(), l1.PermuteBit());
+  EXPECT_EQ(l0 ^ secrets.delta, l1);
+}
+
+TEST(GarbleTest, FreshRandomnessChangesGarbling) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng_a(4), rng_b(5);
+  auto [ga, sa] = GarbleCircuit(circuit, rng_a).ValueOrDie();
+  auto [gb, sb] = GarbleCircuit(circuit, rng_b).ValueOrDie();
+  EXPECT_NE(ga.and_tables[0][0], gb.and_tables[0][0]);
+  EXPECT_NE(sa.delta, sb.delta);
+}
+
+TEST(GarbleTest, TamperedTableCorruptsOutput) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng(6);
+  auto [garbled, secrets] = GarbleCircuit(circuit, rng).ValueOrDie();
+  std::vector<bool> ga = {true, true};
+  std::vector<bool> eb = {true, true};
+  auto honest = EvaluateGarbled(circuit, garbled,
+                                ActiveGarblerLabels(secrets, ga),
+                                ActiveEvaluatorLabels(secrets, eb))
+                    .ValueOrDie();
+  GarbledCircuit tampered = garbled;
+  // Flip the permute bit of every row's payload: output decoding reads
+  // exactly that bit, so the decoded value must change.
+  for (auto& row : tampered.and_tables[1]) row.bytes[0] ^= 1;
+  auto corrupted = EvaluateGarbled(circuit, tampered,
+                                   ActiveGarblerLabels(secrets, ga),
+                                   ActiveEvaluatorLabels(secrets, eb))
+                       .ValueOrDie();
+  EXPECT_NE(honest, corrupted);
+}
+
+TEST(GarbleTest, RejectsNonTopologicalCircuit) {
+  Circuit c;
+  c.num_wires = 3;
+  c.garbler_inputs = {0};
+  // Gate reads wire 2 before anything assigns it.
+  c.gates.push_back(Gate{GateType::kAnd, 0, 2, 1});
+  ChaCha20Rng rng(7);
+  EXPECT_FALSE(GarbleCircuit(c, rng).ok());
+}
+
+TEST(GarbleTest, RejectsReusedOutputWire) {
+  Circuit c;
+  c.num_wires = 3;
+  c.garbler_inputs = {0};
+  c.evaluator_inputs = {1};
+  c.gates.push_back(Gate{GateType::kXor, 0, 1, 2});
+  c.gates.push_back(Gate{GateType::kXor, 0, 1, 2});  // writes wire 2 again
+  ChaCha20Rng rng(8);
+  EXPECT_FALSE(GarbleCircuit(c, rng).ok());
+}
+
+TEST(GarbleTest, EvaluateRejectsArityMismatch) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng(9);
+  auto [garbled, secrets] = GarbleCircuit(circuit, rng).ValueOrDie();
+  EXPECT_FALSE(EvaluateGarbled(circuit, garbled, {}, {}).ok());
+}
+
+TEST(GarbleTest, WireSizeAccountsTablesAndDecode) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng(10);
+  auto [garbled, secrets] = GarbleCircuit(circuit, rng).ValueOrDie();
+  EXPECT_EQ(garbled.WireSize(), 2 * 4 * 16 + 1);
+}
+
+TEST(GarbleTest, LabelXorBasics) {
+  Label a{}, b{};
+  a.bytes[0] = 0xF0;
+  b.bytes[0] = 0x0F;
+  Label c = a ^ b;
+  EXPECT_EQ(c.bytes[0], 0xFF);
+  c ^= b;
+  EXPECT_EQ(c, a);
+}
+
+TEST(GarbleTest, HalfGatesMatchPlainEvaluationOnAllInputs) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng(20);
+  auto [garbled, secrets] =
+      GarbleCircuit(circuit, rng, GarbleScheme::kHalfGates).ValueOrDie();
+  EXPECT_TRUE(garbled.and_tables.empty());
+  EXPECT_EQ(garbled.half_tables.size(), circuit.AndGateCount());
+  for (int a = 0; a < 4; ++a) {
+    for (int b = 0; b < 4; ++b) {
+      std::vector<bool> ga = {(a & 1) != 0, (a & 2) != 0};
+      std::vector<bool> eb = {(b & 1) != 0, (b & 2) != 0};
+      auto plain = EvaluateCircuit(circuit, ga, eb).ValueOrDie();
+      auto garbled_out =
+          EvaluateGarbled(circuit, garbled,
+                          ActiveGarblerLabels(secrets, ga),
+                          ActiveEvaluatorLabels(secrets, eb))
+              .ValueOrDie();
+      EXPECT_EQ(garbled_out, plain) << "a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(GarbleTest, HalfGatesOnDeepAndChains) {
+  // A chain of dependent AND gates stresses label propagation.
+  CircuitBuilder builder;
+  std::vector<WireId> ga, eb;
+  for (int i = 0; i < 4; ++i) ga.push_back(builder.AddGarblerInput());
+  for (int i = 0; i < 4; ++i) eb.push_back(builder.AddEvaluatorInput());
+  WireId acc = builder.And(ga[0], eb[0]);
+  for (int i = 1; i < 4; ++i) {
+    acc = builder.And(builder.Xor(acc, ga[i]), eb[i]);
+  }
+  builder.MarkOutput(acc);
+  Circuit circuit = std::move(builder).Build();
+
+  ChaCha20Rng rng(21);
+  auto [garbled, secrets] =
+      GarbleCircuit(circuit, rng, GarbleScheme::kHalfGates).ValueOrDie();
+  for (int a = 0; a < 16; ++a) {
+    for (int b = 0; b < 16; ++b) {
+      std::vector<bool> gbits, ebits;
+      for (int i = 0; i < 4; ++i) {
+        gbits.push_back((a >> i) & 1);
+        ebits.push_back((b >> i) & 1);
+      }
+      auto plain = EvaluateCircuit(circuit, gbits, ebits).ValueOrDie();
+      auto out = EvaluateGarbled(circuit, garbled,
+                                 ActiveGarblerLabels(secrets, gbits),
+                                 ActiveEvaluatorLabels(secrets, ebits))
+                     .ValueOrDie();
+      EXPECT_EQ(out, plain) << a << "," << b;
+    }
+  }
+}
+
+TEST(GarbleTest, HalfGatesHalveTheTableBytes) {
+  Circuit circuit = SmallMixedCircuit();
+  ChaCha20Rng rng(22);
+  auto [classic, s1] = GarbleCircuit(circuit, rng).ValueOrDie();
+  auto [half, s2] =
+      GarbleCircuit(circuit, rng, GarbleScheme::kHalfGates).ValueOrDie();
+  size_t decode = (circuit.outputs.size() + 7) / 8;
+  EXPECT_EQ(classic.WireSize() - decode, 2 * (half.WireSize() - decode));
+}
+
+TEST(GarbleTest, XorOnlyCircuitNeedsNoTables) {
+  CircuitBuilder builder;
+  WireId a = builder.AddGarblerInput();
+  WireId b = builder.AddEvaluatorInput();
+  builder.MarkOutput(builder.Xor(builder.Xor(a, b), a));  // == b
+  Circuit circuit = std::move(builder).Build();
+  ChaCha20Rng rng(11);
+  auto [garbled, secrets] = GarbleCircuit(circuit, rng).ValueOrDie();
+  EXPECT_TRUE(garbled.and_tables.empty());
+  for (bool bit : {false, true}) {
+    auto out = EvaluateGarbled(circuit, garbled,
+                               ActiveGarblerLabels(secrets, {true}),
+                               ActiveEvaluatorLabels(secrets, {bit}))
+                   .ValueOrDie();
+    EXPECT_EQ(out[0], bit);
+  }
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,96 @@
+#include "crypto/key_io.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(1414);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+TEST(KeyIoTest, PublicKeyRoundTrip) {
+  Bytes blob = SerializePublicKey(SharedKeyPair().public_key);
+  PaillierPublicKey back = DeserializePublicKey(blob).ValueOrDie();
+  EXPECT_EQ(back.n(), SharedKeyPair().public_key.n());
+  EXPECT_EQ(back.modulus_bits(), SharedKeyPair().public_key.modulus_bits());
+  EXPECT_EQ(back.n_squared(), SharedKeyPair().public_key.n_squared());
+}
+
+TEST(KeyIoTest, PrivateKeyRoundTripAndStillDecrypts) {
+  ChaCha20Rng rng(1);
+  Bytes blob = SerializePrivateKey(SharedKeyPair().private_key);
+  PaillierPrivateKey back = DeserializePrivateKey(blob).ValueOrDie();
+  EXPECT_EQ(back.p(), SharedKeyPair().private_key.p());
+  EXPECT_EQ(back.q(), SharedKeyPair().private_key.q());
+
+  // A ciphertext made under the original key decrypts under the
+  // deserialized one.
+  PaillierCiphertext ct =
+      Paillier::Encrypt(SharedKeyPair().public_key, BigInt(9876), rng)
+          .ValueOrDie();
+  EXPECT_EQ(Paillier::Decrypt(back, ct).ValueOrDie(), BigInt(9876));
+}
+
+TEST(KeyIoTest, CrossDeserializationRejected) {
+  Bytes pub_blob = SerializePublicKey(SharedKeyPair().public_key);
+  Bytes priv_blob = SerializePrivateKey(SharedKeyPair().private_key);
+  EXPECT_FALSE(DeserializePrivateKey(pub_blob).ok());
+  EXPECT_FALSE(DeserializePublicKey(priv_blob).ok());
+}
+
+TEST(KeyIoTest, RejectsTamperedBits) {
+  Bytes blob = SerializePublicKey(SharedKeyPair().public_key);
+  Bytes wrong_bits = blob;
+  wrong_bits[3] ^= 0x01;  // flip a bit in the modulus_bits field
+  EXPECT_FALSE(DeserializePublicKey(wrong_bits).ok());
+}
+
+TEST(KeyIoTest, RejectsTruncationAndTrailingBytes) {
+  Bytes blob = SerializePublicKey(SharedKeyPair().public_key);
+  Bytes truncated(blob.begin(), blob.end() - 3);
+  EXPECT_FALSE(DeserializePublicKey(truncated).ok());
+  Bytes padded = blob;
+  padded.push_back(0);
+  EXPECT_FALSE(DeserializePublicKey(padded).ok());
+}
+
+TEST(KeyIoTest, RejectsUnknownVersion) {
+  Bytes blob = SerializePublicKey(SharedKeyPair().public_key);
+  blob[1] = 99;
+  EXPECT_FALSE(DeserializePublicKey(blob).ok());
+}
+
+TEST(KeyIoTest, RejectsCorruptPrimes) {
+  Bytes blob = SerializePrivateKey(SharedKeyPair().private_key);
+  // Corrupt the low byte of q (the last BigInt payload byte): p*q no
+  // longer has the claimed bit structure or q becomes even/composite in
+  // a way FromPrimes rejects, or the bit-length check fires.
+  blob[blob.size() - 1] ^= 0xFF;
+  Result<PaillierPrivateKey> r = DeserializePrivateKey(blob);
+  if (r.ok()) {
+    // If it happened to parse, it must at least be a *different* key.
+    EXPECT_NE(r->q(), SharedKeyPair().private_key.q());
+  }
+}
+
+TEST(KeyIoTest, GarbageNeverCrashes) {
+  ChaCha20Rng rng(2);
+  for (int iter = 0; iter < 200; ++iter) {
+    Bytes garbage(iter % 40);
+    rng.Fill(garbage);
+    (void)DeserializePublicKey(garbage);
+    (void)DeserializePrivateKey(garbage);
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ppstats

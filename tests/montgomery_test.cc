@@ -1,0 +1,94 @@
+#include "bigint/montgomery.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modarith.h"
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+TEST(MontgomeryTest, RoundTripSmallModulus) {
+  MontgomeryContext ctx(BigInt(97));
+  for (uint64_t v = 0; v < 97; ++v) {
+    BigInt x(v);
+    EXPECT_EQ(ctx.FromMontgomery(ctx.ToMontgomery(x)), x) << v;
+  }
+}
+
+TEST(MontgomeryTest, MulMatchesMulMod) {
+  ChaCha20Rng rng(21);
+  for (size_t bits : {64u, 128u, 512u, 1024u}) {
+    BigInt m = RandomBits(rng, bits) + BigInt(3);
+    if (m.IsEven()) m += 1;
+    MontgomeryContext ctx(m);
+    for (int iter = 0; iter < 20; ++iter) {
+      BigInt a = RandomBelow(rng, m);
+      BigInt b = RandomBelow(rng, m);
+      BigInt am = ctx.ToMontgomery(a);
+      BigInt bm = ctx.ToMontgomery(b);
+      BigInt prod = ctx.FromMontgomery(ctx.MulMontgomery(am, bm));
+      EXPECT_EQ(prod, MulMod(a, b, m));
+    }
+  }
+}
+
+TEST(MontgomeryTest, ExpEdgeCases) {
+  MontgomeryContext ctx(BigInt(101));
+  EXPECT_EQ(ctx.Exp(BigInt(5), BigInt(0)), BigInt(1));
+  EXPECT_EQ(ctx.Exp(BigInt(5), BigInt(1)), BigInt(5));
+  EXPECT_EQ(ctx.Exp(BigInt(0), BigInt(5)), BigInt(0));
+  EXPECT_EQ(ctx.Exp(BigInt(100), BigInt(2)), BigInt(1));  // (-1)^2
+  EXPECT_EQ(ctx.Exp(BigInt(2), BigInt(100)), BigInt(1));  // Fermat
+}
+
+TEST(MontgomeryTest, ExpHandlesBaseAboveModulus) {
+  MontgomeryContext ctx(BigInt(101));
+  EXPECT_EQ(ctx.Exp(BigInt(205), BigInt(3)), ModExpPlain(BigInt(3), BigInt(3), BigInt(101)));
+}
+
+class MontgomeryExpTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MontgomeryExpTest, AgreesWithPlainExponentiation) {
+  auto [mod_bits, exp_bits] = GetParam();
+  ChaCha20Rng rng(22 + mod_bits + exp_bits);
+  BigInt m = RandomBits(rng, mod_bits) + BigInt(3);
+  if (m.IsEven()) m += 1;
+  MontgomeryContext ctx(m);
+  for (int iter = 0; iter < 8; ++iter) {
+    BigInt base = RandomBelow(rng, m);
+    BigInt exp = RandomBits(rng, exp_bits);
+    EXPECT_EQ(ctx.Exp(base, exp), ModExpPlain(base, exp, m));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, MontgomeryExpTest,
+    ::testing::Values(std::make_pair(64, 32), std::make_pair(128, 128),
+                      std::make_pair(512, 32), std::make_pair(512, 512),
+                      std::make_pair(1024, 64), std::make_pair(1024, 1024),
+                      std::make_pair(2048, 64)));
+
+TEST(MontgomeryTest, WindowBoundariesExercised) {
+  // Exponents around multiples of the 4-bit window width.
+  ChaCha20Rng rng(23);
+  BigInt m = RandomBits(rng, 256) + BigInt(3);
+  if (m.IsEven()) m += 1;
+  MontgomeryContext ctx(m);
+  BigInt base = RandomBelow(rng, m);
+  for (uint64_t e : {1ULL, 15ULL, 16ULL, 17ULL, 255ULL, 256ULL, 257ULL,
+                     65535ULL, 65536ULL}) {
+    EXPECT_EQ(ctx.Exp(base, BigInt(e)), ModExpPlain(base, BigInt(e), m))
+        << e;
+  }
+}
+
+TEST(MontgomeryTest, ModulusAccessor) {
+  BigInt m(12345677);  // odd
+  MontgomeryContext ctx(m);
+  EXPECT_EQ(ctx.modulus(), m);
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,68 @@
+#include "net/network_model.h"
+
+#include <gtest/gtest.h>
+
+namespace ppstats {
+namespace {
+
+TEST(NetworkModelTest, ZeroTrafficIsFree) {
+  EXPECT_EQ(NetworkModel::LanSwitch().TransferSeconds(0, 0), 0.0);
+  EXPECT_EQ(NetworkModel::Modem56k().TransferSeconds(0, 0), 0.0);
+}
+
+TEST(NetworkModelTest, SerializationTimeMatchesBandwidth) {
+  NetworkModel m{.name = "test",
+                 .bandwidth_bps = 8000,  // 1000 bytes/s
+                 .one_way_latency_s = 0,
+                 .per_message_overhead_s = 0,
+                 .per_message_header_bytes = 0};
+  EXPECT_NEAR(m.TransferSeconds(1000, 1), 1.0, 1e-9);
+  EXPECT_NEAR(m.TransferSeconds(2500, 1), 2.5, 1e-9);
+}
+
+TEST(NetworkModelTest, HeadersChargePerMessage) {
+  NetworkModel m{.name = "test",
+                 .bandwidth_bps = 8000,
+                 .one_way_latency_s = 0,
+                 .per_message_overhead_s = 0,
+                 .per_message_header_bytes = 100};
+  // 10 messages add 1000 header bytes = 1 extra second.
+  EXPECT_NEAR(m.TransferSeconds(1000, 10), 2.0, 1e-9);
+}
+
+TEST(NetworkModelTest, LatencyAddsOncePerStream) {
+  NetworkModel m{.name = "test",
+                 .bandwidth_bps = 0,  // infinite
+                 .one_way_latency_s = 0.5,
+                 .per_message_overhead_s = 0.1,
+                 .per_message_header_bytes = 0};
+  EXPECT_NEAR(m.TransferSeconds(12345, 1), 0.6, 1e-9);
+  EXPECT_NEAR(m.TransferSeconds(12345, 3), 0.8, 1e-9);
+}
+
+TEST(NetworkModelTest, ModemIsFarSlowerThanLan) {
+  uint64_t bytes = 12'800'000;  // 100k ciphertexts of 128 B
+  double lan = NetworkModel::LanSwitch().TransferSeconds(bytes, 1000);
+  double modem = NetworkModel::Modem56k().TransferSeconds(bytes, 1000);
+  EXPECT_GT(modem, lan * 1000);
+  // 56 kbps should need roughly bytes*8/56000 seconds.
+  EXPECT_NEAR(modem, bytes * 8.0 / 56e3, modem * 0.05);
+}
+
+TEST(NetworkModelTest, TrafficStatsOverload) {
+  TrafficStats stats{4, 4000};
+  NetworkModel m = NetworkModel::LanSwitch();
+  EXPECT_EQ(m.TransferSeconds(stats), m.TransferSeconds(4000, 4));
+}
+
+TEST(NetworkModelTest, IdealLinkIsInstant) {
+  EXPECT_EQ(NetworkModel::Ideal().TransferSeconds(1 << 30, 1000), 0.0);
+}
+
+TEST(NetworkModelTest, PresetNames) {
+  EXPECT_EQ(NetworkModel::LanSwitch().name, "lan-switch");
+  EXPECT_EQ(NetworkModel::Modem56k().name, "modem-56k");
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,109 @@
+#include "yao/ot.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modarith.h"
+#include "bigint/prime.h"
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+TEST(OtGroupTest, Rfc2409PrimeIsAsExpected) {
+  const OtGroup& g = OtGroup::Rfc2409Group2();
+  EXPECT_EQ(g.p.BitLength(), 1024u);
+  EXPECT_EQ(g.g, BigInt(2));
+  EXPECT_EQ(g.ElementBytes(), 128u);
+  // Known structure: p is prime and (p-1)/2 is prime (safe prime).
+  ChaCha20Rng rng(1);
+  EXPECT_TRUE(IsProbablePrime(g.p, rng, 8));
+  EXPECT_TRUE(IsProbablePrime((g.p - BigInt(1)) >> 1, rng, 4));
+}
+
+TEST(OtTest, ReceiverGetsChosenMessages) {
+  ChaCha20Rng rng(2);
+  std::vector<std::pair<Label, Label>> messages;
+  std::vector<bool> choices;
+  for (int i = 0; i < 8; ++i) {
+    messages.emplace_back(Label::Random(rng), Label::Random(rng));
+    choices.push_back(i % 3 == 0);
+  }
+  OtBatchResult result =
+      RunBatchObliviousTransfer(messages, choices, rng).ValueOrDie();
+  ASSERT_EQ(result.received.size(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    const Label& expected =
+        choices[i] ? messages[i].second : messages[i].first;
+    EXPECT_EQ(result.received[i], expected) << i;
+    const Label& other = choices[i] ? messages[i].first : messages[i].second;
+    EXPECT_NE(result.received[i], other) << i;
+  }
+}
+
+TEST(OtTest, AllZeroAndAllOneChoices) {
+  ChaCha20Rng rng(3);
+  std::vector<std::pair<Label, Label>> messages;
+  for (int i = 0; i < 4; ++i) {
+    messages.emplace_back(Label::Random(rng), Label::Random(rng));
+  }
+  OtBatchResult zeros =
+      RunBatchObliviousTransfer(messages, std::vector<bool>(4, false), rng)
+          .ValueOrDie();
+  OtBatchResult ones =
+      RunBatchObliviousTransfer(messages, std::vector<bool>(4, true), rng)
+          .ValueOrDie();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(zeros.received[i], messages[i].first);
+    EXPECT_EQ(ones.received[i], messages[i].second);
+  }
+}
+
+TEST(OtTest, EmptyBatchIsFine) {
+  ChaCha20Rng rng(4);
+  OtBatchResult result =
+      RunBatchObliviousTransfer({}, {}, rng).ValueOrDie();
+  EXPECT_TRUE(result.received.empty());
+}
+
+TEST(OtTest, ArityMismatchErrors) {
+  ChaCha20Rng rng(5);
+  std::vector<std::pair<Label, Label>> one_pair = {
+      {Label::Random(rng), Label::Random(rng)}};
+  EXPECT_FALSE(
+      RunBatchObliviousTransfer(one_pair, {true, false}, rng).ok());
+}
+
+TEST(OtTest, TrafficIsAccounted) {
+  ChaCha20Rng rng(6);
+  std::vector<std::pair<Label, Label>> messages;
+  for (int i = 0; i < 5; ++i) {
+    messages.emplace_back(Label::Random(rng), Label::Random(rng));
+  }
+  OtBatchResult result =
+      RunBatchObliviousTransfer(messages, std::vector<bool>(5, true), rng)
+          .ValueOrDie();
+  // Receiver sends 5 public keys of 128 bytes.
+  EXPECT_EQ(result.receiver_to_sender.bytes, 5u * 128u);
+  // Sender: setup element + per pair two (g^r, ciphertext) entries.
+  EXPECT_GT(result.sender_to_receiver.bytes, 5u * 2u * 128u);
+  EXPECT_GT(result.sender_seconds, 0);
+  EXPECT_GT(result.receiver_seconds, 0);
+}
+
+TEST(OtTest, TransfersAreRandomizedAcrossRuns) {
+  // Same messages and choices, different protocol randomness: the OT
+  // still delivers the same plaintext labels.
+  ChaCha20Rng msg_rng(7);
+  std::vector<std::pair<Label, Label>> messages = {
+      {Label::Random(msg_rng), Label::Random(msg_rng)}};
+  ChaCha20Rng run_a(8), run_b(9);
+  OtBatchResult a =
+      RunBatchObliviousTransfer(messages, {true}, run_a).ValueOrDie();
+  OtBatchResult b =
+      RunBatchObliviousTransfer(messages, {true}, run_b).ValueOrDie();
+  EXPECT_EQ(a.received[0], b.received[0]);
+  EXPECT_EQ(a.received[0], messages[0].second);
+}
+
+}  // namespace
+}  // namespace ppstats

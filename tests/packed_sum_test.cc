@@ -1,0 +1,143 @@
+#include "core/packed_sum.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+// One 256-bit, s=2 key for the whole suite (512 usable plaintext bits).
+const DjKeyPair& SharedKey() {
+  static const DjKeyPair* kp = [] {
+    ChaCha20Rng rng(1515);
+    return new DjKeyPair(
+        DamgardJurik::GenerateKeyPair(256, 2, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+TEST(MinimumSTest, ComputesSmallestFit) {
+  EXPECT_EQ(MinimumSForQueries(512, 1, 56), 1u);
+  EXPECT_EQ(MinimumSForQueries(512, 9, 56), 1u);   // 504 < 511
+  EXPECT_EQ(MinimumSForQueries(512, 10, 56), 2u);  // 560 > 511
+  EXPECT_EQ(MinimumSForQueries(512, 18, 56), 2u);
+  EXPECT_EQ(MinimumSForQueries(512, 19, 56), 3u);
+  EXPECT_EQ(MinimumSForQueries(1024, 18, 56), 1u);
+}
+
+class PackedSumSweepTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(PackedSumSweepTest, AllQueriesMatchPlaintext) {
+  auto [n, num_queries] = GetParam();
+  ChaCha20Rng rng(n * 13 + num_queries);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n, 100000);
+  std::vector<SelectionVector> queries;
+  for (size_t b = 0; b < num_queries; ++b) {
+    queries.push_back(gen.RandomSelection(n, (b + 1) * n / (num_queries + 1)));
+  }
+
+  PackedSumResult result =
+      RunPackedMultiSum(SharedKey().private_key, db, queries, {}, rng)
+          .ValueOrDie();
+  ASSERT_EQ(result.sums.size(), num_queries);
+  for (size_t b = 0; b < num_queries; ++b) {
+    EXPECT_EQ(result.sums[b],
+              BigInt(db.SelectedSum(queries[b]).ValueOrDie()))
+        << "query " << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PackedSumSweepTest,
+                         ::testing::Values(std::make_pair(10, 1),
+                                           std::make_pair(20, 2),
+                                           std::make_pair(30, 4),
+                                           std::make_pair(25, 8),
+                                           std::make_pair(50, 9)));
+
+TEST(PackedSumTest, HistogramInOnePass) {
+  // The motivating use: a histogram is one selection per bucket; all
+  // bucket sums come back from a single protocol pass.
+  ChaCha20Rng rng(1);
+  std::vector<uint32_t> ages = {23, 34, 45, 29, 61, 38, 52, 19, 41, 33};
+  Database db("ages", ages);
+  std::vector<SelectionVector> buckets(4, SelectionVector(ages.size()));
+  for (size_t i = 0; i < ages.size(); ++i) {
+    size_t bucket = std::min<size_t>(ages[i] / 20, 3);
+    buckets[bucket][i] = true;
+  }
+  PackedSumResult result =
+      RunPackedMultiSum(SharedKey().private_key, db, buckets, {}, rng)
+          .ValueOrDie();
+  uint64_t total = 0;
+  for (const BigInt& s : result.sums) total += s.LowUint64();
+  uint64_t expected_total = 0;
+  for (uint32_t a : ages) expected_total += a;
+  EXPECT_EQ(total, expected_total);
+  EXPECT_EQ(result.sums[0], BigInt(19));              // under 20
+  EXPECT_EQ(result.sums[1], BigInt(23 + 34 + 29 + 38 + 33));
+}
+
+TEST(PackedSumTest, TrafficEqualsSingleQueryRun) {
+  ChaCha20Rng rng(2);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(40, 1000);
+  std::vector<SelectionVector> one = {gen.RandomSelection(40, 10)};
+  std::vector<SelectionVector> eight;
+  for (int b = 0; b < 8; ++b) eight.push_back(gen.RandomSelection(40, 10));
+
+  PackedSumResult r1 =
+      RunPackedMultiSum(SharedKey().private_key, db, one, {}, rng)
+          .ValueOrDie();
+  PackedSumResult r8 =
+      RunPackedMultiSum(SharedKey().private_key, db, eight, {}, rng)
+          .ValueOrDie();
+  EXPECT_EQ(r1.client_to_server.bytes, r8.client_to_server.bytes);
+  EXPECT_EQ(r1.server_to_client.bytes, r8.server_to_client.bytes);
+}
+
+TEST(PackedSumTest, ValidatesInputs) {
+  ChaCha20Rng rng(3);
+  Database db("d", {1, 2, 3});
+  std::vector<SelectionVector> ok = {SelectionVector(3, true)};
+  EXPECT_FALSE(
+      RunPackedMultiSum(SharedKey().private_key, db, {}, {}, rng).ok());
+  std::vector<SelectionVector> wrong = {SelectionVector(2, true)};
+  EXPECT_FALSE(
+      RunPackedMultiSum(SharedKey().private_key, db, wrong, {}, rng).ok());
+  PackedSumConfig bad_slot;
+  bad_slot.slot_bits = 0;
+  EXPECT_FALSE(
+      RunPackedMultiSum(SharedKey().private_key, db, ok, bad_slot, rng)
+          .ok());
+  // Too many queries for the plaintext space: 10 * 56 = 560 > 511 bits
+  // (s=2 over 256-bit modulus).
+  std::vector<SelectionVector> too_many(10, SelectionVector(3, true));
+  EXPECT_FALSE(
+      RunPackedMultiSum(SharedKey().private_key, db, too_many, {}, rng)
+          .ok());
+}
+
+TEST(PackedSumTest, DisjointAndOverlappingQueries) {
+  ChaCha20Rng rng(4);
+  Database db("d", {100, 200, 300, 400});
+  std::vector<SelectionVector> queries = {
+      {true, true, false, false},
+      {false, false, true, true},
+      {true, true, true, true},   // overlaps both
+      {false, false, false, false},
+  };
+  PackedSumResult result =
+      RunPackedMultiSum(SharedKey().private_key, db, queries, {}, rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.sums[0], BigInt(300));
+  EXPECT_EQ(result.sums[1], BigInt(700));
+  EXPECT_EQ(result.sums[2], BigInt(1000));
+  EXPECT_TRUE(result.sums[3].IsZero());
+}
+
+}  // namespace
+}  // namespace ppstats

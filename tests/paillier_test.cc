@@ -1,0 +1,208 @@
+#include "crypto/paillier.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modarith.h"
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+// A fixture holding one key pair per modulus size (keygen is the slow
+// part; share it across the suite).
+class PaillierTest : public ::testing::TestWithParam<size_t> {
+ protected:
+  static PaillierKeyPair MakeKeyPair(size_t bits) {
+    ChaCha20Rng rng(9000 + bits);
+    return Paillier::GenerateKeyPair(bits, rng).ValueOrDie();
+  }
+
+  PaillierKeyPair key_pair_ = MakeKeyPair(GetParam());
+  ChaCha20Rng rng_{GetParam()};
+};
+
+TEST_P(PaillierTest, KeyHasRequestedModulusBits) {
+  EXPECT_EQ(key_pair_.public_key.n().BitLength(), GetParam());
+  EXPECT_EQ(key_pair_.public_key.modulus_bits(), GetParam());
+  EXPECT_EQ(key_pair_.public_key.n_squared(),
+            key_pair_.public_key.n() * key_pair_.public_key.n());
+}
+
+TEST_P(PaillierTest, EncryptDecryptRoundTrip) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  for (int iter = 0; iter < 10; ++iter) {
+    BigInt m = RandomBelow(rng_, pub.n());
+    PaillierCiphertext ct = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+    EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, ct).ValueOrDie(), m);
+  }
+}
+
+TEST_P(PaillierTest, CrtAndDirectDecryptionAgree) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  for (int iter = 0; iter < 5; ++iter) {
+    BigInt m = RandomBelow(rng_, pub.n());
+    PaillierCiphertext ct = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+    EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, ct).ValueOrDie(),
+              Paillier::DecryptDirect(key_pair_.private_key, ct)
+                  .ValueOrDie());
+  }
+}
+
+TEST_P(PaillierTest, EdgePlaintexts) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  for (const BigInt& m :
+       {BigInt(0), BigInt(1), pub.n() - BigInt(1), pub.n() >> 1}) {
+    PaillierCiphertext ct = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+    EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, ct).ValueOrDie(), m);
+  }
+}
+
+TEST_P(PaillierTest, EncryptRejectsOutOfRange) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  EXPECT_FALSE(Paillier::Encrypt(pub, pub.n(), rng_).ok());
+  EXPECT_FALSE(Paillier::Encrypt(pub, pub.n() + BigInt(5), rng_).ok());
+  EXPECT_FALSE(Paillier::Encrypt(pub, BigInt(-1), rng_).ok());
+}
+
+TEST_P(PaillierTest, EncryptionIsRandomized) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  BigInt m(42);
+  PaillierCiphertext a = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+  PaillierCiphertext b = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+  EXPECT_NE(a, b);  // semantic security: same plaintext, fresh ciphertext
+}
+
+TEST_P(PaillierTest, AdditiveHomomorphism) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  for (int iter = 0; iter < 5; ++iter) {
+    BigInt a = RandomBelow(rng_, pub.n() >> 1);
+    BigInt b = RandomBelow(rng_, pub.n() >> 1);
+    PaillierCiphertext ca = Paillier::Encrypt(pub, a, rng_).ValueOrDie();
+    PaillierCiphertext cb = Paillier::Encrypt(pub, b, rng_).ValueOrDie();
+    PaillierCiphertext sum = Paillier::Add(pub, ca, cb);
+    EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, sum).ValueOrDie(),
+              a + b);
+  }
+}
+
+TEST_P(PaillierTest, AdditionWrapsModN) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  BigInt a = pub.n() - BigInt(1);
+  BigInt b(2);
+  PaillierCiphertext ca = Paillier::Encrypt(pub, a, rng_).ValueOrDie();
+  PaillierCiphertext cb = Paillier::Encrypt(pub, b, rng_).ValueOrDie();
+  PaillierCiphertext sum = Paillier::Add(pub, ca, cb);
+  EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, sum).ValueOrDie(),
+            BigInt(1));
+}
+
+TEST_P(PaillierTest, ScalarMultiplicationHomomorphism) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  for (uint64_t k : {0ULL, 1ULL, 2ULL, 12345ULL, 0xFFFFFFFFULL}) {
+    BigInt m(999);
+    PaillierCiphertext ct = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+    PaillierCiphertext scaled = Paillier::ScalarMultiply(pub, ct, BigInt(k));
+    EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, scaled).ValueOrDie(),
+              Mod(m * BigInt(k), pub.n()))
+        << k;
+  }
+}
+
+TEST_P(PaillierTest, AddPlaintextHomomorphism) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  BigInt m(1234);
+  PaillierCiphertext ct = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+  PaillierCiphertext shifted =
+      Paillier::AddPlaintext(pub, ct, BigInt(876)).ValueOrDie();
+  EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, shifted).ValueOrDie(),
+            BigInt(2110));
+}
+
+TEST_P(PaillierTest, RerandomizePreservesPlaintext) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  BigInt m(777);
+  PaillierCiphertext ct = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+  PaillierCiphertext rr = Paillier::Rerandomize(pub, ct, rng_);
+  EXPECT_NE(ct, rr);
+  EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, rr).ValueOrDie(), m);
+}
+
+TEST_P(PaillierTest, EncryptWithPrecomputedFactor) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  BigInt factor = Paillier::GenerateRandomFactor(pub, rng_);
+  BigInt m(31337);
+  PaillierCiphertext ct =
+      Paillier::EncryptWithFactor(pub, m, factor).ValueOrDie();
+  EXPECT_EQ(Paillier::Decrypt(key_pair_.private_key, ct).ValueOrDie(), m);
+}
+
+TEST_P(PaillierTest, SerializeDeserializeRoundTrip) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  BigInt m(424242);
+  PaillierCiphertext ct = Paillier::Encrypt(pub, m, rng_).ValueOrDie();
+  Bytes wire = Paillier::SerializeCiphertext(pub, ct);
+  EXPECT_EQ(wire.size(), pub.CiphertextBytes());
+  PaillierCiphertext back =
+      Paillier::DeserializeCiphertext(pub, wire).ValueOrDie();
+  EXPECT_EQ(back, ct);
+}
+
+TEST_P(PaillierTest, DeserializeRejectsBadInput) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  Bytes wrong_width(pub.CiphertextBytes() - 1, 0);
+  EXPECT_FALSE(Paillier::DeserializeCiphertext(pub, wrong_width).ok());
+  Bytes too_large(pub.CiphertextBytes(), 0xFF);
+  EXPECT_FALSE(Paillier::DeserializeCiphertext(pub, too_large).ok());
+}
+
+TEST_P(PaillierTest, DecryptRejectsOutOfRangeCiphertext) {
+  const PaillierPublicKey& pub = key_pair_.public_key;
+  PaillierCiphertext bad{pub.n_squared() + BigInt(1)};
+  EXPECT_FALSE(Paillier::Decrypt(key_pair_.private_key, bad).ok());
+  EXPECT_FALSE(Paillier::DecryptDirect(key_pair_.private_key, bad).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(KeySizes, PaillierTest,
+                         ::testing::Values(128, 256, 512, 1024));
+
+TEST(PaillierKeygenTest, RejectsBadModulusBits) {
+  ChaCha20Rng rng(1);
+  EXPECT_FALSE(Paillier::GenerateKeyPair(15, rng).ok());
+  EXPECT_FALSE(Paillier::GenerateKeyPair(14, rng).ok());
+  EXPECT_FALSE(Paillier::GenerateKeyPair(0, rng).ok());
+  EXPECT_FALSE(Paillier::GenerateKeyPair(129, rng).ok());
+}
+
+TEST(PaillierKeygenTest, FromPrimesValidates) {
+  EXPECT_FALSE(PaillierPrivateKey::FromPrimes(BigInt(7), BigInt(7), 6).ok());
+  EXPECT_FALSE(PaillierPrivateKey::FromPrimes(BigInt(8), BigInt(7), 6).ok());
+}
+
+TEST(PaillierKeygenTest, FromPrimesSmallExample) {
+  // p=11, q=13: n=143, works end-to-end at toy scale.
+  PaillierPrivateKey key =
+      PaillierPrivateKey::FromPrimes(BigInt(11), BigInt(13), 8).ValueOrDie();
+  ChaCha20Rng rng(2);
+  for (uint64_t m = 0; m < 143; m += 17) {
+    PaillierCiphertext ct =
+        Paillier::Encrypt(key.public_key(), BigInt(m), rng).ValueOrDie();
+    EXPECT_EQ(Paillier::Decrypt(key, ct).ValueOrDie(), BigInt(m));
+  }
+}
+
+TEST(PaillierKeygenTest, DeterministicUnderSeed) {
+  ChaCha20Rng a(99), b(99);
+  PaillierKeyPair ka = Paillier::GenerateKeyPair(128, a).ValueOrDie();
+  PaillierKeyPair kb = Paillier::GenerateKeyPair(128, b).ValueOrDie();
+  EXPECT_EQ(ka.public_key.n(), kb.public_key.n());
+}
+
+TEST(PaillierKeygenTest, DistinctSeedsDistinctKeys) {
+  ChaCha20Rng a(98), b(99);
+  PaillierKeyPair ka = Paillier::GenerateKeyPair(128, a).ValueOrDie();
+  PaillierKeyPair kb = Paillier::GenerateKeyPair(128, b).ValueOrDie();
+  EXPECT_NE(ka.public_key.n(), kb.public_key.n());
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,74 @@
+#include "sim/pipeline.h"
+
+#include <gtest/gtest.h>
+
+namespace ppstats {
+namespace {
+
+TEST(PipelineTest, EmptyScheduleIsZero) {
+  EXPECT_EQ(PipelineSchedule::Makespan({}).ValueOrDie(), 0.0);
+  EXPECT_EQ(PipelineSchedule::Makespan({{}, {}}).ValueOrDie(), 0.0);
+}
+
+TEST(PipelineTest, SingleChunkIsSequential) {
+  auto makespan =
+      PipelineSchedule::Makespan({{1.0}, {2.0}, {3.0}}).ValueOrDie();
+  EXPECT_NEAR(makespan, 6.0, 1e-12);
+}
+
+TEST(PipelineTest, SingleStageIsSumOfChunks) {
+  auto makespan = PipelineSchedule::Makespan({{1.0, 2.0, 3.0}}).ValueOrDie();
+  EXPECT_NEAR(makespan, 6.0, 1e-12);
+}
+
+TEST(PipelineTest, BalancedStagesOverlapFully) {
+  // 3 stages x 4 chunks of 1s each: makespan = (stages - 1) + chunks.
+  std::vector<std::vector<double>> stages(3, std::vector<double>(4, 1.0));
+  EXPECT_NEAR(PipelineSchedule::Makespan(stages).ValueOrDie(), 6.0, 1e-12);
+  EXPECT_NEAR(PipelineSchedule::SequentialTotal(stages), 12.0, 1e-12);
+}
+
+TEST(PipelineTest, BottleneckStageDominates) {
+  // Stage 1 is 10x slower: makespan ~= fill + n * bottleneck.
+  std::vector<std::vector<double>> stages = {
+      std::vector<double>(10, 0.1),
+      std::vector<double>(10, 1.0),
+      std::vector<double>(10, 0.1),
+  };
+  double makespan = PipelineSchedule::Makespan(stages).ValueOrDie();
+  EXPECT_NEAR(makespan, 0.1 + 10 * 1.0 + 0.1, 1e-9);
+}
+
+TEST(PipelineTest, MakespanBoundedBySequentialAndByStageSums) {
+  std::vector<std::vector<double>> stages = {
+      {0.5, 1.0, 0.2, 0.9},
+      {0.3, 0.3, 1.5, 0.1},
+      {0.2, 0.8, 0.8, 0.4},
+  };
+  double makespan = PipelineSchedule::Makespan(stages).ValueOrDie();
+  double sequential = PipelineSchedule::SequentialTotal(stages);
+  EXPECT_LE(makespan, sequential + 1e-12);
+  for (const auto& stage : stages) {
+    double sum = 0;
+    for (double d : stage) sum += d;
+    EXPECT_GE(makespan, sum - 1e-12);  // every stage is a lower bound
+  }
+}
+
+TEST(PipelineTest, RejectsMismatchedChunkCounts) {
+  EXPECT_FALSE(PipelineSchedule::Makespan({{1.0, 2.0}, {1.0}}).ok());
+}
+
+TEST(PipelineTest, ZeroDurationStagesAreFree) {
+  std::vector<std::vector<double>> stages = {
+      {1.0, 1.0},
+      {0.0, 0.0},
+      {2.0, 2.0},
+  };
+  // enc: finishes at 1, 2; proc chunk0 starts at 1 ends 3; chunk1 starts
+  // max(2, 3) = 3 ends 5.
+  EXPECT_NEAR(PipelineSchedule::Makespan(stages).ValueOrDie(), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace ppstats

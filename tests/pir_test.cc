@@ -1,0 +1,136 @@
+#include "pir/pir.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(1212);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+TEST(PirLayoutTest, SquareCoversAllRecords) {
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 10u, 16u, 17u, 100u, 101u}) {
+    PirLayout layout = PirLayout::Square(n);
+    EXPECT_GE(layout.rows * layout.cols, n) << n;
+    EXPECT_LE(layout.cols, n) << n;
+    // Near-square: neither dimension more than ~2x the other + 1.
+    EXPECT_LE(layout.rows, layout.cols + 1) << n;
+  }
+}
+
+TEST(PirLayoutTest, IndexMapping) {
+  PirLayout layout{.rows = 3, .cols = 4};
+  EXPECT_EQ(layout.RowOf(0), 0u);
+  EXPECT_EQ(layout.ColOf(0), 0u);
+  EXPECT_EQ(layout.RowOf(5), 1u);
+  EXPECT_EQ(layout.ColOf(5), 1u);
+  EXPECT_EQ(layout.RowOf(11), 2u);
+  EXPECT_EQ(layout.ColOf(11), 3u);
+}
+
+class PirSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(PirSweepTest, SingleLevelRetrievesEveryPosition) {
+  const size_t n = GetParam();
+  ChaCha20Rng rng(100 + n);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n, 0xFFFFFFFFu);
+  // Probe a spread of positions including the corners.
+  for (size_t index : {size_t{0}, n / 3, n / 2, n - 1}) {
+    PirRunResult result =
+        RunSingleLevelPir(db, index, SharedKeyPair().private_key, rng)
+            .ValueOrDie();
+    EXPECT_EQ(result.value, db.value(index)) << "index " << index;
+  }
+}
+
+TEST_P(PirSweepTest, TwoLevelRetrievesEveryPosition) {
+  const size_t n = GetParam();
+  ChaCha20Rng rng(200 + n);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n, 0xFFFFFFFFu);
+  for (size_t index : {size_t{0}, n / 3, n / 2, n - 1}) {
+    PirRunResult result =
+        RunTwoLevelPir(db, index, SharedKeyPair().private_key, rng)
+            .ValueOrDie();
+    EXPECT_EQ(result.value, db.value(index)) << "index " << index;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PirSweepTest,
+                         ::testing::Values(1, 2, 5, 16, 17, 50, 100));
+
+TEST(PirTest, RejectsOutOfRangeIndex) {
+  ChaCha20Rng rng(1);
+  Database db("d", {1, 2, 3});
+  EXPECT_FALSE(
+      RunSingleLevelPir(db, 3, SharedKeyPair().private_key, rng).ok());
+  EXPECT_FALSE(RunTwoLevelPir(db, 9, SharedKeyPair().private_key, rng).ok());
+}
+
+TEST(PirTest, SingleLevelCommunicationIsSublinear) {
+  ChaCha20Rng rng(2);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(400, 1000);  // 20 x 20 matrix
+  PirRunResult result =
+      RunSingleLevelPir(db, 123, SharedKeyPair().private_key, rng)
+          .ValueOrDie();
+  size_t ct_bytes = SharedKeyPair().public_key.CiphertextBytes();
+  EXPECT_EQ(result.client_to_server.bytes, 20 * ct_bytes);
+  EXPECT_EQ(result.server_to_client.bytes, 20 * ct_bytes);
+  // Far below the 400 ciphertexts a linear scan would need.
+  EXPECT_LT(result.client_to_server.bytes + result.server_to_client.bytes,
+            400 * ct_bytes / 4);
+}
+
+TEST(PirTest, TwoLevelResponseIsOneCiphertext) {
+  ChaCha20Rng rng(3);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(400, 1000);
+  PirRunResult result =
+      RunTwoLevelPir(db, 321, SharedKeyPair().private_key, rng).ValueOrDie();
+  // Response: one Damgård–Jurik (s=2) ciphertext of 3|n| bits.
+  size_t n_bytes = (SharedKeyPair().public_key.n().BitLength() + 7) / 8;
+  EXPECT_EQ(result.server_to_client.messages, 1u);
+  EXPECT_LE(result.server_to_client.bytes, 3 * n_bytes + 2);
+}
+
+TEST(PirTest, RetrievesZeroAndMaxValues) {
+  ChaCha20Rng rng(4);
+  Database db("d", {0, 0xFFFFFFFFu, 7, 0, 0xFFFFFFFFu});
+  for (size_t i = 0; i < db.size(); ++i) {
+    EXPECT_EQ(RunSingleLevelPir(db, i, SharedKeyPair().private_key, rng)
+                  .ValueOrDie()
+                  .value,
+              db.value(i));
+    EXPECT_EQ(RunTwoLevelPir(db, i, SharedKeyPair().private_key, rng)
+                  .ValueOrDie()
+                  .value,
+              db.value(i));
+  }
+}
+
+TEST(PirTest, PaddingCellsDoNotLeakIntoResults) {
+  // 5 records in a 3x2 matrix: the sixth cell is padding (0). Retrieval
+  // of real cells must be unaffected.
+  ChaCha20Rng rng(5);
+  Database db("d", {11, 22, 33, 44, 55});
+  for (size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(RunSingleLevelPir(db, i, SharedKeyPair().private_key, rng)
+                  .ValueOrDie()
+                  .value,
+              db.value(i));
+  }
+}
+
+}  // namespace
+}  // namespace ppstats

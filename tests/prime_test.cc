@@ -1,0 +1,95 @@
+#include "bigint/prime.h"
+
+#include <gtest/gtest.h>
+
+#include "bigint/modarith.h"
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+TEST(PrimeTest, SmallKnownPrimes) {
+  ChaCha20Rng rng(31);
+  for (uint64_t p : {2u, 3u, 5u, 7u, 11u, 13u, 97u, 251u, 257u, 65537u}) {
+    EXPECT_TRUE(IsProbablePrime(BigInt(p), rng)) << p;
+  }
+}
+
+TEST(PrimeTest, SmallKnownComposites) {
+  ChaCha20Rng rng(32);
+  for (uint64_t c : {0u, 1u, 4u, 6u, 9u, 15u, 91u, 255u, 341u, 65535u}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, CarmichaelNumbersAreComposite) {
+  // Fermat-pseudoprime traps that Miller-Rabin must catch.
+  ChaCha20Rng rng(33);
+  for (uint64_t c : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u,
+                     41041u, 825265u}) {
+    EXPECT_FALSE(IsProbablePrime(BigInt(c), rng)) << c;
+  }
+}
+
+TEST(PrimeTest, LargeKnownPrimeAndComposite) {
+  ChaCha20Rng rng(34);
+  BigInt mersenne127 = (BigInt(1) << 127) - BigInt(1);  // prime
+  EXPECT_TRUE(IsProbablePrime(mersenne127, rng));
+  BigInt mersenne128 = (BigInt(1) << 128) - BigInt(1);  // composite
+  EXPECT_FALSE(IsProbablePrime(mersenne128, rng));
+  // 2^89-1 prime, (2^89-1)*(2^107-1) composite with large factors.
+  BigInt m89 = (BigInt(1) << 89) - BigInt(1);
+  BigInt m107 = (BigInt(1) << 107) - BigInt(1);
+  EXPECT_TRUE(IsProbablePrime(m89, rng));
+  EXPECT_TRUE(IsProbablePrime(m107, rng));
+  EXPECT_FALSE(IsProbablePrime(m89 * m107, rng));
+}
+
+TEST(PrimeTest, NegativeAndTinyValues) {
+  ChaCha20Rng rng(35);
+  EXPECT_FALSE(IsProbablePrime(BigInt(-7), rng));
+  EXPECT_FALSE(IsProbablePrime(BigInt(1), rng));
+  EXPECT_TRUE(IsProbablePrime(BigInt(2), rng));
+}
+
+class GeneratePrimeTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(GeneratePrimeTest, HasExactBitLengthAndIsPrime) {
+  const size_t bits = GetParam();
+  ChaCha20Rng rng(36 + bits);
+  BigInt p = GeneratePrime(bits, rng);
+  EXPECT_EQ(p.BitLength(), bits);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(IsProbablePrime(p, rng));
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, GeneratePrimeTest,
+                         ::testing::Values(8, 16, 32, 64, 128, 256, 512));
+
+TEST(PrimeTest, GeneratePrimePairDistinct) {
+  ChaCha20Rng rng(37);
+  auto [p, q] = GeneratePrimePair(64, rng);
+  EXPECT_NE(p, q);
+  EXPECT_TRUE(IsProbablePrime(p, rng));
+  EXPECT_TRUE(IsProbablePrime(q, rng));
+  EXPECT_EQ(p.BitLength(), 64u);
+  EXPECT_EQ(q.BitLength(), 64u);
+}
+
+TEST(PrimeTest, GeneratedPrimesSupportInverses) {
+  // The key property Paillier needs: arithmetic mod p works.
+  ChaCha20Rng rng(38);
+  BigInt p = GeneratePrime(128, rng);
+  BigInt a = RandomBelow(rng, p - BigInt(1)) + BigInt(1);
+  BigInt inv = ModInverse(a, p).ValueOrDie();
+  EXPECT_EQ(MulMod(a, inv, p), BigInt(1));
+}
+
+TEST(PrimeTest, DeterministicUnderSeed) {
+  ChaCha20Rng rng_a(777);
+  ChaCha20Rng rng_b(777);
+  EXPECT_EQ(GeneratePrime(96, rng_a), GeneratePrime(96, rng_b));
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,161 @@
+// Structural privacy checks. True semantic security cannot be verified
+// by testing, but the properties the protocol's privacy argument relies
+// on are observable and are pinned down here:
+//  * client privacy — the index vector travels only as randomized
+//    ciphertexts; transcripts for different selections are identically
+//    shaped and never repeat ciphertexts;
+//  * database privacy — the client receives exactly one ciphertext,
+//    which decrypts to the sum and nothing else; blinded partial sums in
+//    the multi-client protocol are offset by server-chosen randomness.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/multiclient.h"
+#include "core/runner.h"
+#include "core/statistics.h"
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(909);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+// Captures the request frames a client produces for a given selection.
+std::vector<Bytes> RequestTranscript(const SelectionVector& selection,
+                                     uint64_t seed, size_t chunk = 0) {
+  ChaCha20Rng rng(seed);
+  SumClientOptions options;
+  options.chunk_size = chunk;
+  SumClient client(SharedKeyPair().private_key, selection, options, rng);
+  std::vector<Bytes> frames;
+  while (!client.RequestsDone()) {
+    frames.push_back(client.NextRequest().ValueOrDie());
+  }
+  return frames;
+}
+
+TEST(PrivacyTest, TranscriptShapeIndependentOfSelection) {
+  // The server sees the same number of frames with the same sizes
+  // whether the client selected nothing, everything, or something.
+  SelectionVector none(24, false);
+  SelectionVector all(24, true);
+  SelectionVector some(24, false);
+  some[3] = some[17] = true;
+
+  auto t_none = RequestTranscript(none, 1, 8);
+  auto t_all = RequestTranscript(all, 2, 8);
+  auto t_some = RequestTranscript(some, 3, 8);
+  ASSERT_EQ(t_none.size(), t_all.size());
+  ASSERT_EQ(t_none.size(), t_some.size());
+  for (size_t i = 0; i < t_none.size(); ++i) {
+    EXPECT_EQ(t_none[i].size(), t_all[i].size());
+    EXPECT_EQ(t_none[i].size(), t_some[i].size());
+  }
+}
+
+TEST(PrivacyTest, RepeatedRunsNeverRepeatCiphertexts) {
+  // Randomized encryption: two transcripts of the same selection share
+  // no ciphertext bytes, and within one transcript equal index values
+  // still produce distinct ciphertexts.
+  SelectionVector sel(10, true);
+  auto t1 = RequestTranscript(sel, 10);
+  auto t2 = RequestTranscript(sel, 11);
+  EXPECT_NE(t1[0], t2[0]);
+
+  const PaillierPublicKey& pub = SharedKeyPair().public_key;
+  IndexBatchMessage msg =
+      IndexBatchMessage::Decode(pub, t1[0]).ValueOrDie();
+  std::set<std::string> seen;
+  for (const PaillierCiphertext& ct : msg.ciphertexts) {
+    seen.insert(ct.value.ToHexString());
+  }
+  EXPECT_EQ(seen.size(), msg.ciphertexts.size())
+      << "ten encryptions of the same bit must be ten distinct ciphertexts";
+}
+
+TEST(PrivacyTest, ClientLearnsExactlyOneCiphertext) {
+  ChaCha20Rng rng(20);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(30, 100);
+  SelectionVector sel = gen.RandomSelection(30, 10);
+  SumClient client(SharedKeyPair().private_key, sel, {}, rng);
+  SumServer server(SharedKeyPair().public_key, &db);
+  SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
+  // Database privacy: the entire server->client flow is one message of
+  // one fixed-width ciphertext.
+  EXPECT_EQ(result.metrics.server_to_client.messages, 1u);
+  EXPECT_EQ(result.metrics.server_to_client.bytes,
+            1 + SharedKeyPair().public_key.CiphertextBytes());
+}
+
+TEST(PrivacyTest, BlindedPartialsDifferFromRawPartials) {
+  // In the multi-client protocol each client decrypts P_i + R_i, not
+  // P_i. With a large modulus the two coincide with negligible
+  // probability; run several seeds and require the blinding to show up.
+  ChaCha20Rng rng(30);
+  Database db("d", {10, 20, 30, 40, 50, 60});
+  SelectionVector sel(6, true);
+  int blinded_differs = 0;
+  for (uint64_t seed = 0; seed < 5; ++seed) {
+    ChaCha20Rng run_rng(40 + seed);
+    SumClientOptions client_options;
+    client_options.index_offset = 0;
+    SumClient client(SharedKeyPair().private_key,
+                     SelectionVector(sel.begin(), sel.begin() + 3),
+                     client_options, run_rng);
+    SumServerOptions server_options;
+    server_options.partition = std::make_pair<size_t, size_t>(0, 3);
+    server_options.blinding = BigInt(123456789 + seed);
+    SumServer server(SharedKeyPair().public_key, &db, server_options);
+    SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
+    if (result.sum != BigInt(60)) ++blinded_differs;
+    EXPECT_EQ(result.sum, BigInt(60) + BigInt(123456789 + seed));
+  }
+  EXPECT_EQ(blinded_differs, 5);
+}
+
+TEST(PrivacyTest, MultiClientBlindingsCancelOnlyInAggregate) {
+  ChaCha20Rng rng(50);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(30, 1000);
+  SelectionVector sel = gen.RandomSelection(30, 15);
+  uint64_t truth = db.SelectedSum(sel).ValueOrDie();
+
+  ChaCha20Rng k2(951), k3(952);
+  PaillierKeyPair kp2 = Paillier::GenerateKeyPair(256, k2).ValueOrDie();
+  PaillierKeyPair kp3 = Paillier::GenerateKeyPair(256, k3).ValueOrDie();
+  MultiClientRunResult result =
+      RunMultiClientSum({&SharedKeyPair().private_key, &kp2.private_key,
+                         &kp3.private_key},
+                        db, sel, {}, rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.total, BigInt(truth));
+}
+
+TEST(PrivacyTest, CiphertextIndistinguishabilityOfZeroAndOne) {
+  // Byte-level smoke test: encryptions of 0 and of 1 have identical
+  // length and no fixed distinguishing prefix.
+  ChaCha20Rng rng(60);
+  const PaillierPublicKey& pub = SharedKeyPair().public_key;
+  Bytes zero = Paillier::SerializeCiphertext(
+      pub, Paillier::Encrypt(pub, BigInt(0), rng).ValueOrDie());
+  Bytes one = Paillier::SerializeCiphertext(
+      pub, Paillier::Encrypt(pub, BigInt(1), rng).ValueOrDie());
+  EXPECT_EQ(zero.size(), one.size());
+  Bytes zero2 = Paillier::SerializeCiphertext(
+      pub, Paillier::Encrypt(pub, BigInt(0), rng).ValueOrDie());
+  EXPECT_NE(zero, zero2);
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,126 @@
+#include "core/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(707);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+SumRunResult RunSmall(size_t n, size_t chunk, uint64_t seed) {
+  ChaCha20Rng rng(seed);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n, 100);
+  SelectionVector selection = gen.RandomSelection(n, n / 2);
+  SumClientOptions options;
+  options.chunk_size = chunk;
+  SumClient client(SharedKeyPair().private_key, selection, options, rng);
+  SumServer server(SharedKeyPair().public_key, &db);
+  return RunSelectedSum(client, server).ValueOrDie();
+}
+
+TEST(RunnerTest, MetricsArePopulated) {
+  SumRunResult result = RunSmall(40, 10, 1);
+  const RunMetrics& m = result.metrics;
+  EXPECT_GT(m.client_encrypt_s, 0);
+  EXPECT_GT(m.server_compute_s, 0);
+  EXPECT_GT(m.client_decrypt_s, 0);
+  EXPECT_EQ(m.chunk_encrypt_s.size(), 4u);
+  EXPECT_EQ(m.chunk_compute_s.size(), 4u);
+  EXPECT_EQ(m.chunk_request_bytes.size(), 4u);
+  EXPECT_EQ(m.client_to_server.messages, 4u);
+  EXPECT_EQ(m.server_to_client.messages, 1u);
+  EXPECT_GT(m.client_to_server.bytes, 40u * 64u);  // 40 ciphertexts
+}
+
+TEST(RunnerTest, TrafficIsLinearInDatabaseSize) {
+  SumRunResult small = RunSmall(20, 0, 2);
+  SumRunResult large = RunSmall(60, 0, 3);
+  double ratio = static_cast<double>(large.metrics.client_to_server.bytes) /
+                 static_cast<double>(small.metrics.client_to_server.bytes);
+  EXPECT_NEAR(ratio, 3.0, 0.2);
+}
+
+TEST(RunnerTest, ComponentsScaleWithEnvironment) {
+  SumRunResult result = RunSmall(30, 0, 4);
+  ExecutionEnvironment modern = ExecutionEnvironment::Modern();
+  ExecutionEnvironment past = ExecutionEnvironment::ShortDistance2004();
+  ComponentBreakdown now = result.metrics.Components(modern);
+  ComponentBreakdown then = result.metrics.Components(past);
+  EXPECT_NEAR(then.client_encrypt_s,
+              now.client_encrypt_s * past.client_cpu_scale, 1e-9);
+  EXPECT_NEAR(then.server_compute_s,
+              now.server_compute_s * past.server_cpu_scale, 1e-9);
+  EXPECT_NEAR(now.Total(),
+              now.client_encrypt_s + now.server_compute_s +
+                  now.communication_s + now.client_decrypt_s,
+              1e-12);
+}
+
+TEST(RunnerTest, SequentialEqualsComponentTotal) {
+  SumRunResult result = RunSmall(25, 5, 5);
+  ExecutionEnvironment env = ExecutionEnvironment::ShortDistance2004();
+  EXPECT_NEAR(result.metrics.SequentialSeconds(env),
+              result.metrics.Components(env).Total(), 1e-12);
+}
+
+TEST(RunnerTest, PipelinedIsNeverSlowerThanSequential) {
+  SumRunResult result = RunSmall(60, 10, 6);
+  for (const ExecutionEnvironment& env :
+       {ExecutionEnvironment::ShortDistance2004(),
+        ExecutionEnvironment::LongDistance2004(),
+        ExecutionEnvironment::Modern()}) {
+    double pipelined = result.metrics.PipelinedSeconds(env).ValueOrDie();
+    double sequential = result.metrics.SequentialSeconds(env);
+    EXPECT_LE(pipelined, sequential * 1.0001) << env.name;
+    EXPECT_GT(pipelined, 0) << env.name;
+  }
+}
+
+TEST(RunnerTest, CommunicationDependsOnNetwork) {
+  SumRunResult result = RunSmall(30, 0, 7);
+  double lan =
+      result.metrics.CommunicationSeconds(NetworkModel::LanSwitch());
+  double modem =
+      result.metrics.CommunicationSeconds(NetworkModel::Modem56k());
+  EXPECT_GT(modem, lan * 100);
+}
+
+TEST(RunnerTest, MergeAccumulates) {
+  SumRunResult a = RunSmall(20, 5, 8);
+  SumRunResult b = RunSmall(20, 5, 9);
+  RunMetrics merged = a.metrics;
+  merged.Merge(b.metrics);
+  EXPECT_NEAR(merged.client_encrypt_s,
+              a.metrics.client_encrypt_s + b.metrics.client_encrypt_s,
+              1e-12);
+  EXPECT_EQ(merged.client_to_server.bytes,
+            a.metrics.client_to_server.bytes +
+                b.metrics.client_to_server.bytes);
+  EXPECT_EQ(merged.chunk_encrypt_s.size(),
+            a.metrics.chunk_encrypt_s.size() +
+                b.metrics.chunk_encrypt_s.size());
+}
+
+TEST(RunnerTest, EmptyClientIsRejected) {
+  ChaCha20Rng rng(10);
+  Database db("d", {1});
+  SumClient client(SharedKeyPair().private_key, SelectionVector{}, {}, rng);
+  SumServer server(SharedKeyPair().public_key, &db);
+  Result<SumRunResult> r = RunSelectedSum(client, server);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace ppstats

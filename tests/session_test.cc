@@ -1,0 +1,224 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <thread>
+
+#include "core/messages.h"
+#include "crypto/key_io.h"
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+#include "net/socket_channel.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(1616);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+// Runs one full session: server on a thread, client on this one.
+Result<BigInt> RunSession(const Database& db, const SelectionVector& sel,
+                          size_t chunk, uint64_t seed) {
+  auto [client_end, server_end] = DuplexPipe::Create();
+  Status server_status = Status::OK();
+  std::thread server_thread([&db, &server_end, &server_status] {
+    ServerSession session(&db);
+    server_status = session.Serve(*server_end);
+  });
+  ChaCha20Rng rng(seed);
+  ClientSession client(SharedKeyPair().private_key, sel, {chunk}, rng);
+  Result<BigInt> sum = client.Run(*client_end);
+  server_thread.join();
+  if (sum.ok() && !server_status.ok()) return server_status;
+  return sum;
+}
+
+TEST(SessionTest, HandshakeAndQuerySucceed) {
+  ChaCha20Rng rng(1);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(40, 10000);
+  SelectionVector sel = gen.RandomSelection(40, 17);
+  uint64_t truth = db.SelectedSum(sel).ValueOrDie();
+  BigInt sum = RunSession(db, sel, 10, 42).ValueOrDie();
+  EXPECT_EQ(sum, BigInt(truth));
+}
+
+TEST(SessionTest, WorksOverRealSockets) {
+  ChaCha20Rng rng(2);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(30, 1000);
+  SelectionVector sel = gen.RandomSelection(30, 12);
+  uint64_t truth = db.SelectedSum(sel).ValueOrDie();
+
+  auto pair = CreateSocketChannelPair().ValueOrDie();
+  Status server_status = Status::OK();
+  std::thread server_thread([&db, &pair, &server_status] {
+    ServerSession session(&db);
+    server_status = session.Serve(*pair.second);
+  });
+  ChaCha20Rng client_rng(43);
+  ClientSession client(SharedKeyPair().private_key, sel, {7}, client_rng);
+  Result<BigInt> sum = client.Run(*pair.first);
+  server_thread.join();
+  ASSERT_TRUE(server_status.ok()) << server_status;
+  EXPECT_EQ(*sum, BigInt(truth));
+}
+
+TEST(SessionTest, SelectionSizeMismatchAbortsBothSides) {
+  ChaCha20Rng rng(3);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(20, 100);
+  SelectionVector wrong = gen.RandomSelection(25, 5);  // 25 != 20
+  Result<BigInt> sum = RunSession(db, wrong, 0, 44);
+  EXPECT_FALSE(sum.ok());
+  EXPECT_EQ(sum.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionTest, ServerRejectsUnknownVersion) {
+  Database db("d", {1, 2, 3});
+  auto [client_end, server_end] = DuplexPipe::Create();
+  Status server_status = Status::OK();
+  std::thread server_thread([&db, &server_end, &server_status] {
+    ServerSession session(&db);
+    server_status = session.Serve(*server_end);
+  });
+
+  ClientHelloMessage hello;
+  hello.protocol_version = 99;
+  hello.public_key_blob = SerializePublicKey(SharedKeyPair().public_key);
+  ASSERT_TRUE(client_end->Send(hello.Encode()).ok());
+  Bytes reply = client_end->Receive().ValueOrDie();
+  EXPECT_EQ(PeekMessageType(reply).ValueOrDie(), MessageType::kError);
+  server_thread.join();
+  EXPECT_FALSE(server_status.ok());
+}
+
+TEST(SessionTest, ServerRejectsGarbagePublicKey) {
+  Database db("d", {1, 2, 3});
+  auto [client_end, server_end] = DuplexPipe::Create();
+  Status server_status = Status::OK();
+  std::thread server_thread([&db, &server_end, &server_status] {
+    ServerSession session(&db);
+    server_status = session.Serve(*server_end);
+  });
+
+  ClientHelloMessage hello;
+  hello.protocol_version = kSessionProtocolVersion;
+  hello.public_key_blob = Bytes{1, 2, 3, 4};
+  ASSERT_TRUE(client_end->Send(hello.Encode()).ok());
+  Bytes reply = client_end->Receive().ValueOrDie();
+  EXPECT_EQ(PeekMessageType(reply).ValueOrDie(), MessageType::kError);
+  server_thread.join();
+  EXPECT_FALSE(server_status.ok());
+}
+
+TEST(SessionTest, ServerRejectsNonHelloOpening) {
+  Database db("d", {1, 2, 3});
+  auto [client_end, server_end] = DuplexPipe::Create();
+  Status server_status = Status::OK();
+  std::thread server_thread([&db, &server_end, &server_status] {
+    ServerSession session(&db);
+    server_status = session.Serve(*server_end);
+  });
+  RingPartialMessage wrong{BigInt(5)};
+  ASSERT_TRUE(client_end->Send(wrong.Encode()).ok());
+  Bytes reply = client_end->Receive().ValueOrDie();
+  EXPECT_EQ(PeekMessageType(reply).ValueOrDie(), MessageType::kError);
+  server_thread.join();
+  EXPECT_FALSE(server_status.ok());
+}
+
+TEST(SessionTest, SequentialSessionsOnFreshChannels) {
+  ChaCha20Rng rng(4);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(15, 500);
+  for (uint64_t q = 0; q < 3; ++q) {
+    ChaCha20Rng sel_rng(50 + q);
+    WorkloadGenerator sel_gen(sel_rng);
+    SelectionVector sel = sel_gen.RandomSelection(15, 5);
+    uint64_t truth = db.SelectedSum(sel).ValueOrDie();
+    EXPECT_EQ(RunSession(db, sel, 4, 100 + q).ValueOrDie(), BigInt(truth));
+  }
+}
+
+TEST(SocketChannelTest, LargeMessagesSurviveFraming) {
+  auto pair = CreateSocketChannelPair().ValueOrDie();
+  Bytes big(1 << 20);
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<uint8_t>(i * 2654435761u >> 24);
+  }
+  std::thread sender([&pair, &big] {
+    ASSERT_TRUE(pair.first->Send(big).ok());
+    ASSERT_TRUE(pair.first->Send(Bytes{1}).ok());
+  });
+  EXPECT_EQ(pair.second->Receive().ValueOrDie(), big);
+  EXPECT_EQ(pair.second->Receive().ValueOrDie(), Bytes{1});
+  sender.join();
+}
+
+TEST(SocketChannelTest, CloseSurfacesAsProtocolError) {
+  auto pair = CreateSocketChannelPair().ValueOrDie();
+  pair.first.reset();
+  Result<Bytes> r = pair.second->Receive();
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(SocketChannelTest, ListenerAcceptsAndServes) {
+  std::string path = std::string(::testing::TempDir()) + "/ppstats_lt.sock";
+  SocketListener listener = SocketListener::Bind(path).ValueOrDie();
+
+  Database db("d", {5, 6, 7, 8});
+  Status server_status = Status::OK();
+  std::thread server_thread([&listener, &db, &server_status] {
+    auto channel = listener.Accept();
+    if (!channel.ok()) {
+      server_status = channel.status();
+      return;
+    }
+    ServerSession session(&db);
+    server_status = session.Serve(**channel);
+  });
+
+  auto channel = ConnectUnixSocket(path).ValueOrDie();
+  ChaCha20Rng rng(7);
+  SelectionVector sel = {true, false, true, false};
+  ClientSession client(SharedKeyPair().private_key, sel, {}, rng);
+  Result<BigInt> sum = client.Run(*channel);
+  server_thread.join();
+  ASSERT_TRUE(server_status.ok()) << server_status;
+  EXPECT_EQ(*sum, BigInt(12));
+}
+
+TEST(SocketChannelTest, ListenerRejectsOverlongPath) {
+  std::string path(200, 'x');
+  EXPECT_FALSE(SocketListener::Bind("/tmp/" + path).ok());
+  EXPECT_FALSE(ConnectUnixSocket("/tmp/" + path).ok());
+}
+
+TEST(SocketChannelTest, ConnectToMissingSocketFails) {
+  Result<std::unique_ptr<Channel>> r =
+      ConnectUnixSocket("/tmp/ppstats-no-such-socket-xyz.sock");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SocketChannelTest, OversizedFrameRejectedBySender) {
+  int fds[2];
+  ASSERT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  auto a = WrapSocket(fds[0], /*max_message_bytes=*/16);
+  auto b = WrapSocket(fds[1], /*max_message_bytes=*/16);
+  EXPECT_FALSE(a->Send(Bytes(17)).ok());
+  EXPECT_TRUE(a->Send(Bytes(16)).ok());
+  EXPECT_EQ(b->Receive().ValueOrDie().size(), 16u);
+}
+
+}  // namespace
+}  // namespace ppstats

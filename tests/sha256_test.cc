@@ -1,0 +1,89 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace ppstats {
+namespace {
+
+std::string HashHex(std::string_view input) {
+  Sha256::Digest d = Sha256::Hash(BytesView(
+      reinterpret_cast<const uint8_t*>(input.data()), input.size()));
+  return ToHex(d);
+}
+
+// NIST FIPS 180-4 / classic test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HashHex(""),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HashHex("abc"),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HashHex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionAs) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) {
+    h.Update(BytesView(reinterpret_cast<const uint8_t*>(chunk.data()),
+                       chunk.size()));
+  }
+  EXPECT_EQ(ToHex(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to cross "
+      "block boundaries at odd offsets.";
+  Sha256::Digest oneshot = Sha256::Hash(BytesView(
+      reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
+  for (size_t split = 0; split <= msg.size(); split += 7) {
+    Sha256 h;
+    h.Update(BytesView(reinterpret_cast<const uint8_t*>(msg.data()), split));
+    h.Update(BytesView(reinterpret_cast<const uint8_t*>(msg.data()) + split,
+                       msg.size() - split));
+    EXPECT_EQ(h.Finish(), oneshot) << "split=" << split;
+  }
+}
+
+TEST(Sha256Test, BoundaryLengths) {
+  // Lengths around the 55/56/64-byte padding boundaries must all work.
+  for (size_t len : {54u, 55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256::Digest a = Sha256::Hash(BytesView(
+        reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
+    // Same input twice must agree (exercises internal state handling).
+    Sha256::Digest b = Sha256::Hash(BytesView(
+        reinterpret_cast<const uint8_t*>(msg.data()), msg.size()));
+    EXPECT_EQ(a, b) << len;
+  }
+  // Known vector at a boundary: 56 'a' characters.
+  EXPECT_EQ(HashHex(std::string(56, 'a')),
+            "b35439a4ac6f0948b6d6f9e3c6af0f5f590ce20f1bde7090ef7970686ec6738a");
+}
+
+TEST(Sha256Test, ResetRestoresInitialState) {
+  Sha256 h;
+  h.Update(Bytes{1, 2, 3});
+  h.Reset();
+  EXPECT_EQ(ToHex(h.Finish()),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, DistinctInputsDistinctDigests) {
+  EXPECT_NE(HashHex("a"), HashHex("b"));
+  EXPECT_NE(HashHex("abc"), HashHex("abd"));
+  EXPECT_NE(HashHex("abc"), HashHex("abc "));
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,76 @@
+#include "db/signed_column.h"
+
+#include <gtest/gtest.h>
+
+#include "core/statistics.h"
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+TEST(SignedColumnTest, EncodeDecodeValueRoundTrip) {
+  for (int32_t v : {0, 1, -1, 2147483647, -2147483647 - 1, 12345, -54321}) {
+    Database db = SignedColumn::Encode("d", {v});
+    EXPECT_EQ(SignedColumn::DecodeValue(db.value(0)), v) << v;
+  }
+}
+
+TEST(SignedColumnTest, DecodeSumSubtractsBiasPerRow) {
+  std::vector<int32_t> values = {-100, 250, -3, 0};
+  Database db = SignedColumn::Encode("d", values);
+  // Plaintext biased sum over all rows.
+  uint64_t biased = 0;
+  for (size_t i = 0; i < db.size(); ++i) biased += db.value(i);
+  BigInt decoded = SignedColumn::DecodeSum(BigInt(biased), 4);
+  EXPECT_EQ(decoded, BigInt(-100 + 250 - 3 + 0));
+}
+
+TEST(SignedColumnTest, PrivateSignedSumEndToEnd) {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(2020);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  ChaCha20Rng rng(1);
+
+  std::vector<int32_t> profits = {-5000, 12000, -300, 4500, -9999, 0, 777};
+  Database db = SignedColumn::Encode("profits", profits);
+  SelectionVector sel = {true, true, false, true, true, false, true};
+
+  int64_t truth = 0;
+  size_t count = 0;
+  for (size_t i = 0; i < profits.size(); ++i) {
+    if (sel[i]) {
+      truth += profits[i];
+      ++count;
+    }
+  }
+
+  PrivateSumResult run =
+      PrivateSelectedSum(kp->private_key, db, sel, rng).ValueOrDie();
+  BigInt decoded = SignedColumn::DecodeSum(run.sum, count);
+  EXPECT_EQ(decoded, BigInt(truth));
+  EXPECT_TRUE(decoded.IsNegative() == (truth < 0));
+}
+
+TEST(SignedColumnTest, AllNegativeSelection) {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(2021);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  ChaCha20Rng rng(2);
+  std::vector<int32_t> values = {-1, -2, -3};
+  Database db = SignedColumn::Encode("d", values);
+  SelectionVector sel(3, true);
+  PrivateSumResult run =
+      PrivateSelectedSum(kp->private_key, db, sel, rng).ValueOrDie();
+  EXPECT_EQ(SignedColumn::DecodeSum(run.sum, 3), BigInt(-6));
+}
+
+TEST(SignedColumnTest, EmptySelectionDecodesToZero) {
+  EXPECT_TRUE(SignedColumn::DecodeSum(BigInt(0), 0).IsZero());
+}
+
+}  // namespace
+}  // namespace ppstats

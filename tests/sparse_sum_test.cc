@@ -1,0 +1,133 @@
+#include "pir/sparse_sum.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(1818);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+class SparseSumSweepTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(SparseSumSweepTest, SumMatchesPlaintext) {
+  auto [n, m] = GetParam();
+  ChaCha20Rng rng(n * 7 + m);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n, 0xFFFFFFFFu);
+  std::vector<size_t> indices;
+  for (size_t j = 0; j < m; ++j) {
+    indices.push_back(static_cast<size_t>(rng.NextBelow(n)));
+  }
+  uint64_t truth = 0;
+  for (size_t i : indices) truth += db.value(i);
+
+  SparseSumResult result =
+      RunSparsePrivateSum(SharedKeyPair().private_key, db, indices, {}, rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.total, BigInt(truth));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, SparseSumSweepTest,
+                         ::testing::Values(std::make_pair(10, 1),
+                                           std::make_pair(25, 3),
+                                           std::make_pair(49, 5),
+                                           std::make_pair(64, 2),
+                                           std::make_pair(100, 4)));
+
+TEST(SparseSumTest, DuplicateIndicesCountTwice) {
+  ChaCha20Rng rng(1);
+  Database db("d", {10, 20, 30});
+  SparseSumResult result =
+      RunSparsePrivateSum(SharedKeyPair().private_key, db, {1, 1, 2}, {},
+                          rng)
+          .ValueOrDie();
+  EXPECT_EQ(result.total, BigInt(70));
+}
+
+TEST(SparseSumTest, SingleIndexIsJustThatValue) {
+  ChaCha20Rng rng(2);
+  Database db("d", {0xFFFFFFFFu, 7, 0});
+  for (size_t i = 0; i < 3; ++i) {
+    SparseSumResult result =
+        RunSparsePrivateSum(SharedKeyPair().private_key, db, {i}, {}, rng)
+            .ValueOrDie();
+    EXPECT_EQ(result.total, BigInt(db.value(i)));
+  }
+}
+
+TEST(SparseSumTest, ValidatesInputs) {
+  ChaCha20Rng rng(3);
+  Database db("d", {1, 2, 3});
+  EXPECT_FALSE(
+      RunSparsePrivateSum(SharedKeyPair().private_key, db, {}, {}, rng)
+          .ok());
+  EXPECT_FALSE(
+      RunSparsePrivateSum(SharedKeyPair().private_key, db, {3}, {}, rng)
+          .ok());
+  SparseSumConfig not_pow2;
+  not_pow2.blind_modulus = (uint64_t{1} << 40) + 1;
+  EXPECT_FALSE(RunSparsePrivateSum(SharedKeyPair().private_key, db, {0},
+                                   not_pow2, rng)
+                   .ok());
+  SparseSumConfig too_small;
+  too_small.blind_modulus = 1 << 16;
+  EXPECT_FALSE(RunSparsePrivateSum(SharedKeyPair().private_key, db, {0},
+                                   too_small, rng)
+                   .ok());
+  SparseSumConfig too_big;
+  too_big.blind_modulus = uint64_t{1} << 61;
+  EXPECT_FALSE(RunSparsePrivateSum(SharedKeyPair().private_key, db, {0},
+                                   too_big, rng)
+                   .ok());
+}
+
+TEST(SparseSumTest, CommunicationScalesWithSqrtNPerQuery) {
+  ChaCha20Rng rng(4);
+  WorkloadGenerator gen(rng);
+  Database small = gen.UniformDatabase(100, 1000);   // 10x10
+  Database large = gen.UniformDatabase(400, 1000);   // 20x20
+  SparseSumResult rs =
+      RunSparsePrivateSum(SharedKeyPair().private_key, small, {5}, {}, rng)
+          .ValueOrDie();
+  SparseSumResult rl =
+      RunSparsePrivateSum(SharedKeyPair().private_key, large, {5}, {}, rng)
+          .ValueOrDie();
+  // 4x the database should roughly double (not quadruple) the traffic.
+  double ratio = static_cast<double>(rl.client_to_server.bytes) /
+                 rs.client_to_server.bytes;
+  EXPECT_GT(ratio, 1.5);
+  EXPECT_LT(ratio, 2.6);
+}
+
+TEST(SparseSumTest, BlindedRetrievalsAreNotRawValues) {
+  // Structural database-privacy check: the per-query retrieved values
+  // (before unblinding) must not equal the raw cells. We can't observe
+  // them directly through the API, so check the aggregate property:
+  // different runs (fresh blindings) still produce the same final sum.
+  ChaCha20Rng rng_a(5), rng_b(6);
+  Database db("d", {111, 222, 333, 444});
+  BigInt a = RunSparsePrivateSum(SharedKeyPair().private_key, db, {0, 2},
+                                 {}, rng_a)
+                 .ValueOrDie()
+                 .total;
+  BigInt b = RunSparsePrivateSum(SharedKeyPair().private_key, db, {0, 2},
+                                 {}, rng_b)
+                 .ValueOrDie()
+                 .total;
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a, BigInt(444));
+}
+
+}  // namespace
+}  // namespace ppstats

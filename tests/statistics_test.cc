@@ -1,0 +1,274 @@
+#include "core/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(808);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+class StatisticsSweepTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(StatisticsSweepTest, SumMatchesPlaintext) {
+  auto [n, m] = GetParam();
+  ChaCha20Rng rng(n * 31 + m);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n, 10000);
+  SelectionVector sel = gen.RandomSelection(n, m);
+  uint64_t truth = db.SelectedSum(sel).ValueOrDie();
+  PrivateSumResult r =
+      PrivateSelectedSum(SharedKeyPair().private_key, db, sel, rng)
+          .ValueOrDie();
+  EXPECT_EQ(r.sum, BigInt(truth));
+}
+
+TEST_P(StatisticsSweepTest, MeanAndVarianceMatchPlaintext) {
+  auto [n, m] = GetParam();
+  if (m == 0) return;  // undefined; covered by error tests
+  ChaCha20Rng rng(n * 37 + m);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(n, 1000);
+  SelectionVector sel = gen.RandomSelection(n, m);
+
+  uint64_t sum = db.SelectedSum(sel).ValueOrDie();
+  uint64_t sum_sq = db.SelectedSumOfSquares(sel).ValueOrDie();
+  double mean = static_cast<double>(sum) / m;
+  double variance = static_cast<double>(sum_sq) / m - mean * mean;
+
+  PrivateVarianceResult r =
+      PrivateVariance(SharedKeyPair().private_key, db, sel, rng)
+          .ValueOrDie();
+  EXPECT_EQ(r.count, m);
+  EXPECT_NEAR(r.mean, mean, 1e-6);
+  EXPECT_NEAR(r.variance, std::max(variance, 0.0), 1e-3);
+  EXPECT_EQ(r.sum, BigInt(sum));
+  EXPECT_EQ(r.sum_of_squares, BigInt(sum_sq));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StatisticsSweepTest,
+                         ::testing::Values(std::make_pair(1, 1),
+                                           std::make_pair(10, 0),
+                                           std::make_pair(20, 1),
+                                           std::make_pair(30, 15),
+                                           std::make_pair(64, 64),
+                                           std::make_pair(100, 37)));
+
+TEST(StatisticsTest, MeanOfKnownValues) {
+  ChaCha20Rng rng(1);
+  Database db("d", {10, 20, 30, 40});
+  SelectionVector sel = {true, false, true, false};
+  PrivateMeanResult r =
+      PrivateMean(SharedKeyPair().private_key, db, sel, rng).ValueOrDie();
+  EXPECT_EQ(r.count, 2u);
+  EXPECT_DOUBLE_EQ(r.mean, 20.0);
+  EXPECT_EQ(r.sum, BigInt(40));
+}
+
+TEST(StatisticsTest, VarianceOfConstantSelectionIsZero) {
+  ChaCha20Rng rng(2);
+  Database db("d", {7, 7, 7, 9});
+  SelectionVector sel = {true, true, true, false};
+  PrivateVarianceResult r =
+      PrivateVariance(SharedKeyPair().private_key, db, sel, rng)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.variance, 0.0);
+  EXPECT_DOUBLE_EQ(r.mean, 7.0);
+}
+
+TEST(StatisticsTest, WeightedSumAndAverage) {
+  ChaCha20Rng rng(3);
+  Database db("d", {10, 20, 30});
+  WeightVector weights = {1, 2, 3};
+  PrivateSumResult sum =
+      PrivateWeightedSum(SharedKeyPair().private_key, db, weights, rng)
+          .ValueOrDie();
+  EXPECT_EQ(sum.sum, BigInt(10 + 40 + 90));
+  PrivateWeightedAverageResult avg =
+      PrivateWeightedAverage(SharedKeyPair().private_key, db, weights, rng)
+          .ValueOrDie();
+  EXPECT_EQ(avg.total_weight, BigInt(6));
+  EXPECT_NEAR(avg.average, 140.0 / 6.0, 1e-9);
+}
+
+TEST(StatisticsTest, WeightedSumMatchesPlaintextSweep) {
+  ChaCha20Rng rng(4);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(40, 1000);
+  WeightVector weights = gen.RandomWeights(40, 9);
+  uint64_t truth = db.WeightedSum(weights).ValueOrDie();
+  PrivateSumResult r =
+      PrivateWeightedSum(SharedKeyPair().private_key, db, weights, rng)
+          .ValueOrDie();
+  EXPECT_EQ(r.sum, BigInt(truth));
+}
+
+TEST(StatisticsTest, EmptySelectionErrors) {
+  ChaCha20Rng rng(5);
+  Database db("d", {1, 2, 3});
+  SelectionVector none(3, false);
+  EXPECT_FALSE(
+      PrivateMean(SharedKeyPair().private_key, db, none, rng).ok());
+  EXPECT_FALSE(
+      PrivateVariance(SharedKeyPair().private_key, db, none, rng).ok());
+  WeightVector zero(3, 0);
+  EXPECT_FALSE(
+      PrivateWeightedAverage(SharedKeyPair().private_key, db, zero, rng)
+          .ok());
+}
+
+TEST(StatisticsTest, LengthMismatchErrors) {
+  ChaCha20Rng rng(6);
+  Database db("d", {1, 2, 3});
+  SelectionVector wrong(2, true);
+  EXPECT_FALSE(
+      PrivateSelectedSum(SharedKeyPair().private_key, db, wrong, rng).ok());
+  EXPECT_FALSE(
+      PrivateVariance(SharedKeyPair().private_key, db, wrong, rng).ok());
+  WeightVector wrong_w(5, 1);
+  EXPECT_FALSE(
+      PrivateWeightedSum(SharedKeyPair().private_key, db, wrong_w, rng)
+          .ok());
+}
+
+TEST(StatisticsTest, VarianceMergesMetricsOfBothRuns) {
+  ChaCha20Rng rng(7);
+  Database db("d", {5, 6, 7, 8});
+  SelectionVector sel(4, true);
+  PrivateVarianceResult var =
+      PrivateVariance(SharedKeyPair().private_key, db, sel, rng)
+          .ValueOrDie();
+  PrivateSumResult sum =
+      PrivateSelectedSum(SharedKeyPair().private_key, db, sel, rng)
+          .ValueOrDie();
+  // Two protocol executions: roughly double the traffic of one.
+  EXPECT_EQ(var.metrics.client_to_server.bytes,
+            2 * sum.metrics.client_to_server.bytes);
+  EXPECT_EQ(var.metrics.server_to_client.messages, 2u);
+}
+
+TEST(StatisticsTest, CovarianceMatchesPlaintext) {
+  ChaCha20Rng rng(9);
+  WorkloadGenerator gen(rng);
+  Database x = gen.UniformDatabase(30, 1000);
+  Database y = gen.UniformDatabase(30, 1000);
+  SelectionVector sel = gen.RandomSelection(30, 14);
+
+  size_t count = 0;
+  double sum_x = 0, sum_y = 0, sum_xy = 0;
+  for (size_t i = 0; i < 30; ++i) {
+    if (!sel[i]) continue;
+    ++count;
+    sum_x += x.value(i);
+    sum_y += y.value(i);
+    sum_xy += static_cast<double>(x.value(i)) * y.value(i);
+  }
+  double mean_x = sum_x / count, mean_y = sum_y / count;
+  double cov = sum_xy / count - mean_x * mean_y;
+
+  PrivateCovarianceResult r =
+      PrivateCovariance(SharedKeyPair().private_key, x, y, sel, rng)
+          .ValueOrDie();
+  EXPECT_EQ(r.count, count);
+  EXPECT_NEAR(r.mean_x, mean_x, 1e-6);
+  EXPECT_NEAR(r.mean_y, mean_y, 1e-6);
+  EXPECT_NEAR(r.covariance, cov, 1e-3);
+}
+
+TEST(StatisticsTest, CovarianceOfColumnWithItselfIsVariance) {
+  ChaCha20Rng rng(10);
+  WorkloadGenerator gen(rng);
+  Database x = gen.UniformDatabase(25, 500);
+  SelectionVector sel = gen.RandomSelection(25, 10);
+  PrivateCovarianceResult cov =
+      PrivateCovariance(SharedKeyPair().private_key, x, x, sel, rng)
+          .ValueOrDie();
+  PrivateVarianceResult var =
+      PrivateVariance(SharedKeyPair().private_key, x, sel, rng).ValueOrDie();
+  EXPECT_NEAR(cov.covariance, var.variance, 1e-3);
+}
+
+TEST(StatisticsTest, CorrelationOfColumnWithItselfIsOne) {
+  ChaCha20Rng rng(12);
+  WorkloadGenerator gen(rng);
+  Database x = gen.UniformDatabase(20, 1000);
+  SelectionVector sel = gen.RandomSelection(20, 10);
+  PrivateCorrelationResult r =
+      PrivateCorrelation(SharedKeyPair().private_key, x, x, sel, rng)
+          .ValueOrDie();
+  EXPECT_NEAR(r.correlation, 1.0, 1e-6);
+}
+
+TEST(StatisticsTest, CorrelationOfLinearRelationship) {
+  // y = 3x + 7 gives correlation exactly 1.
+  ChaCha20Rng rng(13);
+  std::vector<uint32_t> xv = {10, 25, 3, 99, 40, 77};
+  std::vector<uint32_t> yv;
+  for (uint32_t v : xv) yv.push_back(3 * v + 7);
+  Database x("x", xv);
+  Database y("y", yv);
+  SelectionVector sel(xv.size(), true);
+  PrivateCorrelationResult r =
+      PrivateCorrelation(SharedKeyPair().private_key, x, y, sel, rng)
+          .ValueOrDie();
+  EXPECT_NEAR(r.correlation, 1.0, 1e-6);
+  EXPECT_GT(r.variance_x, 0);
+  EXPECT_NEAR(r.variance_y, 9 * r.variance_x, 1e-3);
+}
+
+TEST(StatisticsTest, CorrelationOfConstantColumnIsZero) {
+  ChaCha20Rng rng(14);
+  Database x("x", {5, 5, 5, 5});
+  Database y("y", {1, 2, 3, 4});
+  SelectionVector sel(4, true);
+  PrivateCorrelationResult r =
+      PrivateCorrelation(SharedKeyPair().private_key, x, y, sel, rng)
+          .ValueOrDie();
+  EXPECT_DOUBLE_EQ(r.correlation, 0.0);
+  EXPECT_DOUBLE_EQ(r.variance_x, 0.0);
+}
+
+TEST(StatisticsTest, CovarianceValidatesInputs) {
+  ChaCha20Rng rng(11);
+  Database x("x", {1, 2, 3});
+  Database y("y", {1, 2});
+  SelectionVector sel(3, true);
+  EXPECT_FALSE(
+      PrivateCovariance(SharedKeyPair().private_key, x, y, sel, rng).ok());
+  Database y3("y", {1, 2, 3});
+  EXPECT_FALSE(PrivateCovariance(SharedKeyPair().private_key, x, y3,
+                                 SelectionVector(3, false), rng)
+                   .ok());
+  EXPECT_FALSE(PrivateCovariance(SharedKeyPair().private_key, x, y3,
+                                 SelectionVector(2, true), rng)
+                   .ok());
+}
+
+TEST(StatisticsTest, ChunkingDoesNotChangeResults) {
+  ChaCha20Rng rng(8);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(30, 100);
+  SelectionVector sel = gen.RandomSelection(30, 12);
+  SumClientOptions chunked;
+  chunked.chunk_size = 7;
+  PrivateSumResult a =
+      PrivateSelectedSum(SharedKeyPair().private_key, db, sel, rng)
+          .ValueOrDie();
+  PrivateSumResult b =
+      PrivateSelectedSum(SharedKeyPair().private_key, db, sel, rng, chunked)
+          .ValueOrDie();
+  EXPECT_EQ(a.sum, b.sum);
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,117 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace ppstats {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  const Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::FailedPrecondition("b"), StatusCode::kFailedPrecondition},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::CryptoError("d"), StatusCode::kCryptoError},
+      {Status::ProtocolError("e"), StatusCode::kProtocolError},
+      {Status::SerializationError("f"), StatusCode::kSerializationError},
+      {Status::NotFound("g"), StatusCode::kNotFound},
+      {Status::ResourceExhausted("h"), StatusCode::kResourceExhausted},
+      {Status::Internal("i"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status s = Status::CryptoError("no inverse");
+  EXPECT_EQ(s.ToString(), "CryptoError: no inverse");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::Internal("x"));
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  EXPECT_EQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_EQ(StatusCodeName(StatusCode::kProtocolError), "ProtocolError");
+  EXPECT_NE(StatusCodeName(StatusCode::kInternal),
+            StatusCodeName(StatusCode::kNotFound));
+}
+
+Status Fails() { return Status::OutOfRange("nope"); }
+Status Succeeds() { return Status::OK(); }
+
+Status UsesReturnIfError(bool fail) {
+  PPSTATS_RETURN_IF_ERROR(Succeeds());
+  if (fail) {
+    PPSTATS_RETURN_IF_ERROR(Fails());
+  }
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(UsesReturnIfError(false).ok());
+  Status s = UsesReturnIfError(true);
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("missing"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, MoveOnlyTypesWork) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+Result<int> ProducesValue() { return 7; }
+Result<int> ProducesError() { return Status::Internal("boom"); }
+
+Result<int> UsesAssignOrReturn(bool fail) {
+  PPSTATS_ASSIGN_OR_RETURN(int a, ProducesValue());
+  if (fail) {
+    PPSTATS_ASSIGN_OR_RETURN(int b, ProducesError());
+    return a + b;
+  }
+  return a + 1;
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  Result<int> ok = UsesAssignOrReturn(false);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 8);
+  Result<int> err = UsesAssignOrReturn(true);
+  ASSERT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace ppstats

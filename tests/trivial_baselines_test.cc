@@ -1,0 +1,96 @@
+#include "core/trivial_baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+TEST(TrivialBaselinesTest, IndexSumComputesCorrectly) {
+  Database db("d", {5, 10, 15, 20});
+  SelectionVector sel = {true, false, false, true};
+  BaselineRunResult r = RunNonPrivateIndexSum(db, sel).ValueOrDie();
+  EXPECT_EQ(r.sum, 25u);
+}
+
+TEST(TrivialBaselinesTest, FullTransferComputesCorrectly) {
+  Database db("d", {5, 10, 15, 20});
+  SelectionVector sel = {false, true, true, false};
+  BaselineRunResult r = RunFullTransferSum(db, sel).ValueOrDie();
+  EXPECT_EQ(r.sum, 25u);
+}
+
+TEST(TrivialBaselinesTest, AgreeWithEachOtherOnRandomWorkloads) {
+  ChaCha20Rng rng(1);
+  WorkloadGenerator gen(rng);
+  for (int iter = 0; iter < 10; ++iter) {
+    Database db = gen.UniformDatabase(200, 100000);
+    SelectionVector sel = gen.RandomSelection(200, 77);
+    uint64_t truth = db.SelectedSum(sel).ValueOrDie();
+    EXPECT_EQ(RunNonPrivateIndexSum(db, sel).ValueOrDie().sum, truth);
+    EXPECT_EQ(RunFullTransferSum(db, sel).ValueOrDie().sum, truth);
+  }
+}
+
+TEST(TrivialBaselinesTest, IndexSumTrafficScalesWithSelection) {
+  ChaCha20Rng rng(2);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(1000, 100);
+  SelectionVector small = gen.RandomSelection(1000, 10);
+  SelectionVector large = gen.RandomSelection(1000, 500);
+  uint64_t small_bytes =
+      RunNonPrivateIndexSum(db, small).ValueOrDie().client_to_server.bytes;
+  uint64_t large_bytes =
+      RunNonPrivateIndexSum(db, large).ValueOrDie().client_to_server.bytes;
+  EXPECT_GT(large_bytes, small_bytes * 10);
+}
+
+TEST(TrivialBaselinesTest, FullTransferTrafficScalesWithDatabase) {
+  ChaCha20Rng rng(3);
+  WorkloadGenerator gen(rng);
+  Database small_db = gen.UniformDatabase(100, 100);
+  Database large_db = gen.UniformDatabase(1000, 100);
+  uint64_t small_bytes = RunFullTransferSum(small_db,
+                                            SelectionVector(100, true))
+                             .ValueOrDie()
+                             .server_to_client.bytes;
+  uint64_t large_bytes = RunFullTransferSum(large_db,
+                                            SelectionVector(1000, true))
+                             .ValueOrDie()
+                             .server_to_client.bytes;
+  EXPECT_NEAR(static_cast<double>(large_bytes) / small_bytes, 10.0, 0.5);
+}
+
+TEST(TrivialBaselinesTest, LengthMismatchErrors) {
+  Database db("d", {1, 2, 3});
+  EXPECT_FALSE(RunNonPrivateIndexSum(db, SelectionVector(2, true)).ok());
+  EXPECT_FALSE(RunFullTransferSum(db, SelectionVector(4, true)).ok());
+}
+
+TEST(TrivialBaselinesTest, TotalSecondsUsesEnvironment) {
+  ChaCha20Rng rng(4);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(5000, 100);
+  SelectionVector sel = gen.RandomSelection(5000, 1000);
+  BaselineRunResult r = RunFullTransferSum(db, sel).ValueOrDie();
+  double lan = r.TotalSeconds(ExecutionEnvironment::Modern());
+  double modem = r.TotalSeconds(ExecutionEnvironment::LongDistance2004());
+  EXPECT_GT(modem, lan);
+}
+
+TEST(TrivialBaselinesTest, EmptySelectionSumsToZero) {
+  Database db("d", {1, 2, 3});
+  EXPECT_EQ(RunNonPrivateIndexSum(db, SelectionVector(3, false))
+                .ValueOrDie()
+                .sum,
+            0u);
+  EXPECT_EQ(RunFullTransferSum(db, SelectionVector(3, false))
+                .ValueOrDie()
+                .sum,
+            0u);
+}
+
+}  // namespace
+}  // namespace ppstats

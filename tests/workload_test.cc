@@ -1,0 +1,97 @@
+#include "db/workload.h"
+
+#include <gtest/gtest.h>
+
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+TEST(WorkloadTest, UniformDatabaseRespectsBounds) {
+  ChaCha20Rng rng(1);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(500, 100);
+  EXPECT_EQ(db.size(), 500u);
+  for (uint32_t v : db.values()) EXPECT_LE(v, 100u);
+}
+
+TEST(WorkloadTest, UniformDatabaseIsDeterministicUnderSeed) {
+  ChaCha20Rng rng_a(7), rng_b(7);
+  WorkloadGenerator a(rng_a), b(rng_b);
+  EXPECT_EQ(a.UniformDatabase(100).values(), b.UniformDatabase(100).values());
+}
+
+TEST(WorkloadTest, SkewedDatabaseRespectsBounds) {
+  ChaCha20Rng rng(2);
+  WorkloadGenerator gen(rng);
+  Database db = gen.SkewedDatabase(1000, 1000000);
+  for (uint32_t v : db.values()) EXPECT_LE(v, 1000000u);
+  // A zipf-ish skew should produce many small values.
+  size_t small = 0;
+  for (uint32_t v : db.values()) small += v < 100000 ? 1 : 0;
+  EXPECT_GT(small, 500u);
+}
+
+TEST(WorkloadTest, RandomSelectionHasExactCount) {
+  ChaCha20Rng rng(3);
+  WorkloadGenerator gen(rng);
+  for (size_t m : {0u, 1u, 50u, 200u}) {
+    SelectionVector sel = gen.RandomSelection(200, m);
+    EXPECT_EQ(sel.size(), 200u);
+    size_t count = 0;
+    for (bool s : sel) count += s ? 1 : 0;
+    EXPECT_EQ(count, m);
+  }
+}
+
+TEST(WorkloadTest, RandomSelectionClampsOversizedRequest) {
+  ChaCha20Rng rng(4);
+  WorkloadGenerator gen(rng);
+  SelectionVector sel = gen.RandomSelection(10, 99);
+  size_t count = 0;
+  for (bool s : sel) count += s ? 1 : 0;
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(WorkloadTest, RandomSelectionIsSpreadOut) {
+  ChaCha20Rng rng(5);
+  WorkloadGenerator gen(rng);
+  SelectionVector sel = gen.RandomSelection(1000, 500);
+  // Both halves should contain a nontrivial share of the selection.
+  size_t first_half = 0;
+  for (size_t i = 0; i < 500; ++i) first_half += sel[i] ? 1 : 0;
+  EXPECT_GT(first_half, 180u);
+  EXPECT_LT(first_half, 320u);
+}
+
+TEST(WorkloadTest, BernoulliSelectionMatchesProbability) {
+  ChaCha20Rng rng(6);
+  WorkloadGenerator gen(rng);
+  SelectionVector sel = gen.BernoulliSelection(10000, 0.3);
+  size_t count = 0;
+  for (bool s : sel) count += s ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(count) / 10000, 0.3, 0.03);
+}
+
+TEST(WorkloadTest, BernoulliEdgeProbabilities) {
+  ChaCha20Rng rng(7);
+  WorkloadGenerator gen(rng);
+  for (bool s : gen.BernoulliSelection(100, 0.0)) EXPECT_FALSE(s);
+  for (bool s : gen.BernoulliSelection(100, 1.0)) EXPECT_TRUE(s);
+}
+
+TEST(WorkloadTest, RandomWeightsRespectBound) {
+  ChaCha20Rng rng(8);
+  WorkloadGenerator gen(rng);
+  WeightVector w = gen.RandomWeights(300, 7);
+  EXPECT_EQ(w.size(), 300u);
+  bool saw_nonzero = false;
+  for (uint64_t v : w) {
+    EXPECT_LE(v, 7u);
+    saw_nonzero |= v != 0;
+  }
+  EXPECT_TRUE(saw_nonzero);
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -1,0 +1,101 @@
+// ppstats_client: runs one private selected-sum query against a
+// ppstats_server.
+//
+//   ppstats_client --key mykey.priv --socket /tmp/ppstats.sock \
+//                  --rows <n> --select 3,17,42 [--chunk 100] [--seed N]
+//
+// The server learns nothing about --select; the client learns only the
+// sum of the selected rows.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <random>
+#include <string>
+
+#include "core/session.h"
+#include "crypto/chacha20_rng.h"
+#include "crypto/key_io.h"
+#include "db/io.h"
+#include "net/socket_channel.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ppstats_client --key <file.priv> --socket <path> "
+               "--rows <n> --select i,j,k [--chunk <c>] [--seed <n>]\n");
+  return 2;
+}
+
+ppstats::Result<ppstats::Bytes> ReadHexFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return ppstats::Status::NotFound("cannot open " + path);
+  std::string hex;
+  in >> hex;
+  return ppstats::FromHex(hex);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppstats;
+
+  std::string key_path, socket_path, select;
+  size_t rows = 0, chunk = 0;
+  uint64_t seed = std::random_device{}();
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--key") && i + 1 < argc) {
+      key_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--select") && i + 1 < argc) {
+      select = argv[++i];
+    } else if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
+      rows = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--chunk") && i + 1 < argc) {
+      chunk = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
+      seed = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      return Usage();
+    }
+  }
+  if (key_path.empty() || socket_path.empty() || select.empty() || rows == 0) {
+    return Usage();
+  }
+
+  Result<Bytes> key_blob = ReadHexFile(key_path);
+  if (!key_blob.ok()) {
+    std::fprintf(stderr, "%s\n", key_blob.status().ToString().c_str());
+    return 1;
+  }
+  Result<PaillierPrivateKey> key = DeserializePrivateKey(*key_blob);
+  if (!key.ok()) {
+    std::fprintf(stderr, "%s\n", key.status().ToString().c_str());
+    return 1;
+  }
+  Result<std::vector<size_t>> indices = ParseIndexList(select, rows);
+  if (!indices.ok()) {
+    std::fprintf(stderr, "%s\n", indices.status().ToString().c_str());
+    return 1;
+  }
+  SelectionVector selection(rows, false);
+  for (size_t i : *indices) selection[i] = true;
+
+  Result<std::unique_ptr<Channel>> channel = ConnectUnixSocket(socket_path);
+  if (!channel.ok()) {
+    std::fprintf(stderr, "%s\n", channel.status().ToString().c_str());
+    return 1;
+  }
+  ChaCha20Rng rng(seed);
+  ClientSession session(*key, std::move(selection), {chunk}, rng);
+  Result<BigInt> sum = session.Run(**channel);
+  if (!sum.ok()) {
+    std::fprintf(stderr, "query failed: %s\n",
+                 sum.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", sum->ToDecimal().c_str());
+  return 0;
+}

@@ -1,0 +1,74 @@
+// ppstats_server: serves private selected-sum queries from a database
+// file over a Unix socket.
+//
+//   ppstats_server --db values.txt --socket /tmp/ppstats.sock [--once]
+//
+// Each client session runs the full handshake + protocol of
+// core/session.h. With --once the server exits after one session
+// (useful for scripted tests).
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/session.h"
+#include "db/io.h"
+#include "net/socket_channel.h"
+
+namespace {
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: ppstats_server --db <file> --socket <path> [--once]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace ppstats;
+
+  std::string db_path;
+  std::string socket_path;
+  bool once = false;
+  for (int i = 1; i < argc; ++i) {
+    if (!std::strcmp(argv[i], "--db") && i + 1 < argc) {
+      db_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
+      socket_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--once")) {
+      once = true;
+    } else {
+      return Usage();
+    }
+  }
+  if (db_path.empty() || socket_path.empty()) return Usage();
+
+  Result<Database> db = LoadDatabaseFromFile(db_path);
+  if (!db.ok()) {
+    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+    return 1;
+  }
+  Result<SocketListener> listener = SocketListener::Bind(socket_path);
+  if (!listener.ok()) {
+    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu rows from %s on %s\n", db->size(),
+              db_path.c_str(), socket_path.c_str());
+  std::fflush(stdout);
+
+  do {
+    Result<std::unique_ptr<Channel>> channel = listener->Accept();
+    if (!channel.ok()) {
+      std::fprintf(stderr, "accept: %s\n",
+                   channel.status().ToString().c_str());
+      return 1;
+    }
+    ServerSession session(&db.value());
+    Status status = session.Serve(**channel);
+    std::printf("session: %s\n", status.ToString().c_str());
+    std::fflush(stdout);
+  } while (!once);
+  return 0;
+}

@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# Regenerates every reproduced figure and ablation table.
+#
+#   tools/run_experiments.sh [build-dir] [output-file]
+#
+# Set PPSTATS_FULL=1 first for the paper's database sizes (much slower).
+
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-bench_output.txt}"
+
+if [ ! -d "$BUILD_DIR/bench" ]; then
+  echo "error: $BUILD_DIR/bench not found — build first:" >&2
+  echo "  cmake -B $BUILD_DIR -G Ninja && cmake --build $BUILD_DIR" >&2
+  exit 1
+fi
+
+: > "$OUTPUT"
+for bench in "$BUILD_DIR"/bench/*; do
+  [ -f "$bench" ] && [ -x "$bench" ] || continue
+  echo "=== $(basename "$bench") ===" | tee -a "$OUTPUT"
+  "$bench" 2>&1 | tee -a "$OUTPUT"
+done
+echo "wrote $OUTPUT"
