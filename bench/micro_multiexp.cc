@@ -1,0 +1,121 @@
+// google-benchmark microbenchmarks for the batched multi-exponentiation
+// kernel behind the server's homomorphic fold: naive per-row
+// ScalarMultiply + Add ladder vs Straus vs Pippenger vs the threaded
+// Pippenger split used by SumServer with worker slices.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bigint/modarith.h"
+#include "bigint/montgomery.h"
+#include "common/thread_pool.h"
+#include "crypto/chacha20_rng.h"
+
+namespace ppstats {
+namespace {
+
+BigInt RandomOdd(ChaCha20Rng& rng, size_t bits) {
+  BigInt v = RandomBits(rng, bits) + (BigInt(1) << (bits - 1));
+  if (v.IsEven()) v += 1;
+  return v;
+}
+
+struct Fixture {
+  MontgomeryContext ctx;
+  std::vector<BigInt> bases;
+  std::vector<BigInt> bases_mont;
+  std::vector<BigInt> exps;
+
+  Fixture(size_t k, size_t mod_bits, size_t exp_bits, uint64_t seed)
+      : ctx([&] {
+          ChaCha20Rng rng(seed);
+          return RandomOdd(rng, mod_bits);
+        }()) {
+    ChaCha20Rng rng(seed + 1);
+    bases.reserve(k);
+    bases_mont.reserve(k);
+    exps.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      bases.push_back(RandomBelow(rng, ctx.modulus()));
+      bases_mont.push_back(ctx.ToMontgomery(bases.back()));
+      exps.push_back(RandomBits(rng, exp_bits));
+    }
+  }
+};
+
+// The pre-kernel server loop: one modular exponentiation per row, one
+// modular multiplication to fold it into the accumulator.
+void BM_FoldNaive(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1024, 32, 11);
+  for (auto _ : state) {
+    BigInt acc(1);
+    for (size_t i = 0; i < f.bases.size(); ++i) {
+      acc = MulMod(acc, f.ctx.Exp(f.bases[i], f.exps[i]), f.ctx.modulus());
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FoldNaive)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FoldStraus(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1024, 32, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctx.MultiExpMontgomery(
+        f.bases_mont, f.exps, MultiExpSchedule::kStraus));
+  }
+}
+BENCHMARK(BM_FoldStraus)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FoldPippenger(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1024, 32, 11);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctx.MultiExpMontgomery(
+        f.bases_mont, f.exps, MultiExpSchedule::kPippenger));
+  }
+}
+BENCHMARK(BM_FoldPippenger)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// SumServer's threaded shape: slice the batch over the shared pool, one
+// Pippenger call per slice, then multiply the partials together.
+void BM_FoldPippengerThreaded(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  Fixture f(k, 1024, 32, 11);
+  const size_t threads = ThreadPool::Shared().thread_count();
+  const size_t stride = (k + threads - 1) / threads;
+  for (auto _ : state) {
+    std::vector<BigInt> partials(threads);
+    ThreadPool::Shared().Run(threads, [&](size_t t) {
+      const size_t begin = std::min(t * stride, k);
+      const size_t end = std::min(begin + stride, k);
+      std::vector<BigInt> b(f.bases_mont.begin() + begin,
+                            f.bases_mont.begin() + end);
+      std::vector<BigInt> e(f.exps.begin() + begin, f.exps.begin() + end);
+      partials[t] = f.ctx.MultiExpMontgomery(b, e, MultiExpSchedule::kPippenger);
+    });
+    BigInt acc = f.ctx.OneMontgomery();
+    for (const BigInt& p : partials) acc = f.ctx.MulMontgomery(acc, p);
+    benchmark::DoNotOptimize(acc);
+  }
+}
+BENCHMARK(BM_FoldPippengerThreaded)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// Wider exponents: the two-level PIR combine regime, where the
+// exponents are full level-1 ciphertexts rather than 32-bit values.
+void BM_FoldAutoWideExponents(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1024, 1024, 13);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ctx.MultiExpMontgomery(f.bases_mont, f.exps));
+  }
+}
+BENCHMARK(BM_FoldAutoWideExponents)->Arg(10)->Arg(32)->Arg(100)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace ppstats
+
+BENCHMARK_MAIN();

@@ -1,0 +1,89 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace ppstats {
+
+ThreadPool::ThreadPool(size_t threads) {
+  workers_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::ExecuteFrom(Job& job) {
+  for (;;) {
+    const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job.count) return;
+    (*job.fn)(i);
+    if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
+      // Take the job mutex so the waiter cannot miss the notification
+      // between its predicate check and its wait.
+      std::lock_guard<std::mutex> lock(job.m);
+      job.done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and nothing left to help with
+      job = jobs_.front();
+      if (job->next.load(std::memory_order_relaxed) >= job->count) {
+        // Exhausted batch still parked at the front; retire it.
+        jobs_.pop_front();
+        continue;
+      }
+    }
+    ExecuteFrom(*job);
+  }
+}
+
+void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(job);
+  }
+  cv_.notify_all();
+
+  // Participate, then wait for workers still inside their last index.
+  ExecuteFrom(*job);
+  {
+    std::unique_lock<std::mutex> lock(job->m);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->count;
+    });
+  }
+  // Retire the batch if a worker has not already done so.
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find(jobs_.begin(), jobs_.end(), job);
+  if (it != jobs_.end()) jobs_.erase(it);
+}
+
+ThreadPool& ThreadPool::Shared() {
+  static ThreadPool pool(std::max(1u, std::thread::hardware_concurrency()));
+  return pool;
+}
+
+}  // namespace ppstats

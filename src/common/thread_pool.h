@@ -1,0 +1,73 @@
+// Persistent worker-thread pool for data-parallel folds.
+//
+// The server-side homomorphic product, the PIR row folds, and the
+// micro-benchmarks all split an associative fold into per-thread slices.
+// Spawning a std::thread per chunk (the seed implementation) costs a
+// clone/join round trip on every request; this pool keeps the workers
+// alive for the lifetime of the process and hands them task indices.
+//
+// Run() is cooperative: the calling thread executes task indices
+// alongside the workers, so a Run() issued from inside a pool worker
+// cannot deadlock — in the worst case the caller simply executes every
+// index itself.
+
+#ifndef PPSTATS_COMMON_THREAD_POOL_H_
+#define PPSTATS_COMMON_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ppstats {
+
+/// Fixed-size pool of worker threads executing indexed task batches.
+class ThreadPool {
+ public:
+  /// Starts `threads` workers (0 = no workers; Run() executes inline).
+  explicit ThreadPool(size_t threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t thread_count() const { return workers_.size(); }
+
+  /// Runs fn(0) .. fn(n-1) across the pool and the calling thread,
+  /// returning once every invocation has completed. Concurrent Run()
+  /// calls from different threads are safe and share the workers.
+  void Run(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Process-wide pool sized to the hardware; created on first use.
+  static ThreadPool& Shared();
+
+ private:
+  // One batch submitted to Run(): workers atomically claim indices until
+  // `next` passes `count`, then the last finisher signals the waiter.
+  struct Job {
+    const std::function<void(size_t)>* fn = nullptr;
+    size_t count = 0;
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex m;
+    std::condition_variable done_cv;
+  };
+
+  void WorkerLoop();
+  static void ExecuteFrom(Job& job);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::shared_ptr<Job>> jobs_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_COMMON_THREAD_POOL_H_

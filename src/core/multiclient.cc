@@ -92,6 +92,7 @@ Result<MultiClientRunResult> RunMultiClientSum(
     SumServerOptions server_options;
     server_options.partition = std::make_pair(begin, end);
     server_options.blinding = blindings[i];
+    server_options.worker_threads = config.server_worker_threads;
     SumServer server(keys[i]->public_key(), &db, server_options);
 
     PPSTATS_ASSIGN_OR_RETURN(SumRunResult run,

@@ -30,6 +30,11 @@ struct MultiClientConfig {
   /// Per-client protocol options (chunking, preprocessing pools are not
   /// shared across clients and must be null here).
   size_t chunk_size = 0;
+
+  /// Worker slices for each partition server's homomorphic fold; the
+  /// slices run on the process-wide persistent ThreadPool, shared with
+  /// the single-client and PIR servers. 0 or 1 = single-threaded.
+  size_t server_worker_threads = 1;
 };
 
 /// Result and metrics of one multi-client execution.

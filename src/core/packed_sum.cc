@@ -60,14 +60,12 @@ Result<PackedSumResult> RunPackedMultiSum(
 
   // --- Server: the usual product with database exponents. --------------
   Stopwatch server_timer;
-  DjCiphertext acc{BigInt(1)};
+  std::vector<BigInt> weights;
+  weights.reserve(db.size());
   for (size_t i = 0; i < db.size(); ++i) {
-    uint64_t value = db.value(i);
-    if (value == 0) continue;
-    acc = DamgardJurik::Add(
-        pub, acc,
-        DamgardJurik::ScalarMultiply(pub, encrypted_rows[i], BigInt(value)));
+    weights.push_back(BigInt(db.value(i)));
   }
+  DjCiphertext acc = DamgardJurik::WeightedFold(pub, encrypted_rows, weights);
   result.server_compute_s = server_timer.ElapsedSeconds();
   result.server_to_client.Record(pub.CiphertextBytes());
 

@@ -1,9 +1,9 @@
 #include "core/selected_sum.h"
 
 #include <algorithm>
-#include <thread>
 
 #include "bigint/modarith.h"
+#include "common/thread_pool.h"
 
 namespace ppstats {
 
@@ -87,7 +87,7 @@ SumServer::SumServer(PaillierPublicKey pub, const Database* db,
     : pub_(std::move(pub)),
       db_(db),
       options_(std::move(options)),
-      accumulator_{BigInt(1)} {
+      accumulator_mont_(pub_.mont_n2().OneMontgomery()) {
   begin_ = 0;
   end_ = db_->size();
   if (options_.partition.has_value()) {
@@ -116,23 +116,33 @@ Result<std::optional<Bytes>> SumServer::HandleRequest(BytesView frame) {
   }
 
   Stopwatch timer;
-  auto fold_range = [this, &msg](size_t begin,
-                                 size_t end) -> PaillierCiphertext {
-    PaillierCiphertext partial{BigInt(1)};
+  const MontgomeryContext& mont = pub_.mont_n2();
+
+  // One Pippenger multi-exponentiation per slice: gather the chunk's
+  // nonzero (ciphertext, exponent) pairs, convert the bases to
+  // Montgomery form once, and fold prod_i E(I_i)^{x_i} in one batched
+  // kernel call. The partial stays in Montgomery form.
+  auto fold_range = [this, &msg, &mont](size_t begin, size_t end) -> BigInt {
+    std::vector<BigInt> bases;
+    std::vector<BigInt> exponents;
+    bases.reserve(end - begin);
+    exponents.reserve(end - begin);
     for (size_t i = begin; i < end; ++i) {
       const size_t row = msg.start_index + i;
-      uint64_t value = db_->value(row);
+      const uint64_t value = db_->value(row);
+      // The per-row exponent is a BigInt product, so x_i^2 and x_i*y_i
+      // never wrap a fixed-width integer regardless of column width.
+      BigInt exponent(value);
       if (options_.square_values) {
-        value *= value;
+        exponent = BigInt(value) * BigInt(value);
       } else if (options_.product_with != nullptr) {
-        value *= options_.product_with->value(row);
+        exponent = BigInt(value) * BigInt(options_.product_with->value(row));
       }
-      if (value == 0) continue;  // E(I)^0 == 1: no-op factor
-      PaillierCiphertext powered =
-          Paillier::ScalarMultiply(pub_, msg.ciphertexts[i], BigInt(value));
-      partial = Paillier::Add(pub_, partial, powered);
+      if (exponent.IsZero()) continue;  // E(I)^0 == 1: no-op factor
+      bases.push_back(mont.ToMontgomery(msg.ciphertexts[i].value));
+      exponents.push_back(Mod(exponent, pub_.n()));
     }
-    return partial;
+    return mont.MultiExpMontgomery(bases, exponents);
   };
 
   const size_t count = msg.ciphertexts.size();
@@ -140,22 +150,18 @@ Result<std::optional<Bytes>> SumServer::HandleRequest(BytesView frame) {
       std::min(options_.worker_threads == 0 ? 1 : options_.worker_threads,
                count == 0 ? size_t{1} : count);
   if (threads <= 1) {
-    accumulator_ = Paillier::Add(pub_, accumulator_, fold_range(0, count));
+    accumulator_mont_ = mont.MulMontgomery(accumulator_mont_, fold_range(0, count));
   } else {
-    std::vector<PaillierCiphertext> partials(threads);
-    std::vector<std::thread> workers;
-    workers.reserve(threads);
+    std::vector<BigInt> partials(threads);
     const size_t stride = (count + threads - 1) / threads;
-    for (size_t t = 0; t < threads; ++t) {
-      const size_t begin = t * stride;
+    ThreadPool::Shared().Run(threads, [&partials, &fold_range, stride,
+                                       count](size_t t) {
+      const size_t begin = std::min(t * stride, count);
       const size_t end = std::min(begin + stride, count);
-      workers.emplace_back([&partials, &fold_range, t, begin, end] {
-        partials[t] = fold_range(begin, end);
-      });
-    }
-    for (std::thread& w : workers) w.join();
-    for (const PaillierCiphertext& partial : partials) {
-      accumulator_ = Paillier::Add(pub_, accumulator_, partial);
+      partials[t] = fold_range(begin, end);
+    });
+    for (const BigInt& partial : partials) {
+      accumulator_mont_ = mont.MulMontgomery(accumulator_mont_, partial);
     }
   }
   double elapsed = timer.ElapsedSeconds();
@@ -165,17 +171,19 @@ Result<std::optional<Bytes>> SumServer::HandleRequest(BytesView frame) {
   next_expected_ = msg.start_index + msg.ciphertexts.size();
   if (next_expected_ < end_) return std::optional<Bytes>();
 
-  // All rows processed: blind if requested and respond.
+  // All rows processed: leave Montgomery form (the only conversion in
+  // the whole session), blind if requested, and respond.
+  Stopwatch finish_timer;
+  PaillierCiphertext accumulator{mont.FromMontgomery(accumulator_mont_)};
   if (options_.blinding.has_value()) {
-    Stopwatch blind_timer;
     PPSTATS_ASSIGN_OR_RETURN(
-        accumulator_,
-        Paillier::AddPlaintext(pub_, accumulator_, *options_.blinding));
-    compute_seconds_ += blind_timer.ElapsedSeconds();
+        accumulator,
+        Paillier::AddPlaintext(pub_, accumulator, *options_.blinding));
   }
+  compute_seconds_ += finish_timer.ElapsedSeconds();
   finished_ = true;
   SumResponseMessage response;
-  response.sum = accumulator_;
+  response.sum = accumulator;
   return std::optional<Bytes>(response.Encode(pub_));
 }
 

@@ -113,10 +113,12 @@ struct SumServerOptions {
   /// square_values.
   const Database* product_with = nullptr;
 
-  /// Worker threads for the per-chunk homomorphic product. The product
-  /// is associative, so a chunk can be split into per-thread partial
+  /// Worker slices for the per-chunk homomorphic product. The product
+  /// is associative, so a chunk can be split into per-slice partial
   /// products and combined — the server-side counterpart of the paper's
-  /// Section 3.5 client-side parallelization. 0 or 1 = single-threaded.
+  /// Section 3.5 client-side parallelization. Slices run on the shared
+  /// persistent ThreadPool (no per-chunk thread spawn). 0 or 1 =
+  /// single-threaded.
   size_t worker_threads = 1;
 };
 
@@ -146,7 +148,10 @@ class SumServer {
   PaillierPublicKey pub_;
   const Database* db_;
   SumServerOptions options_;
-  PaillierCiphertext accumulator_;
+  // Running product prod E(I_i)^{x_i}, kept in Montgomery form mod n^2
+  // across all chunks; converted back to a canonical ciphertext exactly
+  // once, when the response is produced.
+  BigInt accumulator_mont_;
   size_t next_expected_ = 0;
   bool finished_ = false;
   double compute_seconds_ = 0;

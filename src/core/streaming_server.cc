@@ -73,13 +73,17 @@ Result<std::optional<Bytes>> StreamingSumServer::HandleRequest(
   if (!file_) return Status::Internal("column file read failed");
   peak_resident_rows_ = std::max(peak_resident_rows_, count);
 
+  // One batched multi-exponentiation per chunk instead of a per-row
+  // ScalarMultiply + Add ladder; resident state stays one chunk plus the
+  // accumulator.
+  std::vector<BigInt> weights;
+  weights.reserve(count);
   for (size_t i = 0; i < count; ++i) {
-    uint32_t value = ReadU32Le(raw.data() + 4 * i);
-    if (value == 0) continue;
-    accumulator_ = Paillier::Add(
-        pub_, accumulator_,
-        Paillier::ScalarMultiply(pub_, msg.ciphertexts[i], BigInt(value)));
+    weights.push_back(BigInt(ReadU32Le(raw.data() + 4 * i)));
   }
+  accumulator_ = Paillier::Add(
+      pub_, accumulator_,
+      Paillier::WeightedFold(pub_, msg.ciphertexts, weights));
 
   next_expected_ += count;
   if (next_expected_ < row_count_) return std::optional<Bytes>();

@@ -151,6 +151,20 @@ DjCiphertext DamgardJurik::ScalarMultiply(const DjPublicKey& pub,
   return DjCiphertext{pub.mont().Exp(a.value, Mod(k, pub.n_s()))};
 }
 
+DjCiphertext DamgardJurik::WeightedFold(const DjPublicKey& pub,
+                                        std::span<const DjCiphertext> cts,
+                                        std::span<const BigInt> weights) {
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exponents;
+  bases.reserve(cts.size());
+  exponents.reserve(cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    bases.push_back(cts[i].value);
+    exponents.push_back(Mod(weights[i], pub.n_s()));
+  }
+  return DjCiphertext{pub.mont().MultiExp(bases, exponents)};
+}
+
 Result<BigInt> DamgardJurik::Pack(const DjPublicKey& pub,
                                   const std::vector<uint64_t>& values,
                                   size_t slot_bits) {

@@ -20,6 +20,7 @@
 #define PPSTATS_CRYPTO_DAMGARD_JURIK_H_
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "bigint/bigint.h"
@@ -116,6 +117,15 @@ class DamgardJurik {
   /// E(a * k mod n^s).
   static DjCiphertext ScalarMultiply(const DjPublicKey& pub,
                                      const DjCiphertext& a, const BigInt& k);
+
+  /// Batched homomorphic fold: E(sum_i a_i * w_i mod n^s) =
+  /// prod_i cts[i]^{weights[i]} mod n^{s+1}, via the Pippenger/Straus
+  /// multi-exponentiation kernel. Bit-identical to folding
+  /// ScalarMultiply results with Add. Spans must have equal length;
+  /// zero weights are skipped.
+  static DjCiphertext WeightedFold(const DjPublicKey& pub,
+                                   std::span<const DjCiphertext> cts,
+                                   std::span<const BigInt> weights);
 
   /// Packs `values` (each < 2^slot_bits) into one plaintext, little-end
   /// first: sum_i values[i] * 2^(i * slot_bits). Fails if the packed

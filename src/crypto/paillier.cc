@@ -138,6 +138,20 @@ PaillierCiphertext Paillier::ScalarMultiply(const PaillierPublicKey& pub,
   return PaillierCiphertext{pub.mont_n2().Exp(a.value, Mod(k, pub.n()))};
 }
 
+PaillierCiphertext Paillier::WeightedFold(
+    const PaillierPublicKey& pub, std::span<const PaillierCiphertext> cts,
+    std::span<const BigInt> weights) {
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exponents;
+  bases.reserve(cts.size());
+  exponents.reserve(cts.size());
+  for (size_t i = 0; i < cts.size(); ++i) {
+    bases.push_back(cts[i].value);
+    exponents.push_back(Mod(weights[i], pub.n()));
+  }
+  return PaillierCiphertext{pub.mont_n2().MultiExp(bases, exponents)};
+}
+
 PaillierCiphertext Paillier::Rerandomize(const PaillierPublicKey& pub,
                                          const PaillierCiphertext& a,
                                          RandomSource& rng) {

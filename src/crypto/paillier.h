@@ -22,6 +22,7 @@
 #define PPSTATS_CRYPTO_PAILLIER_H_
 
 #include <memory>
+#include <span>
 
 #include "bigint/bigint.h"
 #include "bigint/montgomery.h"
@@ -157,6 +158,15 @@ class Paillier {
   static PaillierCiphertext ScalarMultiply(const PaillierPublicKey& pub,
                                            const PaillierCiphertext& a,
                                            const BigInt& k);
+
+  /// Batched homomorphic fold: E(sum_i a_i * w_i mod n) =
+  /// prod_i cts[i]^{weights[i]} mod n^2, via the Pippenger/Straus
+  /// multi-exponentiation kernel — the server's whole per-chunk work in
+  /// one call. Bit-identical to folding ScalarMultiply results with Add.
+  /// Spans must have equal length; zero weights are skipped.
+  static PaillierCiphertext WeightedFold(const PaillierPublicKey& pub,
+                                         std::span<const PaillierCiphertext> cts,
+                                         std::span<const BigInt> weights);
 
   /// Re-randomizes a ciphertext: same plaintext, fresh randomness.
   static PaillierCiphertext Rerandomize(const PaillierPublicKey& pub,

@@ -4,6 +4,7 @@
 
 #include "bigint/modarith.h"
 #include "common/stopwatch.h"
+#include "common/thread_pool.h"
 
 namespace ppstats {
 
@@ -19,6 +20,33 @@ uint64_t CellValue(const std::vector<uint64_t>& cells,
 
 std::vector<uint64_t> ToCells(const Database& db) {
   return std::vector<uint64_t>(db.values().begin(), db.values().end());
+}
+
+// Server-side row fold v_i = prod_j E(e_j)^{M[i][j]} = E(M[i][c]) for
+// every row, via one Pippenger multi-exponentiation per row. The column
+// selector is converted to Montgomery form once and shared by all rows;
+// independent rows run on the persistent thread pool.
+std::vector<PaillierCiphertext> FoldRows(
+    const PaillierPublicKey& pub,
+    const std::vector<PaillierCiphertext>& selector,
+    const std::vector<uint64_t>& cells, const PirLayout& layout) {
+  const MontgomeryContext& mont = pub.mont_n2();
+  std::vector<BigInt> selector_mont;
+  selector_mont.reserve(selector.size());
+  for (const PaillierCiphertext& ct : selector) {
+    selector_mont.push_back(mont.ToMontgomery(ct.value));
+  }
+  std::vector<PaillierCiphertext> responses(layout.rows);
+  ThreadPool::Shared().Run(layout.rows, [&](size_t i) {
+    std::vector<BigInt> exponents;
+    exponents.reserve(layout.cols);
+    for (size_t j = 0; j < layout.cols; ++j) {
+      exponents.push_back(BigInt(CellValue(cells, layout, i, j)));
+    }
+    responses[i] = PaillierCiphertext{
+        mont.FromMontgomery(mont.MultiExpMontgomery(selector_mont, exponents))};
+  });
+  return responses;
 }
 
 Result<PirRunResult> Narrow(Result<PirRawResult> raw) {
@@ -76,18 +104,8 @@ Result<PirRawResult> RunSingleLevelPirRaw(const std::vector<uint64_t>& cells,
 
   // --- Server: per row, v_i = prod_j E(e_j)^{M[i][j]} = E(M[i][c]). ---
   Stopwatch server_timer;
-  std::vector<PaillierCiphertext> responses;
-  responses.reserve(layout.rows);
-  for (size_t i = 0; i < layout.rows; ++i) {
-    PaillierCiphertext acc{BigInt(1)};
-    for (size_t j = 0; j < layout.cols; ++j) {
-      uint64_t cell = CellValue(cells, layout, i, j);
-      if (cell == 0) continue;
-      acc = Paillier::Add(
-          pub, acc, Paillier::ScalarMultiply(pub, selector[j], BigInt(cell)));
-    }
-    responses.push_back(std::move(acc));
-  }
+  std::vector<PaillierCiphertext> responses =
+      FoldRows(pub, selector, cells, layout);
   result.server_seconds += server_timer.ElapsedSeconds();
   result.server_to_client.Record(layout.rows * pub.CiphertextBytes());
 
@@ -144,22 +162,19 @@ Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
 
   // --- Server: level 1 as before, then fold the row responses into a
   // single level-2 ciphertext: w = prod_i E2(s_i)^{v_i} = E2(v_target).
+  // The level-2 combine is itself a multi-exponentiation: bases are the
+  // row selector, exponents the level-1 row values (valid level-2
+  // plaintexts, since each is in [0, n^2)).
   Stopwatch server_timer;
-  DjCiphertext folded{BigInt(1)};
-  for (size_t i = 0; i < layout.rows; ++i) {
-    PaillierCiphertext acc{BigInt(1)};
-    for (size_t j = 0; j < layout.cols; ++j) {
-      uint64_t cell = CellValue(cells, layout, i, j);
-      if (cell == 0) continue;
-      acc = Paillier::Add(
-          pub, acc,
-          Paillier::ScalarMultiply(pub, col_selector[j], BigInt(cell)));
-    }
-    // acc.value is in [0, n^2): a valid level-2 plaintext (exponent).
-    folded = DamgardJurik::Add(
-        dj_pub, folded,
-        DamgardJurik::ScalarMultiply(dj_pub, row_selector[i], acc.value));
+  std::vector<PaillierCiphertext> row_values =
+      FoldRows(pub, col_selector, cells, layout);
+  std::vector<BigInt> row_exponents;
+  row_exponents.reserve(layout.rows);
+  for (const PaillierCiphertext& v : row_values) {
+    row_exponents.push_back(v.value);
   }
+  DjCiphertext folded =
+      DamgardJurik::WeightedFold(dj_pub, row_selector, row_exponents);
   result.server_seconds += server_timer.ElapsedSeconds();
   result.server_to_client.Record(dj_pub.CiphertextBytes());
 

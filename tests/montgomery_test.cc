@@ -84,6 +84,70 @@ TEST(MontgomeryTest, WindowBoundariesExercised) {
   }
 }
 
+TEST(MontgomeryTest, SqrMatchesMulMod) {
+  ChaCha20Rng rng(31);
+  for (size_t bits : {64u, 128u, 512u, 1024u, 2048u}) {
+    BigInt m = RandomBits(rng, bits) + BigInt(3);
+    if (m.IsEven()) m += 1;
+    MontgomeryContext ctx(m);
+    for (int iter = 0; iter < 10; ++iter) {
+      BigInt a = RandomBelow(rng, m);
+      BigInt am = ctx.ToMontgomery(a);
+      EXPECT_EQ(ctx.FromMontgomery(ctx.Sqr(am)), MulMod(a, a, m));
+      EXPECT_EQ(ctx.Sqr(am), ctx.MulMontgomery(am, am));
+    }
+  }
+}
+
+TEST(MontgomeryTest, SqrEdgeValues) {
+  MontgomeryContext ctx(BigInt(101));
+  EXPECT_EQ(ctx.FromMontgomery(ctx.Sqr(ctx.ToMontgomery(BigInt(0)))),
+            BigInt(0));
+  EXPECT_EQ(ctx.FromMontgomery(ctx.Sqr(ctx.ToMontgomery(BigInt(1)))),
+            BigInt(1));
+  EXPECT_EQ(ctx.FromMontgomery(ctx.Sqr(ctx.ToMontgomery(BigInt(100)))),
+            BigInt(1));  // (-1)^2
+}
+
+TEST(MontgomeryTest, OneMontgomeryIsIdentity) {
+  ChaCha20Rng rng(32);
+  BigInt m = RandomBits(rng, 256) + BigInt(3);
+  if (m.IsEven()) m += 1;
+  MontgomeryContext ctx(m);
+  EXPECT_EQ(ctx.FromMontgomery(ctx.OneMontgomery()), BigInt(1));
+  BigInt a = ctx.ToMontgomery(RandomBelow(rng, m));
+  EXPECT_EQ(ctx.MulMontgomery(a, ctx.OneMontgomery()), a);
+}
+
+TEST(MontgomeryTest, ExpSmallExponentBoundary) {
+  // Exp switches from plain square-and-multiply to the 4-bit window at
+  // 48-bit exponents; check widths straddling the boundary agree with
+  // the reference ladder.
+  ChaCha20Rng rng(33);
+  BigInt m = RandomBits(rng, 512) + BigInt(3);
+  if (m.IsEven()) m += 1;
+  MontgomeryContext ctx(m);
+  BigInt base = RandomBelow(rng, m);
+  for (size_t exp_bits : {1u, 2u, 3u, 31u, 32u, 47u, 48u, 49u, 50u, 64u}) {
+    BigInt exp = (BigInt(1) << (exp_bits - 1)) + RandomBits(rng, exp_bits - 1);
+    ASSERT_EQ(exp.BitLength(), exp_bits);
+    EXPECT_EQ(ctx.Exp(base, exp), ModExpPlain(base, exp, m)) << exp_bits;
+  }
+}
+
+TEST(MontgomeryTest, ExpGroupOrder) {
+  // 2^61 - 1 is a Mersenne prime, so base^(p-1) = 1 and base^p = base.
+  const BigInt p = (BigInt(1) << 61) - BigInt(1);
+  MontgomeryContext ctx(p);
+  ChaCha20Rng rng(34);
+  for (int iter = 0; iter < 4; ++iter) {
+    BigInt base = RandomBelow(rng, p);
+    if (base.IsZero()) base = BigInt(2);
+    EXPECT_EQ(ctx.Exp(base, p - BigInt(1)), BigInt(1));
+    EXPECT_EQ(ctx.Exp(base, p), base);
+  }
+}
+
 TEST(MontgomeryTest, ModulusAccessor) {
   BigInt m(12345677);  // odd
   MontgomeryContext ctx(m);

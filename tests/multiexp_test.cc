@@ -1,0 +1,185 @@
+#include <gtest/gtest.h>
+
+#include <utility>
+#include <vector>
+
+#include "bigint/modarith.h"
+#include "bigint/montgomery.h"
+#include "crypto/chacha20_rng.h"
+#include "crypto/damgard_jurik.h"
+#include "crypto/paillier.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(808);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+const DjPrivateKey& SharedDjKey() {
+  static const DjPrivateKey* key = [] {
+    return new DjPrivateKey(
+        DjPrivateKey::FromPaillier(SharedKeyPair().private_key, 2)
+            .ValueOrDie());
+  }();
+  return *key;
+}
+
+// prod_i bases[i]^exps[i] mod m the slow, obviously-correct way.
+BigInt NaiveFold(const std::vector<BigInt>& bases,
+                 const std::vector<BigInt>& exps, const BigInt& m) {
+  BigInt acc(1);
+  for (size_t i = 0; i < bases.size(); ++i) {
+    acc = MulMod(acc, ModExpPlain(bases[i], exps[i], m), m);
+  }
+  return acc;
+}
+
+// (batch size, exponent bits) sweep over both ciphertext moduli and both
+// kernel schedules.
+class MultiExpDifferentialTest
+    : public ::testing::TestWithParam<std::pair<size_t, size_t>> {};
+
+TEST_P(MultiExpDifferentialTest, MatchesNaiveFold) {
+  auto [k, exp_bits] = GetParam();
+  const BigInt& paillier_mod = SharedKeyPair().public_key.n_squared();
+  const BigInt& dj_mod = SharedDjKey().public_key().n_s1();
+  for (const BigInt* mod : {&paillier_mod, &dj_mod}) {
+    ChaCha20Rng rng(500 + k * 13 + exp_bits * 7 + mod->BitLength());
+    MontgomeryContext ctx(*mod);
+    std::vector<BigInt> bases;
+    std::vector<BigInt> exps;
+    bases.reserve(k);
+    exps.reserve(k);
+    for (size_t i = 0; i < k; ++i) {
+      bases.push_back(RandomBelow(rng, *mod));
+      exps.push_back(RandomBits(rng, exp_bits));
+    }
+    const BigInt expected = NaiveFold(bases, exps, *mod);
+    EXPECT_EQ(ctx.MultiExp(bases, exps), expected)
+        << "auto, k=" << k << " bits=" << exp_bits;
+    EXPECT_EQ(ctx.MultiExp(bases, exps, MultiExpSchedule::kStraus), expected)
+        << "straus, k=" << k << " bits=" << exp_bits;
+    EXPECT_EQ(ctx.MultiExp(bases, exps, MultiExpSchedule::kPippenger),
+              expected)
+        << "pippenger, k=" << k << " bits=" << exp_bits;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MultiExpDifferentialTest,
+    ::testing::Values(std::make_pair(1, 32), std::make_pair(2, 1),
+                      std::make_pair(2, 64), std::make_pair(17, 16),
+                      std::make_pair(17, 128), std::make_pair(100, 32),
+                      std::make_pair(100, 1), std::make_pair(1000, 32)));
+
+TEST(MultiExpTest, EmptyBatchIsOne) {
+  MontgomeryContext ctx(SharedKeyPair().public_key.n_squared());
+  EXPECT_EQ(ctx.MultiExp({}, {}), BigInt(1));
+}
+
+TEST(MultiExpTest, ZeroExponentsAreSkipped) {
+  const BigInt& m = SharedKeyPair().public_key.n_squared();
+  ChaCha20Rng rng(42);
+  MontgomeryContext ctx(m);
+  std::vector<BigInt> bases = {RandomBelow(rng, m), RandomBelow(rng, m),
+                               RandomBelow(rng, m)};
+  std::vector<BigInt> exps = {BigInt(0), BigInt(7), BigInt(0)};
+  EXPECT_EQ(ctx.MultiExp(bases, exps), ModExpPlain(bases[1], exps[1], m));
+  // All-zero exponents: the fold is empty, so the identity.
+  std::vector<BigInt> zeros(3, BigInt(0));
+  EXPECT_EQ(ctx.MultiExp(bases, zeros), BigInt(1));
+}
+
+TEST(MultiExpTest, ReducesBasesAboveModulus) {
+  const BigInt m(101);
+  MontgomeryContext ctx(m);
+  std::vector<BigInt> bases = {BigInt(205)};  // == 3 mod 101
+  std::vector<BigInt> exps = {BigInt(5)};
+  EXPECT_EQ(ctx.MultiExp(bases, exps),
+            ModExpPlain(BigInt(3), BigInt(5), m));
+}
+
+TEST(MultiExpTest, MontgomeryFormVariantMatches) {
+  const BigInt& m = SharedKeyPair().public_key.n_squared();
+  ChaCha20Rng rng(43);
+  MontgomeryContext ctx(m);
+  std::vector<BigInt> bases;
+  std::vector<BigInt> bases_mont;
+  std::vector<BigInt> exps;
+  for (size_t i = 0; i < 10; ++i) {
+    bases.push_back(RandomBelow(rng, m));
+    bases_mont.push_back(ctx.ToMontgomery(bases.back()));
+    exps.push_back(RandomBits(rng, 64));
+  }
+  EXPECT_EQ(ctx.FromMontgomery(ctx.MultiExpMontgomery(bases_mont, exps)),
+            NaiveFold(bases, exps, m));
+}
+
+TEST(MultiExpTest, PaillierWeightedFoldMatchesScalarMultiplyLadder) {
+  const PaillierPublicKey& pub = SharedKeyPair().public_key;
+  ChaCha20Rng rng(44);
+  std::vector<PaillierCiphertext> cts;
+  std::vector<BigInt> weights;
+  for (size_t i = 0; i < 23; ++i) {
+    cts.push_back(
+        Paillier::Encrypt(pub, BigInt(i * 31 + 1), rng).ValueOrDie());
+    weights.push_back(RandomBits(rng, 32));
+  }
+  PaillierCiphertext ladder =
+      Paillier::ScalarMultiply(pub, cts[0], weights[0]);
+  for (size_t i = 1; i < cts.size(); ++i) {
+    ladder = Paillier::Add(pub, ladder,
+                           Paillier::ScalarMultiply(pub, cts[i], weights[i]));
+  }
+  PaillierCiphertext folded = Paillier::WeightedFold(pub, cts, weights);
+  // Bit-identical ciphertexts, not just equal plaintexts.
+  EXPECT_EQ(folded.value, ladder.value);
+}
+
+TEST(MultiExpTest, DjWeightedFoldMatchesScalarMultiplyLadder) {
+  const DjPublicKey& pub = SharedDjKey().public_key();
+  ChaCha20Rng rng(45);
+  std::vector<DjCiphertext> cts;
+  std::vector<BigInt> weights;
+  for (size_t i = 0; i < 9; ++i) {
+    cts.push_back(
+        DamgardJurik::Encrypt(pub, BigInt(i + 1), rng).ValueOrDie());
+    // Two-level PIR exponents are full level-1 ciphertexts: n^2 wide.
+    weights.push_back(RandomBelow(rng, SharedKeyPair().public_key.n_squared()));
+  }
+  DjCiphertext ladder = DamgardJurik::ScalarMultiply(pub, cts[0], weights[0]);
+  for (size_t i = 1; i < cts.size(); ++i) {
+    ladder = DamgardJurik::Add(
+        pub, ladder, DamgardJurik::ScalarMultiply(pub, cts[i], weights[i]));
+  }
+  DjCiphertext folded = DamgardJurik::WeightedFold(pub, cts, weights);
+  EXPECT_EQ(folded.value, ladder.value);
+}
+
+TEST(MultiExpTest, WeightedFoldDecryptsToWeightedSum) {
+  const PaillierPublicKey& pub = SharedKeyPair().public_key;
+  ChaCha20Rng rng(46);
+  std::vector<PaillierCiphertext> cts;
+  std::vector<BigInt> weights;
+  BigInt expected(0);
+  for (uint64_t i = 0; i < 17; ++i) {
+    const uint64_t m = i * i + 1;
+    const uint64_t w = 3 * i + 2;
+    cts.push_back(Paillier::Encrypt(pub, BigInt(m), rng).ValueOrDie());
+    weights.push_back(BigInt(w));
+    expected += BigInt(m) * BigInt(w);
+  }
+  PaillierCiphertext folded = Paillier::WeightedFold(pub, cts, weights);
+  EXPECT_EQ(Paillier::Decrypt(SharedKeyPair().private_key, folded)
+                .ValueOrDie(),
+            expected);
+}
+
+}  // namespace
+}  // namespace ppstats

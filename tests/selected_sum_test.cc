@@ -240,6 +240,40 @@ TEST(SelectedSumTest, ZeroWeightVectorYieldsZero) {
   EXPECT_TRUE(result.sum.IsZero());
 }
 
+TEST(SelectedSumTest, SquareValuesNearUint32MaxDoNotOverflow) {
+  // Regression: the per-row exponent x_i^2 was once formed with
+  // fixed-width integer multiplication, which silently wraps for values
+  // near 2^32. Expected sums are computed with BigInt throughout.
+  ChaCha20Rng rng(16);
+  Database db("d", {0xFFFFFFFFu, 4000000000u, 0xFFFFFFFEu, 3u});
+  SelectionVector selection = {true, true, true, false};
+  SumClient client(SharedKeyPair().private_key, selection, {}, rng);
+  SumServerOptions server_options;
+  server_options.square_values = true;
+  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
+  BigInt expected = BigInt(0xFFFFFFFFull) * BigInt(0xFFFFFFFFull) +
+                    BigInt(4000000000ull) * BigInt(4000000000ull) +
+                    BigInt(0xFFFFFFFEull) * BigInt(0xFFFFFFFEull);
+  EXPECT_EQ(result.sum, expected);
+}
+
+TEST(SelectedSumTest, ProductWithNearUint32MaxDoesNotOverflow) {
+  ChaCha20Rng rng(17);
+  Database db("d", {0xFFFFFFFFu, 3000000000u, 5u});
+  Database other("o", {0xFFFFFFFEu, 4123456789u, 7u});
+  SelectionVector selection = {true, true, true};
+  SumClient client(SharedKeyPair().private_key, selection, {}, rng);
+  SumServerOptions server_options;
+  server_options.product_with = &other;
+  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
+  BigInt expected = BigInt(0xFFFFFFFFull) * BigInt(0xFFFFFFFEull) +
+                    BigInt(3000000000ull) * BigInt(4123456789ull) +
+                    BigInt(5) * BigInt(7);
+  EXPECT_EQ(result.sum, expected);
+}
+
 TEST(SelectedSumTest, LargeWeightsProduceWeightedSum) {
   ChaCha20Rng rng(13);
   Database db("d", {0xFFFFFFFFu, 0xFFFFFFFFu});

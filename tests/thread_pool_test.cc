@@ -1,0 +1,58 @@
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+namespace ppstats {
+namespace {
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.Run(hits.size(), [&hits](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+  ThreadPool pool(2);
+  pool.Run(0, [](size_t) { FAIL() << "must not be called"; });
+}
+
+TEST(ThreadPoolTest, SingleThreadPoolStillCompletes) {
+  ThreadPool pool(1);
+  std::atomic<size_t> sum{0};
+  pool.Run(100, [&sum](size_t i) { sum.fetch_add(i); });
+  EXPECT_EQ(sum.load(), 4950u);
+}
+
+TEST(ThreadPoolTest, NestedRunDoesNotDeadlock) {
+  // The caller participates in draining its own job, so a task that
+  // itself calls Run() must complete even when every worker is busy.
+  ThreadPool pool(2);
+  std::atomic<size_t> inner_total{0};
+  pool.Run(4, [&pool, &inner_total](size_t) {
+    pool.Run(8, [&inner_total](size_t) { inner_total.fetch_add(1); });
+  });
+  EXPECT_EQ(inner_total.load(), 32u);
+}
+
+TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<size_t> count{0};
+    pool.Run(17, [&count](size_t) { count.fetch_add(1); });
+    ASSERT_EQ(count.load(), 17u);
+  }
+}
+
+TEST(ThreadPoolTest, SharedPoolIsASingleton) {
+  EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
+  EXPECT_GE(ThreadPool::Shared().thread_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ppstats
