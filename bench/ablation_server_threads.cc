@@ -26,9 +26,8 @@ int main() {
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     ChaCha20Rng run_rng(2101 + threads);
     SumClient client(keys.private_key, sel, {}, run_rng);
-    SumServerOptions server_options;
-    server_options.worker_threads = threads;
-    SumServer server(keys.public_key, &db, server_options);
+    CompiledQuery query = CompileQuery(QuerySpec{}, &db).ValueOrDie();
+    SumServer server(keys.public_key, query, threads);
     SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
     if (result.sum != BigInt(truth)) {
       std::printf("CORRECTNESS FAILURE at %zu threads\n", threads);

@@ -86,9 +86,10 @@ Result<DistributedRunResult> RunDistributedSum(
     client_options.chunk_size = config.chunk_size;
     SumClient client(key, std::move(weights), client_options, rng);
 
-    SumServerOptions server_options;
-    if (config.blind_partials) server_options.blinding = blindings[i];
-    SumServer server(key.public_key(), db, server_options);
+    QuerySpec spec;
+    if (config.blind_partials) spec.blinding = blindings[i];
+    PPSTATS_ASSIGN_OR_RETURN(CompiledQuery query, CompileQuery(spec, db));
+    SumServer server(key.public_key(), query);
 
     PPSTATS_ASSIGN_OR_RETURN(SumRunResult run,
                              RunSelectedSum(client, server));

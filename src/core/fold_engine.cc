@@ -1,0 +1,167 @@
+#include "core/fold_engine.h"
+
+#include <algorithm>
+
+#include "bigint/modarith.h"
+#include "common/thread_pool.h"
+
+namespace ppstats {
+
+namespace {
+
+uint32_t ReadU32Le(const uint8_t* p) {
+  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+         (static_cast<uint32_t>(p[2]) << 16) |
+         (static_cast<uint32_t>(p[3]) << 24);
+}
+
+}  // namespace
+
+Status ColumnRowSource::ReadRows(size_t begin, std::span<uint64_t> out) {
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = db_->value(begin + i);
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<FileRowSource>> FileRowSource::Open(
+    const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return Status::NotFound("cannot open column file: " + path);
+  uint8_t header[4];
+  file.read(reinterpret_cast<char*>(header), 4);
+  if (!file) return Status::SerializationError("column file too short");
+  size_t rows = ReadU32Le(header);
+
+  file.seekg(0, std::ios::end);
+  auto size = static_cast<uint64_t>(file.tellg());
+  if (size != 4 + 4 * static_cast<uint64_t>(rows)) {
+    return Status::SerializationError("column file size mismatch");
+  }
+  file.seekg(4);
+  return std::unique_ptr<FileRowSource>(
+      new FileRowSource(std::move(file), rows));
+}
+
+Status FileRowSource::ReadRows(size_t begin, std::span<uint64_t> out) {
+  std::vector<uint8_t> raw(out.size() * 4);
+  file_.seekg(4 + 4 * static_cast<std::streamoff>(begin));
+  file_.read(reinterpret_cast<char*>(raw.data()),
+             static_cast<std::streamsize>(raw.size()));
+  if (!file_) return Status::Internal("column file read failed");
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = ReadU32Le(raw.data() + 4 * i);
+  }
+  peak_resident_rows_ = std::max(peak_resident_rows_, out.size());
+  return Status::OK();
+}
+
+BigInt SlicedFoldMontgomery(const MontgomeryContext& mont, size_t count,
+                            size_t worker_threads,
+                            const FoldGatherFn& gather) {
+  auto fold_range = [&mont, &gather](size_t begin, size_t end) -> BigInt {
+    std::vector<BigInt> bases;
+    std::vector<BigInt> exponents;
+    bases.reserve(end - begin);
+    exponents.reserve(end - begin);
+    gather(begin, end, &bases, &exponents);
+    return mont.MultiExpMontgomery(bases, exponents);
+  };
+
+  const size_t threads =
+      std::min(worker_threads == 0 ? 1 : worker_threads,
+               count == 0 ? size_t{1} : count);
+  if (threads <= 1) return fold_range(0, count);
+
+  std::vector<BigInt> partials(threads);
+  const size_t stride = (count + threads - 1) / threads;
+  ThreadPool::Shared().Run(threads, [&partials, &fold_range, stride,
+                                     count](size_t t) {
+    const size_t begin = std::min(t * stride, count);
+    const size_t end = std::min(begin + stride, count);
+    partials[t] = fold_range(begin, end);
+  });
+  BigInt product = partials[0];
+  for (size_t t = 1; t < partials.size(); ++t) {
+    product = mont.MulMontgomery(product, partials[t]);
+  }
+  return product;
+}
+
+BigInt SlicedMultiExpMontgomery(const MontgomeryContext& mont,
+                                std::span<const BigInt> bases_mont,
+                                std::span<const BigInt> exponents,
+                                size_t worker_threads) {
+  return SlicedFoldMontgomery(
+      mont, bases_mont.size(), worker_threads,
+      [&bases_mont, &exponents](size_t begin, size_t end,
+                                std::vector<BigInt>* bases,
+                                std::vector<BigInt>* exps) {
+        for (size_t i = begin; i < end; ++i) {
+          if (exponents[i].IsZero()) continue;
+          bases->push_back(bases_mont[i]);
+          exps->push_back(exponents[i]);
+        }
+      });
+}
+
+FoldEngine::FoldEngine(const PaillierPublicKey& pub,
+                       std::unique_ptr<RowSource> rows,
+                       ExponentTransform transform, size_t begin, size_t end,
+                       size_t worker_threads)
+    : pub_(pub),
+      rows_(std::move(rows)),
+      transform_(transform),
+      end_(end),
+      worker_threads_(worker_threads),
+      next_expected_(begin),
+      accumulator_mont_(pub_.mont_n2().OneMontgomery()) {}
+
+Status FoldEngine::FoldChunk(size_t start_row,
+                             std::span<const PaillierCiphertext> cts) {
+  if (done()) {
+    return Status::FailedPrecondition("fold already covered its rows");
+  }
+  if (start_row != next_expected_) {
+    return Status::ProtocolError("out-of-order index chunk");
+  }
+  if (start_row + cts.size() > end_) {
+    return Status::ProtocolError("index chunk overruns the database");
+  }
+
+  std::vector<uint64_t> values(cts.size());
+  PPSTATS_RETURN_IF_ERROR(rows_->ReadRows(start_row, values));
+
+  const MontgomeryContext& mont = pub_.mont_n2();
+  BigInt partial = SlicedFoldMontgomery(
+      mont, cts.size(), worker_threads_,
+      [this, &mont, &cts, &values, start_row](size_t begin, size_t end,
+                                              std::vector<BigInt>* bases,
+                                              std::vector<BigInt>* exps) {
+        for (size_t i = begin; i < end; ++i) {
+          BigInt exponent =
+              transform_.RowExponent(start_row + i, values[i]);
+          if (exponent.IsZero()) continue;  // E(I)^0 == 1: no-op factor
+          bases->push_back(mont.ToMontgomery(cts[i].value));
+          exps->push_back(Mod(exponent, pub_.n()));
+        }
+      });
+  accumulator_mont_ = mont.MulMontgomery(accumulator_mont_, partial);
+  next_expected_ = start_row + cts.size();
+  return Status::OK();
+}
+
+Result<PaillierCiphertext> FoldEngine::Finish(
+    const std::optional<BigInt>& blinding) {
+  if (!done()) {
+    return Status::FailedPrecondition("fold has uncovered rows");
+  }
+  // The single conversion out of Montgomery form in the fold's lifetime.
+  PaillierCiphertext out{pub_.mont_n2().FromMontgomery(accumulator_mont_)};
+  if (blinding.has_value()) {
+    return Paillier::AddPlaintext(pub_, out, *blinding);
+  }
+  return out;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,149 @@
+// Fold engine: the one implementation of the server-side homomorphic
+// fold prod_i E(I_i)^{e_i} mod n^2.
+//
+// Every server variant — in-memory SumServer, file-backed
+// StreamingSumServer, the packed Damgård–Jurik multi-sum, the PIR row
+// folds — is this fold over a different row source and exponent rule.
+// The engine owns the chunk ordering, the ThreadPool slicing, and the
+// Montgomery-form accumulator; rows come from a pluggable RowSource and
+// exponents from the query layer's ExponentTransform.
+//
+// Bit-for-bit invariant: multiplication mod n^2 is associative,
+// commutative, and exact, and the Montgomery conversions are exact, so
+// the final canonical residue is independent of chunking and slicing —
+// the engine's output is identical to a per-row exponentiate-and-
+// multiply server for every transform, partition, and thread count.
+
+#ifndef PPSTATS_CORE_FOLD_ENGINE_H_
+#define PPSTATS_CORE_FOLD_ENGINE_H_
+
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+#include "crypto/paillier.h"
+
+namespace ppstats {
+
+/// Supplies row values to the fold engine. Implementations may hold the
+/// whole column in memory or page it in per chunk.
+class RowSource {
+ public:
+  virtual ~RowSource() = default;
+
+  /// Total rows available.
+  virtual size_t size() const = 0;
+
+  /// Reads rows [begin, begin + out.size()) into `out`. The range is
+  /// validated by the engine before the call.
+  virtual Status ReadRows(size_t begin, std::span<uint64_t> out) = 0;
+
+  /// Largest number of row values this source has held resident at once;
+  /// 0 when the source does not track residency (in-memory columns).
+  virtual size_t peak_resident_rows() const { return 0; }
+};
+
+/// Rows served from an in-memory Database column.
+class ColumnRowSource : public RowSource {
+ public:
+  explicit ColumnRowSource(const Database* db) : db_(db) {}
+
+  size_t size() const override { return db_->size(); }
+  Status ReadRows(size_t begin, std::span<uint64_t> out) override;
+
+ private:
+  const Database* db_;
+};
+
+/// Rows paged in from a binary column file (see WriteColumnFile in
+/// core/streaming_server.h): resident state is one chunk, not the table.
+class FileRowSource : public RowSource {
+ public:
+  /// Opens `path`; fails if the file is missing, truncated, or sized
+  /// inconsistently with its header.
+  static Result<std::unique_ptr<FileRowSource>> Open(const std::string& path);
+
+  size_t size() const override { return row_count_; }
+  Status ReadRows(size_t begin, std::span<uint64_t> out) override;
+  size_t peak_resident_rows() const override { return peak_resident_rows_; }
+
+ private:
+  FileRowSource(std::ifstream file, size_t row_count)
+      : file_(std::move(file)), row_count_(row_count) {}
+
+  std::ifstream file_;
+  size_t row_count_ = 0;
+  size_t peak_resident_rows_ = 0;
+};
+
+/// Gathers one slice's fold terms: for each index in [begin, end), a
+/// Montgomery-form base and its non-negative exponent (zero-exponent
+/// terms may be dropped — E(I)^0 == 1 is a no-op factor).
+using FoldGatherFn = std::function<void(
+    size_t begin, size_t end, std::vector<BigInt>* bases_mont,
+    std::vector<BigInt>* exponents)>;
+
+/// The shared slicing kernel: splits [0, count) into up to
+/// `worker_threads` contiguous slices, folds each slice's gathered terms
+/// with one batched multi-exponentiation on the shared ThreadPool, and
+/// combines the Montgomery-form partials in slice order. Returns the
+/// Montgomery-form product.
+BigInt SlicedFoldMontgomery(const MontgomeryContext& mont, size_t count,
+                            size_t worker_threads,
+                            const FoldGatherFn& gather);
+
+/// Slicing kernel over bases already in Montgomery form (the PIR row
+/// fold and the packed multi-sum hold a prepared base vector). Returns
+/// the Montgomery-form product prod_i bases[i]^exponents[i].
+BigInt SlicedMultiExpMontgomery(const MontgomeryContext& mont,
+                                std::span<const BigInt> bases_mont,
+                                std::span<const BigInt> exponents,
+                                size_t worker_threads);
+
+/// The chunked fold behind every Paillier sum server: consumes index
+/// ciphertext chunks in row order over [begin, end), accumulates in
+/// Montgomery form, and produces the final (optionally blinded)
+/// ciphertext with a single conversion out of Montgomery form.
+class FoldEngine {
+ public:
+  /// Folds rows [begin, end) of `rows` (pass 0, rows->size() for the
+  /// whole column). Per-row exponents come from `transform`; chunks are
+  /// split across `worker_threads` slices of the shared ThreadPool.
+  FoldEngine(const PaillierPublicKey& pub, std::unique_ptr<RowSource> rows,
+             ExponentTransform transform, size_t begin, size_t end,
+             size_t worker_threads = 1);
+
+  /// Folds one chunk covering rows [start_row, start_row + cts.size()).
+  /// Chunks must arrive in order with no gaps, overlap, or overrun.
+  Status FoldChunk(size_t start_row, std::span<const PaillierCiphertext> cts);
+
+  /// True once chunks have covered every row in [begin, end).
+  bool done() const { return next_expected_ >= end_; }
+
+  /// Converts the accumulator out of Montgomery form (the only
+  /// conversion in the fold's lifetime) and applies `blinding`.
+  /// Requires done().
+  Result<PaillierCiphertext> Finish(const std::optional<BigInt>& blinding);
+
+  size_t row_count() const { return rows_->size(); }
+  size_t peak_resident_rows() const { return rows_->peak_resident_rows(); }
+
+ private:
+  PaillierPublicKey pub_;
+  std::unique_ptr<RowSource> rows_;
+  ExponentTransform transform_;
+  size_t end_ = 0;
+  size_t worker_threads_ = 1;
+  size_t next_expected_ = 0;
+  // Running product, kept in Montgomery form mod n^2 across all chunks.
+  BigInt accumulator_mont_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_FOLD_ENGINE_H_

@@ -20,7 +20,7 @@ Result<MessageType> PeekMessageType(BytesView frame) {
   }
   uint8_t tag = frame[0];
   if (tag < static_cast<uint8_t>(MessageType::kIndexBatch) ||
-      tag > static_cast<uint8_t>(MessageType::kError)) {
+      tag > static_cast<uint8_t>(MessageType::kGoodbye)) {
     return Status::ProtocolError("unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -164,6 +164,59 @@ Result<ErrorMessage> ErrorMessage::Decode(BytesView frame) {
   msg.reason.assign(reason_bytes.begin(), reason_bytes.end());
   PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
+}
+
+Bytes QueryHeaderMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kQueryHeader));
+  w.WriteU8(kind);
+  w.WriteBytes(BytesView(reinterpret_cast<const uint8_t*>(column.data()),
+                         column.size()));
+  w.WriteBytes(BytesView(reinterpret_cast<const uint8_t*>(column2.data()),
+                         column2.size()));
+  return w.Take();
+}
+
+Result<QueryHeaderMessage> QueryHeaderMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kQueryHeader));
+  QueryHeaderMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.kind, r.ReadU8());
+  PPSTATS_ASSIGN_OR_RETURN(Bytes column, r.ReadBytes());
+  msg.column.assign(column.begin(), column.end());
+  PPSTATS_ASSIGN_OR_RETURN(Bytes column2, r.ReadBytes());
+  msg.column2.assign(column2.begin(), column2.end());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes QueryAcceptMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kQueryAccept));
+  w.WriteU64(rows);
+  return w.Take();
+}
+
+Result<QueryAcceptMessage> QueryAcceptMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kQueryAccept));
+  QueryAcceptMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.rows, r.ReadU64());
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
+}
+
+Bytes GoodbyeMessage::Encode() const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kGoodbye));
+  return w.Take();
+}
+
+Result<GoodbyeMessage> GoodbyeMessage::Decode(BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kGoodbye));
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return GoodbyeMessage{};
 }
 
 Bytes RingBroadcastMessage::Encode() const {

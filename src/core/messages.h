@@ -24,6 +24,9 @@ enum class MessageType : uint8_t {
   kClientHello = 5,     ///< session handshake: version + public key
   kServerHello = 6,     ///< session handshake: version + database size
   kError = 7,           ///< either direction: abort with a reason
+  kQueryHeader = 8,     ///< v2: statistic kind + named column(s) for one query
+  kQueryAccept = 9,     ///< v2: server accepts a query, announces its rows
+  kGoodbye = 10,        ///< v2: client ends the session cleanly
 };
 
 /// A chunk of the encrypted index vector covering rows
@@ -89,6 +92,38 @@ struct ErrorMessage {
 
   Bytes Encode() const;
   static Result<ErrorMessage> Decode(BytesView frame);
+};
+
+/// v2 sessions: opens one query on an established connection. The kind
+/// is a StatisticKind wire value (validated by the server, not the
+/// decoder, so an unknown kind travels and is answered with an Error
+/// frame); column names resolve against the server's ColumnRegistry. An
+/// empty primary name means the server's default column; column2 is
+/// only meaningful for two-column statistics.
+struct QueryHeaderMessage {
+  uint8_t kind = 0;  ///< StatisticKind wire value
+  std::string column;
+  std::string column2;
+
+  Bytes Encode() const;
+  static Result<QueryHeaderMessage> Decode(BytesView frame);
+};
+
+/// v2 sessions: the server's acceptance of a QueryHeader, carrying the
+/// resolved column's row count (the client shapes its index vector
+/// accordingly, as it does from ServerHello in v1).
+struct QueryAcceptMessage {
+  uint64_t rows = 0;
+
+  Bytes Encode() const;
+  static Result<QueryAcceptMessage> Decode(BytesView frame);
+};
+
+/// v2 sessions: clean end-of-session marker, so the server can tell a
+/// finished client from a vanished one.
+struct GoodbyeMessage {
+  Bytes Encode() const;
+  static Result<GoodbyeMessage> Decode(BytesView frame);
 };
 
 /// Reads the type tag without consuming the frame.

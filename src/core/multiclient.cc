@@ -89,11 +89,12 @@ Result<MultiClientRunResult> RunMultiClientSum(
     client_options.index_offset = begin;
     SumClient client(*keys[i], std::move(weights), client_options, rng);
 
-    SumServerOptions server_options;
-    server_options.partition = std::make_pair(begin, end);
-    server_options.blinding = blindings[i];
-    server_options.worker_threads = config.server_worker_threads;
-    SumServer server(keys[i]->public_key(), &db, server_options);
+    QuerySpec spec;
+    spec.partition = std::make_pair(begin, end);
+    spec.blinding = blindings[i];
+    PPSTATS_ASSIGN_OR_RETURN(CompiledQuery query, CompileQuery(spec, &db));
+    SumServer server(keys[i]->public_key(), query,
+                     config.server_worker_threads);
 
     PPSTATS_ASSIGN_OR_RETURN(SumRunResult run,
                              RunSelectedSum(client, server));

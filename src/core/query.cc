@@ -1,0 +1,131 @@
+#include "core/query.h"
+
+namespace ppstats {
+
+Result<StatisticKind> StatisticKindFromWire(uint8_t wire) {
+  switch (wire) {
+    case static_cast<uint8_t>(StatisticKind::kSum):
+      return StatisticKind::kSum;
+    case static_cast<uint8_t>(StatisticKind::kSumOfSquares):
+      return StatisticKind::kSumOfSquares;
+    case static_cast<uint8_t>(StatisticKind::kProduct):
+      return StatisticKind::kProduct;
+    default:
+      return Status::InvalidArgument("unknown statistic kind " +
+                                     std::to_string(wire));
+  }
+}
+
+const char* StatisticKindName(StatisticKind kind) {
+  switch (kind) {
+    case StatisticKind::kSum:
+      return "sum";
+    case StatisticKind::kSumOfSquares:
+      return "sum-of-squares";
+    case StatisticKind::kProduct:
+      return "product";
+  }
+  return "?";
+}
+
+ExponentTransform ExponentTransform::Identity() {
+  ExponentTransform t;
+  t.kind_ = StatisticKind::kSum;
+  return t;
+}
+
+ExponentTransform ExponentTransform::Square() {
+  ExponentTransform t;
+  t.kind_ = StatisticKind::kSumOfSquares;
+  return t;
+}
+
+ExponentTransform ExponentTransform::ProductWith(const Database* second) {
+  ExponentTransform t;
+  t.kind_ = StatisticKind::kProduct;
+  t.second_ = second;
+  return t;
+}
+
+namespace {
+
+// Lowering shared by both compile paths once the columns are resolved.
+Result<CompiledQuery> Lower(const QuerySpec& spec, const Database* primary,
+                            const Database* second) {
+  if (primary == nullptr) {
+    return Status::InvalidArgument("query has no primary column");
+  }
+  CompiledQuery query;
+  query.column = primary;
+  switch (spec.kind) {
+    case StatisticKind::kSum:
+      query.transform = ExponentTransform::Identity();
+      break;
+    case StatisticKind::kSumOfSquares:
+      query.transform = ExponentTransform::Square();
+      break;
+    case StatisticKind::kProduct:
+      if (second == nullptr) {
+        return Status::InvalidArgument(
+            "product query needs a second column");
+      }
+      if (second->size() != primary->size()) {
+        return Status::InvalidArgument(
+            "product column size != primary database size");
+      }
+      query.transform = ExponentTransform::ProductWith(second);
+      break;
+    default:
+      return Status::InvalidArgument("unknown statistic kind");
+  }
+  if (spec.kind != StatisticKind::kProduct && second != nullptr) {
+    return Status::InvalidArgument(
+        "second column given for a single-column statistic");
+  }
+  query.begin = 0;
+  query.end = primary->size();
+  if (spec.partition.has_value()) {
+    if (spec.partition->first > spec.partition->second ||
+        spec.partition->second > primary->size()) {
+      return Status::InvalidArgument("partition outside the column");
+    }
+    query.begin = spec.partition->first;
+    query.end = spec.partition->second;
+  }
+  query.blinding = spec.blinding;
+  return query;
+}
+
+}  // namespace
+
+Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
+                                   const Database* primary,
+                                   const Database* second) {
+  return Lower(spec, primary, second);
+}
+
+Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
+                                   const ColumnRegistry& registry,
+                                   const Database* default_column) {
+  const Database* primary = spec.column.empty()
+                                ? default_column
+                                : registry.Find(spec.column);
+  if (primary == nullptr) {
+    return Status::NotFound(spec.column.empty()
+                                ? "server has no default column"
+                                : "unknown column: " + spec.column);
+  }
+  const Database* second = nullptr;
+  if (spec.kind == StatisticKind::kProduct) {
+    second = registry.Find(spec.column2);
+    if (second == nullptr) {
+      return Status::NotFound("unknown column: " + spec.column2);
+    }
+  } else if (!spec.column2.empty()) {
+    return Status::InvalidArgument(
+        "second column given for a single-column statistic");
+  }
+  return Lower(spec, primary, second);
+}
+
+}  // namespace ppstats

@@ -1,0 +1,118 @@
+// Query layer: what a client asks for, separated from how the server
+// computes it.
+//
+// Every protocol variant in this repo — selected sum, weighted sum,
+// sum-of-squares for variance, x*y for covariance, partitioned
+// multi-client shares, blinded distributed partials — is the same server
+// fold prod_i E(I_i)^{e_i} mod n^2 with a different per-row exponent
+// e_i. A QuerySpec names the statistic and the column(s); compiling it
+// lowers the statistic kind to an ExponentTransform (the e_i rule) plus
+// the partition/blinding the serving side applies. The fold engine and
+// SumServer only ever see compiled queries, so variance and covariance
+// are no longer special cases inside the server.
+
+#ifndef PPSTATS_CORE_QUERY_H_
+#define PPSTATS_CORE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "bigint/bigint.h"
+#include "db/column_registry.h"
+#include "db/database.h"
+
+namespace ppstats {
+
+/// The statistic a query computes over the selected rows. Values are
+/// wire tags (QueryHeader frames carry them as a u8).
+enum class StatisticKind : uint8_t {
+  kSum = 1,           ///< sum_i w_i x_i
+  kSumOfSquares = 2,  ///< sum_i w_i x_i^2 (variance building block)
+  kProduct = 3,       ///< sum_i w_i x_i y_i (covariance building block)
+};
+
+/// Validates a wire-decoded statistic kind.
+Result<StatisticKind> StatisticKindFromWire(uint8_t wire);
+
+/// Human-readable kind name, for diagnostics.
+const char* StatisticKindName(StatisticKind kind);
+
+/// The per-row exponent rule a statistic kind lowers to: the server
+/// exponentiates E(w_i) with RowExponent(i, x_i). Exponents are BigInt
+/// products, so x_i^2 and x_i*y_i never wrap a fixed-width integer.
+class ExponentTransform {
+ public:
+  ExponentTransform() = default;
+
+  static ExponentTransform Identity();
+  static ExponentTransform Square();
+  /// `second` must outlive the transform and match the primary column's
+  /// size (checked at compile time by CompileQuery).
+  static ExponentTransform ProductWith(const Database* second);
+
+  BigInt RowExponent(size_t row, uint64_t value) const {
+    switch (kind_) {
+      case StatisticKind::kSumOfSquares:
+        return BigInt(value) * BigInt(value);
+      case StatisticKind::kProduct:
+        return BigInt(value) * BigInt(second_->value(row));
+      case StatisticKind::kSum:
+        break;
+    }
+    return BigInt(value);
+  }
+
+  StatisticKind kind() const { return kind_; }
+  const Database* second_column() const { return second_; }
+
+ private:
+  StatisticKind kind_ = StatisticKind::kSum;
+  const Database* second_ = nullptr;
+};
+
+/// One query as the client states it: a statistic over named column(s),
+/// plus the serving-side options (blinding, partition) the multi-client
+/// and distributed protocols attach. Column names are resolved against a
+/// ColumnRegistry; an empty name means the server's default column.
+struct QuerySpec {
+  StatisticKind kind = StatisticKind::kSum;
+  std::string column;   ///< primary column ("" = server default)
+  std::string column2;  ///< second column, kProduct only
+
+  /// Additive blinding folded into the response (Section 3.5 partials).
+  std::optional<BigInt> blinding;
+
+  /// Rows [first, second) this server covers; whole column by default.
+  std::optional<std::pair<size_t, size_t>> partition;
+};
+
+/// A spec lowered against concrete columns: everything SumServer needs.
+struct CompiledQuery {
+  const Database* column = nullptr;  ///< resolved primary column
+  ExponentTransform transform;       ///< lowered from QuerySpec::kind
+  size_t begin = 0;                  ///< first covered row
+  size_t end = 0;                    ///< one past the last covered row
+  std::optional<BigInt> blinding;
+
+  size_t rows() const { return end - begin; }
+};
+
+/// Compiles `spec` against explicitly supplied columns (the embedding
+/// path used by statistics.cc and the test harnesses; names in the spec
+/// are ignored). `second` is required exactly when kind == kProduct and
+/// must match the primary column's size.
+Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
+                                   const Database* primary,
+                                   const Database* second = nullptr);
+
+/// Compiles `spec` by resolving its column names in `registry` (the v2
+/// session path). An empty primary name resolves to `default_column`
+/// when provided.
+Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
+                                   const ColumnRegistry& registry,
+                                   const Database* default_column = nullptr);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_QUERY_H_

@@ -2,9 +2,6 @@
 
 #include <algorithm>
 
-#include "bigint/modarith.h"
-#include "common/thread_pool.h"
-
 namespace ppstats {
 
 namespace {
@@ -15,6 +12,15 @@ WeightVector SelectionToWeights(const SelectionVector& selection) {
     weights[i] = selection[i] ? 1 : 0;
   }
   return weights;
+}
+
+CompiledQuery WholeColumnSum(const Database* db) {
+  CompiledQuery query;
+  query.column = db;
+  query.transform = ExponentTransform::Identity();
+  query.begin = 0;
+  query.end = db->size();
+  return query;
 }
 
 }  // namespace
@@ -73,113 +79,52 @@ Result<Bytes> SumClient::NextRequest() {
 }
 
 Result<BigInt> SumClient::HandleResponse(BytesView frame) {
+  if (response_handled_) {
+    return Status::FailedPrecondition(
+        "response already handled; a SumClient runs one execution");
+  }
   const PaillierPublicKey& pub = key_->public_key();
   PPSTATS_ASSIGN_OR_RETURN(SumResponseMessage msg,
                            SumResponseMessage::Decode(pub, frame));
   Stopwatch timer;
   Result<BigInt> sum = Paillier::Decrypt(*key_, msg.sum);
   decrypt_seconds_ += timer.ElapsedSeconds();
+  if (sum.ok()) response_handled_ = true;
   return sum;
 }
 
-SumServer::SumServer(PaillierPublicKey pub, const Database* db,
-                     SumServerOptions options)
+SumServer::SumServer(PaillierPublicKey pub, const Database* db)
+    : SumServer(std::move(pub), WholeColumnSum(db)) {}
+
+SumServer::SumServer(PaillierPublicKey pub, const CompiledQuery& query,
+                     size_t worker_threads)
     : pub_(std::move(pub)),
-      db_(db),
-      options_(std::move(options)),
-      accumulator_mont_(pub_.mont_n2().OneMontgomery()) {
-  begin_ = 0;
-  end_ = db_->size();
-  if (options_.partition.has_value()) {
-    begin_ = options_.partition->first;
-    end_ = options_.partition->second;
-  }
-  next_expected_ = begin_;
-}
+      engine_(pub_, std::make_unique<ColumnRowSource>(query.column),
+              query.transform, query.begin, query.end, worker_threads),
+      blinding_(query.blinding) {}
 
 Result<std::optional<Bytes>> SumServer::HandleRequest(BytesView frame) {
   if (finished_) {
     return Status::FailedPrecondition("response already produced");
   }
-  if (options_.product_with != nullptr &&
-      options_.product_with->size() != db_->size()) {
-    return Status::InvalidArgument(
-        "product column size != primary database size");
-  }
   PPSTATS_ASSIGN_OR_RETURN(IndexBatchMessage msg,
                            IndexBatchMessage::Decode(pub_, frame));
-  if (msg.start_index != next_expected_) {
-    return Status::ProtocolError("out-of-order index chunk");
-  }
-  if (msg.start_index + msg.ciphertexts.size() > end_) {
-    return Status::ProtocolError("index chunk overruns the database");
-  }
 
   Stopwatch timer;
-  const MontgomeryContext& mont = pub_.mont_n2();
-
-  // One Pippenger multi-exponentiation per slice: gather the chunk's
-  // nonzero (ciphertext, exponent) pairs, convert the bases to
-  // Montgomery form once, and fold prod_i E(I_i)^{x_i} in one batched
-  // kernel call. The partial stays in Montgomery form.
-  auto fold_range = [this, &msg, &mont](size_t begin, size_t end) -> BigInt {
-    std::vector<BigInt> bases;
-    std::vector<BigInt> exponents;
-    bases.reserve(end - begin);
-    exponents.reserve(end - begin);
-    for (size_t i = begin; i < end; ++i) {
-      const size_t row = msg.start_index + i;
-      const uint64_t value = db_->value(row);
-      // The per-row exponent is a BigInt product, so x_i^2 and x_i*y_i
-      // never wrap a fixed-width integer regardless of column width.
-      BigInt exponent(value);
-      if (options_.square_values) {
-        exponent = BigInt(value) * BigInt(value);
-      } else if (options_.product_with != nullptr) {
-        exponent = BigInt(value) * BigInt(options_.product_with->value(row));
-      }
-      if (exponent.IsZero()) continue;  // E(I)^0 == 1: no-op factor
-      bases.push_back(mont.ToMontgomery(msg.ciphertexts[i].value));
-      exponents.push_back(Mod(exponent, pub_.n()));
-    }
-    return mont.MultiExpMontgomery(bases, exponents);
-  };
-
-  const size_t count = msg.ciphertexts.size();
-  const size_t threads =
-      std::min(options_.worker_threads == 0 ? 1 : options_.worker_threads,
-               count == 0 ? size_t{1} : count);
-  if (threads <= 1) {
-    accumulator_mont_ = mont.MulMontgomery(accumulator_mont_, fold_range(0, count));
-  } else {
-    std::vector<BigInt> partials(threads);
-    const size_t stride = (count + threads - 1) / threads;
-    ThreadPool::Shared().Run(threads, [&partials, &fold_range, stride,
-                                       count](size_t t) {
-      const size_t begin = std::min(t * stride, count);
-      const size_t end = std::min(begin + stride, count);
-      partials[t] = fold_range(begin, end);
-    });
-    for (const BigInt& partial : partials) {
-      accumulator_mont_ = mont.MulMontgomery(accumulator_mont_, partial);
-    }
-  }
+  PPSTATS_RETURN_IF_ERROR(
+      engine_.FoldChunk(msg.start_index, msg.ciphertexts));
   double elapsed = timer.ElapsedSeconds();
   compute_seconds_ += elapsed;
   chunk_compute_seconds_.push_back(elapsed);
 
-  next_expected_ = msg.start_index + msg.ciphertexts.size();
-  if (next_expected_ < end_) return std::optional<Bytes>();
+  if (!engine_.done()) return std::optional<Bytes>();
 
-  // All rows processed: leave Montgomery form (the only conversion in
-  // the whole session), blind if requested, and respond.
+  // All rows processed: the engine leaves Montgomery form (the only
+  // conversion in the whole session), blinds if requested, and we
+  // respond.
   Stopwatch finish_timer;
-  PaillierCiphertext accumulator{mont.FromMontgomery(accumulator_mont_)};
-  if (options_.blinding.has_value()) {
-    PPSTATS_ASSIGN_OR_RETURN(
-        accumulator,
-        Paillier::AddPlaintext(pub_, accumulator, *options_.blinding));
-  }
+  PPSTATS_ASSIGN_OR_RETURN(PaillierCiphertext accumulator,
+                           engine_.Finish(blinding_));
   compute_seconds_ += finish_timer.ElapsedSeconds();
   finished_ = true;
   SumResponseMessage response;

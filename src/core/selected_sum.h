@@ -12,7 +12,10 @@
 //
 // Generalization: the client-side vector holds integer weights, not just
 // 0/1 — E(w_i) yields the weighted sum sum_i w_i x_i (paper Section 2),
-// from which weighted averages follow.
+// from which weighted averages follow. On the server side, variance and
+// covariance queries are not special cases here: a CompiledQuery (see
+// core/query.h) carries the per-row exponent transform, partition, and
+// blinding, and the fold itself lives in core/fold_engine.h.
 
 #ifndef PPSTATS_CORE_SELECTED_SUM_H_
 #define PPSTATS_CORE_SELECTED_SUM_H_
@@ -21,7 +24,9 @@
 #include <vector>
 
 #include "common/stopwatch.h"
+#include "core/fold_engine.h"
 #include "core/messages.h"
+#include "core/query.h"
 #include "crypto/pool.h"
 #include "db/database.h"
 
@@ -67,6 +72,8 @@ class SumClient {
   Result<Bytes> NextRequest();
 
   /// Decrypts the server's response; returns the (possibly blinded) sum.
+  /// A SumClient runs one protocol execution: once a response has been
+  /// handled, further calls fail with FailedPrecondition.
   Result<BigInt> HandleResponse(BytesView frame);
 
   /// Number of request frames this client will send in total.
@@ -87,47 +94,28 @@ class SumClient {
   SumClientOptions options_;
   RandomSource* rng_;
   size_t next_index_ = 0;
+  bool response_handled_ = false;
   double encrypt_seconds_ = 0;
   double decrypt_seconds_ = 0;
   std::vector<double> chunk_encrypt_seconds_;
 };
 
-/// Server-side options.
-struct SumServerOptions {
-  /// Additive blinding term folded into the response (multi-client
-  /// protocol, Section 3.5). Empty => no blinding.
-  std::optional<BigInt> blinding;
-
-  /// Rows [partition_begin, partition_end) of the database this server
-  /// session covers; {0, db->size()} by default.
-  std::optional<std::pair<size_t, size_t>> partition;
-
-  /// Exponentiate with x_i^2 instead of x_i, so the same index vector
-  /// yields the selected sum of squares (for private variance). The
-  /// squaring is a local server-side transform of its own data.
-  bool square_values = false;
-
-  /// Exponentiate with x_i * y_i where y_i comes from this second column
-  /// (for private covariance). The second column must have the same
-  /// size as the primary database. Mutually exclusive with
-  /// square_values.
-  const Database* product_with = nullptr;
-
-  /// Worker slices for the per-chunk homomorphic product. The product
-  /// is associative, so a chunk can be split into per-slice partial
-  /// products and combined — the server-side counterpart of the paper's
-  /// Section 3.5 client-side parallelization. Slices run on the shared
-  /// persistent ThreadPool (no per-chunk thread spawn). 0 or 1 =
-  /// single-threaded.
-  size_t worker_threads = 1;
-};
-
-/// Server endpoint: owns (a partition of) the database and accumulates
-/// the homomorphic product as index chunks arrive.
+/// Server endpoint: executes one compiled query, accumulating the
+/// homomorphic product as index chunks arrive.
 class SumServer {
  public:
-  SumServer(PaillierPublicKey pub, const Database* db,
-            SumServerOptions options = {});
+  /// Plain selected/weighted sum over the whole of `db` (the common
+  /// case: session v1, the figure harnesses).
+  SumServer(PaillierPublicKey pub, const Database* db);
+
+  /// Executes `query` (see CompileQuery): the lowered exponent
+  /// transform, partition, and blinding of any statistic kind. The
+  /// referenced columns must outlive the server. `worker_threads`
+  /// splits each chunk's fold across slices of the shared ThreadPool
+  /// (the server-side counterpart of the paper's Section 3.5
+  /// parallelization); 0 or 1 = single-threaded.
+  SumServer(PaillierPublicKey pub, const CompiledQuery& query,
+            size_t worker_threads = 1);
 
   /// Consumes one request frame. Returns the encoded response frame once
   /// the last expected row has been processed, std::nullopt before that.
@@ -143,16 +131,9 @@ class SumServer {
   }
 
  private:
-  size_t begin_ = 0;
-  size_t end_ = 0;
   PaillierPublicKey pub_;
-  const Database* db_;
-  SumServerOptions options_;
-  // Running product prod E(I_i)^{x_i}, kept in Montgomery form mod n^2
-  // across all chunks; converted back to a canonical ciphertext exactly
-  // once, when the response is produced.
-  BigInt accumulator_mont_;
-  size_t next_expected_ = 0;
+  FoldEngine engine_;
+  std::optional<BigInt> blinding_;
   bool finished_ = false;
   double compute_seconds_ = 0;
   std::vector<double> chunk_compute_seconds_;

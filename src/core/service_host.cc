@@ -1,0 +1,98 @@
+#include "core/service_host.h"
+
+#include <utility>
+
+namespace ppstats {
+
+ServiceHost::ServiceHost(const ColumnRegistry* registry,
+                         ServiceHostOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+ServiceHost::~ServiceHost() { Stop(); }
+
+Status ServiceHost::Start(const std::string& socket_path) {
+  if (running()) {
+    return Status::FailedPrecondition("service host already running");
+  }
+  if (registry_ == nullptr || registry_->empty()) {
+    return Status::FailedPrecondition("service host has no columns");
+  }
+  if (!options_.default_column.empty()) {
+    default_column_ = registry_->Find(options_.default_column);
+    if (default_column_ == nullptr) {
+      return Status::NotFound("default column not in the registry: " +
+                              options_.default_column);
+    }
+  } else if (registry_->size() == 1) {
+    default_column_ = registry_->Find(registry_->ColumnNames().front());
+  }
+
+  PPSTATS_ASSIGN_OR_RETURN(SocketListener listener,
+                           SocketListener::Bind(socket_path));
+  listener_.emplace(std::move(listener));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = false;
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return Status::OK();
+}
+
+void ServiceHost::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  if (listener_.has_value()) listener_->Close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  std::vector<std::thread> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions.swap(session_threads_);
+  }
+  for (std::thread& t : sessions) t.join();
+  listener_.reset();
+}
+
+ServiceHost::Stats ServiceHost::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats out = stats_;
+  out.distinct_client_keys = key_cache_.size();
+  return out;
+}
+
+void ServiceHost::AcceptLoop() {
+  for (;;) {
+    Result<std::unique_ptr<Channel>> channel = listener_->Accept();
+    std::lock_guard<std::mutex> lock(mu_);
+    // Accept fails once Stop shuts the listener down; it can also fail
+    // spuriously, in which case retrying would spin — so any failure
+    // ends the loop.
+    if (stopping_ || !channel.ok()) return;
+    ++stats_.sessions_accepted;
+    std::unique_ptr<Channel>& slot = *channel;
+    session_threads_.emplace_back(
+        [this, ch = std::move(slot)]() mutable { ServeOne(std::move(ch)); });
+  }
+}
+
+void ServiceHost::ServeOne(std::unique_ptr<Channel> channel) {
+  ServerSessionOptions session_options;
+  session_options.default_column = default_column_;
+  session_options.worker_threads = options_.worker_threads;
+  session_options.key_cache = &key_cache_;
+  ServerSession session(registry_, session_options);
+  Status status = session.Serve(*channel);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  if (status.ok()) {
+    ++stats_.sessions_ok;
+  } else {
+    ++stats_.sessions_failed;
+  }
+  stats_.queries_served += session.metrics().queries;
+  stats_.server_compute_s += session.metrics().server_compute_s;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,93 @@
+// ServiceHost: a concurrent multi-session server over AF_UNIX sockets.
+//
+// One accept-loop thread hands each incoming connection to its own
+// session thread (sessions do blocking channel I/O); the homomorphic
+// folds inside every session share the process-wide ThreadPool via
+// SumServer's worker_threads, so CPU parallelism is bounded regardless
+// of how many clients connect. Client public keys are deserialized
+// through one shared PublicKeyCache, so repeat sessions from the same
+// client skip the Montgomery-context rebuild.
+//
+// This is the deployment wrapper around ServerSession; the measured
+// experiment harnesses keep driving protocol objects directly.
+
+#ifndef PPSTATS_CORE_SERVICE_HOST_H_
+#define PPSTATS_CORE_SERVICE_HOST_H_
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "db/column_registry.h"
+#include "net/socket_channel.h"
+
+namespace ppstats {
+
+/// Host configuration.
+struct ServiceHostOptions {
+  /// Column served to v1 clients and unnamed v2 queries. Empty picks the
+  /// registry's sole column when it has exactly one, else no default.
+  std::string default_column;
+
+  /// Fold slices per chunk on the shared ThreadPool (per query).
+  size_t worker_threads = 1;
+};
+
+/// Serves ServerSessions concurrently on a filesystem socket path.
+class ServiceHost {
+ public:
+  /// Aggregate counters across all sessions served so far.
+  struct Stats {
+    uint64_t sessions_accepted = 0;
+    uint64_t sessions_ok = 0;      ///< sessions that ended cleanly
+    uint64_t sessions_failed = 0;  ///< sessions that ended with an error
+    uint64_t queries_served = 0;   ///< queries answered with a SumResponse
+    double server_compute_s = 0;   ///< total homomorphic fold time
+    size_t distinct_client_keys = 0;
+  };
+
+  /// `registry` must outlive the host and stay unmodified while running.
+  explicit ServiceHost(const ColumnRegistry* registry,
+                       ServiceHostOptions options = {});
+
+  /// Stops and joins all threads.
+  ~ServiceHost();
+
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  /// Binds `socket_path` and starts accepting clients in the background.
+  Status Start(const std::string& socket_path);
+
+  /// Unblocks the accept loop and joins every thread. Sessions already
+  /// in flight run to completion (their clients disconnect or finish).
+  /// Idempotent.
+  void Stop();
+
+  bool running() const { return accept_thread_.joinable(); }
+
+  Stats stats() const;
+
+ private:
+  void AcceptLoop();
+  void ServeOne(std::unique_ptr<Channel> channel);
+
+  const ColumnRegistry* registry_;
+  ServiceHostOptions options_;
+  const Database* default_column_ = nullptr;  // resolved at Start
+  PublicKeyCache key_cache_;
+  std::optional<SocketListener> listener_;
+  std::thread accept_thread_;
+
+  mutable std::mutex mu_;  // guards session_threads_ and stats_
+  std::vector<std::thread> session_threads_;
+  Stats stats_;
+  bool stopping_ = false;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_SERVICE_HOST_H_

@@ -1,7 +1,8 @@
 #include "core/session.h"
 
+#include <utility>
+
 #include "core/messages.h"
-#include "crypto/key_io.h"
 
 namespace ppstats {
 
@@ -24,6 +25,19 @@ Status FromErrorFrame(BytesView frame) {
                 "peer aborted: " + msg->reason);
 }
 
+// Drives one SumClient execution over the channel (shared by the v1 and
+// v2 client paths; the per-query framing around it differs).
+Result<BigInt> RunClientQuery(Channel& channel, SumClient& client) {
+  while (!client.RequestsDone()) {
+    PPSTATS_ASSIGN_OR_RETURN(Bytes request, client.NextRequest());
+    PPSTATS_RETURN_IF_ERROR(channel.Send(request));
+  }
+  PPSTATS_ASSIGN_OR_RETURN(Bytes response, channel.Receive());
+  PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(response));
+  if (type == MessageType::kError) return FromErrorFrame(response);
+  return client.HandleResponse(response);
+}
+
 }  // namespace
 
 ClientSession::ClientSession(const PaillierPrivateKey& key,
@@ -35,9 +49,15 @@ ClientSession::ClientSession(const PaillierPrivateKey& key,
       rng_(&rng) {}
 
 Result<BigInt> ClientSession::Run(Channel& channel) {
+  if (ran_) {
+    return Status::FailedPrecondition(
+        "session already ran; a ClientSession is single-shot");
+  }
+  ran_ = true;
+
   // Handshake.
   ClientHelloMessage hello;
-  hello.protocol_version = kSessionProtocolVersion;
+  hello.protocol_version = kSessionProtocolV1;
   hello.public_key_blob = SerializePublicKey(key_->public_key());
   PPSTATS_RETURN_IF_ERROR(channel.Send(hello.Encode()));
 
@@ -46,7 +66,7 @@ Result<BigInt> ClientSession::Run(Channel& channel) {
   if (type == MessageType::kError) return FromErrorFrame(reply);
   PPSTATS_ASSIGN_OR_RETURN(ServerHelloMessage server_hello,
                            ServerHelloMessage::Decode(reply));
-  if (server_hello.protocol_version != kSessionProtocolVersion) {
+  if (server_hello.protocol_version != kSessionProtocolV1) {
     return Status::ProtocolError("server speaks a different version");
   }
   if (server_hello.database_size != selection_.size()) {
@@ -59,19 +79,114 @@ Result<BigInt> ClientSession::Run(Channel& channel) {
   SumClientOptions client_options;
   client_options.chunk_size = options_.chunk_size;
   SumClient client(*key_, selection_, client_options, *rng_);
-  while (!client.RequestsDone()) {
-    PPSTATS_ASSIGN_OR_RETURN(Bytes request, client.NextRequest());
-    PPSTATS_RETURN_IF_ERROR(channel.Send(request));
+  return RunClientQuery(channel, client);
+}
+
+QuerySession::QuerySession(const PaillierPrivateKey& key, RandomSource& rng,
+                           ClientSessionOptions options)
+    : key_(&key), rng_(&rng), options_(options) {}
+
+Status QuerySession::Connect(Channel& channel) {
+  if (channel_ != nullptr) {
+    return Status::FailedPrecondition("session already connected");
   }
-  PPSTATS_ASSIGN_OR_RETURN(Bytes response, channel.Receive());
-  PPSTATS_ASSIGN_OR_RETURN(MessageType response_type,
-                           PeekMessageType(response));
-  if (response_type == MessageType::kError) return FromErrorFrame(response);
-  return client.HandleResponse(response);
+  ClientHelloMessage hello;
+  hello.protocol_version = kSessionProtocolVersion;
+  hello.public_key_blob = SerializePublicKey(key_->public_key());
+  PPSTATS_RETURN_IF_ERROR(channel.Send(hello.Encode()));
+
+  PPSTATS_ASSIGN_OR_RETURN(Bytes reply, channel.Receive());
+  PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(reply));
+  if (type == MessageType::kError) return FromErrorFrame(reply);
+  PPSTATS_ASSIGN_OR_RETURN(ServerHelloMessage server_hello,
+                           ServerHelloMessage::Decode(reply));
+  if (server_hello.protocol_version < kSessionProtocolV1 ||
+      server_hello.protocol_version > kSessionProtocolVersion) {
+    return Status::ProtocolError("server negotiated an unknown version");
+  }
+  version_ = static_cast<uint16_t>(server_hello.protocol_version);
+  server_rows_ = server_hello.database_size;
+  channel_ = &channel;
+  return Status::OK();
+}
+
+Result<BigInt> QuerySession::RunQuery(const QuerySpec& spec,
+                                      const SelectionVector& selection) {
+  WeightVector weights(selection.size());
+  for (size_t i = 0; i < selection.size(); ++i) {
+    weights[i] = selection[i] ? 1 : 0;
+  }
+  return RunWeighted(spec, std::move(weights));
+}
+
+Result<BigInt> QuerySession::RunWeighted(const QuerySpec& spec,
+                                         WeightVector weights) {
+  if (channel_ == nullptr) {
+    return Status::FailedPrecondition("session is not connected");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition("session already finished");
+  }
+  if (spec.blinding.has_value() || spec.partition.has_value()) {
+    // Those are serving-side options (multi-client / distributed
+    // embeddings); the session wire does not carry them.
+    return Status::InvalidArgument(
+        "blinding/partition cannot be requested over a session");
+  }
+
+  uint64_t rows = server_rows_;
+  if (version_ == kSessionProtocolV1) {
+    if (queries_run_ > 0) {
+      return Status::FailedPrecondition(
+          "a v1 server serves one query per session");
+    }
+    if (spec.kind != StatisticKind::kSum || !spec.column.empty() ||
+        !spec.column2.empty()) {
+      return Status::FailedPrecondition(
+          "a v1 server only serves plain sums over its default column");
+    }
+  } else {
+    QueryHeaderMessage header;
+    header.kind = static_cast<uint8_t>(spec.kind);
+    header.column = spec.column;
+    header.column2 = spec.column2;
+    PPSTATS_RETURN_IF_ERROR(channel_->Send(header.Encode()));
+
+    PPSTATS_ASSIGN_OR_RETURN(Bytes reply, channel_->Receive());
+    PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(reply));
+    if (type == MessageType::kError) return FromErrorFrame(reply);
+    PPSTATS_ASSIGN_OR_RETURN(QueryAcceptMessage accept,
+                             QueryAcceptMessage::Decode(reply));
+    rows = accept.rows;
+  }
+  if (weights.size() != rows) {
+    return AbortWith(*channel_, Status::InvalidArgument(
+                                    "weights length != query row count"));
+  }
+
+  SumClientOptions client_options;
+  client_options.chunk_size = options_.chunk_size;
+  SumClient client(*key_, std::move(weights), client_options, *rng_);
+  PPSTATS_ASSIGN_OR_RETURN(BigInt value, RunClientQuery(*channel_, client));
+  ++queries_run_;
+  if (version_ == kSessionProtocolV1) finished_ = true;  // one query only
+  return value;
+}
+
+Status QuerySession::Finish() {
+  if (channel_ == nullptr) {
+    return Status::FailedPrecondition("session is not connected");
+  }
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (version_ == kSessionProtocolV2) {
+    return channel_->Send(GoodbyeMessage{}.Encode());
+  }
+  return Status::OK();
 }
 
 Status ServerSession::Serve(Channel& channel) {
-  if (db_ == nullptr) {
+  if (registry_ == nullptr && options_.default_column == nullptr) {
     return Status::FailedPrecondition("server has no database");
   }
 
@@ -79,21 +194,79 @@ Status ServerSession::Serve(Channel& channel) {
   PPSTATS_ASSIGN_OR_RETURN(Bytes first, channel.Receive());
   Result<ClientHelloMessage> hello = ClientHelloMessage::Decode(first);
   if (!hello.ok()) return AbortWith(channel, hello.status());
-  if (hello->protocol_version != kSessionProtocolVersion) {
+  if (hello->protocol_version != kSessionProtocolV1 &&
+      hello->protocol_version != kSessionProtocolV2) {
     return AbortWith(channel, Status::ProtocolError(
                                   "unsupported protocol version"));
   }
+  const uint16_t version = static_cast<uint16_t>(hello->protocol_version);
+  if (version == kSessionProtocolV1 && options_.default_column == nullptr) {
+    return AbortWith(channel, Status::FailedPrecondition(
+                                  "server has no default column"));
+  }
   Result<PaillierPublicKey> pub =
-      DeserializePublicKey(hello->public_key_blob);
+      options_.key_cache != nullptr
+          ? options_.key_cache->Deserialize(hello->public_key_blob)
+          : DeserializePublicKey(hello->public_key_blob);
   if (!pub.ok()) return AbortWith(channel, pub.status());
+  metrics_.negotiated_version = version;
 
   ServerHelloMessage server_hello;
-  server_hello.protocol_version = kSessionProtocolVersion;
-  server_hello.database_size = db_->size();
+  server_hello.protocol_version = version;
+  server_hello.database_size =
+      options_.default_column != nullptr ? options_.default_column->size() : 0;
   PPSTATS_RETURN_IF_ERROR(channel.Send(server_hello.Encode()));
 
-  // Query.
-  SumServer server(*pub, db_);
+  return version == kSessionProtocolV1 ? ServeV1(channel, *pub)
+                                       : ServeV2(channel, *pub);
+}
+
+Status ServerSession::ServeV1(Channel& channel, const PaillierPublicKey& pub) {
+  QuerySpec spec;  // plain sum over the whole default column
+  Result<CompiledQuery> query = CompileQuery(spec, options_.default_column);
+  if (!query.ok()) return AbortWith(channel, query.status());
+  return RunServerQuery(channel, pub, *query);
+}
+
+Status ServerSession::ServeV2(Channel& channel, const PaillierPublicKey& pub) {
+  static const ColumnRegistry kEmptyRegistry;
+  const ColumnRegistry& registry =
+      registry_ != nullptr ? *registry_ : kEmptyRegistry;
+  for (;;) {
+    PPSTATS_ASSIGN_OR_RETURN(Bytes frame, channel.Receive());
+    PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(frame));
+    if (type == MessageType::kGoodbye) return Status::OK();
+    if (type == MessageType::kError) return FromErrorFrame(frame);
+    Result<QueryHeaderMessage> header = QueryHeaderMessage::Decode(frame);
+    if (!header.ok()) return AbortWith(channel, header.status());
+
+    Result<StatisticKind> kind = StatisticKindFromWire(header->kind);
+    if (!kind.ok()) return AbortWith(channel, kind.status());
+    QuerySpec spec;
+    spec.kind = *kind;
+    spec.column = header->column;
+    spec.column2 = header->column2;
+    Result<CompiledQuery> query =
+        CompileQuery(spec, registry, options_.default_column);
+    if (!query.ok()) return AbortWith(channel, query.status());
+    if (query->rows() == 0) {
+      // A zero-row query would deadlock: the client has no chunks to
+      // send and the server would wait for one.
+      return AbortWith(channel,
+                       Status::InvalidArgument("query covers no rows"));
+    }
+
+    QueryAcceptMessage accept;
+    accept.rows = query->rows();
+    PPSTATS_RETURN_IF_ERROR(channel.Send(accept.Encode()));
+    PPSTATS_RETURN_IF_ERROR(RunServerQuery(channel, pub, *query));
+  }
+}
+
+Status ServerSession::RunServerQuery(Channel& channel,
+                                     const PaillierPublicKey& pub,
+                                     const CompiledQuery& query) {
+  SumServer server(pub, query, options_.worker_threads);
   while (!server.Finished()) {
     PPSTATS_ASSIGN_OR_RETURN(Bytes frame, channel.Receive());
     PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(frame));
@@ -104,6 +277,8 @@ Status ServerSession::Serve(Channel& channel) {
       PPSTATS_RETURN_IF_ERROR(channel.Send(**response));
     }
   }
+  ++metrics_.queries;
+  metrics_.server_compute_s += server.compute_seconds();
   return Status::OK();
 }
 

@@ -4,32 +4,58 @@
 // The measured experiments assume the server already knows the client's
 // public key (as the paper does). A deployment needs the exchange:
 //
-//   C -> S : ClientHello { version, public key }
-//   S -> C : ServerHello { version, database size }   (or Error)
-//   C -> S : IndexBatch*                              (or Error)
-//   S -> C : SumResponse                              (or Error)
+//   C -> S : ClientHello { max version, public key }
+//   S -> C : ServerHello { negotiated version, default db size }  (or Error)
 //
-// Version mismatches, malformed frames, and arity mismatches abort the
-// session with an Error frame carrying a status code, so the peer gets a
-// diagnosable failure instead of a hang.
+// Version negotiation: the client advertises the version it wants to
+// speak; the server accepts any version it implements (up to
+// kSessionProtocolVersion), echoes it back, and both sides continue at
+// that version. Unknown versions are rejected with an Error frame, so
+// v1 clients keep working against v2 servers unchanged.
+//
+// v1 (one query per connection):
+//   C -> S : IndexBatch*                                          (or Error)
+//   S -> C : SumResponse                                          (or Error)
+//
+// v2 (N queries per connection, named columns):
+//   repeat:
+//     C -> S : QueryHeader { kind, column, column2 }              (or Error)
+//     S -> C : QueryAccept { rows }                               (or Error)
+//     C -> S : IndexBatch*
+//     S -> C : SumResponse
+//   C -> S : Goodbye
+//
+// Version mismatches, malformed frames, unknown statistic kinds, bad
+// column names, and arity mismatches abort the session with an Error
+// frame carrying a status code, so the peer gets a diagnosable failure
+// instead of a hang.
 
 #ifndef PPSTATS_CORE_SESSION_H_
 #define PPSTATS_CORE_SESSION_H_
 
+#include <string>
+
+#include "core/query.h"
 #include "core/selected_sum.h"
+#include "crypto/key_io.h"
 #include "net/channel.h"
 
 namespace ppstats {
 
-/// Version of the session protocol spoken by this library.
-inline constexpr uint16_t kSessionProtocolVersion = 1;
+/// Protocol versions. A server speaks every version up to
+/// kSessionProtocolVersion; clients pick what they advertise.
+inline constexpr uint16_t kSessionProtocolV1 = 1;
+inline constexpr uint16_t kSessionProtocolV2 = 2;
+
+/// Highest version of the session protocol spoken by this library.
+inline constexpr uint16_t kSessionProtocolVersion = kSessionProtocolV2;
 
 /// Client-side session options.
 struct ClientSessionOptions {
   size_t chunk_size = 0;  ///< index-batch chunking, as in SumClientOptions
 };
 
-/// One private-sum query over a channel, with handshake.
+/// One private-sum query over a channel, with handshake (a v1 client).
 class ClientSession {
  public:
   /// The selection length must match the server's database size (checked
@@ -38,7 +64,8 @@ class ClientSession {
                 ClientSessionOptions options, RandomSource& rng);
 
   /// Runs the full session; blocks on the channel. Returns the decrypted
-  /// sum, or the peer's error translated into a Status.
+  /// sum, or the peer's error translated into a Status. A ClientSession
+  /// is single-shot: a second Run fails with FailedPrecondition.
   Result<BigInt> Run(Channel& channel);
 
  private:
@@ -46,19 +73,100 @@ class ClientSession {
   SelectionVector selection_;
   ClientSessionOptions options_;
   RandomSource* rng_;
+  bool ran_ = false;
 };
 
-/// Serves private-sum queries from one database.
+/// A v2 client session: one connection, N queries against named columns.
+/// Falls back to v1 semantics (single plain-sum query on the server's
+/// default column) when the server negotiates down.
+class QuerySession {
+ public:
+  QuerySession(const PaillierPrivateKey& key, RandomSource& rng,
+               ClientSessionOptions options = {});
+
+  /// Performs the hello exchange on `channel`, which must outlive the
+  /// session. Single-shot.
+  Status Connect(Channel& channel);
+
+  /// Version agreed with the server (valid after Connect).
+  uint16_t negotiated_version() const { return version_; }
+
+  /// Size of the server's default column, from the ServerHello (0 when
+  /// the server has none).
+  uint64_t server_rows() const { return server_rows_; }
+
+  /// Runs one query; the selection/weights length must match the target
+  /// column's size (the server announces it via QueryAccept). On a v1
+  /// server only a single plain-sum query over the default column is
+  /// possible; anything else fails with FailedPrecondition.
+  Result<BigInt> RunQuery(const QuerySpec& spec,
+                          const SelectionVector& selection);
+  Result<BigInt> RunWeighted(const QuerySpec& spec, WeightVector weights);
+
+  /// Ends the session cleanly (v2: sends Goodbye). No queries may follow.
+  Status Finish();
+
+ private:
+  const PaillierPrivateKey* key_;
+  RandomSource* rng_;
+  ClientSessionOptions options_;
+  Channel* channel_ = nullptr;
+  uint16_t version_ = 0;
+  uint64_t server_rows_ = 0;
+  size_t queries_run_ = 0;
+  bool finished_ = false;
+};
+
+/// Per-session counters reported by ServerSession::metrics().
+struct SessionMetrics {
+  uint16_t negotiated_version = 0;
+  uint64_t queries = 0;          ///< queries answered with a SumResponse
+  double server_compute_s = 0;   ///< homomorphic fold time, all queries
+};
+
+/// Server-side session options.
+struct ServerSessionOptions {
+  /// Column served to v1 clients and to v2 queries with an empty column
+  /// name. May be null when every query names its column.
+  const Database* default_column = nullptr;
+
+  /// Fold slices per chunk on the shared ThreadPool (see SumServer).
+  size_t worker_threads = 1;
+
+  /// When set, client public keys are deserialized through this shared
+  /// cache, so repeat sessions from the same client reuse the key's
+  /// Montgomery context instead of rebuilding it.
+  PublicKeyCache* key_cache = nullptr;
+};
+
+/// Serves private-sum queries from a column registry (or a single
+/// database). Handles exactly one client session per Serve call; a
+/// ServiceHost runs many of these concurrently.
 class ServerSession {
  public:
-  explicit ServerSession(const Database* db) : db_(db) {}
+  /// Single-column server: `db` is the default (and only) column.
+  explicit ServerSession(const Database* db) { options_.default_column = db; }
+
+  /// Multi-column server resolving v2 query names in `registry`.
+  ServerSession(const ColumnRegistry* registry, ServerSessionOptions options)
+      : registry_(registry), options_(options) {}
 
   /// Handles exactly one client session on the channel. Protocol
   /// failures are reported to the peer (Error frame) and returned.
   Status Serve(Channel& channel);
 
+  /// Counters for the served session (valid after Serve returns).
+  const SessionMetrics& metrics() const { return metrics_; }
+
  private:
-  const Database* db_;
+  Status ServeV1(Channel& channel, const PaillierPublicKey& pub);
+  Status ServeV2(Channel& channel, const PaillierPublicKey& pub);
+  Status RunServerQuery(Channel& channel, const PaillierPublicKey& pub,
+                        const CompiledQuery& query);
+
+  const ColumnRegistry* registry_ = nullptr;
+  ServerSessionOptions options_;
+  SessionMetrics metrics_;
 };
 
 }  // namespace ppstats

@@ -20,16 +20,17 @@ double ToDouble(const BigInt& v) {
 Result<SumRunResult> RunOnce(const PaillierPrivateKey& key,
                              const Database& db, WeightVector weights,
                              RandomSource& rng, SumClientOptions options,
-                             bool square_values = false,
-                             const Database* product_with = nullptr) {
+                             StatisticKind kind = StatisticKind::kSum,
+                             const Database* second = nullptr) {
   if (weights.size() != db.size()) {
     return Status::InvalidArgument("weight vector length != database size");
   }
   SumClient client(key, std::move(weights), options, rng);
-  SumServerOptions server_options;
-  server_options.square_values = square_values;
-  server_options.product_with = product_with;
-  SumServer server(key.public_key(), &db, server_options);
+  QuerySpec spec;
+  spec.kind = kind;
+  PPSTATS_ASSIGN_OR_RETURN(CompiledQuery query,
+                           CompileQuery(spec, &db, second));
+  SumServer server(key.public_key(), query);
   return RunSelectedSum(client, server);
 }
 
@@ -107,7 +108,7 @@ Result<PrivateVarianceResult> PrivateVariance(const PaillierPrivateKey& key,
   PPSTATS_ASSIGN_OR_RETURN(
       SumRunResult sq_run,
       RunOnce(key, db, ToWeights(selection), rng, options,
-              /*square_values=*/true));
+              StatisticKind::kSumOfSquares));
 
   PrivateVarianceResult out;
   out.count = count;
@@ -146,8 +147,8 @@ Result<PrivateCovarianceResult> PrivateCovariance(
                            RunOnce(key, y, weights, rng, options));
   PPSTATS_ASSIGN_OR_RETURN(
       SumRunResult xy_run,
-      RunOnce(key, x, weights, rng, options, /*square_values=*/false,
-              /*product_with=*/&y));
+      RunOnce(key, x, weights, rng, options, StatisticKind::kProduct,
+              /*second=*/&y));
 
   PrivateCovarianceResult out;
   out.count = count;
@@ -175,10 +176,10 @@ Result<PrivateCorrelationResult> PrivateCorrelation(
   WeightVector weights = ToWeights(selection);
   PPSTATS_ASSIGN_OR_RETURN(
       SumRunResult x_sq,
-      RunOnce(key, x, weights, rng, options, /*square_values=*/true));
+      RunOnce(key, x, weights, rng, options, StatisticKind::kSumOfSquares));
   PPSTATS_ASSIGN_OR_RETURN(
       SumRunResult y_sq,
-      RunOnce(key, y, weights, rng, options, /*square_values=*/true));
+      RunOnce(key, y, weights, rng, options, StatisticKind::kSumOfSquares));
 
   PrivateCorrelationResult out;
   double m = static_cast<double>(cov.count);

@@ -1,18 +1,6 @@
 #include "core/streaming_server.h"
 
-#include <algorithm>
-
 namespace ppstats {
-
-namespace {
-
-uint32_t ReadU32Le(const uint8_t* p) {
-  return static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
-         (static_cast<uint32_t>(p[2]) << 16) |
-         (static_cast<uint32_t>(p[3]) << 24);
-}
-
-}  // namespace
 
 Status WriteColumnFile(const Database& db, const std::string& path) {
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
@@ -34,20 +22,12 @@ Status WriteColumnFile(const Database& db, const std::string& path) {
 
 Result<StreamingSumServer> StreamingSumServer::Open(PaillierPublicKey pub,
                                                     const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::NotFound("cannot open column file: " + path);
-  uint8_t header[4];
-  file.read(reinterpret_cast<char*>(header), 4);
-  if (!file) return Status::SerializationError("column file too short");
-  size_t rows = ReadU32Le(header);
-
-  file.seekg(0, std::ios::end);
-  auto size = static_cast<uint64_t>(file.tellg());
-  if (size != 4 + 4 * static_cast<uint64_t>(rows)) {
-    return Status::SerializationError("column file size mismatch");
-  }
-  file.seekg(4);
-  return StreamingSumServer(std::move(pub), std::move(file), rows);
+  PPSTATS_ASSIGN_OR_RETURN(std::unique_ptr<FileRowSource> rows,
+                           FileRowSource::Open(path));
+  const size_t row_count = rows->size();
+  FoldEngine engine(pub, std::move(rows), ExponentTransform::Identity(),
+                    /*begin=*/0, /*end=*/row_count);
+  return StreamingSumServer(std::move(pub), std::move(engine));
 }
 
 Result<std::optional<Bytes>> StreamingSumServer::HandleRequest(
@@ -57,39 +37,15 @@ Result<std::optional<Bytes>> StreamingSumServer::HandleRequest(
   }
   PPSTATS_ASSIGN_OR_RETURN(IndexBatchMessage msg,
                            IndexBatchMessage::Decode(pub_, frame));
-  if (msg.start_index != next_expected_) {
-    return Status::ProtocolError("out-of-order index chunk");
-  }
-  if (msg.start_index + msg.ciphertexts.size() > row_count_) {
-    return Status::ProtocolError("index chunk overruns the column");
-  }
+  PPSTATS_RETURN_IF_ERROR(
+      engine_.FoldChunk(msg.start_index, msg.ciphertexts));
+  if (!engine_.done()) return std::optional<Bytes>();
 
-  // Read exactly this chunk's rows from disk.
-  const size_t count = msg.ciphertexts.size();
-  std::vector<uint8_t> raw(count * 4);
-  file_.seekg(4 + 4 * static_cast<std::streamoff>(msg.start_index));
-  file_.read(reinterpret_cast<char*>(raw.data()),
-             static_cast<std::streamsize>(raw.size()));
-  if (!file_) return Status::Internal("column file read failed");
-  peak_resident_rows_ = std::max(peak_resident_rows_, count);
-
-  // One batched multi-exponentiation per chunk instead of a per-row
-  // ScalarMultiply + Add ladder; resident state stays one chunk plus the
-  // accumulator.
-  std::vector<BigInt> weights;
-  weights.reserve(count);
-  for (size_t i = 0; i < count; ++i) {
-    weights.push_back(BigInt(ReadU32Le(raw.data() + 4 * i)));
-  }
-  accumulator_ = Paillier::Add(
-      pub_, accumulator_,
-      Paillier::WeightedFold(pub_, msg.ciphertexts, weights));
-
-  next_expected_ += count;
-  if (next_expected_ < row_count_) return std::optional<Bytes>();
   finished_ = true;
+  PPSTATS_ASSIGN_OR_RETURN(PaillierCiphertext accumulator,
+                           engine_.Finish(std::nullopt));
   SumResponseMessage response;
-  response.sum = accumulator_;
+  response.sum = accumulator;
   return std::optional<Bytes>(response.Encode(pub_));
 }
 

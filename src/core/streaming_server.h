@@ -7,14 +7,18 @@
 // file, and each incoming IndexBatch triggers a read of exactly the rows
 // that batch covers. Resident state is one chunk of values plus the
 // single accumulator ciphertext, independent of n.
+//
+// The fold itself is the shared FoldEngine over a FileRowSource — the
+// same implementation the in-memory SumServer uses, just with a
+// different row source.
 
 #ifndef PPSTATS_CORE_STREAMING_SERVER_H_
 #define PPSTATS_CORE_STREAMING_SERVER_H_
 
-#include <fstream>
 #include <optional>
 #include <string>
 
+#include "core/fold_engine.h"
 #include "core/messages.h"
 #include "db/database.h"
 
@@ -37,27 +41,19 @@ class StreamingSumServer {
   Result<std::optional<Bytes>> HandleRequest(BytesView frame);
 
   bool Finished() const { return finished_; }
-  size_t row_count() const { return row_count_; }
+  size_t row_count() const { return engine_.row_count(); }
 
   /// Largest number of row values resident at once so far (the memory
   /// claim under test).
-  size_t peak_resident_rows() const { return peak_resident_rows_; }
+  size_t peak_resident_rows() const { return engine_.peak_resident_rows(); }
 
  private:
-  StreamingSumServer(PaillierPublicKey pub, std::ifstream file,
-                     size_t row_count)
-      : pub_(std::move(pub)),
-        file_(std::move(file)),
-        row_count_(row_count),
-        accumulator_{BigInt(1)} {}
+  StreamingSumServer(PaillierPublicKey pub, FoldEngine engine)
+      : pub_(std::move(pub)), engine_(std::move(engine)) {}
 
   PaillierPublicKey pub_;
-  std::ifstream file_;
-  size_t row_count_ = 0;
-  size_t next_expected_ = 0;
+  FoldEngine engine_;
   bool finished_ = false;
-  PaillierCiphertext accumulator_;
-  size_t peak_resident_rows_ = 0;
 };
 
 }  // namespace ppstats

@@ -81,4 +81,26 @@ Result<PaillierPrivateKey> DeserializePrivateKey(BytesView bytes) {
   return key;
 }
 
+Result<PaillierPublicKey> PublicKeyCache::Deserialize(BytesView blob) {
+  Bytes key_bytes(blob.begin(), blob.end());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = cache_.find(key_bytes);
+    if (it != cache_.end()) return it->second;
+  }
+  // Deserialize outside the lock: Montgomery-context construction is the
+  // expensive part, and concurrent sessions must not serialize on it.
+  PPSTATS_ASSIGN_OR_RETURN(PaillierPublicKey key,
+                           DeserializePublicKey(blob));
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = cache_.emplace(std::move(key_bytes), std::move(key));
+  (void)inserted;  // a racing first-sight insert wins; both are identical
+  return it->second;
+}
+
+size_t PublicKeyCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cache_.size();
+}
+
 }  // namespace ppstats

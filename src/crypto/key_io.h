@@ -6,6 +6,9 @@
 #ifndef PPSTATS_CRYPTO_KEY_IO_H_
 #define PPSTATS_CRYPTO_KEY_IO_H_
 
+#include <map>
+#include <mutex>
+
 #include "crypto/paillier.h"
 
 namespace ppstats {
@@ -24,6 +27,24 @@ Bytes SerializePrivateKey(const PaillierPrivateKey& key);
 /// Decodes and revalidates a private key (rebuilds all derived values;
 /// fails if p, q are not a valid Paillier factorization).
 Result<PaillierPrivateKey> DeserializePrivateKey(BytesView bytes);
+
+/// Thread-safe memoization of DeserializePublicKey, keyed by the key
+/// blob. Deserializing a public key builds its Montgomery context for
+/// n^2 — the expensive part of accepting a session. A server that sees
+/// the same client key across sessions (ServiceHost) reuses the cached
+/// key, whose copies share that context.
+class PublicKeyCache {
+ public:
+  /// Returns the cached key for `blob`, deserializing (and caching) it
+  /// on first sight. Invalid blobs are not cached.
+  Result<PaillierPublicKey> Deserialize(BytesView blob);
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<Bytes, PaillierPublicKey> cache_;
+};
 
 }  // namespace ppstats
 

@@ -1,0 +1,31 @@
+#include "db/column_registry.h"
+
+namespace ppstats {
+
+Status ColumnRegistry::Register(Database db) {
+  if (db.name().empty()) {
+    return Status::InvalidArgument("column has no name");
+  }
+  std::string name = db.name();
+  auto [it, inserted] = columns_.emplace(std::move(name), std::move(db));
+  (void)it;
+  if (!inserted) {
+    return Status::InvalidArgument("column already registered: " +
+                                   it->first);
+  }
+  return Status::OK();
+}
+
+const Database* ColumnRegistry::Find(const std::string& name) const {
+  auto it = columns_.find(name);
+  return it == columns_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> ColumnRegistry::ColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& [name, db] : columns_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ppstats

@@ -1,0 +1,44 @@
+// ColumnRegistry: the server's catalog of named columns.
+//
+// The v2 session protocol lets one connection query several columns by
+// name (QueryHeader frames); the registry is the server-side name ->
+// Database mapping those names resolve against. Databases are stored by
+// value and keyed by Database::name(); node-based storage keeps the
+// addresses stable, so compiled queries may hold plain pointers for the
+// lifetime of the registry.
+
+#ifndef PPSTATS_DB_COLUMN_REGISTRY_H_
+#define PPSTATS_DB_COLUMN_REGISTRY_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+
+namespace ppstats {
+
+/// Name -> column catalog served by one ServiceHost / ServerSession.
+class ColumnRegistry {
+ public:
+  /// Adds a column under its own name. Fails on an empty name or a
+  /// duplicate registration.
+  Status Register(Database db);
+
+  /// Looks a column up by name; nullptr when absent. The pointer stays
+  /// valid until the registry is destroyed.
+  const Database* Find(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> ColumnNames() const;
+
+  size_t size() const { return columns_.size(); }
+  bool empty() const { return columns_.empty(); }
+
+ private:
+  std::map<std::string, Database> columns_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_DB_COLUMN_REGISTRY_H_

@@ -53,7 +53,7 @@ class PipeEndpoint : public Channel {
         return Status::ProtocolError("channel is closed");
       }
     }
-    stats_.Record(message.size());
+    stats_.Record(message.size() + kFrameOverheadBytes);
     outgoing_->Push(message);
     return Status::OK();
   }

@@ -22,6 +22,13 @@
 
 namespace ppstats {
 
+/// Per-message framing overhead a Channel charges to TrafficStats: the
+/// 4-byte length prefix a stream transport (socket_channel.h) actually
+/// puts on the wire. Message transports (DuplexPipe) charge the same
+/// amount so simulated and real runs report identical byte counts for
+/// identical frame sequences.
+inline constexpr size_t kFrameOverheadBytes = 4;
+
 /// Counters for traffic sent in one direction.
 struct TrafficStats {
   uint64_t messages = 0;

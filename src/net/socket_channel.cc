@@ -32,7 +32,9 @@ class SocketChannel : public Channel {
     }
     PPSTATS_RETURN_IF_ERROR(WriteAll(header, 4));
     PPSTATS_RETURN_IF_ERROR(WriteAll(message.data(), message.size()));
-    stats_.Record(message.size());
+    // Charge the length prefix too: it is on the wire, and channel.cc
+    // charges the same so both transports report comparable bytes.
+    stats_.Record(message.size() + kFrameOverheadBytes);
     return Status::OK();
   }
 
@@ -147,6 +149,10 @@ Result<SocketListener> SocketListener::Bind(const std::string& path) {
                             std::strerror(errno));
   }
   return SocketListener(fd, path);
+}
+
+void SocketListener::Close() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 Result<std::unique_ptr<Channel>> SocketListener::Accept() {

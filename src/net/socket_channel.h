@@ -43,6 +43,11 @@ class SocketListener {
   /// Blocks for the next client connection.
   Result<std::unique_ptr<Channel>> Accept();
 
+  /// Shuts the listening socket down, unblocking a concurrent Accept
+  /// (which then fails). Safe to call from another thread; the fd itself
+  /// is closed by the destructor. Used by ServiceHost::Stop.
+  void Close();
+
  private:
   SocketListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
 

@@ -5,6 +5,7 @@
 #include "bigint/modarith.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
+#include "core/fold_engine.h"
 
 namespace ppstats {
 
@@ -43,8 +44,9 @@ std::vector<PaillierCiphertext> FoldRows(
     for (size_t j = 0; j < layout.cols; ++j) {
       exponents.push_back(BigInt(CellValue(cells, layout, i, j)));
     }
-    responses[i] = PaillierCiphertext{
-        mont.FromMontgomery(mont.MultiExpMontgomery(selector_mont, exponents))};
+    responses[i] = PaillierCiphertext{mont.FromMontgomery(
+        SlicedMultiExpMontgomery(mont, selector_mont, exponents,
+                                 /*worker_threads=*/1))};
   });
   return responses;
 }

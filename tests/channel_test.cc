@@ -4,6 +4,8 @@
 
 #include <thread>
 
+#include "net/socket_channel.h"
+
 namespace ppstats {
 namespace {
 
@@ -37,7 +39,9 @@ TEST(ChannelTest, TrafficStatsCountSentOnly) {
   ASSERT_TRUE(a->Send(Bytes(100)).ok());
   ASSERT_TRUE(a->Send(Bytes(50)).ok());
   EXPECT_EQ(a->sent().messages, 2u);
-  EXPECT_EQ(a->sent().bytes, 150u);
+  // Each frame is charged its payload plus the 4-byte length prefix a
+  // stream transport puts on the wire.
+  EXPECT_EQ(a->sent().bytes, 150u + 2 * kFrameOverheadBytes);
   EXPECT_EQ(b->sent().messages, 0u);
 }
 
@@ -72,6 +76,21 @@ TEST(ChannelTest, QueuedMessagesSurviveClose) {
   // The already-queued message is still delivered; the next receive fails.
   EXPECT_EQ(b->Receive().ValueOrDie(), Bytes{7});
   EXPECT_FALSE(b->Receive().ok());
+}
+
+TEST(ChannelTest, PipeAndSocketChargeIdenticalBytes) {
+  // The in-memory pipe and the kernel socket must account framing the
+  // same way, so simulated and deployed runs report comparable traffic.
+  auto [pipe_a, pipe_b] = DuplexPipe::Create();
+  auto sockets = CreateSocketChannelPair().ValueOrDie();
+  for (size_t len : {0u, 1u, 17u, 1024u}) {
+    ASSERT_TRUE(pipe_a->Send(Bytes(len)).ok());
+    ASSERT_TRUE(sockets.first->Send(Bytes(len)).ok());
+    ASSERT_TRUE(pipe_b->Receive().ok());
+    ASSERT_TRUE(sockets.second->Receive().ok());
+  }
+  EXPECT_EQ(pipe_a->sent().messages, sockets.first->sent().messages);
+  EXPECT_EQ(pipe_a->sent().bytes, sockets.first->sent().bytes);
 }
 
 TEST(ChannelTest, TrafficStatsAccumulateOperator) {

@@ -1,0 +1,210 @@
+#include "core/fold_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/streaming_server.h"
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(4242);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+std::vector<PaillierCiphertext> EncryptWeights(const WeightVector& weights,
+                                               RandomSource& rng) {
+  std::vector<PaillierCiphertext> cts;
+  cts.reserve(weights.size());
+  for (uint64_t w : weights) {
+    cts.push_back(Paillier::Encrypt(SharedKeyPair().public_key, BigInt(w), rng)
+                      .ValueOrDie());
+  }
+  return cts;
+}
+
+TEST(RowSourceTest, ColumnRowSourceReadsRanges) {
+  Database db("d", {10, 20, 30, 40, 50});
+  ColumnRowSource source(&db);
+  EXPECT_EQ(source.size(), 5u);
+  std::vector<uint64_t> out(3);
+  ASSERT_TRUE(source.ReadRows(1, out).ok());
+  EXPECT_EQ(out, (std::vector<uint64_t>{20, 30, 40}));
+  EXPECT_EQ(source.peak_resident_rows(), 0u);  // in-memory: not tracked
+}
+
+TEST(RowSourceTest, FileRowSourceRoundTripsAndTracksResidency) {
+  Database db("d", {7, 8, 9, 10, 11, 12});
+  std::string path =
+      std::string(::testing::TempDir()) + "/fold_engine_col.bin";
+  ASSERT_TRUE(WriteColumnFile(db, path).ok());
+
+  auto source = FileRowSource::Open(path).ValueOrDie();
+  EXPECT_EQ(source->size(), 6u);
+  std::vector<uint64_t> out(2);
+  ASSERT_TRUE(source->ReadRows(4, out).ok());
+  EXPECT_EQ(out, (std::vector<uint64_t>{11, 12}));
+  std::vector<uint64_t> bigger(4);
+  ASSERT_TRUE(source->ReadRows(0, bigger).ok());
+  EXPECT_EQ(bigger, (std::vector<uint64_t>{7, 8, 9, 10}));
+  EXPECT_EQ(source->peak_resident_rows(), 4u);
+}
+
+TEST(RowSourceTest, FileRowSourceRejectsMissingOrTruncatedFiles) {
+  EXPECT_FALSE(FileRowSource::Open("/no/such/file.bin").ok());
+
+  std::string path = std::string(::testing::TempDir()) + "/truncated_col.bin";
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.put(1);  // shorter than the 4-byte header
+  }
+  EXPECT_FALSE(FileRowSource::Open(path).ok());
+}
+
+TEST(FoldEngineTest, MatchesNaiveWeightedFoldBitForBit) {
+  // The refactor's core claim: for every transform and thread count the
+  // engine's ciphertext equals the naive exponentiate-and-multiply fold
+  // exactly, not just after decryption.
+  ChaCha20Rng rng(1);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(33, 1000);
+  WeightVector weights(33);
+  for (size_t i = 0; i < weights.size(); ++i) {
+    weights[i] = (i % 3 == 0) ? 0 : i + 1;  // include zero weights
+  }
+  std::vector<PaillierCiphertext> cts = EncryptWeights(weights, rng);
+
+  // Both sides fold base E(w_i) with exponent x_i (the row value).
+  std::vector<BigInt> row_exponents;
+  for (size_t i = 0; i < cts.size(); ++i) {
+    row_exponents.push_back(BigInt(db.value(i)));
+  }
+  PaillierCiphertext reference =
+      Paillier::WeightedFold(SharedKeyPair().public_key, cts, row_exponents);
+
+  for (size_t threads : {1u, 2u, 5u}) {
+    for (size_t chunk : {33u, 7u, 1u}) {
+      FoldEngine engine(SharedKeyPair().public_key,
+                        std::make_unique<ColumnRowSource>(&db),
+                        ExponentTransform::Identity(), 0, db.size(), threads);
+      for (size_t start = 0; start < cts.size(); start += chunk) {
+        size_t len = std::min(chunk, cts.size() - start);
+        ASSERT_TRUE(
+            engine
+                .FoldChunk(start, std::span<const PaillierCiphertext>(
+                                      cts.data() + start, len))
+                .ok());
+      }
+      ASSERT_TRUE(engine.done());
+      PaillierCiphertext result = engine.Finish(std::nullopt).ValueOrDie();
+      EXPECT_EQ(result, reference)
+          << "threads=" << threads << " chunk=" << chunk;
+    }
+  }
+}
+
+TEST(FoldEngineTest, TransformsAndBlindingDecryptCorrectly) {
+  ChaCha20Rng rng(2);
+  Database db("d", {3, 4, 5, 6});
+  Database other("o", {10, 20, 30, 40});
+  WeightVector weights = {1, 0, 1, 1};
+  std::vector<PaillierCiphertext> cts = EncryptWeights(weights, rng);
+
+  struct Case {
+    ExponentTransform transform;
+    std::optional<BigInt> blinding;
+    BigInt expected;
+  };
+  std::vector<Case> cases = {
+      {ExponentTransform::Identity(), std::nullopt, BigInt(3 + 5 + 6)},
+      {ExponentTransform::Square(), std::nullopt, BigInt(9 + 25 + 36)},
+      {ExponentTransform::ProductWith(&other), std::nullopt,
+       BigInt(30 + 150 + 240)},
+      {ExponentTransform::Identity(), BigInt(1000), BigInt(14 + 1000)},
+  };
+  for (const Case& c : cases) {
+    FoldEngine engine(SharedKeyPair().public_key,
+                      std::make_unique<ColumnRowSource>(&db), c.transform, 0,
+                      db.size());
+    ASSERT_TRUE(engine.FoldChunk(0, cts).ok());
+    PaillierCiphertext result = engine.Finish(c.blinding).ValueOrDie();
+    EXPECT_EQ(Paillier::Decrypt(SharedKeyPair().private_key, result)
+                  .ValueOrDie(),
+              c.expected);
+  }
+}
+
+TEST(FoldEngineTest, PartitionFoldsOnlyItsRows) {
+  ChaCha20Rng rng(3);
+  Database db("d", {1, 2, 4, 8, 16});
+  WeightVector local = {1, 1};  // rows 2 and 3
+  std::vector<PaillierCiphertext> cts = EncryptWeights(local, rng);
+
+  FoldEngine engine(SharedKeyPair().public_key,
+                    std::make_unique<ColumnRowSource>(&db),
+                    ExponentTransform::Identity(), 2, 4);
+  ASSERT_TRUE(engine.FoldChunk(2, cts).ok());
+  ASSERT_TRUE(engine.done());
+  PaillierCiphertext result = engine.Finish(std::nullopt).ValueOrDie();
+  EXPECT_EQ(
+      Paillier::Decrypt(SharedKeyPair().private_key, result).ValueOrDie(),
+      BigInt(4 + 8));
+}
+
+TEST(FoldEngineTest, RejectsOutOfOrderGapsAndOverruns) {
+  ChaCha20Rng rng(4);
+  Database db("d", {1, 2, 3, 4});
+  WeightVector weights = {1, 1, 1, 1};
+  std::vector<PaillierCiphertext> cts = EncryptWeights(weights, rng);
+  std::span<const PaillierCiphertext> all(cts);
+
+  FoldEngine engine(SharedKeyPair().public_key,
+                    std::make_unique<ColumnRowSource>(&db),
+                    ExponentTransform::Identity(), 0, db.size());
+  // Premature finish.
+  EXPECT_FALSE(engine.Finish(std::nullopt).ok());
+  // Gap: starts at row 1 instead of 0.
+  EXPECT_EQ(engine.FoldChunk(1, all.subspan(1)).code(),
+            StatusCode::kProtocolError);
+  // Overrun: 4 ciphertexts starting at row 2.
+  ASSERT_TRUE(engine.FoldChunk(0, all.subspan(0, 2)).ok());
+  EXPECT_EQ(engine.FoldChunk(2, all).code(), StatusCode::kProtocolError);
+  // Correct completion still works after rejected chunks.
+  ASSERT_TRUE(engine.FoldChunk(2, all.subspan(2)).ok());
+  ASSERT_TRUE(engine.done());
+  // Extra chunk after completion.
+  EXPECT_EQ(engine.FoldChunk(4, all.subspan(0, 0)).code(),
+            StatusCode::kFailedPrecondition);
+  ASSERT_TRUE(engine.Finish(std::nullopt).ok());
+}
+
+TEST(FoldEngineTest, FileBackedEngineMatchesInMemory) {
+  ChaCha20Rng rng(5);
+  WorkloadGenerator gen(rng);
+  Database db = gen.UniformDatabase(20, 500);
+  WeightVector weights(20, 1);
+  std::vector<PaillierCiphertext> cts = EncryptWeights(weights, rng);
+  std::string path =
+      std::string(::testing::TempDir()) + "/fold_engine_match.bin";
+  ASSERT_TRUE(WriteColumnFile(db, path).ok());
+
+  FoldEngine memory_engine(SharedKeyPair().public_key,
+                           std::make_unique<ColumnRowSource>(&db),
+                           ExponentTransform::Identity(), 0, db.size());
+  auto file_rows = FileRowSource::Open(path).ValueOrDie();
+  FoldEngine file_engine(SharedKeyPair().public_key, std::move(file_rows),
+                         ExponentTransform::Identity(), 0, db.size());
+  ASSERT_TRUE(memory_engine.FoldChunk(0, cts).ok());
+  ASSERT_TRUE(file_engine.FoldChunk(0, cts).ok());
+  EXPECT_EQ(memory_engine.Finish(std::nullopt).ValueOrDie(),
+            file_engine.Finish(std::nullopt).ValueOrDie());
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -113,10 +113,11 @@ TEST(PrivacyTest, BlindedPartialsDifferFromRawPartials) {
     SumClient client(SharedKeyPair().private_key,
                      SelectionVector(sel.begin(), sel.begin() + 3),
                      client_options, run_rng);
-    SumServerOptions server_options;
-    server_options.partition = std::make_pair<size_t, size_t>(0, 3);
-    server_options.blinding = BigInt(123456789 + seed);
-    SumServer server(SharedKeyPair().public_key, &db, server_options);
+    QuerySpec spec;
+    spec.partition = std::make_pair<size_t, size_t>(0, 3);
+    spec.blinding = BigInt(123456789 + seed);
+    CompiledQuery query = CompileQuery(spec, &db).ValueOrDie();
+    SumServer server(SharedKeyPair().public_key, query);
     SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
     if (result.sum != BigInt(60)) ++blinded_differs;
     EXPECT_EQ(result.sum, BigInt(60) + BigInt(123456789 + seed));

@@ -69,10 +69,10 @@ TEST_P(ProtocolMatrixTest, SumIsCorrect) {
   }
 
   SumClient client(keys.private_key, sel, client_options, rng);
-  SumServerOptions server_options;
-  server_options.worker_threads = c.threads;
-  server_options.square_values = c.square;
-  SumServer server(keys.public_key, &db, server_options);
+  QuerySpec spec;
+  if (c.square) spec.kind = StatisticKind::kSumOfSquares;
+  CompiledQuery query = CompileQuery(spec, &db).ValueOrDie();
+  SumServer server(keys.public_key, query, c.threads);
   SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
   EXPECT_EQ(result.sum, BigInt(truth))
       << "seed=" << c.seed << " n=" << c.n << " chunk=" << c.chunk;

@@ -62,9 +62,10 @@ TEST(SelectedSumTest, SquareValuesOptionComputesSumOfSquares) {
   Database db("d", {3, 4, 5});
   SelectionVector selection = {true, false, true};
   SumClient client(SharedKeyPair().private_key, selection, {}, rng);
-  SumServerOptions server_options;
-  server_options.square_values = true;
-  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  QuerySpec spec;
+  spec.kind = StatisticKind::kSumOfSquares;
+  CompiledQuery query = CompileQuery(spec, &db).ValueOrDie();
+  SumServer server(SharedKeyPair().public_key, query);
   SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
   EXPECT_EQ(result.sum, BigInt(9 + 25));
 }
@@ -74,9 +75,10 @@ TEST(SelectedSumTest, BlindingAddsConstant) {
   Database db("d", {100, 200, 300});
   SelectionVector selection = {true, true, false};
   SumClient client(SharedKeyPair().private_key, selection, {}, rng);
-  SumServerOptions server_options;
-  server_options.blinding = BigInt(5555);
-  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  QuerySpec spec;
+  spec.blinding = BigInt(5555);
+  CompiledQuery query = CompileQuery(spec, &db).ValueOrDie();
+  SumServer server(SharedKeyPair().public_key, query);
   SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
   EXPECT_EQ(result.sum, BigInt(300 + 5555));
 }
@@ -89,9 +91,10 @@ TEST(SelectedSumTest, PartitionCoversOnlyItsRows) {
   SumClientOptions client_options;
   client_options.index_offset = 2;
   SumClient client(SharedKeyPair().private_key, local, client_options, rng);
-  SumServerOptions server_options;
-  server_options.partition = std::make_pair<size_t, size_t>(2, 5);
-  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  QuerySpec spec;
+  spec.partition = std::make_pair<size_t, size_t>(2, 5);
+  CompiledQuery query = CompileQuery(spec, &db).ValueOrDie();
+  SumServer server(SharedKeyPair().public_key, query);
   SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
   EXPECT_EQ(result.sum, BigInt(4 + 16));
 }
@@ -206,9 +209,8 @@ TEST(SelectedSumTest, ThreadedServerMatchesSingleThreaded) {
   for (size_t threads : {1u, 2u, 4u, 7u, 64u, 100u}) {
     ChaCha20Rng run_rng(100 + threads);
     SumClient client(SharedKeyPair().private_key, selection, {}, run_rng);
-    SumServerOptions server_options;
-    server_options.worker_threads = threads;
-    SumServer server(SharedKeyPair().public_key, &db, server_options);
+    CompiledQuery query = CompileQuery(QuerySpec{}, &db).ValueOrDie();
+    SumServer server(SharedKeyPair().public_key, query, threads);
     SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
     EXPECT_EQ(result.sum, BigInt(truth)) << "threads=" << threads;
   }
@@ -222,12 +224,29 @@ TEST(SelectedSumTest, ThreadedServerWithChunkingAndTransforms) {
   client_options.chunk_size = 2;
   SumClient client(SharedKeyPair().private_key, selection, client_options,
                    rng);
-  SumServerOptions server_options;
-  server_options.worker_threads = 3;
-  server_options.square_values = true;
-  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  QuerySpec spec;
+  spec.kind = StatisticKind::kSumOfSquares;
+  CompiledQuery query = CompileQuery(spec, &db).ValueOrDie();
+  SumServer server(SharedKeyPair().public_key, query, /*worker_threads=*/3);
   SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
   EXPECT_EQ(result.sum, BigInt(9 + 25 + 36));
+}
+
+TEST(SelectedSumTest, ClientRefusesSecondResponse) {
+  // Regression for the single-shot contract: reusing a SumClient for a
+  // second execution must fail loudly instead of silently re-decrypting.
+  ChaCha20Rng rng(18);
+  Database db("d", {5, 6});
+  SelectionVector selection(2, true);
+  SumClient client(SharedKeyPair().private_key, selection, {}, rng);
+  SumServer server(SharedKeyPair().public_key, &db);
+  Bytes frame = client.NextRequest().ValueOrDie();
+  auto response = server.HandleRequest(frame).ValueOrDie();
+  ASSERT_TRUE(response.has_value());
+  ASSERT_TRUE(client.HandleResponse(*response).ok());
+  Result<BigInt> again = client.HandleResponse(*response);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
 }
 
 TEST(SelectedSumTest, ZeroWeightVectorYieldsZero) {
@@ -248,9 +267,10 @@ TEST(SelectedSumTest, SquareValuesNearUint32MaxDoNotOverflow) {
   Database db("d", {0xFFFFFFFFu, 4000000000u, 0xFFFFFFFEu, 3u});
   SelectionVector selection = {true, true, true, false};
   SumClient client(SharedKeyPair().private_key, selection, {}, rng);
-  SumServerOptions server_options;
-  server_options.square_values = true;
-  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  QuerySpec spec;
+  spec.kind = StatisticKind::kSumOfSquares;
+  CompiledQuery query = CompileQuery(spec, &db).ValueOrDie();
+  SumServer server(SharedKeyPair().public_key, query);
   SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
   BigInt expected = BigInt(0xFFFFFFFFull) * BigInt(0xFFFFFFFFull) +
                     BigInt(4000000000ull) * BigInt(4000000000ull) +
@@ -264,9 +284,10 @@ TEST(SelectedSumTest, ProductWithNearUint32MaxDoesNotOverflow) {
   Database other("o", {0xFFFFFFFEu, 4123456789u, 7u});
   SelectionVector selection = {true, true, true};
   SumClient client(SharedKeyPair().private_key, selection, {}, rng);
-  SumServerOptions server_options;
-  server_options.product_with = &other;
-  SumServer server(SharedKeyPair().public_key, &db, server_options);
+  QuerySpec spec;
+  spec.kind = StatisticKind::kProduct;
+  CompiledQuery query = CompileQuery(spec, &db, &other).ValueOrDie();
+  SumServer server(SharedKeyPair().public_key, query);
   SumRunResult result = RunSelectedSum(client, server).ValueOrDie();
   BigInt expected = BigInt(0xFFFFFFFFull) * BigInt(0xFFFFFFFEull) +
                     BigInt(3000000000ull) * BigInt(4123456789ull) +

@@ -1,0 +1,210 @@
+#include "core/service_host.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "core/session.h"
+#include "crypto/chacha20_rng.h"
+#include "db/workload.h"
+
+namespace ppstats {
+namespace {
+
+const PaillierKeyPair& SharedKeyPair() {
+  static const PaillierKeyPair* kp = [] {
+    ChaCha20Rng rng(7070);
+    return new PaillierKeyPair(
+        Paillier::GenerateKeyPair(256, rng).ValueOrDie());
+  }();
+  return *kp;
+}
+
+std::string SocketPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name + ".sock";
+}
+
+TEST(ServiceHostTest, StartRequiresColumns) {
+  ColumnRegistry empty;
+  ServiceHost host(&empty, {});
+  EXPECT_FALSE(host.Start(SocketPath("svc_empty")).ok());
+  ServiceHost null_host(nullptr, {});
+  EXPECT_FALSE(null_host.Start(SocketPath("svc_null")).ok());
+}
+
+TEST(ServiceHostTest, UnknownDefaultColumnRejectedAtStart) {
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(Database("a", {1})).ok());
+  ServiceHostOptions options;
+  options.default_column = "nope";
+  ServiceHost host(&registry, options);
+  EXPECT_FALSE(host.Start(SocketPath("svc_baddefault")).ok());
+}
+
+TEST(ServiceHostTest, ConcurrentClientsRunMixedQueries) {
+  // The tentpole end-to-end check: several clients, each with its own
+  // key, hammer one host concurrently over real AF_UNIX sockets, each
+  // running multiple queries of mixed kinds on one connection. Every
+  // result is checked against the plaintext statistic.
+  ChaCha20Rng rng(1);
+  WorkloadGenerator gen(rng);
+  Database age("age", gen.UniformDatabase(40, 1000).values());
+  Database income("income", gen.UniformDatabase(40, 1000).values());
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(age).ok());
+  ASSERT_TRUE(registry.Register(income).ok());
+
+  ServiceHostOptions options;
+  options.default_column = "age";
+  options.worker_threads = 2;
+  ServiceHost host(&registry, options);
+  std::string path = SocketPath("svc_concurrent");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  constexpr int kClients = 5;
+  std::vector<PaillierKeyPair> keys;
+  for (int c = 0; c < kClients; ++c) {
+    ChaCha20Rng key_rng(100 + c);
+    keys.push_back(Paillier::GenerateKeyPair(256, key_rng).ValueOrDie());
+  }
+
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      ChaCha20Rng client_rng(200 + c);
+      WorkloadGenerator client_gen(client_rng);
+      SelectionVector sel = client_gen.RandomSelection(40, 10 + c);
+
+      auto channel = ConnectUnixSocket(path);
+      if (!channel.ok()) {
+        ++failures;
+        return;
+      }
+      QuerySession session(keys[c].private_key, client_rng,
+                           {/*chunk_size=*/static_cast<size_t>(7 + c)});
+      if (!session.Connect(**channel).ok()) {
+        ++failures;
+        return;
+      }
+
+      // Query 1: plain sum on the default column.
+      Result<BigInt> sum = session.RunQuery(QuerySpec{}, sel);
+      if (!sum.ok() ||
+          *sum != BigInt(age.SelectedSum(sel).ValueOrDie())) {
+        ++failures;
+      }
+      // Query 2: sum of squares on a named column.
+      QuerySpec sq;
+      sq.kind = StatisticKind::kSumOfSquares;
+      sq.column = "income";
+      Result<BigInt> sumsq = session.RunQuery(sq, sel);
+      if (!sumsq.ok() ||
+          *sumsq != BigInt(income.SelectedSumOfSquares(sel).ValueOrDie())) {
+        ++failures;
+      }
+      // Query 3: cross-column product (covariance building block).
+      QuerySpec prod;
+      prod.kind = StatisticKind::kProduct;
+      prod.column = "age";
+      prod.column2 = "income";
+      Result<BigInt> product = session.RunQuery(prod, sel);
+      BigInt expected(0);
+      for (size_t i = 0; i < sel.size(); ++i) {
+        if (sel[i]) {
+          expected = expected + BigInt(age.value(i)) * BigInt(income.value(i));
+        }
+      }
+      if (!product.ok() || *product != expected) ++failures;
+      if (!session.Finish().ok()) ++failures;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  host.Stop();
+  ServiceHost::Stats stats = host.stats();
+  EXPECT_EQ(stats.sessions_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.sessions_ok, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.sessions_failed, 0u);
+  EXPECT_EQ(stats.queries_served, static_cast<uint64_t>(3 * kClients));
+  EXPECT_EQ(stats.distinct_client_keys, static_cast<size_t>(kClients));
+  EXPECT_GT(stats.server_compute_s, 0.0);
+}
+
+TEST(ServiceHostTest, ServesV1ClientsAndCountsFailedSessions) {
+  Database db("d", {5, 6, 7, 8});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHost host(&registry, {});  // sole column becomes the default
+  std::string path = SocketPath("svc_v1");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  // A v1 ClientSession works against the host unchanged.
+  {
+    auto channel = ConnectUnixSocket(path).ValueOrDie();
+    ChaCha20Rng rng(11);
+    SelectionVector sel = {true, false, true, false};
+    ClientSession client(SharedKeyPair().private_key, sel, {}, rng);
+    EXPECT_EQ(client.Run(*channel).ValueOrDie(), BigInt(12));
+  }
+
+  // A client asking for an unknown column fails its session with an
+  // Error frame; the host keeps serving others afterwards.
+  {
+    auto channel = ConnectUnixSocket(path).ValueOrDie();
+    ChaCha20Rng rng(12);
+    QuerySession session(SharedKeyPair().private_key, rng);
+    ASSERT_TRUE(session.Connect(*channel).ok());
+    QuerySpec spec;
+    spec.column = "nope";
+    Result<BigInt> sum =
+        session.RunQuery(spec, SelectionVector{true, false, true, false});
+    EXPECT_FALSE(sum.ok());
+    EXPECT_EQ(sum.status().code(), StatusCode::kNotFound);
+  }
+
+  // Still serving.
+  {
+    auto channel = ConnectUnixSocket(path).ValueOrDie();
+    ChaCha20Rng rng(13);
+    QuerySession session(SharedKeyPair().private_key, rng);
+    ASSERT_TRUE(session.Connect(*channel).ok());
+    EXPECT_EQ(session
+                  .RunQuery(QuerySpec{},
+                            SelectionVector{false, true, false, true})
+                  .ValueOrDie(),
+              BigInt(14));
+    ASSERT_TRUE(session.Finish().ok());
+  }
+
+  host.Stop();
+  ServiceHost::Stats stats = host.stats();
+  EXPECT_EQ(stats.sessions_accepted, 3u);
+  EXPECT_EQ(stats.sessions_ok, 2u);
+  EXPECT_EQ(stats.sessions_failed, 1u);
+  // One v1 query + zero from the aborted session + one v2 query.
+  EXPECT_EQ(stats.queries_served, 2u);
+  // One shared key across all three sessions: cached once.
+  EXPECT_EQ(stats.distinct_client_keys, 1u);
+}
+
+TEST(ServiceHostTest, StopIsIdempotentAndRestartable) {
+  Database db("d", {1, 2});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHost host(&registry, {});
+  std::string path = SocketPath("svc_restart");
+  ASSERT_TRUE(host.Start(path).ok());
+  EXPECT_TRUE(host.running());
+  EXPECT_FALSE(host.Start(path).ok());  // already running
+  host.Stop();
+  host.Stop();
+  EXPECT_FALSE(host.running());
+  ASSERT_TRUE(host.Start(path).ok());
+  host.Stop();
+}
+
+}  // namespace
+}  // namespace ppstats

@@ -136,6 +136,160 @@ TEST(SessionTest, ServerRejectsNonHelloOpening) {
   EXPECT_FALSE(server_status.ok());
 }
 
+TEST(SessionTest, ClientSessionIsSingleShot) {
+  Database db("d", {1, 2, 3});
+  SelectionVector sel = {true, false, true};
+  auto [client_end, server_end] = DuplexPipe::Create();
+  std::thread server_thread([&db, &server_end] {
+    ServerSession session(&db);
+    (void)session.Serve(*server_end);
+  });
+  ChaCha20Rng rng(77);
+  ClientSession client(SharedKeyPair().private_key, sel, {}, rng);
+  ASSERT_TRUE(client.Run(*client_end).ok());
+  server_thread.join();
+  Result<BigInt> again = client.Run(*client_end);
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SessionTest, QuerySessionRunsManyQueriesOverOneConnection) {
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(Database("age", {30, 40, 50, 60})).ok());
+  ASSERT_TRUE(registry.Register(Database("income", {10, 20, 30, 40})).ok());
+  auto [client_end, server_end] = DuplexPipe::Create();
+  Status server_status = Status::OK();
+  SessionMetrics metrics;
+  std::thread server_thread([&] {
+    ServerSessionOptions options;
+    options.default_column = registry.Find("age");
+    ServerSession session(&registry, options);
+    server_status = session.Serve(*server_end);
+    metrics = session.metrics();
+  });
+
+  ChaCha20Rng rng(88);
+  QuerySession session(SharedKeyPair().private_key, rng);
+  ASSERT_TRUE(session.Connect(*client_end).ok());
+  EXPECT_EQ(session.negotiated_version(), kSessionProtocolV2);
+  EXPECT_EQ(session.server_rows(), 4u);
+
+  SelectionVector sel = {true, false, true, false};
+  QuerySpec sum_spec;  // empty column name = the server's default
+  EXPECT_EQ(session.RunQuery(sum_spec, sel).ValueOrDie(), BigInt(30 + 50));
+
+  QuerySpec sq_spec;
+  sq_spec.kind = StatisticKind::kSumOfSquares;
+  sq_spec.column = "income";
+  EXPECT_EQ(session.RunQuery(sq_spec, sel).ValueOrDie(), BigInt(100 + 900));
+
+  QuerySpec prod_spec;
+  prod_spec.kind = StatisticKind::kProduct;
+  prod_spec.column = "age";
+  prod_spec.column2 = "income";
+  EXPECT_EQ(session.RunQuery(prod_spec, sel).ValueOrDie(),
+            BigInt(30 * 10 + 50 * 30));
+
+  ASSERT_TRUE(session.Finish().ok());
+  server_thread.join();
+  EXPECT_TRUE(server_status.ok()) << server_status;
+  EXPECT_EQ(metrics.queries, 3u);
+  EXPECT_EQ(metrics.negotiated_version, kSessionProtocolV2);
+}
+
+TEST(SessionTest, UnknownColumnAbortsSession) {
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(Database("age", {1, 2})).ok());
+  auto [client_end, server_end] = DuplexPipe::Create();
+  Status server_status = Status::OK();
+  std::thread server_thread([&] {
+    ServerSession session(&registry, {});
+    server_status = session.Serve(*server_end);
+  });
+
+  ChaCha20Rng rng(89);
+  QuerySession session(SharedKeyPair().private_key, rng);
+  ASSERT_TRUE(session.Connect(*client_end).ok());
+  QuerySpec spec;
+  spec.column = "nope";
+  Result<BigInt> sum = session.RunQuery(spec, SelectionVector{true, false});
+  EXPECT_FALSE(sum.ok());
+  EXPECT_EQ(sum.status().code(), StatusCode::kNotFound);
+  server_thread.join();
+  EXPECT_FALSE(server_status.ok());
+}
+
+TEST(SessionTest, UnknownStatisticKindAbortsSession) {
+  Database db("d", {1, 2, 3});
+  auto [client_end, server_end] = DuplexPipe::Create();
+  Status server_status = Status::OK();
+  std::thread server_thread([&db, &server_end, &server_status] {
+    ServerSession session(&db);
+    server_status = session.Serve(*server_end);
+  });
+
+  ClientHelloMessage hello;
+  hello.protocol_version = kSessionProtocolV2;
+  hello.public_key_blob = SerializePublicKey(SharedKeyPair().public_key);
+  ASSERT_TRUE(client_end->Send(hello.Encode()).ok());
+  ASSERT_TRUE(client_end->Receive().ok());  // ServerHello
+
+  QueryHeaderMessage header;
+  header.kind = 99;  // not a StatisticKind
+  ASSERT_TRUE(client_end->Send(header.Encode()).ok());
+  Bytes reply = client_end->Receive().ValueOrDie();
+  EXPECT_EQ(PeekMessageType(reply).ValueOrDie(), MessageType::kError);
+  server_thread.join();
+  EXPECT_FALSE(server_status.ok());
+}
+
+TEST(SessionTest, QuerySessionFallsBackToV1Semantics) {
+  Database db("d", {5, 6, 7});
+  auto [client_end, server_end] = DuplexPipe::Create();
+  std::thread server_thread([&db, &server_end] {
+    // Simulates an old v1-only server: replies with version 1 and serves
+    // a single plain sum over its database.
+    ClientHelloMessage hello =
+        ClientHelloMessage::Decode(server_end->Receive().ValueOrDie())
+            .ValueOrDie();
+    PaillierPublicKey pub =
+        DeserializePublicKey(hello.public_key_blob).ValueOrDie();
+    ServerHelloMessage reply;
+    reply.protocol_version = kSessionProtocolV1;
+    reply.database_size = db.size();
+    ASSERT_TRUE(server_end->Send(reply.Encode()).ok());
+    SumServer server(pub, &db);
+    while (!server.Finished()) {
+      Bytes frame = server_end->Receive().ValueOrDie();
+      auto response = server.HandleRequest(frame).ValueOrDie();
+      if (response.has_value()) {
+        ASSERT_TRUE(server_end->Send(*response).ok());
+      }
+    }
+  });
+
+  ChaCha20Rng rng(90);
+  QuerySession session(SharedKeyPair().private_key, rng);
+  ASSERT_TRUE(session.Connect(*client_end).ok());
+  EXPECT_EQ(session.negotiated_version(), kSessionProtocolV1);
+  EXPECT_EQ(session.server_rows(), 3u);
+
+  // v1 cannot serve named columns or other statistic kinds.
+  QuerySpec sq_spec;
+  sq_spec.kind = StatisticKind::kSumOfSquares;
+  SelectionVector sel = {true, true, false};
+  EXPECT_EQ(session.RunQuery(sq_spec, sel).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  EXPECT_EQ(session.RunQuery(QuerySpec{}, sel).ValueOrDie(), BigInt(11));
+  server_thread.join();
+
+  // One query per v1 session.
+  EXPECT_EQ(session.RunQuery(QuerySpec{}, sel).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(session.Finish().ok());
+}
+
 TEST(SessionTest, SequentialSessionsOnFreshChannels) {
   ChaCha20Rng rng(4);
   WorkloadGenerator gen(rng);

@@ -1,17 +1,21 @@
-// ppstats_client: runs one private selected-sum query against a
-// ppstats_server.
+// ppstats_client: runs private statistics queries against a
+// ppstats_server, all over one connection (session protocol v2).
 //
 //   ppstats_client --key mykey.priv --socket /tmp/ppstats.sock \
-//                  --rows <n> --select 3,17,42 [--chunk 100] [--seed N]
+//                  --rows <n> --select 3,17,42 [--select ...] \
+//                  [--stat sum|sumsq|product] [--column <name>] \
+//                  [--column2 <name>] [--chunk 100] [--seed N]
 //
-// The server learns nothing about --select; the client learns only the
-// sum of the selected rows.
+// Each --select runs one query; --stat/--column/--column2 apply to all
+// of them. The server learns nothing about --select; the client learns
+// only the requested statistic over the selected rows.
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <random>
 #include <string>
+#include <vector>
 
 #include "core/session.h"
 #include "crypto/chacha20_rng.h"
@@ -24,7 +28,9 @@ namespace {
 int Usage() {
   std::fprintf(stderr,
                "usage: ppstats_client --key <file.priv> --socket <path> "
-               "--rows <n> --select i,j,k [--chunk <c>] [--seed <n>]\n");
+               "--rows <n> --select i,j,k [--select ...] "
+               "[--stat sum|sumsq|product] [--column <name>] "
+               "[--column2 <name>] [--chunk <c>] [--seed <n>]\n");
   return 2;
 }
 
@@ -41,7 +47,8 @@ ppstats::Result<ppstats::Bytes> ReadHexFile(const std::string& path) {
 int main(int argc, char** argv) {
   using namespace ppstats;
 
-  std::string key_path, socket_path, select;
+  std::string key_path, socket_path, stat = "sum", column, column2;
+  std::vector<std::string> selects;
   size_t rows = 0, chunk = 0;
   uint64_t seed = std::random_device{}();
   for (int i = 1; i < argc; ++i) {
@@ -50,7 +57,13 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
       socket_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--select") && i + 1 < argc) {
-      select = argv[++i];
+      selects.emplace_back(argv[++i]);
+    } else if (!std::strcmp(argv[i], "--stat") && i + 1 < argc) {
+      stat = argv[++i];
+    } else if (!std::strcmp(argv[i], "--column") && i + 1 < argc) {
+      column = argv[++i];
+    } else if (!std::strcmp(argv[i], "--column2") && i + 1 < argc) {
+      column2 = argv[++i];
     } else if (!std::strcmp(argv[i], "--rows") && i + 1 < argc) {
       rows = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--chunk") && i + 1 < argc) {
@@ -61,9 +74,24 @@ int main(int argc, char** argv) {
       return Usage();
     }
   }
-  if (key_path.empty() || socket_path.empty() || select.empty() || rows == 0) {
+  if (key_path.empty() || socket_path.empty() || selects.empty() ||
+      rows == 0) {
     return Usage();
   }
+
+  QuerySpec spec;
+  if (stat == "sum") {
+    spec.kind = StatisticKind::kSum;
+  } else if (stat == "sumsq") {
+    spec.kind = StatisticKind::kSumOfSquares;
+  } else if (stat == "product") {
+    spec.kind = StatisticKind::kProduct;
+  } else {
+    std::fprintf(stderr, "unknown --stat: %s\n", stat.c_str());
+    return Usage();
+  }
+  spec.column = column;
+  spec.column2 = column2;
 
   Result<Bytes> key_blob = ReadHexFile(key_path);
   if (!key_blob.ok()) {
@@ -75,13 +103,6 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", key.status().ToString().c_str());
     return 1;
   }
-  Result<std::vector<size_t>> indices = ParseIndexList(select, rows);
-  if (!indices.ok()) {
-    std::fprintf(stderr, "%s\n", indices.status().ToString().c_str());
-    return 1;
-  }
-  SelectionVector selection(rows, false);
-  for (size_t i : *indices) selection[i] = true;
 
   Result<std::unique_ptr<Channel>> channel = ConnectUnixSocket(socket_path);
   if (!channel.ok()) {
@@ -89,13 +110,34 @@ int main(int argc, char** argv) {
     return 1;
   }
   ChaCha20Rng rng(seed);
-  ClientSession session(*key, std::move(selection), {chunk}, rng);
-  Result<BigInt> sum = session.Run(**channel);
-  if (!sum.ok()) {
-    std::fprintf(stderr, "query failed: %s\n",
-                 sum.status().ToString().c_str());
+  QuerySession session(*key, rng, {chunk});
+  Status connected = session.Connect(**channel);
+  if (!connected.ok()) {
+    std::fprintf(stderr, "connect: %s\n", connected.ToString().c_str());
     return 1;
   }
-  std::printf("%s\n", sum->ToDecimal().c_str());
+
+  for (const std::string& select : selects) {
+    Result<std::vector<size_t>> indices = ParseIndexList(select, rows);
+    if (!indices.ok()) {
+      std::fprintf(stderr, "%s\n", indices.status().ToString().c_str());
+      return 1;
+    }
+    SelectionVector selection(rows, false);
+    for (size_t i : *indices) selection[i] = true;
+
+    Result<BigInt> value = session.RunQuery(spec, selection);
+    if (!value.ok()) {
+      std::fprintf(stderr, "query failed: %s\n",
+                   value.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("%s\n", value->ToDecimal().c_str());
+  }
+  Status finished = session.Finish();
+  if (!finished.ok()) {
+    std::fprintf(stderr, "finish: %s\n", finished.ToString().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,16 +1,23 @@
-// ppstats_server: serves private selected-sum queries from a database
-// file over a Unix socket.
+// ppstats_server: serves private statistics queries from one or more
+// database files over a Unix socket.
 //
-//   ppstats_server --db values.txt --socket /tmp/ppstats.sock [--once]
+//   ppstats_server --db [name=]values.txt [--db ...] --socket /tmp/pp.sock
+//                  [--default <name>] [--threads <t>] [--once]
 //
-// Each client session runs the full handshake + protocol of
-// core/session.h. With --once the server exits after one session
-// (useful for scripted tests).
+// Each --db registers one named column (the name defaults to the file
+// path); v2 clients address columns by name and may run several queries
+// per connection. Concurrent clients are each served on their own
+// session thread (core/service_host.h). With --once the server handles
+// exactly one session serially and exits (useful for scripted tests).
+
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <vector>
 
+#include "core/service_host.h"
 #include "core/session.h"
 #include "db/io.h"
 #include "net/socket_channel.h"
@@ -19,7 +26,9 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ppstats_server --db <file> --socket <path> [--once]\n");
+               "usage: ppstats_server --db [name=]<file> [--db ...] "
+               "--socket <path> [--default <name>] [--threads <t>] "
+               "[--once]\n");
   return 2;
 }
 
@@ -28,47 +37,99 @@ int Usage() {
 int main(int argc, char** argv) {
   using namespace ppstats;
 
-  std::string db_path;
+  std::vector<std::string> db_specs;
   std::string socket_path;
+  std::string default_column;
+  size_t threads = 1;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--db") && i + 1 < argc) {
-      db_path = argv[++i];
+      db_specs.emplace_back(argv[++i]);
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
       socket_path = argv[++i];
+    } else if (!std::strcmp(argv[i], "--default") && i + 1 < argc) {
+      default_column = argv[++i];
+    } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
+      threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--once")) {
       once = true;
     } else {
       return Usage();
     }
   }
-  if (db_path.empty() || socket_path.empty()) return Usage();
+  if (db_specs.empty() || socket_path.empty()) return Usage();
 
-  Result<Database> db = LoadDatabaseFromFile(db_path);
-  if (!db.ok()) {
-    std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
-    return 1;
+  ColumnRegistry registry;
+  for (const std::string& spec : db_specs) {
+    std::string name, path;
+    size_t eq = spec.find('=');
+    if (eq == std::string::npos) {
+      path = spec;
+    } else {
+      name = spec.substr(0, eq);
+      path = spec.substr(eq + 1);
+    }
+    Result<Database> db = LoadDatabaseFromFile(path);
+    if (!db.ok()) {
+      std::fprintf(stderr, "%s\n", db.status().ToString().c_str());
+      return 1;
+    }
+    if (!name.empty()) db = Database(name, db->values());
+    std::printf("column %-16s %zu rows (%s)\n", db->name().c_str(),
+                db->size(), path.c_str());
+    Status registered = registry.Register(std::move(db.value()));
+    if (!registered.ok()) {
+      std::fprintf(stderr, "%s\n", registered.ToString().c_str());
+      return 1;
+    }
   }
-  Result<SocketListener> listener = SocketListener::Bind(socket_path);
-  if (!listener.ok()) {
-    std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
-    return 1;
-  }
-  std::printf("serving %zu rows from %s on %s\n", db->size(),
-              db_path.c_str(), socket_path.c_str());
-  std::fflush(stdout);
 
-  do {
+  if (once) {
+    // Serial single-session mode for scripted tests.
+    Result<SocketListener> listener = SocketListener::Bind(socket_path);
+    if (!listener.ok()) {
+      std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("serving one session on %s\n", socket_path.c_str());
+    std::fflush(stdout);
     Result<std::unique_ptr<Channel>> channel = listener->Accept();
     if (!channel.ok()) {
       std::fprintf(stderr, "accept: %s\n",
                    channel.status().ToString().c_str());
       return 1;
     }
-    ServerSession session(&db.value());
+    ServerSessionOptions options;
+    options.default_column =
+        default_column.empty()
+            ? (registry.size() == 1
+                   ? registry.Find(registry.ColumnNames().front())
+                   : nullptr)
+            : registry.Find(default_column);
+    if (!default_column.empty() && options.default_column == nullptr) {
+      std::fprintf(stderr, "unknown default column: %s\n",
+                   default_column.c_str());
+      return 1;
+    }
+    options.worker_threads = threads;
+    ServerSession session(&registry, options);
     Status status = session.Serve(**channel);
-    std::printf("session: %s\n", status.ToString().c_str());
-    std::fflush(stdout);
-  } while (!once);
-  return 0;
+    std::printf("session: %s (%llu queries)\n", status.ToString().c_str(),
+                static_cast<unsigned long long>(session.metrics().queries));
+    return status.ok() ? 0 : 1;
+  }
+
+  ServiceHostOptions options;
+  options.default_column = default_column;
+  options.worker_threads = threads;
+  ServiceHost host(&registry, options);
+  Status started = host.Start(socket_path);
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::printf("serving %zu column(s) on %s\n", registry.size(),
+              socket_path.c_str());
+  std::fflush(stdout);
+  for (;;) pause();  // sessions run until the process is killed
 }
