@@ -27,6 +27,7 @@ enum class StatusCode {
   kNotFound,          ///< requested entity does not exist
   kResourceExhausted, ///< a pool or buffer ran out
   kInternal,          ///< invariant violation inside the library
+  kDeadlineExceeded,  ///< a blocking operation ran past its deadline
 };
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
@@ -73,6 +74,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

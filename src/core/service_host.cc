@@ -1,8 +1,28 @@
 #include "core/service_host.h"
 
+#include <algorithm>
+#include <chrono>
+#include <memory>
 #include <utility>
 
+#include "core/messages.h"
+#include "crypto/chacha20_rng.h"
+
 namespace ppstats {
+
+namespace {
+
+/// Cap on the accept-failure backoff. Transient fd exhaustion usually
+/// clears in milliseconds; anything longer and we still want the host
+/// probing regularly rather than sleeping through recovery.
+constexpr uint32_t kMaxAcceptBackoffMs = 100;
+
+/// Write deadline for the over-capacity Error frame: the frame is tiny
+/// and the socket buffer empty, so this only guards against a client
+/// that connects and immediately stops reading.
+constexpr uint32_t kRejectWriteDeadlineMs = 100;
+
+}  // namespace
 
 ServiceHost::ServiceHost(const ColumnRegistry* registry,
                          ServiceHostOptions options)
@@ -27,14 +47,21 @@ Status ServiceHost::Start(const std::string& socket_path) {
     default_column_ = registry_->Find(registry_->ColumnNames().front());
   }
 
-  PPSTATS_ASSIGN_OR_RETURN(SocketListener listener,
-                           SocketListener::Bind(socket_path));
+  PPSTATS_ASSIGN_OR_RETURN(
+      SocketListener listener,
+      SocketListener::Bind(socket_path, options_.accept_backlog));
   listener_.emplace(std::move(listener));
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = false;
+    draining_ = false;
+    // Per-run state: a restarted host must not report the previous
+    // run's counters or keep serving from its key cache.
+    stats_ = {};
+    key_cache_.Clear();
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  reaper_thread_ = std::thread([this] { ReaperLoop(); });
   return Status::OK();
 }
 
@@ -45,14 +72,18 @@ void ServiceHost::Stop() {
   }
   if (listener_.has_value()) listener_->Close();
   if (accept_thread_.joinable()) accept_thread_.join();
-
-  std::vector<std::thread> sessions;
   {
     std::lock_guard<std::mutex> lock(mu_);
-    sessions.swap(session_threads_);
+    draining_ = true;  // no new sessions can appear past this point
   }
-  for (std::thread& t : sessions) t.join();
+  reaper_cv_.notify_all();
+  if (reaper_thread_.joinable()) reaper_thread_.join();
   listener_.reset();
+}
+
+size_t ServiceHost::active_sessions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
 }
 
 ServiceHost::Stats ServiceHost::stats() const {
@@ -63,33 +94,126 @@ ServiceHost::Stats ServiceHost::stats() const {
 }
 
 void ServiceHost::AcceptLoop() {
+  uint32_t backoff_ms = 1;
   for (;;) {
-    Result<std::unique_ptr<Channel>> channel = listener_->Accept();
-    std::lock_guard<std::mutex> lock(mu_);
-    // Accept fails once Stop shuts the listener down; it can also fail
-    // spuriously, in which case retrying would spin — so any failure
-    // ends the loop.
-    if (stopping_ || !channel.ok()) return;
+    Result<std::unique_ptr<Channel>> channel =
+        [this]() -> Result<std::unique_ptr<Channel>> {
+      if (options_.accept_fault_hook) {
+        PPSTATS_RETURN_IF_ERROR(options_.accept_fault_hook());
+      }
+      return listener_->Accept();
+    }();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stopping_) return;
+    }
+    if (!channel.ok()) {
+      // Transient resource exhaustion (EMFILE and friends): back off
+      // with a capped exponential delay and keep accepting. Anything
+      // else means the listener itself is dead.
+      if (channel.status().code() != StatusCode::kResourceExhausted) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+      backoff_ms = std::min(backoff_ms * 2, kMaxAcceptBackoffMs);
+      continue;
+    }
+    backoff_ms = 1;
+
+    std::unique_ptr<Channel> accepted = std::move(*channel);
+    if (options_.io_deadline_ms > 0) {
+      std::chrono::milliseconds deadline(options_.io_deadline_ms);
+      accepted->set_read_deadline(deadline);
+      accepted->set_write_deadline(deadline);
+    }
+
+    std::unique_lock<std::mutex> lock(mu_);
+    if (stopping_) return;
+    if (options_.max_sessions > 0 &&
+        sessions_.size() >= options_.max_sessions) {
+      ++stats_.sessions_rejected;
+      lock.unlock();
+      RejectOverCapacity(std::move(accepted));
+      continue;
+    }
     ++stats_.sessions_accepted;
-    std::unique_ptr<Channel>& slot = *channel;
-    session_threads_.emplace_back(
-        [this, ch = std::move(slot)]() mutable { ServeOne(std::move(ch)); });
+    uint64_t id = next_session_id_++;
+    // The session thread's last act takes mu_, so it cannot outrun this
+    // emplace: its handle is in sessions_ before it can move it out.
+    sessions_.emplace(
+        id, std::thread([this, id, ch = std::move(accepted)]() mutable {
+          if (options_.fault_injection.has_value()) {
+            ChaCha20Rng fault_rng(options_.fault_seed + id);
+            FaultInjectingChannel faulty(std::move(ch),
+                                         *options_.fault_injection,
+                                         fault_rng);
+            ServeOne(faulty);
+          } else {
+            ServeOne(*ch);
+          }
+          ch.reset();  // close the transport before the thread is reaped
+          std::lock_guard<std::mutex> lock(mu_);
+          auto it = sessions_.find(id);
+          finished_.push_back(std::move(it->second));
+          sessions_.erase(it);
+          reaper_cv_.notify_all();
+        }));
   }
 }
 
-void ServiceHost::ServeOne(std::unique_ptr<Channel> channel) {
+void ServiceHost::ReaperLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    reaper_cv_.wait(lock, [this] {
+      return !finished_.empty() || (draining_ && sessions_.empty());
+    });
+    while (!finished_.empty()) {
+      std::thread done = std::move(finished_.back());
+      finished_.pop_back();
+      lock.unlock();
+      done.join();  // the thread already left ServeOne; this is prompt
+      lock.lock();
+    }
+    if (draining_ && sessions_.empty() && finished_.empty()) return;
+  }
+}
+
+void ServiceHost::RejectOverCapacity(std::unique_ptr<Channel> channel) {
+  std::chrono::milliseconds deadline(kRejectWriteDeadlineMs);
+  channel->set_read_deadline(deadline);
+  channel->set_write_deadline(deadline);
+  // Drain the ClientHello (best effort) before answering, so the client
+  // never races its hello against our close: it always gets to read the
+  // Error frame instead of dying on a broken pipe mid-send.
+  (void)channel->Receive();
+  ErrorMessage msg;
+  msg.code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
+  msg.reason = "server at capacity; retry later";
+  (void)channel->Send(msg.Encode());  // best effort; then close
+}
+
+void ServiceHost::ServeOne(Channel& channel) {
   ServerSessionOptions session_options;
   session_options.default_column = default_column_;
   session_options.worker_threads = options_.worker_threads;
   session_options.key_cache = &key_cache_;
   ServerSession session(registry_, session_options);
-  Status status = session.Serve(*channel);
+  Status status = session.Serve(channel);
+  if (status.code() == StatusCode::kDeadlineExceeded) {
+    // The client stalled past the I/O deadline. Tell it why it is being
+    // evicted (best effort — it may well be gone).
+    ErrorMessage msg;
+    msg.code = static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
+    msg.reason = "session i/o deadline exceeded";
+    (void)channel.Send(msg.Encode());
+  }
 
   std::lock_guard<std::mutex> lock(mu_);
   if (status.ok()) {
     ++stats_.sessions_ok;
   } else {
     ++stats_.sessions_failed;
+    if (status.code() == StatusCode::kDeadlineExceeded) {
+      ++stats_.sessions_evicted;
+    }
   }
   stats_.queries_served += session.metrics().queries;
   stats_.server_compute_s += session.metrics().server_compute_s;

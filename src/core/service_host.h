@@ -8,12 +8,29 @@
 // through one shared PublicKeyCache, so repeat sessions from the same
 // client skip the Montgomery-context rebuild.
 //
+// Robustness layer (the daemon must survive slow, crashing, and
+// malformed clients):
+//  * Per-session I/O deadlines (io_deadline_ms) evict a client that
+//    stalls mid-protocol instead of pinning its session thread forever.
+//  * A session reaper joins finished session threads promptly, so a
+//    long-running daemon's thread count returns to baseline between
+//    clients instead of accumulating handles until Stop().
+//  * max_sessions caps concurrency; over-limit connects are answered
+//    with a ResourceExhausted Error frame and closed, which clients
+//    treat as retryable (net/retry.h).
+//  * The accept loop survives transient accept() failures (fd
+//    exhaustion, memory pressure) with capped backoff; only listener
+//    shutdown stops it.
+//
 // This is the deployment wrapper around ServerSession; the measured
 // experiment harnesses keep driving protocol objects directly.
 
 #ifndef PPSTATS_CORE_SERVICE_HOST_H_
 #define PPSTATS_CORE_SERVICE_HOST_H_
 
+#include <condition_variable>
+#include <functional>
+#include <map>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -22,6 +39,7 @@
 
 #include "core/session.h"
 #include "db/column_registry.h"
+#include "net/fault_injection.h"
 #include "net/socket_channel.h"
 
 namespace ppstats {
@@ -34,18 +52,47 @@ struct ServiceHostOptions {
 
   /// Fold slices per chunk on the shared ThreadPool (per query).
   size_t worker_threads = 1;
+
+  /// Concurrent session cap; connects beyond it are rejected with a
+  /// ResourceExhausted Error frame. 0 = unlimited.
+  size_t max_sessions = 0;
+
+  /// Per-call read/write deadline on every session channel; a client
+  /// that stalls longer than this mid-protocol is evicted with
+  /// DeadlineExceeded. 0 = block forever (the paper's assumption).
+  uint32_t io_deadline_ms = 0;
+
+  /// Kernel listen(2) backlog for the socket listener.
+  int accept_backlog = 16;
+
+  /// When set, every session channel is wrapped in a
+  /// FaultInjectingChannel seeded with fault_seed + session index, so
+  /// chaos tests can inject deterministic faults into the server's send
+  /// path (ServerHello / QueryAccept / SumResponse frames).
+  std::optional<FaultInjectionOptions> fault_injection;
+  uint64_t fault_seed = 0;
+
+  /// Test hook, consulted before each blocking accept. A non-OK return
+  /// is handled exactly like a failed accept() with that status. Chaos
+  /// tests use it to simulate fd exhaustion (EMFILE/ENFILE), which
+  /// cannot be forced reliably from user space: some kernels (and
+  /// sandboxes) skip the RLIMIT_NOFILE check on accept's fd allocation.
+  std::function<Status()> accept_fault_hook;
 };
 
 /// Serves ServerSessions concurrently on a filesystem socket path.
 class ServiceHost {
  public:
-  /// Aggregate counters across all sessions served so far.
+  /// Aggregate counters across all sessions served so far (reset on
+  /// each Start, so a restarted host reports only its current run).
   struct Stats {
     uint64_t sessions_accepted = 0;
-    uint64_t sessions_ok = 0;      ///< sessions that ended cleanly
-    uint64_t sessions_failed = 0;  ///< sessions that ended with an error
-    uint64_t queries_served = 0;   ///< queries answered with a SumResponse
-    double server_compute_s = 0;   ///< total homomorphic fold time
+    uint64_t sessions_ok = 0;       ///< sessions that ended cleanly
+    uint64_t sessions_failed = 0;   ///< sessions that ended with an error
+    uint64_t sessions_rejected = 0; ///< connects refused over max_sessions
+    uint64_t sessions_evicted = 0;  ///< sessions ended by an I/O deadline
+    uint64_t queries_served = 0;    ///< queries answered with a SumResponse
+    double server_compute_s = 0;    ///< total homomorphic fold time
     size_t distinct_client_keys = 0;
   };
 
@@ -60,20 +107,29 @@ class ServiceHost {
   ServiceHost& operator=(const ServiceHost&) = delete;
 
   /// Binds `socket_path` and starts accepting clients in the background.
+  /// Resets per-run state (stats, key cache), so Stop() + Start() serves
+  /// a fresh run — including on the same path.
   Status Start(const std::string& socket_path);
 
-  /// Unblocks the accept loop and joins every thread. Sessions already
-  /// in flight run to completion (their clients disconnect or finish).
-  /// Idempotent.
+  /// Unblocks the accept loop and drains: sessions already in flight run
+  /// to completion (bounded by io_deadline_ms when set), their threads
+  /// are reaped, and every host thread is joined. Idempotent.
   void Stop();
 
   bool running() const { return accept_thread_.joinable(); }
+
+  /// Sessions currently being served (live session threads). The reaper
+  /// keeps this equal to the number of connected clients, so a test can
+  /// assert it returns to zero between clients.
+  size_t active_sessions() const;
 
   Stats stats() const;
 
  private:
   void AcceptLoop();
-  void ServeOne(std::unique_ptr<Channel> channel);
+  void ReaperLoop();
+  void ServeOne(Channel& channel);
+  void RejectOverCapacity(std::unique_ptr<Channel> channel);
 
   const ColumnRegistry* registry_;
   ServiceHostOptions options_;
@@ -81,11 +137,16 @@ class ServiceHost {
   PublicKeyCache key_cache_;
   std::optional<SocketListener> listener_;
   std::thread accept_thread_;
+  std::thread reaper_thread_;
 
-  mutable std::mutex mu_;  // guards session_threads_ and stats_
-  std::vector<std::thread> session_threads_;
+  mutable std::mutex mu_;  // guards everything below
+  std::map<uint64_t, std::thread> sessions_;  // live, keyed by session id
+  std::vector<std::thread> finished_;         // done, awaiting join
+  std::condition_variable reaper_cv_;
+  uint64_t next_session_id_ = 0;
   Stats stats_;
   bool stopping_ = false;
+  bool draining_ = false;  // accept loop gone; reaper exits when idle
 };
 
 }  // namespace ppstats

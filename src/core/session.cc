@@ -1,5 +1,7 @@
 #include "core/session.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "core/messages.h"
@@ -54,7 +56,36 @@ Result<BigInt> ClientSession::Run(Channel& channel) {
         "session already ran; a ClientSession is single-shot");
   }
   ran_ = true;
+  return RunOnce(channel);
+}
 
+Result<BigInt> ClientSession::RunWithRetry(const ChannelFactory& dial,
+                                           const RetryOptions& retry) {
+  if (ran_) {
+    return Status::FailedPrecondition(
+        "session already ran; a ClientSession is single-shot");
+  }
+  ran_ = true;
+  retry_metrics_ = {};
+  size_t max_attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  Status last = Status::Internal("no connection attempt was made");
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      uint32_t backoff = RetryBackoffMs(attempt - 1, retry, *rng_);
+      retry_metrics_.backoff_ms_total += backoff;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    ++retry_metrics_.attempts;
+    Result<std::unique_ptr<Channel>> channel = dial();
+    Result<BigInt> sum = channel.ok() ? RunOnce(**channel) : channel.status();
+    if (sum.ok() || !IsRetryableStatus(sum.status())) return sum;
+    ++retry_metrics_.retryable_failures;
+    last = sum.status();
+  }
+  return last;
+}
+
+Result<BigInt> ClientSession::RunOnce(Channel& channel) {
   // Handshake.
   ClientHelloMessage hello;
   hello.protocol_version = kSessionProtocolV1;
@@ -108,6 +139,34 @@ Status QuerySession::Connect(Channel& channel) {
   server_rows_ = server_hello.database_size;
   channel_ = &channel;
   return Status::OK();
+}
+
+Status QuerySession::ConnectWithRetry(const ChannelFactory& dial,
+                                      const RetryOptions& retry) {
+  if (channel_ != nullptr) {
+    return Status::FailedPrecondition("session already connected");
+  }
+  retry_metrics_ = {};
+  size_t max_attempts = retry.max_attempts > 0 ? retry.max_attempts : 1;
+  Status last = Status::Internal("no connection attempt was made");
+  for (size_t attempt = 1; attempt <= max_attempts; ++attempt) {
+    if (attempt > 1) {
+      uint32_t backoff = RetryBackoffMs(attempt - 1, retry, *rng_);
+      retry_metrics_.backoff_ms_total += backoff;
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+    }
+    ++retry_metrics_.attempts;
+    Result<std::unique_ptr<Channel>> channel = dial();
+    Status status = channel.ok() ? Connect(**channel) : channel.status();
+    if (status.ok()) {
+      owned_channel_ = std::move(*channel);  // keep the dialed transport
+      return status;
+    }
+    if (!IsRetryableStatus(status)) return status;
+    ++retry_metrics_.retryable_failures;
+    last = status;
+  }
+  return last;
 }
 
 Result<BigInt> QuerySession::RunQuery(const QuerySpec& spec,

@@ -33,12 +33,15 @@
 #ifndef PPSTATS_CORE_SESSION_H_
 #define PPSTATS_CORE_SESSION_H_
 
+#include <functional>
+#include <memory>
 #include <string>
 
 #include "core/query.h"
 #include "core/selected_sum.h"
 #include "crypto/key_io.h"
 #include "net/channel.h"
+#include "net/retry.h"
 
 namespace ppstats {
 
@@ -55,6 +58,12 @@ struct ClientSessionOptions {
   size_t chunk_size = 0;  ///< index-batch chunking, as in SumClientOptions
 };
 
+/// Dials a fresh channel to the server, once per connection attempt
+/// (e.g. a ConnectUnixSocket lambda). Used by the retrying entry points,
+/// which must be able to redial after a dead transport.
+using ChannelFactory =
+    std::function<Result<std::unique_ptr<Channel>>()>;
+
 /// One private-sum query over a channel, with handshake (a v1 client).
 class ClientSession {
  public:
@@ -68,11 +77,26 @@ class ClientSession {
   /// is single-shot: a second Run fails with FailedPrecondition.
   Result<BigInt> Run(Channel& channel);
 
+  /// Like Run, but dials its own channel via `dial` and retries the
+  /// whole session (fresh channel each attempt, backoff + jitter drawn
+  /// from the session rng) on retryable failures — see
+  /// IsRetryableStatus. Safe because a v1 query is a pure read: the
+  /// server keeps no cross-session state, so replaying it is
+  /// idempotent. Still single-shot overall.
+  Result<BigInt> RunWithRetry(const ChannelFactory& dial,
+                              const RetryOptions& retry);
+
+  /// Per-attempt counters for the last RunWithRetry.
+  const RetryMetrics& retry_metrics() const { return retry_metrics_; }
+
  private:
+  Result<BigInt> RunOnce(Channel& channel);
+
   const PaillierPrivateKey* key_;
   SelectionVector selection_;
   ClientSessionOptions options_;
   RandomSource* rng_;
+  RetryMetrics retry_metrics_;
   bool ran_ = false;
 };
 
@@ -87,6 +111,17 @@ class QuerySession {
   /// Performs the hello exchange on `channel`, which must outlive the
   /// session. Single-shot.
   Status Connect(Channel& channel);
+
+  /// Dials via `dial` and performs the hello exchange, retrying with
+  /// exponential backoff + jitter on retryable failures (dead transport,
+  /// over-capacity rejection — see IsRetryableStatus). The hello
+  /// exchange commits no server state, so redialing it is always safe.
+  /// On success the session owns the dialed channel.
+  Status ConnectWithRetry(const ChannelFactory& dial,
+                          const RetryOptions& retry);
+
+  /// Per-attempt counters for the last ConnectWithRetry.
+  const RetryMetrics& retry_metrics() const { return retry_metrics_; }
 
   /// Version agreed with the server (valid after Connect).
   uint16_t negotiated_version() const { return version_; }
@@ -110,7 +145,9 @@ class QuerySession {
   const PaillierPrivateKey* key_;
   RandomSource* rng_;
   ClientSessionOptions options_;
+  std::unique_ptr<Channel> owned_channel_;  // set by ConnectWithRetry
   Channel* channel_ = nullptr;
+  RetryMetrics retry_metrics_;
   uint16_t version_ = 0;
   uint64_t server_rows_ = 0;
   size_t queries_run_ = 0;

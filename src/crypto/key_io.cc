@@ -103,4 +103,9 @@ size_t PublicKeyCache::size() const {
   return cache_.size();
 }
 
+void PublicKeyCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
+}
+
 }  // namespace ppstats

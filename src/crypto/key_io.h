@@ -41,6 +41,9 @@ class PublicKeyCache {
 
   size_t size() const;
 
+  /// Drops every cached key (ServiceHost::Start resets per-run state).
+  void Clear();
+
  private:
   mutable std::mutex mu_;
   std::map<Bytes, PaillierPublicKey> cache_;

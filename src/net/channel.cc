@@ -19,9 +19,16 @@ struct Queue {
     cv.notify_one();
   }
 
-  Result<Bytes> Pop() {
+  Result<Bytes> Pop(std::chrono::milliseconds deadline) {
     std::unique_lock<std::mutex> lock(mu);
-    cv.wait(lock, [this] { return !messages.empty() || closed; });
+    auto ready = [this] { return !messages.empty() || closed; };
+    if (deadline.count() > 0) {
+      if (!cv.wait_for(lock, deadline, ready)) {
+        return Status::DeadlineExceeded("receive ran past the deadline");
+      }
+    } else {
+      cv.wait(lock, ready);
+    }
     if (messages.empty()) {
       return Status::ProtocolError("peer closed the channel");
     }
@@ -58,13 +65,20 @@ class PipeEndpoint : public Channel {
     return Status::OK();
   }
 
-  Result<Bytes> Receive() override { return incoming_->Pop(); }
+  Result<Bytes> Receive() override { return incoming_->Pop(read_deadline_); }
 
   TrafficStats sent() const override { return stats_; }
+
+  void set_read_deadline(std::chrono::milliseconds deadline) override {
+    read_deadline_ = deadline;
+  }
+  // The outgoing queue is unbounded, so Send never blocks and the write
+  // deadline is intentionally a no-op (see channel.h).
 
  private:
   std::shared_ptr<Queue> outgoing_;
   std::shared_ptr<Queue> incoming_;
+  std::chrono::milliseconds read_deadline_{0};
   TrafficStats stats_;
 };
 

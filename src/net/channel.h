@@ -12,6 +12,7 @@
 #ifndef PPSTATS_NET_CHANNEL_H_
 #define PPSTATS_NET_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <memory>
@@ -59,6 +60,18 @@ class Channel {
 
   /// Traffic sent from this endpoint.
   virtual TrafficStats sent() const = 0;
+
+  /// Caps how long each subsequent Receive may block, measured from the
+  /// start of that call. A call that runs past the deadline fails with
+  /// DeadlineExceeded instead of blocking forever — this is what evicts
+  /// a stalled or hostile peer. Zero (the default) means no deadline.
+  /// Transports that never block (RecordingChannel) ignore it.
+  virtual void set_read_deadline(std::chrono::milliseconds /*deadline*/) {}
+
+  /// Same cap for each subsequent Send. Only meaningful on transports
+  /// with bounded buffering (sockets); the in-memory pipe's queue is
+  /// unbounded, so its Send never blocks and the deadline is moot.
+  virtual void set_write_deadline(std::chrono::milliseconds /*deadline*/) {}
 };
 
 /// Creates a connected pair of thread-safe in-memory channel endpoints.

@@ -1,0 +1,105 @@
+#include "net/fault_injection.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ppstats {
+
+FaultInjectingChannel::FaultInjectingChannel(std::unique_ptr<Channel> inner,
+                                             FaultInjectionOptions options,
+                                             RandomSource& rng)
+    : inner_(std::move(inner)), options_(options), rng_(&rng) {}
+
+bool FaultInjectingChannel::ShouldFault() {
+  if (counters_.frames <= options_.skip_frames) return false;
+  if (counters_.faults() >= options_.max_faults) return false;
+  double rate = std::clamp(options_.fault_rate, 0.0, 1.0);
+  // Fixed-point comparison so the draw consumes exactly one uint64 from
+  // the deterministic stream regardless of the rate.
+  constexpr uint64_t kScale = uint64_t{1} << 32;
+  return rng_->NextBelow(kScale) < static_cast<uint64_t>(rate * kScale);
+}
+
+FaultKind FaultInjectingChannel::PickKind() {
+  std::vector<FaultKind> enabled;
+  if (options_.delay) enabled.push_back(FaultKind::kDelay);
+  if (options_.truncate) enabled.push_back(FaultKind::kTruncate);
+  if (options_.garble) enabled.push_back(FaultKind::kGarble);
+  if (options_.drop) enabled.push_back(FaultKind::kDrop);
+  if (options_.disconnect) enabled.push_back(FaultKind::kDisconnect);
+  if (enabled.empty()) return FaultKind::kDelay;  // delay is benign
+  return enabled[rng_->NextBelow(enabled.size())];
+}
+
+Status FaultInjectingChannel::Send(BytesView message) {
+  if (inner_ == nullptr) {
+    return Status::ProtocolError("channel closed by injected disconnect");
+  }
+  ++counters_.frames;
+  if (!ShouldFault()) return inner_->Send(message);
+
+  switch (PickKind()) {
+    case FaultKind::kDelay:
+      ++counters_.delays;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(options_.delay_ms));
+      return inner_->Send(message);
+    case FaultKind::kTruncate: {
+      if (message.empty()) {
+        ++counters_.drops;  // nothing to truncate; losing it is a drop
+        return Status::OK();
+      }
+      ++counters_.truncations;
+      size_t keep = static_cast<size_t>(rng_->NextBelow(message.size()));
+      return inner_->Send(message.subspan(0, keep));
+    }
+    case FaultKind::kGarble: {
+      ++counters_.garbles;
+      Bytes copy(message.begin(), message.end());
+      if (!copy.empty()) {
+        size_t flips = 1 + static_cast<size_t>(rng_->NextBelow(8));
+        for (size_t i = 0; i < flips; ++i) {
+          size_t at = static_cast<size_t>(rng_->NextBelow(copy.size()));
+          copy[at] ^= static_cast<uint8_t>(1 + rng_->NextBelow(255));
+        }
+      }
+      return inner_->Send(copy);
+    }
+    case FaultKind::kDrop:
+      ++counters_.drops;
+      return Status::OK();  // the peer waits for a frame that never comes
+    case FaultKind::kDisconnect:
+      ++counters_.disconnects;
+      final_stats_ = inner_->sent();
+      inner_.reset();  // closes the transport; the peer sees EOF
+      return Status::ProtocolError("channel closed by injected disconnect");
+  }
+  return Status::Internal("unreachable fault kind");
+}
+
+Result<Bytes> FaultInjectingChannel::Receive() {
+  if (inner_ == nullptr) {
+    return Status::ProtocolError("channel closed by injected disconnect");
+  }
+  return inner_->Receive();
+}
+
+TrafficStats FaultInjectingChannel::sent() const {
+  return inner_ != nullptr ? inner_->sent() : final_stats_;
+}
+
+void FaultInjectingChannel::set_read_deadline(
+    std::chrono::milliseconds deadline) {
+  read_deadline_ = deadline;
+  if (inner_ != nullptr) inner_->set_read_deadline(deadline);
+}
+
+void FaultInjectingChannel::set_write_deadline(
+    std::chrono::milliseconds deadline) {
+  write_deadline_ = deadline;
+  if (inner_ != nullptr) inner_->set_write_deadline(deadline);
+}
+
+}  // namespace ppstats

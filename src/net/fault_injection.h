@@ -1,0 +1,107 @@
+// FaultInjectingChannel: a Channel decorator that injects transport
+// faults — delays, truncations, garbled bytes, dropped frames, and
+// mid-stream disconnects — into the send path of the wrapped channel.
+//
+// The paper's experiments assume both parties and the link stay healthy
+// for the whole run; a deployed service cannot. This decorator is how
+// the chaos tests prove the session stack turns every transport failure
+// into a typed Status (never a hang, never a crash): wrap either
+// endpoint, drive the protocol, and assert both sides terminate.
+//
+// Faults are drawn from a caller-provided RandomSource, so a seeded
+// ChaCha20Rng makes every chaos run bit-for-bit reproducible.
+
+#ifndef PPSTATS_NET_FAULT_INJECTION_H_
+#define PPSTATS_NET_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/random.h"
+#include "net/channel.h"
+
+namespace ppstats {
+
+/// Frame-level fault kinds the decorator can inject on Send.
+enum class FaultKind : uint8_t {
+  kDelay,       ///< stall for delay_ms, then deliver the frame intact
+  kTruncate,    ///< deliver only a strict prefix of the frame
+  kGarble,      ///< flip a few random bytes of the frame
+  kDrop,        ///< silently discard the frame (peer waits -> deadline)
+  kDisconnect,  ///< close the underlying transport mid-stream
+};
+
+/// Configuration for a FaultInjectingChannel.
+struct FaultInjectionOptions {
+  /// Per-frame fault probability in [0, 1] once armed.
+  double fault_rate = 0.01;
+
+  /// Length of a kDelay stall.
+  uint32_t delay_ms = 20;
+
+  /// Frames to pass through untouched before arming. This is how a test
+  /// targets a protocol phase: frame 0 of a client is its ClientHello,
+  /// frame 1 the first QueryHeader, frames 2..k the chunk stream.
+  uint64_t skip_frames = 0;
+
+  /// Stop injecting after this many faults (a one-shot fault is
+  /// max_faults = 1 with fault_rate = 1.0).
+  uint64_t max_faults = UINT64_MAX;
+
+  /// Which kinds may be drawn (uniformly among the enabled ones).
+  bool delay = true;
+  bool truncate = true;
+  bool garble = true;
+  bool drop = true;
+  bool disconnect = true;
+};
+
+/// Counters for what was actually injected.
+struct FaultCounters {
+  uint64_t frames = 0;  ///< frames offered to Send
+  uint64_t delays = 0;
+  uint64_t truncations = 0;
+  uint64_t garbles = 0;
+  uint64_t drops = 0;
+  uint64_t disconnects = 0;
+
+  uint64_t faults() const {
+    return delays + truncations + garbles + drops + disconnects;
+  }
+};
+
+/// Decorates a Channel with send-side fault injection. Receive passes
+/// through (wrap both endpoints to fault both directions). After an
+/// injected disconnect the wrapped channel is destroyed — the peer sees
+/// "peer closed" and local calls fail with ProtocolError — exactly the
+/// lifecycle of a crashed process. `rng` must outlive the channel.
+class FaultInjectingChannel : public Channel {
+ public:
+  FaultInjectingChannel(std::unique_ptr<Channel> inner,
+                        FaultInjectionOptions options, RandomSource& rng);
+
+  Status Send(BytesView message) override;
+  Result<Bytes> Receive() override;
+  TrafficStats sent() const override;
+  void set_read_deadline(std::chrono::milliseconds deadline) override;
+  void set_write_deadline(std::chrono::milliseconds deadline) override;
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  /// Draws the fault (if any) for the current frame.
+  bool ShouldFault();
+  FaultKind PickKind();
+
+  std::unique_ptr<Channel> inner_;
+  FaultInjectionOptions options_;
+  RandomSource* rng_;
+  FaultCounters counters_;
+  TrafficStats final_stats_;  // snapshot once inner_ is torn down
+  std::chrono::milliseconds read_deadline_{0};
+  std::chrono::milliseconds write_deadline_{0};
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_NET_FAULT_INJECTION_H_

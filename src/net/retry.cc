@@ -1,0 +1,35 @@
+#include "net/retry.h"
+
+#include <algorithm>
+
+namespace ppstats {
+
+uint32_t RetryBackoffMs(size_t retry, const RetryOptions& options,
+                        RandomSource& rng) {
+  if (retry == 0) return 0;
+  uint64_t backoff = options.initial_backoff_ms;
+  for (size_t i = 1; i < retry && backoff < options.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min<uint64_t>(backoff, options.max_backoff_ms);
+  double jitter = std::clamp(options.jitter, 0.0, 1.0);
+  uint64_t window = static_cast<uint64_t>(backoff * jitter);
+  uint64_t fixed = backoff - window;
+  if (window > 0) fixed += rng.NextBelow(window + 1);
+  return static_cast<uint32_t>(fixed);
+}
+
+bool IsRetryableStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kProtocolError:       // transport died or spoke garbage
+    case StatusCode::kSerializationError:  // corrupted frame in transit
+    case StatusCode::kDeadlineExceeded:    // peer or link stalled
+    case StatusCode::kResourceExhausted:   // peer over capacity: try later
+    case StatusCode::kInternal:            // dial failed (connect/socket)
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace ppstats

@@ -1,0 +1,60 @@
+// Retry policy for client-side connection establishment: exponential
+// backoff with randomized jitter, plus the classification of which
+// failures are safe to retry.
+//
+// Retrying is only sound for operations that commit no server-side
+// state: dialing, the hello exchange, and (for this protocol) whole
+// queries, which are pure reads. The session layer (core/session.h)
+// applies this policy; the math and the classification live here so
+// they are testable in isolation.
+
+#ifndef PPSTATS_NET_RETRY_H_
+#define PPSTATS_NET_RETRY_H_
+
+#include <cstdint>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace ppstats {
+
+/// Client retry configuration.
+struct RetryOptions {
+  /// Total attempts including the first (1 = never retry).
+  size_t max_attempts = 1;
+
+  /// Backoff before the first retry; doubles per retry after that.
+  uint32_t initial_backoff_ms = 10;
+
+  /// Cap on any single backoff.
+  uint32_t max_backoff_ms = 2000;
+
+  /// Fraction of each backoff drawn uniformly at random, so a burst of
+  /// clients rejected together does not reconnect in lockstep: the wait
+  /// is backoff * (1 - jitter) + uniform[0, backoff * jitter].
+  double jitter = 0.5;
+};
+
+/// Per-attempt counters, for tests and tool output.
+struct RetryMetrics {
+  uint64_t attempts = 0;         ///< attempts started
+  uint64_t retryable_failures = 0;  ///< attempts that ended retryably
+  uint64_t backoff_ms_total = 0;    ///< total time slept between attempts
+};
+
+/// Backoff before retry number `retry` (1-based: 1 after the first
+/// failure). Exponential with cap, jittered via `rng`.
+uint32_t RetryBackoffMs(size_t retry, const RetryOptions& options,
+                        RandomSource& rng);
+
+/// True when `status` reports a transport-level or capacity failure
+/// that is safe to retry on a fresh connection: the peer never acted on
+/// anything, or rejected us before doing so (ResourceExhausted from an
+/// over-capacity server). Semantic rejections (InvalidArgument,
+/// NotFound, FailedPrecondition, version mismatches) will fail the same
+/// way every time and are not retryable.
+bool IsRetryableStatus(const Status& status);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_NET_RETRY_H_

@@ -1,10 +1,13 @@
 #include "net/socket_channel.h"
 
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <optional>
 #include <string>
 #include <cstring>
 
@@ -25,13 +28,16 @@ class SocketChannel : public Channel {
     if (message.size() > max_message_bytes_) {
       return Status::InvalidArgument("message exceeds the frame limit");
     }
+    // One deadline covers the whole frame (header + payload), so a peer
+    // draining one byte per backoff cannot stretch a Send indefinitely.
+    std::optional<TimePoint> deadline = AbsoluteDeadline(write_deadline_);
     uint8_t header[4];
     uint32_t len = static_cast<uint32_t>(message.size());
     for (int i = 0; i < 4; ++i) {
       header[i] = static_cast<uint8_t>(len >> (24 - 8 * i));
     }
-    PPSTATS_RETURN_IF_ERROR(WriteAll(header, 4));
-    PPSTATS_RETURN_IF_ERROR(WriteAll(message.data(), message.size()));
+    PPSTATS_RETURN_IF_ERROR(WriteAll(header, 4, deadline));
+    PPSTATS_RETURN_IF_ERROR(WriteAll(message.data(), message.size(), deadline));
     // Charge the length prefix too: it is on the wire, and channel.cc
     // charges the same so both transports report comparable bytes.
     stats_.Record(message.size() + kFrameOverheadBytes);
@@ -39,27 +45,76 @@ class SocketChannel : public Channel {
   }
 
   Result<Bytes> Receive() override {
+    std::optional<TimePoint> deadline = AbsoluteDeadline(read_deadline_);
     uint8_t header[4];
-    PPSTATS_RETURN_IF_ERROR(ReadAll(header, 4));
+    PPSTATS_RETURN_IF_ERROR(ReadAll(header, 4, deadline));
     uint32_t len = 0;
     for (int i = 0; i < 4; ++i) len = (len << 8) | header[i];
     if (len > max_message_bytes_) {
       return Status::ProtocolError("incoming frame exceeds the limit");
     }
     Bytes out(len);
-    PPSTATS_RETURN_IF_ERROR(ReadAll(out.data(), out.size()));
+    PPSTATS_RETURN_IF_ERROR(ReadAll(out.data(), out.size(), deadline));
     return out;
   }
 
   TrafficStats sent() const override { return stats_; }
 
+  void set_read_deadline(std::chrono::milliseconds deadline) override {
+    read_deadline_ = deadline;
+  }
+  void set_write_deadline(std::chrono::milliseconds deadline) override {
+    write_deadline_ = deadline;
+  }
+
  private:
-  Status WriteAll(const uint8_t* data, size_t size) {
+  using TimePoint = std::chrono::steady_clock::time_point;
+
+  static std::optional<TimePoint> AbsoluteDeadline(
+      std::chrono::milliseconds deadline) {
+    if (deadline.count() <= 0) return std::nullopt;
+    return std::chrono::steady_clock::now() + deadline;
+  }
+
+  // Blocks until the fd is ready for `events` or the deadline passes.
+  // With no deadline the subsequent recv/send blocks instead.
+  Status WaitReady(short events, const std::optional<TimePoint>& deadline) {
+    if (!deadline.has_value()) return Status::OK();
+    for (;;) {
+      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("channel i/o ran past the deadline");
+      }
+      pollfd pfd{fd_, events, 0};
+      int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
+      if (ready > 0) return Status::OK();  // readable/writable or HUP/ERR,
+                                           // which recv/send will surface
+      if (ready == 0) {
+        return Status::DeadlineExceeded("channel i/o ran past the deadline");
+      }
+      if (errno != EINTR) {
+        return Status::ProtocolError(std::string("poll failed: ") +
+                                     std::strerror(errno));
+      }
+    }
+  }
+
+  Status WriteAll(const uint8_t* data, size_t size,
+                  const std::optional<TimePoint>& deadline) {
+    // Under a deadline, send non-blocking: a blocking send of a large
+    // frame would queue bytes as space appears and overshoot the
+    // deadline even though poll() reported the buffer merely non-full.
+    const int flags =
+        MSG_NOSIGNAL | (deadline.has_value() ? MSG_DONTWAIT : 0);
     size_t done = 0;
     while (done < size) {
-      ssize_t n = ::send(fd_, data + done, size - done, MSG_NOSIGNAL);
+      PPSTATS_RETURN_IF_ERROR(WaitReady(POLLOUT, deadline));
+      ssize_t n = ::send(fd_, data + done, size - done, flags);
       if (n < 0) {
-        if (errno == EINTR) continue;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
         return Status::ProtocolError(std::string("send failed: ") +
                                      std::strerror(errno));
       }
@@ -68,12 +123,17 @@ class SocketChannel : public Channel {
     return Status::OK();
   }
 
-  Status ReadAll(uint8_t* data, size_t size) {
+  Status ReadAll(uint8_t* data, size_t size,
+                 const std::optional<TimePoint>& deadline) {
+    const int flags = deadline.has_value() ? MSG_DONTWAIT : 0;
     size_t done = 0;
     while (done < size) {
-      ssize_t n = ::recv(fd_, data + done, size - done, 0);
+      PPSTATS_RETURN_IF_ERROR(WaitReady(POLLIN, deadline));
+      ssize_t n = ::recv(fd_, data + done, size - done, flags);
       if (n < 0) {
-        if (errno == EINTR) continue;
+        if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) {
+          continue;
+        }
         return Status::ProtocolError(std::string("recv failed: ") +
                                      std::strerror(errno));
       }
@@ -87,6 +147,8 @@ class SocketChannel : public Channel {
 
   int fd_;
   size_t max_message_bytes_;
+  std::chrono::milliseconds read_deadline_{0};
+  std::chrono::milliseconds write_deadline_{0};
   TrafficStats stats_;
 };
 
@@ -123,7 +185,11 @@ SocketListener::~SocketListener() {
   }
 }
 
-Result<SocketListener> SocketListener::Bind(const std::string& path) {
+Result<SocketListener> SocketListener::Bind(const std::string& path,
+                                            int backlog) {
+  if (backlog <= 0) {
+    return Status::InvalidArgument("listen backlog must be positive");
+  }
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   if (path.size() >= sizeof(addr.sun_path)) {
@@ -142,7 +208,7 @@ Result<SocketListener> SocketListener::Bind(const std::string& path) {
     return Status::Internal(std::string("bind failed: ") +
                             std::strerror(errno));
   }
-  if (::listen(fd, 16) != 0) {
+  if (::listen(fd, backlog) != 0) {
     ::close(fd);
     ::unlink(path.c_str());
     return Status::Internal(std::string("listen failed: ") +
@@ -159,12 +225,23 @@ Result<std::unique_ptr<Channel>> SocketListener::Accept() {
   if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
   for (;;) {
     int client = ::accept(fd_, nullptr, nullptr);
-    if (client < 0) {
-      if (errno == EINTR) continue;
-      return Status::Internal(std::string("accept failed: ") +
-                              std::strerror(errno));
+    if (client >= 0) return WrapSocket(client);
+    switch (errno) {
+      case EINTR:
+      case ECONNABORTED:  // that one connection died; the listener is fine
+        continue;
+      case EMFILE:  // transient resource pressure: the caller should
+      case ENFILE:  // back off and call Accept again once fds/memory
+      case ENOBUFS:  // free up, instead of tearing the server down
+      case ENOMEM:
+        return Status::ResourceExhausted(std::string("accept failed: ") +
+                                         std::strerror(errno));
+      default:
+        // EINVAL/EBADF after Close()/shutdown, or an unexpected kernel
+        // error: either way this listener will never accept again.
+        return Status::FailedPrecondition(std::string("accept failed: ") +
+                                          std::strerror(errno));
     }
-    return WrapSocket(client);
   }
 }
 

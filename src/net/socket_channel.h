@@ -38,9 +38,16 @@ class SocketListener {
   ~SocketListener();
 
   /// Binds and listens; fails if the path is too long or bind fails.
-  static Result<SocketListener> Bind(const std::string& path);
+  /// `backlog` is the kernel listen(2) queue depth — connections beyond
+  /// it are refused by the kernel before accept() ever sees them.
+  static Result<SocketListener> Bind(const std::string& path,
+                                     int backlog = 16);
 
-  /// Blocks for the next client connection.
+  /// Blocks for the next client connection. The failure code tells the
+  /// caller whether retrying makes sense: ResourceExhausted for
+  /// transient fd/memory pressure (EMFILE/ENFILE/ENOBUFS/ENOMEM — back
+  /// off and retry), FailedPrecondition once the listener is shut down.
+  /// Per-connection aborts (ECONNABORTED) are retried internally.
   Result<std::unique_ptr<Channel>> Accept();
 
   /// Shuts the listening socket down, unblocking a concurrent Accept

@@ -2,9 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
 #include <thread>
 
 #include "net/socket_channel.h"
+
+using std::chrono::milliseconds;
+using std::chrono::steady_clock;
 
 namespace ppstats {
 namespace {
@@ -91,6 +98,88 @@ TEST(ChannelTest, PipeAndSocketChargeIdenticalBytes) {
   }
   EXPECT_EQ(pipe_a->sent().messages, sockets.first->sent().messages);
   EXPECT_EQ(pipe_a->sent().bytes, sockets.first->sent().bytes);
+}
+
+TEST(ChannelTest, PipeReadDeadlineExpires) {
+  auto [a, b] = DuplexPipe::Create();
+  b->set_read_deadline(milliseconds(50));
+  auto start = steady_clock::now();
+  Result<Bytes> r = b->Receive();
+  auto elapsed = steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, milliseconds(40));
+  EXPECT_LT(elapsed, milliseconds(5000));
+  // The channel survives a deadline miss: data that arrives later is
+  // still delivered within the next deadline window.
+  ASSERT_TRUE(a->Send(Bytes{9}).ok());
+  EXPECT_EQ(b->Receive().ValueOrDie(), Bytes{9});
+}
+
+TEST(ChannelTest, SocketReadDeadlineExpires) {
+  auto sockets = CreateSocketChannelPair().ValueOrDie();
+  sockets.second->set_read_deadline(milliseconds(50));
+  auto start = steady_clock::now();
+  Result<Bytes> r = sockets.second->Receive();
+  auto elapsed = steady_clock::now() - start;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, milliseconds(40));
+  ASSERT_TRUE(sockets.first->Send(Bytes{7, 8}).ok());
+  EXPECT_EQ(sockets.second->Receive().ValueOrDie(), (Bytes{7, 8}));
+}
+
+TEST(ChannelTest, SocketReadDeadlineCoversPartialFrames) {
+  // A Slowloris peer that sends a complete length header, then dribbles
+  // nothing, must not pin Receive: one deadline covers the whole frame.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  auto reader = WrapSocket(fds[0]);
+  reader->set_read_deadline(milliseconds(50));
+  const uint8_t header[4] = {0, 0, 0, 100};  // "a 100-byte frame follows"
+  ASSERT_EQ(::send(fds[1], header, 4, 0), 4);  // ...but it never does
+  Result<Bytes> r = reader->Receive();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  ::close(fds[1]);
+}
+
+TEST(ChannelTest, SocketWriteDeadlineExpiresWhenPeerStopsReading) {
+  auto sockets = CreateSocketChannelPair().ValueOrDie();
+  sockets.first->set_write_deadline(milliseconds(50));
+  // Nobody reads the peer end, so the kernel buffer fills and Send
+  // must fail with DeadlineExceeded instead of blocking forever.
+  Status status = Status::OK();
+  for (int i = 0; i < 64 && status.ok(); ++i) {
+    status = sockets.first->Send(Bytes(1 << 20));
+  }
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(ChannelTest, ZeroDeadlineBlocksAsBefore) {
+  auto [a, b] = DuplexPipe::Create();
+  b->set_read_deadline(milliseconds(50));
+  b->set_read_deadline(milliseconds(0));  // back to blocking
+  std::thread producer([&a] {
+    std::this_thread::sleep_for(milliseconds(100));
+    ASSERT_TRUE(a->Send(Bytes{1}).ok());
+  });
+  EXPECT_EQ(b->Receive().ValueOrDie(), Bytes{1});
+  producer.join();
+}
+
+TEST(ChannelTest, ListenerBacklogIsConfigurable) {
+  std::string path = std::string(::testing::TempDir()) + "/backlog.sock";
+  EXPECT_FALSE(SocketListener::Bind(path, 0).ok());
+  EXPECT_FALSE(SocketListener::Bind(path, -3).ok());
+  SocketListener listener = SocketListener::Bind(path, 1).ValueOrDie();
+  auto client = ConnectUnixSocket(path);
+  ASSERT_TRUE(client.ok());
+  auto served = listener.Accept();
+  ASSERT_TRUE(served.ok());
+  ASSERT_TRUE((*client)->Send(Bytes{1, 2}).ok());
+  EXPECT_EQ((*served)->Receive().ValueOrDie(), (Bytes{1, 2}));
 }
 
 TEST(ChannelTest, TrafficStatsAccumulateOperator) {

@@ -2,15 +2,45 @@
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+
 #include <atomic>
+#include <chrono>
+#include <functional>
 #include <thread>
 
+#include "core/messages.h"
 #include "core/session.h"
 #include "crypto/chacha20_rng.h"
 #include "db/workload.h"
 
 namespace ppstats {
 namespace {
+
+using std::chrono::milliseconds;
+using std::chrono::seconds;
+using std::chrono::steady_clock;
+
+bool WaitFor(const std::function<bool()>& pred,
+             milliseconds timeout = seconds(5)) {
+  auto deadline = steady_clock::now() + timeout;
+  while (steady_clock::now() < deadline) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(milliseconds(2));
+  }
+  return pred();
+}
+
+size_t CountProcessThreads() {
+  DIR* dir = ::opendir("/proc/self/task");
+  if (dir == nullptr) return 0;
+  size_t count = 0;
+  while (struct dirent* entry = ::readdir(dir)) {
+    if (entry->d_name[0] != '.') ++count;
+  }
+  ::closedir(dir);
+  return count;
+}
 
 const PaillierKeyPair& SharedKeyPair() {
   static const PaillierKeyPair* kp = [] {
@@ -204,6 +234,206 @@ TEST(ServiceHostTest, StopIsIdempotentAndRestartable) {
   EXPECT_FALSE(host.running());
   ASSERT_TRUE(host.Start(path).ok());
   host.Stop();
+}
+
+TEST(ServiceHostTest, ReaperReturnsThreadCountToBaseline) {
+  // Regression: session threads used to be joined only in Stop(), so a
+  // long-running host accumulated one dead thread per served client.
+  Database db("d", {1, 2, 3, 4});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHost host(&registry, {});
+  std::string path = SocketPath("svc_reaper");
+  ASSERT_TRUE(host.Start(path).ok());
+  size_t baseline = CountProcessThreads();
+
+  constexpr int kClients = 6;
+  for (int c = 0; c < kClients; ++c) {
+    auto channel = ConnectUnixSocket(path).ValueOrDie();
+    ChaCha20Rng rng(40 + c);
+    QuerySession session(SharedKeyPair().private_key, rng);
+    ASSERT_TRUE(session.Connect(*channel).ok());
+    EXPECT_EQ(session
+                  .RunQuery(QuerySpec{},
+                            SelectionVector{true, true, false, false})
+                  .ValueOrDie(),
+              BigInt(3));
+    ASSERT_TRUE(session.Finish().ok());
+    // The reaper joins the finished session while the host keeps
+    // running — no Stop() needed to get back to baseline.
+    EXPECT_TRUE(WaitFor([&] { return host.active_sessions() == 0; }));
+    EXPECT_TRUE(WaitFor([&] { return CountProcessThreads() <= baseline; }));
+  }
+  EXPECT_TRUE(host.running());
+  host.Stop();
+  ServiceHost::Stats stats = host.stats();
+  EXPECT_EQ(stats.sessions_accepted, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(stats.sessions_ok, static_cast<uint64_t>(kClients));
+}
+
+TEST(ServiceHostTest, SilentClientEvictedWithinDeadline) {
+  Database db("d", {1, 2});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHostOptions options;
+  options.io_deadline_ms = 100;
+  ServiceHost host(&registry, options);
+  std::string path = SocketPath("svc_evict");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  // Connect and say nothing: the server's first read (ClientHello) must
+  // hit its 100ms deadline instead of pinning the session thread.
+  auto channel = ConnectUnixSocket(path).ValueOrDie();
+  auto start = steady_clock::now();
+  Result<Bytes> frame = channel->Receive();  // blocks until eviction
+  auto elapsed = steady_clock::now() - start;
+  ASSERT_TRUE(frame.ok());
+  ErrorMessage msg = ErrorMessage::Decode(*frame).ValueOrDie();
+  EXPECT_EQ(static_cast<StatusCode>(msg.code),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_GE(elapsed, milliseconds(90));
+  EXPECT_LT(elapsed, seconds(5));
+  // After the Error frame the server closes; the next read fails.
+  EXPECT_FALSE(channel->Receive().ok());
+
+  EXPECT_TRUE(WaitFor([&] { return host.active_sessions() == 0; }));
+  EXPECT_TRUE(host.running());
+  host.Stop();
+  ServiceHost::Stats stats = host.stats();
+  EXPECT_EQ(stats.sessions_failed, 1u);
+  EXPECT_EQ(stats.sessions_evicted, 1u);
+}
+
+TEST(ServiceHostTest, OverCapacityConnectGetsTypedRejection) {
+  Database db("d", {3, 4, 5});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHostOptions options;
+  options.max_sessions = 1;
+  ServiceHost host(&registry, options);
+  std::string path = SocketPath("svc_cap");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  // Client A occupies the only slot and keeps its session open.
+  auto slot = ConnectUnixSocket(path).ValueOrDie();
+  ChaCha20Rng rng_a(21);
+  QuerySession a(SharedKeyPair().private_key, rng_a);
+  ASSERT_TRUE(a.Connect(*slot).ok());
+  ASSERT_TRUE(WaitFor([&] { return host.active_sessions() == 1; }));
+
+  // Client B is over capacity: the host answers its connect with a
+  // ResourceExhausted Error frame — a typed, retryable status, not a
+  // hang or a bare close.
+  auto rejected = ConnectUnixSocket(path).ValueOrDie();
+  ChaCha20Rng rng_b(22);
+  QuerySession b(SharedKeyPair().private_key, rng_b);
+  Status refused = b.Connect(*rejected);
+  EXPECT_EQ(refused.code(), StatusCode::kResourceExhausted);
+
+  // A's session was undisturbed, and once it ends the slot frees up.
+  EXPECT_EQ(a.RunQuery(QuerySpec{}, SelectionVector{true, true, true})
+                .ValueOrDie(),
+            BigInt(12));
+  ASSERT_TRUE(a.Finish().ok());
+  ASSERT_TRUE(WaitFor([&] { return host.active_sessions() == 0; }));
+
+  auto channel = ConnectUnixSocket(path).ValueOrDie();
+  ChaCha20Rng rng_c(23);
+  QuerySession c(SharedKeyPair().private_key, rng_c);
+  ASSERT_TRUE(c.Connect(*channel).ok());
+  EXPECT_EQ(c.RunQuery(QuerySpec{}, SelectionVector{false, false, true})
+                .ValueOrDie(),
+            BigInt(5));
+  ASSERT_TRUE(c.Finish().ok());
+
+  host.Stop();
+  ServiceHost::Stats stats = host.stats();
+  EXPECT_EQ(stats.sessions_accepted, 2u);
+  EXPECT_EQ(stats.sessions_rejected, 1u);
+  EXPECT_EQ(stats.sessions_ok, 2u);
+}
+
+TEST(ServiceHostTest, AcceptLoopSurvivesFdExhaustion) {
+  // Regression: the accept loop used to exit permanently on any
+  // accept() failure, so one EMFILE burst silently killed the daemon.
+  // Real fd exhaustion cannot be forced portably (sandboxed kernels
+  // skip the RLIMIT_NOFILE check on accept's fd allocation), so the
+  // host's fault hook injects the exact status accept() yields when the
+  // fd table is full.
+  Database db("d", {7, 8});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  std::atomic<int> bursts_left{5};
+  std::atomic<int> injected{0};
+  ServiceHostOptions options;
+  options.accept_fault_hook = [&]() -> Status {
+    if (bursts_left.load() > 0) {
+      bursts_left.fetch_sub(1);
+      injected.fetch_add(1);
+      return Status::ResourceExhausted(
+          "accept failed: Too many open files (simulated EMFILE)");
+    }
+    return Status::OK();
+  };
+  ServiceHost host(&registry, options);
+  std::string path = SocketPath("svc_emfile");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  // The loop must eat the whole failure burst — backing off, not
+  // exiting — and still be alive on the other side.
+  EXPECT_TRUE(WaitFor([&] { return injected.load() == 5; }));
+  EXPECT_TRUE(host.running());
+
+  // Once the pressure clears, the very next connection is served.
+  auto channel = ConnectUnixSocket(path).ValueOrDie();
+  ChaCha20Rng rng(31);
+  SelectionVector sel = {true, false};
+  ClientSession client(SharedKeyPair().private_key, sel, {}, rng);
+  EXPECT_EQ(client.Run(*channel).ValueOrDie(), BigInt(7));
+
+  host.Stop();
+  EXPECT_EQ(host.stats().sessions_accepted, 1u);
+  EXPECT_EQ(host.stats().sessions_ok, 1u);
+}
+
+TEST(ServiceHostTest, RestartOnSamePathResetsPerRunState) {
+  // Regression: Stop() + Start() used to keep the previous run's stats
+  // and cached client keys.
+  Database db("d", {9, 10});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHost host(&registry, {});
+  std::string path = SocketPath("svc_reset");
+  ASSERT_TRUE(host.Start(path).ok());
+  {
+    auto channel = ConnectUnixSocket(path).ValueOrDie();
+    ChaCha20Rng rng(51);
+    SelectionVector sel = {true, true};
+    ClientSession client(SharedKeyPair().private_key, sel, {}, rng);
+    EXPECT_EQ(client.Run(*channel).ValueOrDie(), BigInt(19));
+  }
+  host.Stop();
+  ServiceHost::Stats first = host.stats();
+  EXPECT_EQ(first.sessions_accepted, 1u);
+  EXPECT_EQ(first.distinct_client_keys, 1u);
+
+  // Same path, fresh run: counters and key cache start from zero.
+  ASSERT_TRUE(host.Start(path).ok());
+  ServiceHost::Stats fresh = host.stats();
+  EXPECT_EQ(fresh.sessions_accepted, 0u);
+  EXPECT_EQ(fresh.queries_served, 0u);
+  EXPECT_EQ(fresh.distinct_client_keys, 0u);
+  {
+    auto channel = ConnectUnixSocket(path).ValueOrDie();
+    ChaCha20Rng rng(52);
+    SelectionVector sel = {false, true};
+    ClientSession client(SharedKeyPair().private_key, sel, {}, rng);
+    EXPECT_EQ(client.Run(*channel).ValueOrDie(), BigInt(10));
+  }
+  host.Stop();
+  ServiceHost::Stats second = host.stats();
+  EXPECT_EQ(second.sessions_accepted, 1u);
+  EXPECT_EQ(second.distinct_client_keys, 1u);
 }
 
 }  // namespace

@@ -4,15 +4,21 @@
 //   ppstats_client --key mykey.priv --socket /tmp/ppstats.sock \
 //                  --rows <n> --select 3,17,42 [--select ...] \
 //                  [--stat sum|sumsq|product] [--column <name>] \
-//                  [--column2 <name>] [--chunk 100] [--seed N]
+//                  [--column2 <name>] [--chunk 100] [--seed N] \
+//                  [--retries <n>] [--io-deadline-ms <ms>]
 //
 // Each --select runs one query; --stat/--column/--column2 apply to all
 // of them. The server learns nothing about --select; the client learns
-// only the requested statistic over the selected rows.
+// only the requested statistic over the selected rows. --retries redials
+// with exponential backoff + jitter when the connect or hello exchange
+// fails retryably (server at capacity, transport died);
+// --io-deadline-ms bounds how long any single read/write may stall.
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <random>
 #include <string>
 #include <vector>
@@ -30,7 +36,8 @@ int Usage() {
                "usage: ppstats_client --key <file.priv> --socket <path> "
                "--rows <n> --select i,j,k [--select ...] "
                "[--stat sum|sumsq|product] [--column <name>] "
-               "[--column2 <name>] [--chunk <c>] [--seed <n>]\n");
+               "[--column2 <name>] [--chunk <c>] [--seed <n>] "
+               "[--retries <n>] [--io-deadline-ms <ms>]\n");
   return 2;
 }
 
@@ -49,7 +56,8 @@ int main(int argc, char** argv) {
 
   std::string key_path, socket_path, stat = "sum", column, column2;
   std::vector<std::string> selects;
-  size_t rows = 0, chunk = 0;
+  size_t rows = 0, chunk = 0, retries = 0;
+  uint32_t io_deadline_ms = 0;
   uint64_t seed = std::random_device{}();
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--key") && i + 1 < argc) {
@@ -70,6 +78,11 @@ int main(int argc, char** argv) {
       chunk = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--seed") && i + 1 < argc) {
       seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (!std::strcmp(argv[i], "--retries") && i + 1 < argc) {
+      retries = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--io-deadline-ms") && i + 1 < argc) {
+      io_deadline_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else {
       return Usage();
     }
@@ -104,16 +117,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<std::unique_ptr<Channel>> channel = ConnectUnixSocket(socket_path);
-  if (!channel.ok()) {
-    std::fprintf(stderr, "%s\n", channel.status().ToString().c_str());
-    return 1;
-  }
   ChaCha20Rng rng(seed);
   QuerySession session(*key, rng, {chunk});
-  Status connected = session.Connect(**channel);
+  ChannelFactory dial = [&socket_path, io_deadline_ms]() {
+    Result<std::unique_ptr<Channel>> channel =
+        ConnectUnixSocket(socket_path);
+    if (channel.ok() && io_deadline_ms > 0) {
+      std::chrono::milliseconds deadline(io_deadline_ms);
+      (*channel)->set_read_deadline(deadline);
+      (*channel)->set_write_deadline(deadline);
+    }
+    return channel;
+  };
+  RetryOptions retry;
+  retry.max_attempts = retries + 1;
+  Status connected = session.ConnectWithRetry(dial, retry);
   if (!connected.ok()) {
-    std::fprintf(stderr, "connect: %s\n", connected.ToString().c_str());
+    std::fprintf(stderr, "connect: %s (%llu attempts)\n",
+                 connected.ToString().c_str(),
+                 static_cast<unsigned long long>(
+                     session.retry_metrics().attempts));
     return 1;
   }
 

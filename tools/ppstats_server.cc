@@ -3,12 +3,17 @@
 //
 //   ppstats_server --db [name=]values.txt [--db ...] --socket /tmp/pp.sock
 //                  [--default <name>] [--threads <t>] [--once]
+//                  [--max-sessions <n>] [--io-deadline-ms <ms>]
+//                  [--backlog <n>]
 //
 // Each --db registers one named column (the name defaults to the file
 // path); v2 clients address columns by name and may run several queries
 // per connection. Concurrent clients are each served on their own
-// session thread (core/service_host.h). With --once the server handles
-// exactly one session serially and exits (useful for scripted tests).
+// session thread (core/service_host.h). --max-sessions caps concurrent
+// clients (extras get a retryable Error frame), --io-deadline-ms evicts
+// clients that stall mid-protocol, --backlog sets the kernel listen
+// queue. With --once the server handles exactly one session serially
+// and exits (useful for scripted tests).
 
 #include <unistd.h>
 
@@ -28,7 +33,8 @@ int Usage() {
   std::fprintf(stderr,
                "usage: ppstats_server --db [name=]<file> [--db ...] "
                "--socket <path> [--default <name>] [--threads <t>] "
-               "[--once]\n");
+               "[--once] [--max-sessions <n>] [--io-deadline-ms <ms>] "
+               "[--backlog <n>]\n");
   return 2;
 }
 
@@ -41,6 +47,9 @@ int main(int argc, char** argv) {
   std::string socket_path;
   std::string default_column;
   size_t threads = 1;
+  size_t max_sessions = 0;
+  uint32_t io_deadline_ms = 0;
+  int backlog = 16;
   bool once = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--db") && i + 1 < argc) {
@@ -51,6 +60,14 @@ int main(int argc, char** argv) {
       default_column = argv[++i];
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
       threads = static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--max-sessions") && i + 1 < argc) {
+      max_sessions =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--io-deadline-ms") && i + 1 < argc) {
+      io_deadline_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--backlog") && i + 1 < argc) {
+      backlog = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--once")) {
       once = true;
     } else {
@@ -122,6 +139,9 @@ int main(int argc, char** argv) {
   ServiceHostOptions options;
   options.default_column = default_column;
   options.worker_threads = threads;
+  options.max_sessions = max_sessions;
+  options.io_deadline_ms = io_deadline_ms;
+  options.accept_backlog = backlog;
   ServiceHost host(&registry, options);
   Status started = host.Start(socket_path);
   if (!started.ok()) {
