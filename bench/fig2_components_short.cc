@@ -16,8 +16,10 @@ int main() {
   for (size_t n : DatabaseSizes()) {
     runs.push_back(MeasureSelectedSum(keys, n, MeasureOptions{}));
   }
+  ExecutionEnvironment env = ExecutionEnvironment::ShortDistance2004();
   PrintComponentsTable(
-      "Figure 2: runtime components, no optimizations, short distance",
-      ExecutionEnvironment::ShortDistance2004(), runs);
+      "Figure 2: runtime components, no optimizations, short distance", env,
+      runs);
+  EmitComponentsJson("fig2", env, runs);
   return 0;
 }

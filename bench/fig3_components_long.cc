@@ -20,6 +20,7 @@ int main() {
   PrintComponentsTable(
       "Figure 3: runtime components, no optimizations, long distance",
       env, runs);
+  EmitComponentsJson("fig3", env, runs);
 
   // The paper's headline check: computation remains the bottleneck even
   // over the 56 Kbps link.

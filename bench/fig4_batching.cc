@@ -32,6 +32,8 @@ int main() {
       "short distance",
       "no optimization (min)", "with batching (min)", sizes, unbatched,
       batched);
+  EmitComparisonJson("fig4", "no optimization", "with batching", sizes,
+                     unbatched, batched);
 
   double reduction =
       100.0 * (1.0 - batched.back() / unbatched.back());

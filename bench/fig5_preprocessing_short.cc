@@ -26,6 +26,7 @@ int main() {
       "Figure 5: runtime components after index-vector preprocessing, "
       "short distance (online phase only)",
       env, preprocessed_runs);
+  EmitComponentsJson("fig5", env, preprocessed_runs);
 
   const MeasuredRun& big_plain = plain_runs.back();
   const MeasuredRun& big_pre = preprocessed_runs.back();

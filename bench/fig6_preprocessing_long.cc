@@ -23,6 +23,7 @@ int main() {
       "Figure 6: runtime components after index-vector preprocessing, "
       "long distance (online phase only)",
       env, runs);
+  EmitComponentsJson("fig6", env, runs);
 
   const MeasuredRun& biggest = runs.back();
   ComponentBreakdown c = biggest.metrics.Components(env);

@@ -31,6 +31,8 @@ int main() {
       "distance (online phase)",
       "no optimization (min)", "combined (min)", sizes, unoptimized,
       combined);
+  EmitComparisonJson("fig7", "no optimization", "combined", sizes,
+                     unoptimized, combined);
 
   double reduction = 100.0 * (1.0 - combined.back() / unoptimized.back());
   std::printf("online runtime reduction at n=%zu: %.1f%% (paper: ~94%%)\n\n",

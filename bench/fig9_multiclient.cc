@@ -48,6 +48,8 @@ int main() {
   PrintComparisonTable(
       "Figure 9: overall runtime without vs with secret sharing (k=3)",
       "single client (min)", "k=3 clients (min)", sizes, single, multi3);
+  EmitComparisonJson("fig9", "single client", "k=3 clients", sizes, single,
+                     multi3);
   std::printf("speedup at n=%zu: %.2fx (paper: ~2.99x for k=3)\n\n",
               sizes.back(), single.back() / multi3.back());
 

@@ -77,6 +77,22 @@ void PrintComparisonTable(const std::string& title,
                           const std::vector<double>& a_minutes,
                           const std::vector<double>& b_minutes);
 
+/// When the PPSTATS_BENCH_JSON_DIR environment variable is set, writes
+/// the same series PrintComponentsTable printed to
+/// <dir>/BENCH_<fig>.json (atomic write; one JSON document). No-op
+/// otherwise. Values are minutes, matching the text table.
+void EmitComponentsJson(const std::string& fig,
+                        const ExecutionEnvironment& env,
+                        const std::vector<MeasuredRun>& runs);
+
+/// Machine-readable counterpart of PrintComparisonTable, same gating and
+/// destination as EmitComponentsJson.
+void EmitComparisonJson(const std::string& fig, const std::string& series_a,
+                        const std::string& series_b,
+                        const std::vector<size_t>& sizes,
+                        const std::vector<double>& a_minutes,
+                        const std::vector<double>& b_minutes);
+
 inline double ToMinutes(double seconds) { return seconds / 60.0; }
 
 }  // namespace ppstats::bench

@@ -11,6 +11,8 @@
 #include "bigint/montgomery.h"
 #include "common/thread_pool.h"
 #include "crypto/chacha20_rng.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ppstats {
 namespace {
@@ -77,6 +79,50 @@ void BM_FoldPippenger(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_FoldPippenger)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// The same kernel under the per-chunk instrumentation FoldEngine adds:
+// one span (two clock reads + a histogram record) and two counter
+// increments per fold. Compare against BM_FoldPippenger — the delta is
+// the observability tax, budgeted at <1%.
+void BM_FoldPippengerInstrumented(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1024, 32, 11);
+  obs::SetEnabled(true);
+  obs::Counter* const chunks =
+      obs::MetricRegistry::Global().GetCounter("bench.fold.chunks");
+  obs::Counter* const rows =
+      obs::MetricRegistry::Global().GetCounter("bench.fold.rows");
+  for (auto _ : state) {
+    obs::ObsSpan span(obs::kSpanFold);
+    benchmark::DoNotOptimize(f.ctx.MultiExpMontgomery(
+        f.bases_mont, f.exps, MultiExpSchedule::kPippenger));
+    chunks->Increment();
+    rows->Add(f.bases.size());
+  }
+}
+BENCHMARK(BM_FoldPippengerInstrumented)->Arg(10)->Arg(100)->Arg(1000)
+    ->Unit(benchmark::kMillisecond);
+
+// And with obs::SetEnabled(false): spans go inert (no clock reads);
+// counters still tick. This is the cost a deployment that disables
+// instrumentation pays.
+void BM_FoldPippengerObsDisabled(benchmark::State& state) {
+  Fixture f(static_cast<size_t>(state.range(0)), 1024, 32, 11);
+  obs::SetEnabled(false);
+  obs::Counter* const chunks =
+      obs::MetricRegistry::Global().GetCounter("bench.fold.chunks");
+  obs::Counter* const rows =
+      obs::MetricRegistry::Global().GetCounter("bench.fold.rows");
+  for (auto _ : state) {
+    obs::ObsSpan span(obs::kSpanFold);
+    benchmark::DoNotOptimize(f.ctx.MultiExpMontgomery(
+        f.bases_mont, f.exps, MultiExpSchedule::kPippenger));
+    chunks->Increment();
+    rows->Add(f.bases.size());
+  }
+  obs::SetEnabled(true);
+}
+BENCHMARK(BM_FoldPippengerObsDisabled)->Arg(10)->Arg(100)->Arg(1000)
     ->Unit(benchmark::kMillisecond);
 
 // SumServer's threaded shape: slice the batch over the shared pool, one

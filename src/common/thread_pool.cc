@@ -2,7 +2,31 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace ppstats {
+
+namespace {
+
+// Metric pointers are resolved once and cached: the pool's hot path
+// must not take the registry map lock per task.
+struct PoolMetrics {
+  obs::Counter* jobs =
+      obs::MetricRegistry::Global().GetCounter("threadpool.jobs");
+  obs::Counter* tasks =
+      obs::MetricRegistry::Global().GetCounter("threadpool.tasks");
+  obs::Gauge* queue_depth =
+      obs::MetricRegistry::Global().GetGauge("threadpool.queue_depth");
+  obs::Gauge* busy_workers =
+      obs::MetricRegistry::Global().GetGauge("threadpool.busy_workers");
+};
+
+PoolMetrics& Metrics() {
+  static PoolMetrics* metrics = new PoolMetrics();  // leaked on purpose
+  return *metrics;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
   workers_.reserve(threads);
@@ -21,10 +45,12 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::ExecuteFrom(Job& job) {
+  size_t executed = 0;
   for (;;) {
     const size_t i = job.next.fetch_add(1, std::memory_order_relaxed);
-    if (i >= job.count) return;
+    if (i >= job.count) break;
     (*job.fn)(i);
+    ++executed;
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
       // Take the job mutex so the waiter cannot miss the notification
       // between its predicate check and its wait.
@@ -32,6 +58,7 @@ void ThreadPool::ExecuteFrom(Job& job) {
       job.done_cv.notify_all();
     }
   }
+  if (executed > 0) Metrics().tasks->Add(executed);
 }
 
 void ThreadPool::WorkerLoop() {
@@ -45,10 +72,13 @@ void ThreadPool::WorkerLoop() {
       if (job->next.load(std::memory_order_relaxed) >= job->count) {
         // Exhausted batch still parked at the front; retire it.
         jobs_.pop_front();
+        Metrics().queue_depth->Set(static_cast<int64_t>(jobs_.size()));
         continue;
       }
     }
+    Metrics().busy_workers->Add(1);
     ExecuteFrom(*job);
+    Metrics().busy_workers->Add(-1);
   }
 }
 
@@ -56,6 +86,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   if (n == 1 || workers_.empty()) {
     for (size_t i = 0; i < n; ++i) fn(i);
+    Metrics().tasks->Add(n);
     return;
   }
   auto job = std::make_shared<Job>();
@@ -64,7 +95,9 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(job);
+    Metrics().queue_depth->Set(static_cast<int64_t>(jobs_.size()));
   }
+  Metrics().jobs->Increment();
   cv_.notify_all();
 
   // Participate, then wait for workers still inside their last index.
@@ -79,6 +112,7 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = std::find(jobs_.begin(), jobs_.end(), job);
   if (it != jobs_.end()) jobs_.erase(it);
+  Metrics().queue_depth->Set(static_cast<int64_t>(jobs_.size()));
 }
 
 ThreadPool& ThreadPool::Shared() {

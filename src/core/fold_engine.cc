@@ -4,6 +4,8 @@
 
 #include "bigint/modarith.h"
 #include "common/thread_pool.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace ppstats {
 
@@ -119,6 +121,11 @@ FoldEngine::FoldEngine(const PaillierPublicKey& pub,
 
 Status FoldEngine::FoldChunk(size_t start_row,
                              std::span<const PaillierCiphertext> cts) {
+  static obs::Counter* const chunks =
+      obs::MetricRegistry::Global().GetCounter("fold.chunks");
+  static obs::Counter* const rows =
+      obs::MetricRegistry::Global().GetCounter("fold.rows");
+  obs::ObsSpan span(obs::kSpanFold);
   if (done()) {
     return Status::FailedPrecondition("fold already covered its rows");
   }
@@ -148,6 +155,8 @@ Status FoldEngine::FoldChunk(size_t start_row,
       });
   accumulator_mont_ = mont.MulMontgomery(accumulator_mont_, partial);
   next_expected_ = start_row + cts.size();
+  chunks->Increment();
+  rows->Add(cts.size());
   return Status::OK();
 }
 

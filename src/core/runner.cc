@@ -1,5 +1,6 @@
 #include "core/runner.h"
 
+#include "obs/metrics.h"
 #include "sim/pipeline.h"
 
 namespace ppstats {
@@ -91,6 +92,19 @@ Result<SumRunResult> RunSelectedSum(SumClient& client, SumServer& server) {
   result.metrics.client_decrypt_s = client.decrypt_seconds();
   result.metrics.chunk_encrypt_s = client.chunk_encrypt_seconds();
   result.metrics.chunk_compute_s = server.chunk_compute_seconds();
+
+  // The RunMetrics struct stays the deterministic snapshot the figures
+  // consume; the registry gets the same run in aggregate counters (the
+  // component spans were already recorded inside SumClient/SumServer).
+  static obs::Counter* const runs =
+      obs::MetricRegistry::Global().GetCounter("run.queries");
+  static obs::Counter* const bytes_up =
+      obs::MetricRegistry::Global().GetCounter("run.bytes_to_server");
+  static obs::Counter* const bytes_down =
+      obs::MetricRegistry::Global().GetCounter("run.bytes_to_client");
+  runs->Increment();
+  bytes_up->Add(result.metrics.client_to_server.bytes);
+  bytes_down->Add(result.metrics.server_to_client.bytes);
   return result;
 }
 

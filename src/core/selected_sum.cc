@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/span.h"
+
 namespace ppstats {
 
 namespace {
@@ -58,19 +60,21 @@ Result<Bytes> SumClient::NextRequest() {
   msg.ciphertexts.reserve(end - begin);
 
   const PaillierPublicKey& pub = key_->public_key();
-  Stopwatch timer;
-  for (size_t i = begin; i < end; ++i) {
-    BigInt plaintext(weights_[i]);
-    Result<PaillierCiphertext> ct =
-        options_.encryption_pool != nullptr
-            ? options_.encryption_pool->Take(plaintext, *rng_)
-            : (options_.randomness_pool != nullptr
-                   ? options_.randomness_pool->Encrypt(plaintext, *rng_)
-                   : Paillier::Encrypt(pub, plaintext, *rng_));
-    if (!ct.ok()) return ct.status();
-    msg.ciphertexts.push_back(std::move(ct).ValueOrDie());
+  double elapsed = 0;
+  {
+    obs::ScopedPhaseTimer timer(&elapsed, obs::kSpanClientEncrypt);
+    for (size_t i = begin; i < end; ++i) {
+      BigInt plaintext(weights_[i]);
+      Result<PaillierCiphertext> ct =
+          options_.encryption_pool != nullptr
+              ? options_.encryption_pool->Take(plaintext, *rng_)
+              : (options_.randomness_pool != nullptr
+                     ? options_.randomness_pool->Encrypt(plaintext, *rng_)
+                     : Paillier::Encrypt(pub, plaintext, *rng_));
+      if (!ct.ok()) return ct.status();
+      msg.ciphertexts.push_back(std::move(ct).ValueOrDie());
+    }
   }
-  double elapsed = timer.ElapsedSeconds();
   encrypt_seconds_ += elapsed;
   chunk_encrypt_seconds_.push_back(elapsed);
 
@@ -86,9 +90,10 @@ Result<BigInt> SumClient::HandleResponse(BytesView frame) {
   const PaillierPublicKey& pub = key_->public_key();
   PPSTATS_ASSIGN_OR_RETURN(SumResponseMessage msg,
                            SumResponseMessage::Decode(pub, frame));
-  Stopwatch timer;
-  Result<BigInt> sum = Paillier::Decrypt(*key_, msg.sum);
-  decrypt_seconds_ += timer.ElapsedSeconds();
+  Result<BigInt> sum = [&] {
+    obs::ScopedPhaseTimer timer(&decrypt_seconds_, obs::kSpanClientDecrypt);
+    return Paillier::Decrypt(*key_, msg.sum);
+  }();
   if (sum.ok()) response_handled_ = true;
   return sum;
 }
@@ -110,10 +115,12 @@ Result<std::optional<Bytes>> SumServer::HandleRequest(BytesView frame) {
   PPSTATS_ASSIGN_OR_RETURN(IndexBatchMessage msg,
                            IndexBatchMessage::Decode(pub_, frame));
 
-  Stopwatch timer;
-  PPSTATS_RETURN_IF_ERROR(
-      engine_.FoldChunk(msg.start_index, msg.ciphertexts));
-  double elapsed = timer.ElapsedSeconds();
+  double elapsed = 0;
+  {
+    obs::ScopedPhaseTimer timer(&elapsed, obs::kSpanServerCompute);
+    PPSTATS_RETURN_IF_ERROR(
+        engine_.FoldChunk(msg.start_index, msg.ciphertexts));
+  }
   compute_seconds_ += elapsed;
   chunk_compute_seconds_.push_back(elapsed);
 
@@ -122,10 +129,11 @@ Result<std::optional<Bytes>> SumServer::HandleRequest(BytesView frame) {
   // All rows processed: the engine leaves Montgomery form (the only
   // conversion in the whole session), blinds if requested, and we
   // respond.
-  Stopwatch finish_timer;
+  obs::ScopedPhaseTimer finish_timer(&compute_seconds_,
+                                     obs::kSpanServerCompute);
   PPSTATS_ASSIGN_OR_RETURN(PaillierCiphertext accumulator,
                            engine_.Finish(blinding_));
-  compute_seconds_ += finish_timer.ElapsedSeconds();
+  finish_timer.Stop();
   finished_ = true;
   SumResponseMessage response;
   response.sum = accumulator;

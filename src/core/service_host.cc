@@ -7,6 +7,8 @@
 
 #include "core/messages.h"
 #include "crypto/chacha20_rng.h"
+#include "obs/export.h"
+#include "obs/span.h"
 
 namespace ppstats {
 
@@ -26,7 +28,16 @@ constexpr uint32_t kRejectWriteDeadlineMs = 100;
 
 ServiceHost::ServiceHost(const ColumnRegistry* registry,
                          ServiceHostOptions options)
-    : registry_(registry), options_(std::move(options)) {}
+    : registry_(registry),
+      options_(std::move(options)),
+      sessions_accepted_(metric_registry_.GetCounter("host.sessions_accepted")),
+      sessions_ok_(metric_registry_.GetCounter("host.sessions_ok")),
+      sessions_failed_(metric_registry_.GetCounter("host.sessions_failed")),
+      sessions_rejected_(metric_registry_.GetCounter("host.sessions_rejected")),
+      sessions_evicted_(metric_registry_.GetCounter("host.sessions_evicted")),
+      queries_served_(metric_registry_.GetCounter("host.queries_served")),
+      compute_ns_(metric_registry_.GetCounter("host.server_compute_ns")),
+      active_gauge_(metric_registry_.GetGauge("host.active_sessions")) {}
 
 ServiceHost::~ServiceHost() { Stop(); }
 
@@ -56,20 +67,28 @@ Status ServiceHost::Start(const std::string& socket_path) {
     stopping_ = false;
     draining_ = false;
     // Per-run state: a restarted host must not report the previous
-    // run's counters or keep serving from its key cache.
-    stats_ = {};
+    // run's counters or keep serving from its key cache. Reset keeps
+    // every cached counter pointer valid.
+    metric_registry_.Reset();
     key_cache_.Clear();
   }
+  started_at_ = std::chrono::steady_clock::now();
   accept_thread_ = std::thread([this] { AcceptLoop(); });
   reaper_thread_ = std::thread([this] { ReaperLoop(); });
+  if (!options_.stats_json_path.empty() && options_.stats_interval_ms > 0) {
+    dumper_thread_ = std::thread([this] { DumperLoop(); });
+  }
   return Status::OK();
 }
 
 void ServiceHost::Stop() {
+  const bool was_running = running();
   {
     std::lock_guard<std::mutex> lock(mu_);
     stopping_ = true;
   }
+  dumper_cv_.notify_all();
+  if (dumper_thread_.joinable()) dumper_thread_.join();
   if (listener_.has_value()) listener_->Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
@@ -79,6 +98,9 @@ void ServiceHost::Stop() {
   reaper_cv_.notify_all();
   if (reaper_thread_.joinable()) reaper_thread_.join();
   listener_.reset();
+  // Final snapshot, after every session has drained, so a consumer that
+  // waits for the host to exit sees the complete run.
+  if (was_running && !options_.stats_json_path.empty()) WriteStatsJson();
 }
 
 size_t ServiceHost::active_sessions() const {
@@ -86,11 +108,48 @@ size_t ServiceHost::active_sessions() const {
   return sessions_.size();
 }
 
-ServiceHost::Stats ServiceHost::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  Stats out = stats_;
+ServiceHost::Stats ServiceHost::SnapshotStats() const {
+  // A pure counter read: no host mutex, so this cannot contend with the
+  // accept loop or session threads (PublicKeyCache::size locks its own
+  // internal mutex).
+  Stats out;
+  out.sessions_accepted = sessions_accepted_->Value();
+  out.sessions_ok = sessions_ok_->Value();
+  out.sessions_failed = sessions_failed_->Value();
+  out.sessions_rejected = sessions_rejected_->Value();
+  out.sessions_evicted = sessions_evicted_->Value();
+  out.queries_served = queries_served_->Value();
+  out.server_compute_s = static_cast<double>(compute_ns_->Value()) * 1e-9;
   out.distinct_client_keys = key_cache_.size();
   return out;
+}
+
+obs::MetricsSnapshot ServiceHost::SnapshotMetrics() const {
+  obs::MetricsSnapshot merged = metric_registry_.Snapshot();
+  merged.Append(obs::MetricRegistry::Global().Snapshot());
+  return merged;
+}
+
+void ServiceHost::WriteStatsJson() const {
+  double uptime_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    started_at_)
+          .count();
+  (void)obs::WriteFileAtomic(options_.stats_json_path,
+                             obs::StatsToJson(SnapshotMetrics(), uptime_s));
+}
+
+void ServiceHost::DumperLoop() {
+  std::chrono::milliseconds interval(options_.stats_interval_ms);
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (dumper_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
+      return;  // Stop() writes the final snapshot after draining
+    }
+    lock.unlock();
+    WriteStatsJson();
+    lock.lock();
+  }
 }
 
 void ServiceHost::AcceptLoop() {
@@ -129,17 +188,20 @@ void ServiceHost::AcceptLoop() {
     if (stopping_) return;
     if (options_.max_sessions > 0 &&
         sessions_.size() >= options_.max_sessions) {
-      ++stats_.sessions_rejected;
+      sessions_rejected_->Increment();
       lock.unlock();
       RejectOverCapacity(std::move(accepted));
       continue;
     }
-    ++stats_.sessions_accepted;
+    sessions_accepted_->Increment();
     uint64_t id = next_session_id_++;
     // The session thread's last act takes mu_, so it cannot outrun this
     // emplace: its handle is in sessions_ before it can move it out.
     sessions_.emplace(
         id, std::thread([this, id, ch = std::move(accepted)]() mutable {
+          // Attribute every span recorded on this thread (handshake,
+          // fold, ...) to the 1-based session id.
+          obs::ScopedSpanContext span_context({id + 1, 0});
           if (options_.fault_injection.has_value()) {
             ChaCha20Rng fault_rng(options_.fault_seed + id);
             FaultInjectingChannel faulty(std::move(ch),
@@ -154,8 +216,10 @@ void ServiceHost::AcceptLoop() {
           auto it = sessions_.find(id);
           finished_.push_back(std::move(it->second));
           sessions_.erase(it);
+          active_gauge_->Set(static_cast<int64_t>(sessions_.size()));
           reaper_cv_.notify_all();
         }));
+    active_gauge_->Set(static_cast<int64_t>(sessions_.size()));
   }
 }
 
@@ -195,6 +259,12 @@ void ServiceHost::ServeOne(Channel& channel) {
   session_options.default_column = default_column_;
   session_options.worker_threads = options_.worker_threads;
   session_options.key_cache = &key_cache_;
+  session_options.registry = &metric_registry_;
+  // The session bumps these itself, before each query's response frame
+  // is sent — that is what keeps SnapshotStats() live instead of
+  // stale-until-Stop.
+  session_options.queries_counter = queries_served_;
+  session_options.compute_ns_counter = compute_ns_;
   ServerSession session(registry_, session_options);
   Status status = session.Serve(channel);
   if (status.code() == StatusCode::kDeadlineExceeded) {
@@ -206,17 +276,14 @@ void ServiceHost::ServeOne(Channel& channel) {
     (void)channel.Send(msg.Encode());
   }
 
-  std::lock_guard<std::mutex> lock(mu_);
   if (status.ok()) {
-    ++stats_.sessions_ok;
+    sessions_ok_->Increment();
   } else {
-    ++stats_.sessions_failed;
+    sessions_failed_->Increment();
     if (status.code() == StatusCode::kDeadlineExceeded) {
-      ++stats_.sessions_evicted;
+      sessions_evicted_->Increment();
     }
   }
-  stats_.queries_served += session.metrics().queries;
-  stats_.server_compute_s += session.metrics().server_compute_s;
 }
 
 }  // namespace ppstats

@@ -22,12 +22,22 @@
 //    exhaustion, memory pressure) with capped backoff; only listener
 //    shutdown stops it.
 //
+// Observability: every host owns a private obs::MetricRegistry. Session
+// outcomes and query counts live there as registry counters (the Stats
+// struct is a thin snapshot view over them), which makes SnapshotStats()
+// safe to call at any moment — queries are counted by the session before
+// their SumResponse reaches the wire, so live stats are never behind
+// what clients have observed. When stats_json_path is set, a dumper
+// thread periodically writes the merged host + process metrics as one
+// JSON document (atomic rename), and Stop() writes a final snapshot.
+//
 // This is the deployment wrapper around ServerSession; the measured
 // experiment harnesses keep driving protocol objects directly.
 
 #ifndef PPSTATS_CORE_SERVICE_HOST_H_
 #define PPSTATS_CORE_SERVICE_HOST_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <functional>
 #include <map>
@@ -41,6 +51,7 @@
 #include "db/column_registry.h"
 #include "net/fault_injection.h"
 #include "net/socket_channel.h"
+#include "obs/metrics.h"
 
 namespace ppstats {
 
@@ -78,6 +89,18 @@ struct ServiceHostOptions {
   /// cannot be forced reliably from user space: some kernels (and
   /// sandboxes) skip the RLIMIT_NOFILE check on accept's fd allocation.
   std::function<Status()> accept_fault_hook;
+
+  /// When non-empty, the host writes its merged metrics (host registry +
+  /// process-wide registry) to this path as a single JSON document —
+  /// every stats_interval_ms while running, and once more on Stop().
+  /// Writes go through a temp file + rename, so readers never see a
+  /// partial document.
+  std::string stats_json_path;
+
+  /// Period of the stats dumper thread. 0 disables periodic dumps (the
+  /// final Stop() snapshot is still written when stats_json_path is
+  /// set).
+  uint32_t stats_interval_ms = 0;
 };
 
 /// Serves ServerSessions concurrently on a filesystem socket path.
@@ -123,13 +146,29 @@ class ServiceHost {
   /// assert it returns to zero between clients.
   size_t active_sessions() const;
 
-  Stats stats() const;
+  /// Live, race-free view of the host's counters: safe to call at any
+  /// moment, including while sessions are mid-query. A query whose
+  /// answer a client has already received is guaranteed to be counted
+  /// (ServerSession accounts it before the response frame is sent).
+  Stats SnapshotStats() const;
+
+  /// Alias of SnapshotStats(), kept for existing callers.
+  Stats stats() const { return SnapshotStats(); }
+
+  /// The merged host + process-wide metrics this host's stats dumper
+  /// exports (counters, gauges, and span histograms).
+  obs::MetricsSnapshot SnapshotMetrics() const;
+
+  /// This host's private metric registry (reset on every Start()).
+  obs::MetricRegistry& metric_registry() { return metric_registry_; }
 
  private:
   void AcceptLoop();
   void ReaperLoop();
+  void DumperLoop();
   void ServeOne(Channel& channel);
   void RejectOverCapacity(std::unique_ptr<Channel> channel);
+  void WriteStatsJson() const;
 
   const ColumnRegistry* registry_;
   ServiceHostOptions options_;
@@ -138,13 +177,27 @@ class ServiceHost {
   std::optional<SocketListener> listener_;
   std::thread accept_thread_;
   std::thread reaper_thread_;
+  std::thread dumper_thread_;
+  std::chrono::steady_clock::time_point started_at_{};
+
+  // Host counters, owned by metric_registry_. The pointers stay valid
+  // across Reset(), so they are resolved once in the constructor.
+  obs::MetricRegistry metric_registry_;
+  obs::Counter* sessions_accepted_;
+  obs::Counter* sessions_ok_;
+  obs::Counter* sessions_failed_;
+  obs::Counter* sessions_rejected_;
+  obs::Counter* sessions_evicted_;
+  obs::Counter* queries_served_;
+  obs::Counter* compute_ns_;
+  obs::Gauge* active_gauge_;
 
   mutable std::mutex mu_;  // guards everything below
   std::map<uint64_t, std::thread> sessions_;  // live, keyed by session id
   std::vector<std::thread> finished_;         // done, awaiting join
   std::condition_variable reaper_cv_;
+  std::condition_variable dumper_cv_;
   uint64_t next_session_id_ = 0;
-  Stats stats_;
   bool stopping_ = false;
   bool draining_ = false;  // accept loop gone; reaper exits when idle
 };

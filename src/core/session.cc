@@ -5,10 +5,26 @@
 #include <utility>
 
 #include "core/messages.h"
+#include "obs/span.h"
 
 namespace ppstats {
 
 namespace {
+
+// Process-wide retry counters, shared by every retrying entry point.
+struct RetryCounters {
+  obs::Counter* attempts =
+      obs::MetricRegistry::Global().GetCounter("retry.attempts");
+  obs::Counter* retryable_failures =
+      obs::MetricRegistry::Global().GetCounter("retry.retryable_failures");
+  obs::Counter* backoff_ms =
+      obs::MetricRegistry::Global().GetCounter("retry.backoff_ms");
+};
+
+RetryCounters& Retries() {
+  static RetryCounters* counters = new RetryCounters();  // leaked on purpose
+  return *counters;
+}
 
 // Sends an Error frame; returns the original status for propagation.
 Status AbortWith(Channel& channel, Status status) {
@@ -29,15 +45,25 @@ Status FromErrorFrame(BytesView frame) {
 
 // Drives one SumClient execution over the channel (shared by the v1 and
 // v2 client paths; the per-query framing around it differs).
+// The communication spans cover time spent inside channel calls only:
+// encryption (NextRequest) and decryption (HandleResponse) keep their
+// own component spans. Note the receive leg necessarily includes the
+// wait for the server's fold — the wire cannot tell propagation from
+// peer compute (docs/OBSERVABILITY.md discusses reconciliation).
 Result<BigInt> RunClientQuery(Channel& channel, SumClient& client) {
   while (!client.RequestsDone()) {
     PPSTATS_ASSIGN_OR_RETURN(Bytes request, client.NextRequest());
+    obs::ObsSpan send_span(obs::kSpanCommunication);
     PPSTATS_RETURN_IF_ERROR(channel.Send(request));
+    send_span.Stop();
   }
-  PPSTATS_ASSIGN_OR_RETURN(Bytes response, channel.Receive());
-  PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(response));
-  if (type == MessageType::kError) return FromErrorFrame(response);
-  return client.HandleResponse(response);
+  obs::ObsSpan recv_span(obs::kSpanCommunication);
+  Result<Bytes> response = channel.Receive();
+  recv_span.Stop();
+  PPSTATS_RETURN_IF_ERROR(response.status());
+  PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(*response));
+  if (type == MessageType::kError) return FromErrorFrame(*response);
+  return client.HandleResponse(*response);
 }
 
 }  // namespace
@@ -73,13 +99,18 @@ Result<BigInt> ClientSession::RunWithRetry(const ChannelFactory& dial,
     if (attempt > 1) {
       uint32_t backoff = RetryBackoffMs(attempt - 1, retry, *rng_);
       retry_metrics_.backoff_ms_total += backoff;
+      Retries().backoff_ms->Add(backoff);
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
     ++retry_metrics_.attempts;
+    Retries().attempts->Increment();
+    obs::ObsSpan attempt_span(obs::kSpanRetryAttempt);
     Result<std::unique_ptr<Channel>> channel = dial();
     Result<BigInt> sum = channel.ok() ? RunOnce(**channel) : channel.status();
+    attempt_span.Stop();
     if (sum.ok() || !IsRetryableStatus(sum.status())) return sum;
     ++retry_metrics_.retryable_failures;
+    Retries().retryable_failures->Increment();
     last = sum.status();
   }
   return last;
@@ -87,12 +118,14 @@ Result<BigInt> ClientSession::RunWithRetry(const ChannelFactory& dial,
 
 Result<BigInt> ClientSession::RunOnce(Channel& channel) {
   // Handshake.
+  obs::ObsSpan handshake(obs::kSpanHandshake);
   ClientHelloMessage hello;
   hello.protocol_version = kSessionProtocolV1;
   hello.public_key_blob = SerializePublicKey(key_->public_key());
   PPSTATS_RETURN_IF_ERROR(channel.Send(hello.Encode()));
 
   PPSTATS_ASSIGN_OR_RETURN(Bytes reply, channel.Receive());
+  handshake.Stop();
   PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(reply));
   if (type == MessageType::kError) return FromErrorFrame(reply);
   PPSTATS_ASSIGN_OR_RETURN(ServerHelloMessage server_hello,
@@ -121,12 +154,14 @@ Status QuerySession::Connect(Channel& channel) {
   if (channel_ != nullptr) {
     return Status::FailedPrecondition("session already connected");
   }
+  obs::ObsSpan handshake(obs::kSpanHandshake);
   ClientHelloMessage hello;
   hello.protocol_version = kSessionProtocolVersion;
   hello.public_key_blob = SerializePublicKey(key_->public_key());
   PPSTATS_RETURN_IF_ERROR(channel.Send(hello.Encode()));
 
   PPSTATS_ASSIGN_OR_RETURN(Bytes reply, channel.Receive());
+  handshake.Stop();
   PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(reply));
   if (type == MessageType::kError) return FromErrorFrame(reply);
   PPSTATS_ASSIGN_OR_RETURN(ServerHelloMessage server_hello,
@@ -153,17 +188,22 @@ Status QuerySession::ConnectWithRetry(const ChannelFactory& dial,
     if (attempt > 1) {
       uint32_t backoff = RetryBackoffMs(attempt - 1, retry, *rng_);
       retry_metrics_.backoff_ms_total += backoff;
+      Retries().backoff_ms->Add(backoff);
       std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
     }
     ++retry_metrics_.attempts;
+    Retries().attempts->Increment();
+    obs::ObsSpan attempt_span(obs::kSpanRetryAttempt);
     Result<std::unique_ptr<Channel>> channel = dial();
     Status status = channel.ok() ? Connect(**channel) : channel.status();
+    attempt_span.Stop();
     if (status.ok()) {
       owned_channel_ = std::move(*channel);  // keep the dialed transport
       return status;
     }
     if (!IsRetryableStatus(status)) return status;
     ++retry_metrics_.retryable_failures;
+    Retries().retryable_failures->Increment();
     last = status;
   }
   return last;
@@ -226,6 +266,10 @@ Result<BigInt> QuerySession::RunWeighted(const QuerySpec& spec,
   SumClientOptions client_options;
   client_options.chunk_size = options_.chunk_size;
   SumClient client(*key_, std::move(weights), client_options, *rng_);
+  // Attribute this query's spans (encrypt, communication, decrypt) to
+  // its 1-based index within the session.
+  obs::ScopedSpanContext context({obs::CurrentContext().session_id,
+                                  static_cast<uint64_t>(queries_run_ + 1)});
   PPSTATS_ASSIGN_OR_RETURN(BigInt value, RunClientQuery(*channel_, client));
   ++queries_run_;
   if (version_ == kSessionProtocolV1) finished_ = true;  // one query only
@@ -248,8 +292,12 @@ Status ServerSession::Serve(Channel& channel) {
   if (registry_ == nullptr && options_.default_column == nullptr) {
     return Status::FailedPrecondition("server has no database");
   }
+  obs::MetricRegistry* metric_registry =
+      options_.registry != nullptr ? options_.registry
+                                   : &obs::MetricRegistry::Global();
 
   // Handshake.
+  obs::ObsSpan handshake(obs::kSpanHandshake, metric_registry);
   PPSTATS_ASSIGN_OR_RETURN(Bytes first, channel.Receive());
   Result<ClientHelloMessage> hello = ClientHelloMessage::Decode(first);
   if (!hello.ok()) return AbortWith(channel, hello.status());
@@ -275,6 +323,7 @@ Status ServerSession::Serve(Channel& channel) {
   server_hello.database_size =
       options_.default_column != nullptr ? options_.default_column->size() : 0;
   PPSTATS_RETURN_IF_ERROR(channel.Send(server_hello.Encode()));
+  handshake.Stop();
 
   return version == kSessionProtocolV1 ? ServeV1(channel, *pub)
                                        : ServeV2(channel, *pub);
@@ -325,6 +374,10 @@ Status ServerSession::ServeV2(Channel& channel, const PaillierPublicKey& pub) {
 Status ServerSession::RunServerQuery(Channel& channel,
                                      const PaillierPublicKey& pub,
                                      const CompiledQuery& query) {
+  // Attribute this query's fold spans to its 1-based index within the
+  // session (the session id comes from the enclosing ServiceHost).
+  obs::ScopedSpanContext context({obs::CurrentContext().session_id,
+                                  static_cast<uint64_t>(metrics_.queries + 1)});
   SumServer server(pub, query, options_.worker_threads);
   while (!server.Finished()) {
     PPSTATS_ASSIGN_OR_RETURN(Bytes frame, channel.Receive());
@@ -333,11 +386,21 @@ Status ServerSession::RunServerQuery(Channel& channel,
     Result<std::optional<Bytes>> response = server.HandleRequest(frame);
     if (!response.ok()) return AbortWith(channel, response.status());
     if (response->has_value()) {
+      // Account the query *before* its SumResponse reaches the wire: a
+      // client that has seen its answer is guaranteed to find the query
+      // in the host's live stats (no stale-until-Stop window).
+      ++metrics_.queries;
+      metrics_.server_compute_s += server.compute_seconds();
+      if (options_.queries_counter != nullptr) {
+        options_.queries_counter->Increment();
+      }
+      if (options_.compute_ns_counter != nullptr) {
+        options_.compute_ns_counter->Add(
+            static_cast<uint64_t>(server.compute_seconds() * 1e9));
+      }
       PPSTATS_RETURN_IF_ERROR(channel.Send(**response));
     }
   }
-  ++metrics_.queries;
-  metrics_.server_compute_s += server.compute_seconds();
   return Status::OK();
 }
 

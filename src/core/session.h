@@ -174,6 +174,20 @@ struct ServerSessionOptions {
   /// cache, so repeat sessions from the same client reuse the key's
   /// Montgomery context instead of rebuilding it.
   PublicKeyCache* key_cache = nullptr;
+
+  /// Registry receiving this session's phase spans (handshake). Null
+  /// uses the process-wide obs::MetricRegistry::Global(). ServiceHost
+  /// points this at its per-host registry.
+  obs::MetricRegistry* registry = nullptr;
+
+  /// Live host counters (optional). They are bumped *before* the final
+  /// SumResponse frame of each query is handed to the transport, so by
+  /// the time a client observes its answer the host's snapshot already
+  /// includes the query — this is what makes ServiceHost::SnapshotStats
+  /// current while sessions are still running. compute_ns_counter
+  /// accumulates fold time in integer nanoseconds.
+  obs::Counter* queries_counter = nullptr;
+  obs::Counter* compute_ns_counter = nullptr;
 };
 
 /// Serves private-sum queries from a column registry (or a single

@@ -1,11 +1,35 @@
 #include "crypto/pool.h"
 
+#include "obs/metrics.h"
+
 namespace ppstats {
+
+namespace {
+
+// Pool traffic is aggregated process-wide: a miss means an online
+// encryption had to pay the full exponentiation the pool exists to
+// amortize, so hit/miss/refill rates tell whether the preprocessing
+// phase was sized correctly.
+struct PoolCounters {
+  obs::Counter* hits = obs::MetricRegistry::Global().GetCounter("pool.hits");
+  obs::Counter* misses =
+      obs::MetricRegistry::Global().GetCounter("pool.misses");
+  obs::Counter* refilled =
+      obs::MetricRegistry::Global().GetCounter("pool.refilled");
+};
+
+PoolCounters& Counters() {
+  static PoolCounters* counters = new PoolCounters();  // leaked on purpose
+  return *counters;
+}
+
+}  // namespace
 
 void RandomnessPool::Generate(size_t count, RandomSource& rng) {
   for (size_t i = 0; i < count; ++i) {
     factors_.push_back(Paillier::GenerateRandomFactor(pub_, rng));
   }
+  Counters().refilled->Add(count);
 }
 
 Result<BigInt> RandomnessPool::Take() {
@@ -14,6 +38,7 @@ Result<BigInt> RandomnessPool::Take() {
   }
   BigInt out = std::move(factors_.front());
   factors_.pop_front();
+  Counters().hits->Increment();
   return out;
 }
 
@@ -21,10 +46,12 @@ Result<PaillierCiphertext> RandomnessPool::Encrypt(const BigInt& m,
                                                    RandomSource& rng) {
   if (factors_.empty()) {
     ++misses_;
+    Counters().misses->Increment();
     return Paillier::Encrypt(pub_, m, rng);
   }
   BigInt factor = std::move(factors_.front());
   factors_.pop_front();
+  Counters().hits->Increment();
   return Paillier::EncryptWithFactor(pub_, m, factor);
 }
 
@@ -36,6 +63,7 @@ Status EncryptionPool::Generate(const BigInt& plaintext, size_t count,
                              Paillier::Encrypt(pub_, plaintext, rng));
     bucket.push_back(std::move(ct));
   }
+  Counters().refilled->Add(count);
   return Status::OK();
 }
 
@@ -44,10 +72,12 @@ Result<PaillierCiphertext> EncryptionPool::Take(const BigInt& plaintext,
   auto it = store_.find(plaintext);
   if (it == store_.end() || it->second.empty()) {
     ++misses_;
+    Counters().misses->Increment();
     return Paillier::Encrypt(pub_, plaintext, rng);
   }
   PaillierCiphertext out = std::move(it->second.front());
   it->second.pop_front();
+  Counters().hits->Increment();
   return out;
 }
 

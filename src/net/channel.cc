@@ -2,6 +2,21 @@
 
 namespace ppstats {
 
+ChannelMetrics& ChannelMetrics::Get() {
+  static ChannelMetrics* metrics = [] {  // leaked on purpose
+    obs::MetricRegistry& registry = obs::MetricRegistry::Global();
+    auto* m = new ChannelMetrics();
+    m->frames_sent = registry.GetCounter("net.frames_sent");
+    m->bytes_sent = registry.GetCounter("net.bytes_sent");
+    m->frames_received = registry.GetCounter("net.frames_received");
+    m->bytes_received = registry.GetCounter("net.bytes_received");
+    m->deadline_expirations =
+        registry.GetCounter("net.deadline_expirations");
+    return m;
+  }();
+  return *metrics;
+}
+
 namespace {
 
 // One direction of a duplex in-memory pipe.
@@ -61,11 +76,24 @@ class PipeEndpoint : public Channel {
       }
     }
     stats_.Record(message.size() + kFrameOverheadBytes);
+    ChannelMetrics& metrics = ChannelMetrics::Get();
+    metrics.frames_sent->Increment();
+    metrics.bytes_sent->Add(message.size() + kFrameOverheadBytes);
     outgoing_->Push(message);
     return Status::OK();
   }
 
-  Result<Bytes> Receive() override { return incoming_->Pop(read_deadline_); }
+  Result<Bytes> Receive() override {
+    Result<Bytes> out = incoming_->Pop(read_deadline_);
+    ChannelMetrics& metrics = ChannelMetrics::Get();
+    if (out.ok()) {
+      metrics.frames_received->Increment();
+      metrics.bytes_received->Add(out->size() + kFrameOverheadBytes);
+    } else if (out.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics.deadline_expirations->Increment();
+    }
+    return out;
+  }
 
   TrafficStats sent() const override { return stats_; }
 

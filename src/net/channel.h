@@ -20,6 +20,7 @@
 
 #include "common/bytes.h"
 #include "common/result.h"
+#include "obs/metrics.h"
 
 namespace ppstats {
 
@@ -45,6 +46,19 @@ struct TrafficStats {
     bytes += other.bytes;
     return *this;
   }
+};
+
+/// Process-wide wire counters shared by every Channel implementation
+/// (sockets and in-memory pipes alike), registered in the Global
+/// MetricRegistry. Pointers are resolved once at first use.
+struct ChannelMetrics {
+  obs::Counter* frames_sent;
+  obs::Counter* bytes_sent;
+  obs::Counter* frames_received;
+  obs::Counter* bytes_received;
+  obs::Counter* deadline_expirations;
+
+  static ChannelMetrics& Get();
 };
 
 /// Abstract reliable, ordered, message-oriented channel endpoint.

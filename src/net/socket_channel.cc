@@ -36,25 +36,34 @@ class SocketChannel : public Channel {
     for (int i = 0; i < 4; ++i) {
       header[i] = static_cast<uint8_t>(len >> (24 - 8 * i));
     }
-    PPSTATS_RETURN_IF_ERROR(WriteAll(header, 4, deadline));
-    PPSTATS_RETURN_IF_ERROR(WriteAll(message.data(), message.size(), deadline));
+    Status written = [&] {
+      PPSTATS_RETURN_IF_ERROR(WriteAll(header, 4, deadline));
+      return WriteAll(message.data(), message.size(), deadline);
+    }();
+    if (!written.ok()) {
+      if (written.code() == StatusCode::kDeadlineExceeded) {
+        ChannelMetrics::Get().deadline_expirations->Increment();
+      }
+      return written;
+    }
     // Charge the length prefix too: it is on the wire, and channel.cc
     // charges the same so both transports report comparable bytes.
     stats_.Record(message.size() + kFrameOverheadBytes);
+    ChannelMetrics& metrics = ChannelMetrics::Get();
+    metrics.frames_sent->Increment();
+    metrics.bytes_sent->Add(message.size() + kFrameOverheadBytes);
     return Status::OK();
   }
 
   Result<Bytes> Receive() override {
-    std::optional<TimePoint> deadline = AbsoluteDeadline(read_deadline_);
-    uint8_t header[4];
-    PPSTATS_RETURN_IF_ERROR(ReadAll(header, 4, deadline));
-    uint32_t len = 0;
-    for (int i = 0; i < 4; ++i) len = (len << 8) | header[i];
-    if (len > max_message_bytes_) {
-      return Status::ProtocolError("incoming frame exceeds the limit");
+    Result<Bytes> out = ReceiveFrame();
+    ChannelMetrics& metrics = ChannelMetrics::Get();
+    if (out.ok()) {
+      metrics.frames_received->Increment();
+      metrics.bytes_received->Add(out->size() + kFrameOverheadBytes);
+    } else if (out.status().code() == StatusCode::kDeadlineExceeded) {
+      metrics.deadline_expirations->Increment();
     }
-    Bytes out(len);
-    PPSTATS_RETURN_IF_ERROR(ReadAll(out.data(), out.size(), deadline));
     return out;
   }
 
@@ -69,6 +78,20 @@ class SocketChannel : public Channel {
 
  private:
   using TimePoint = std::chrono::steady_clock::time_point;
+
+  Result<Bytes> ReceiveFrame() {
+    std::optional<TimePoint> deadline = AbsoluteDeadline(read_deadline_);
+    uint8_t header[4];
+    PPSTATS_RETURN_IF_ERROR(ReadAll(header, 4, deadline));
+    uint32_t len = 0;
+    for (int i = 0; i < 4; ++i) len = (len << 8) | header[i];
+    if (len > max_message_bytes_) {
+      return Status::ProtocolError("incoming frame exceeds the limit");
+    }
+    Bytes out(len);
+    PPSTATS_RETURN_IF_ERROR(ReadAll(out.data(), out.size(), deadline));
+    return out;
+  }
 
   static std::optional<TimePoint> AbsoluteDeadline(
       std::chrono::milliseconds deadline) {

@@ -1,0 +1,194 @@
+#include "obs/export.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+namespace ppstats {
+namespace obs {
+
+namespace {
+
+void AppendEscaped(std::string* out, const std::string& s) {
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out->push_back('\\');
+      out->push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out->append(buf);
+    } else {
+      out->push_back(c);
+    }
+  }
+}
+
+void AppendQuoted(std::string* out, const std::string& s) {
+  out->push_back('"');
+  AppendEscaped(out, s);
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9f", value);
+  out->append(buf);
+}
+
+void AppendU64(std::string* out, uint64_t value) {
+  out->append(std::to_string(value));
+}
+
+}  // namespace
+
+std::string StatsToJson(const MetricsSnapshot& snapshot, double uptime_s) {
+  std::string out = "{\n";
+  if (uptime_s >= 0) {
+    out += "  \"uptime_s\": ";
+    AppendDouble(&out, uptime_s);
+    out += ",\n";
+  }
+
+  out += "  \"counters\": {";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    out += (i == 0) ? "\n    " : ",\n    ";
+    AppendQuoted(&out, snapshot.counters[i].first);
+    out += ": ";
+    AppendU64(&out, snapshot.counters[i].second);
+  }
+  out += snapshot.counters.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"gauges\": {";
+  for (size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    out += (i == 0) ? "\n    " : ",\n    ";
+    AppendQuoted(&out, snapshot.gauges[i].first);
+    out += ": ";
+    out += std::to_string(snapshot.gauges[i].second);
+  }
+  out += snapshot.gauges.empty() ? "},\n" : "\n  },\n";
+
+  out += "  \"histograms\": {";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    out += (i == 0) ? "\n    " : ",\n    ";
+    AppendQuoted(&out, name);
+    out += ": {\"count\": ";
+    AppendU64(&out, h.count);
+    out += ", \"sum\": ";
+    AppendU64(&out, h.sum);
+    out += ", \"mean\": ";
+    AppendDouble(&out, h.Mean());
+    out += ", \"p50\": ";
+    AppendU64(&out, h.ApproxPercentile(50));
+    out += ", \"p90\": ";
+    AppendU64(&out, h.ApproxPercentile(90));
+    out += ", \"p99\": ";
+    AppendU64(&out, h.ApproxPercentile(99));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
+    for (size_t b = 0; b < kHistogramBuckets; ++b) {
+      if (h.buckets[b] == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      out += "[";
+      AppendU64(&out, BucketUpperBound(b));
+      out += ", ";
+      AppendU64(&out, h.buckets[b]);
+      out += "]";
+    }
+    out += "]}";
+  }
+  out += snapshot.histograms.empty() ? "},\n" : "\n  },\n";
+
+  // Restate span totals in seconds, keyed by bare span name, so the
+  // four per-component totals line up with the fig text tables.
+  out += "  \"spans_seconds\": {";
+  bool first_span = true;
+  const size_t prefix_len = std::strlen(kSpanMetricPrefix);
+  for (const auto& [name, h] : snapshot.histograms) {
+    if (name.rfind(kSpanMetricPrefix, 0) != 0) continue;
+    out += first_span ? "\n    " : ",\n    ";
+    first_span = false;
+    AppendQuoted(&out, name.substr(prefix_len));
+    out += ": ";
+    AppendDouble(&out, static_cast<double>(h.sum) * 1e-9);
+  }
+  out += first_span ? "}\n" : "\n  }\n";
+
+  out += "}\n";
+  return out;
+}
+
+std::string StatsToText(const MetricsSnapshot& snapshot) {
+  std::string out;
+  char buf[256];
+  if (!snapshot.counters.empty()) {
+    out += "counters:\n";
+    for (const auto& [name, value] : snapshot.counters) {
+      std::snprintf(buf, sizeof(buf), "  %-32s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(value));
+      out += buf;
+    }
+  }
+  if (!snapshot.gauges.empty()) {
+    out += "gauges:\n";
+    for (const auto& [name, value] : snapshot.gauges) {
+      std::snprintf(buf, sizeof(buf), "  %-32s %lld\n", name.c_str(),
+                    static_cast<long long>(value));
+      out += buf;
+    }
+  }
+  if (!snapshot.histograms.empty()) {
+    out += "histograms:\n";
+    for (const auto& [name, h] : snapshot.histograms) {
+      std::snprintf(buf, sizeof(buf),
+                    "  %-32s count=%llu mean=%.1f p50=%llu p99=%llu\n",
+                    name.c_str(), static_cast<unsigned long long>(h.count),
+                    h.Mean(),
+                    static_cast<unsigned long long>(h.ApproxPercentile(50)),
+                    static_cast<unsigned long long>(h.ApproxPercentile(99)));
+      out += buf;
+    }
+  }
+  return out;
+}
+
+std::string TraceToJsonl(const std::vector<TraceEvent>& events) {
+  std::string out;
+  for (const TraceEvent& event : events) {
+    out += "{\"name\":";
+    AppendQuoted(&out, event.name);
+    out += ",\"session\":";
+    AppendU64(&out, event.session_id);
+    out += ",\"query\":";
+    AppendU64(&out, event.query_id);
+    out += ",\"start_s\":";
+    AppendDouble(&out, event.start_s);
+    out += ",\"dur_s\":";
+    AppendDouble(&out, event.duration_s);
+    out += "}\n";
+  }
+  return out;
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out.write(contents.data(),
+              static_cast<std::streamsize>(contents.size()));
+    out.flush();
+    if (!out) return false;
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace ppstats

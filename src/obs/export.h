@@ -1,0 +1,56 @@
+// obs/export: serialization of metric snapshots and trace buffers.
+//
+// Two consumers, two formats:
+//  * StatsToJson — one self-contained JSON document (validates with
+//    `python3 -m json.tool`), written atomically so a reader never sees
+//    a half-rewritten file. Used by `ppstats_server --stats-json`.
+//  * TraceToJsonl — one JSON object per line, append-friendly. Used by
+//    `ppstats_client --trace-json`.
+//  * StatsToText — the human-readable dump for terminals and logs.
+
+#ifndef PPSTATS_OBS_EXPORT_H_
+#define PPSTATS_OBS_EXPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ppstats {
+namespace obs {
+
+/// Renders a snapshot as one JSON document:
+///   {
+///     "uptime_s": 1.5,            // only when uptime_s >= 0
+///     "counters": {"net.frames_sent": 12, ...},
+///     "gauges": {"threadpool.queue_depth": 0, ...},
+///     "histograms": {
+///       "span.fold": {"count": 3, "sum": 123, "mean": 41.0,
+///                      "p50": 63, "p90": 63, "p99": 63,
+///                      "buckets": [[63, 3]]}   // [upper_bound, count]
+///     },
+///     "spans_seconds": {"fold": 0.000000123, ...}  // sum / 1e9
+///   }
+/// Histogram samples are nanoseconds for span.* entries; spans_seconds
+/// restates their totals in seconds so per-component totals can be
+/// reconciled against the fig2 text breakdown directly.
+std::string StatsToJson(const MetricsSnapshot& snapshot,
+                        double uptime_s = -1.0);
+
+/// Renders a snapshot as aligned human-readable text.
+std::string StatsToText(const MetricsSnapshot& snapshot);
+
+/// Renders trace events as JSONL, one event per line:
+///   {"name":"fold","session":1,"query":2,"start_s":0.0012,"dur_s":0.0003}
+std::string TraceToJsonl(const std::vector<TraceEvent>& events);
+
+/// Writes `contents` to `path` via a temporary file + rename, so a
+/// concurrent reader sees either the old document or the new one,
+/// never a prefix. Returns false on any I/O failure.
+bool WriteFileAtomic(const std::string& path, const std::string& contents);
+
+}  // namespace obs
+}  // namespace ppstats
+
+#endif  // PPSTATS_OBS_EXPORT_H_

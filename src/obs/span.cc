@@ -1,0 +1,135 @@
+#include "obs/span.h"
+
+namespace ppstats {
+namespace obs {
+
+namespace {
+
+thread_local SpanContext g_context;
+
+/// Shared tail of ObsSpan / ScopedPhaseTimer: histogram + trace.
+void RecordSpan(const char* name, MetricRegistry* registry,
+                std::chrono::steady_clock::time_point start,
+                std::chrono::steady_clock::time_point end) {
+  auto ns =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start).count();
+  if (ns < 0) ns = 0;
+  registry->GetHistogram(std::string(kSpanMetricPrefix) + name)
+      ->Record(static_cast<uint64_t>(ns));
+  TraceLog& trace = TraceLog::Global();
+  if (trace.enabled()) {
+    TraceEvent event;
+    event.name = name;
+    event.session_id = g_context.session_id;
+    event.query_id = g_context.query_id;
+    event.duration_s = static_cast<double>(ns) * 1e-9;
+    event.start_s = trace.Now() - event.duration_s;
+    trace.Record(std::move(event));
+  }
+}
+
+}  // namespace
+
+const SpanContext& CurrentContext() { return g_context; }
+
+void RecordSpanSeconds(const char* name, double seconds,
+                       MetricRegistry* registry) {
+  if (!Enabled()) return;
+  if (seconds < 0) seconds = 0;
+  uint64_t ns = static_cast<uint64_t>(seconds * 1e9);
+  registry->GetHistogram(std::string(kSpanMetricPrefix) + name)->Record(ns);
+  TraceLog& trace = TraceLog::Global();
+  if (trace.enabled()) {
+    TraceEvent event;
+    event.name = name;
+    event.session_id = g_context.session_id;
+    event.query_id = g_context.query_id;
+    event.duration_s = seconds;
+    event.start_s = trace.Now();
+    trace.Record(std::move(event));
+  }
+}
+
+ScopedSpanContext::ScopedSpanContext(SpanContext context)
+    : previous_(g_context) {
+  g_context = context;
+}
+
+ScopedSpanContext::~ScopedSpanContext() { g_context = previous_; }
+
+TraceLog& TraceLog::Global() {
+  static TraceLog* global = new TraceLog();  // leaked on purpose
+  return *global;
+}
+
+void TraceLog::Enable() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  epoch_ = std::chrono::steady_clock::now();
+  enabled_.store(true, std::memory_order_relaxed);
+}
+
+void TraceLog::Disable() { enabled_.store(false, std::memory_order_relaxed); }
+
+double TraceLog::Now() const {
+  std::chrono::steady_clock::time_point epoch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    epoch = epoch_;
+  }
+  if (epoch == std::chrono::steady_clock::time_point{}) return 0;
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+void TraceLog::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> TraceLog::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  out.swap(events_);
+  return out;
+}
+
+ObsSpan::ObsSpan(const char* name, MetricRegistry* registry)
+    : name_(name), registry_(registry), active_(Enabled()) {
+  if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+ObsSpan::~ObsSpan() { Stop(); }
+
+double ObsSpan::Stop() {
+  if (!active_) return 0;
+  active_ = false;
+  auto end = std::chrono::steady_clock::now();
+  RecordSpan(name_, registry_, start_, end);
+  return std::chrono::duration<double>(end - start_).count();
+}
+
+ScopedPhaseTimer::ScopedPhaseTimer(double* seconds, const char* span_name,
+                                   MetricRegistry* registry)
+    : seconds_(seconds),
+      span_name_(span_name),
+      registry_(registry),
+      active_(true),
+      start_(std::chrono::steady_clock::now()) {}
+
+ScopedPhaseTimer::~ScopedPhaseTimer() { Stop(); }
+
+double ScopedPhaseTimer::Stop() {
+  if (!active_) return 0;
+  active_ = false;
+  auto end = std::chrono::steady_clock::now();
+  double elapsed = std::chrono::duration<double>(end - start_).count();
+  if (seconds_ != nullptr) *seconds_ += elapsed;
+  if (span_name_ != nullptr && Enabled()) {
+    RecordSpan(span_name_, registry_, start_, end);
+  }
+  return elapsed;
+}
+
+}  // namespace obs
+}  // namespace ppstats

@@ -1,0 +1,172 @@
+// obs/span: RAII phase timing attributed to the paper's cost model.
+//
+// The source paper decomposes every protocol run into four components —
+// client encryption, server computation, communication, and client
+// decryption — and the canonical span names below are exactly those
+// components plus the protocol phases this implementation adds
+// (handshake, fold, retry_attempt). An ObsSpan records its duration
+// into the histogram "span.<name>" of a MetricRegistry and, when
+// tracing is on, appends a TraceEvent carrying the ambient
+// session/query attribution from the thread's SpanContext.
+//
+// ScopedPhaseTimer is the shim that replaced the repo's scattered
+// Stopwatch start/stop/accumulate pattern: it *always* accumulates
+// elapsed seconds into a caller-owned double (RunMetrics and the fig2–
+// fig9 series depend on those), and additionally behaves like an
+// ObsSpan when instrumentation is enabled.
+
+#ifndef PPSTATS_OBS_SPAN_H_
+#define PPSTATS_OBS_SPAN_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace ppstats {
+namespace obs {
+
+// Canonical span names. The first four are the paper's components.
+inline constexpr const char kSpanClientEncrypt[] = "client_encrypt";
+inline constexpr const char kSpanServerCompute[] = "server_compute";
+inline constexpr const char kSpanCommunication[] = "communication";
+inline constexpr const char kSpanClientDecrypt[] = "client_decrypt";
+// Protocol phases beyond the paper's model.
+inline constexpr const char kSpanHandshake[] = "handshake";
+inline constexpr const char kSpanFold[] = "fold";
+inline constexpr const char kSpanRetryAttempt[] = "retry_attempt";
+
+/// Prefix under which span durations appear in a registry, e.g. the
+/// histogram "span.fold" holds nanoseconds per fold span.
+inline constexpr const char kSpanMetricPrefix[] = "span.";
+
+/// Ambient attribution for spans recorded on this thread. Session
+/// threads and client sessions install their ids here so trace events
+/// can be grouped per session and per query without plumbing ids
+/// through every call signature.
+struct SpanContext {
+  uint64_t session_id = 0;
+  uint64_t query_id = 0;
+};
+
+const SpanContext& CurrentContext();
+
+/// Installs a SpanContext for the current scope, restoring the previous
+/// one on destruction (contexts nest).
+class ScopedSpanContext {
+ public:
+  explicit ScopedSpanContext(SpanContext context);
+  ~ScopedSpanContext();
+  ScopedSpanContext(const ScopedSpanContext&) = delete;
+  ScopedSpanContext& operator=(const ScopedSpanContext&) = delete;
+
+ private:
+  SpanContext previous_;
+};
+
+/// One completed span, timestamped in seconds since the trace epoch
+/// (the Enable() call), on the steady clock.
+struct TraceEvent {
+  std::string name;
+  uint64_t session_id = 0;
+  uint64_t query_id = 0;
+  double start_s = 0;
+  double duration_s = 0;
+};
+
+/// Process-wide trace buffer. Off by default; the client tool enables
+/// it for --trace-json. Recording takes a mutex — tracing is a
+/// debugging aid, not a hot-path facility (spans end at phase
+/// granularity, not per row).
+class TraceLog {
+ public:
+  static TraceLog& Global();
+
+  /// Clears the buffer, restarts the epoch, and starts recording.
+  void Enable();
+  void Disable();
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Seconds since the epoch (0 when tracing was never enabled).
+  double Now() const;
+
+  void Record(TraceEvent event);
+
+  /// Returns all buffered events and empties the buffer.
+  std::vector<TraceEvent> Drain();
+
+ private:
+  TraceLog() = default;
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+  std::chrono::steady_clock::time_point epoch_{};
+};
+
+/// RAII span: construction starts the clock, destruction records the
+/// duration (nanoseconds) into `registry`'s "span.<name>" histogram and
+/// the global TraceLog. When obs::Enabled() is false the span is
+/// completely inert (no clock reads).
+class ObsSpan {
+ public:
+  /// `name` must outlive the span (use the kSpan* constants or another
+  /// string literal).
+  explicit ObsSpan(const char* name,
+                   MetricRegistry* registry = &MetricRegistry::Global());
+  ~ObsSpan();
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+  /// Ends the span now (idempotent); returns its duration in seconds,
+  /// or 0 if the span was inert.
+  double Stop();
+
+ private:
+  const char* name_;
+  MetricRegistry* registry_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+/// Records an externally measured (or modeled) duration as if a span
+/// named `name` had run for `seconds`. The in-process experiment runner
+/// uses this for the communication component, which the paper models
+/// from byte counts and link parameters instead of timing a wire.
+/// No-op when obs::Enabled() is false; negative durations clamp to 0.
+void RecordSpanSeconds(const char* name, double seconds,
+                       MetricRegistry* registry = &MetricRegistry::Global());
+
+/// Scoped timer that accumulates `*seconds += elapsed` on destruction —
+/// the drop-in replacement for the Stopwatch start/stop/accumulate
+/// pattern — and doubles as an ObsSpan when `span_name` is non-null and
+/// instrumentation is enabled. The accumulation itself is
+/// unconditional: deterministic experiment metrics must not change when
+/// observability is toggled.
+class ScopedPhaseTimer {
+ public:
+  explicit ScopedPhaseTimer(
+      double* seconds, const char* span_name = nullptr,
+      MetricRegistry* registry = &MetricRegistry::Global());
+  ~ScopedPhaseTimer();
+  ScopedPhaseTimer(const ScopedPhaseTimer&) = delete;
+  ScopedPhaseTimer& operator=(const ScopedPhaseTimer&) = delete;
+
+  /// Ends the timer now (idempotent); returns the elapsed seconds.
+  double Stop();
+
+ private:
+  double* seconds_;
+  const char* span_name_;
+  MetricRegistry* registry_;
+  bool active_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace obs
+}  // namespace ppstats
+
+#endif  // PPSTATS_OBS_SPAN_H_

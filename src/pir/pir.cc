@@ -3,9 +3,9 @@
 #include <cmath>
 
 #include "bigint/modarith.h"
-#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "core/fold_engine.h"
+#include "obs/span.h"
 
 namespace ppstats {
 
@@ -90,32 +90,38 @@ Result<PirRawResult> RunSingleLevelPirRaw(const std::vector<uint64_t>& cells,
   const PirLayout& layout = result.layout;
 
   // --- Client: encrypted column selector e_j = [j == target_col]. -----
-  Stopwatch client_timer;
   const size_t target_col = layout.ColOf(index);
   const size_t target_row = layout.RowOf(index);
   std::vector<PaillierCiphertext> selector;
-  selector.reserve(layout.cols);
-  for (size_t j = 0; j < layout.cols; ++j) {
-    PPSTATS_ASSIGN_OR_RETURN(
-        PaillierCiphertext ct,
-        Paillier::Encrypt(pub, BigInt(j == target_col ? 1 : 0), rng));
-    selector.push_back(std::move(ct));
+  {
+    obs::ScopedPhaseTimer timer(&result.client_seconds,
+                                obs::kSpanClientEncrypt);
+    selector.reserve(layout.cols);
+    for (size_t j = 0; j < layout.cols; ++j) {
+      PPSTATS_ASSIGN_OR_RETURN(
+          PaillierCiphertext ct,
+          Paillier::Encrypt(pub, BigInt(j == target_col ? 1 : 0), rng));
+      selector.push_back(std::move(ct));
+    }
   }
-  result.client_seconds += client_timer.ElapsedSeconds();
   result.client_to_server.Record(layout.cols * pub.CiphertextBytes());
 
   // --- Server: per row, v_i = prod_j E(e_j)^{M[i][j]} = E(M[i][c]). ---
-  Stopwatch server_timer;
-  std::vector<PaillierCiphertext> responses =
-      FoldRows(pub, selector, cells, layout);
-  result.server_seconds += server_timer.ElapsedSeconds();
+  std::vector<PaillierCiphertext> responses;
+  {
+    obs::ScopedPhaseTimer timer(&result.server_seconds,
+                                obs::kSpanServerCompute);
+    responses = FoldRows(pub, selector, cells, layout);
+  }
   result.server_to_client.Record(layout.rows * pub.CiphertextBytes());
 
   // --- Client: decrypt only the target row. ---------------------------
-  client_timer.Reset();
-  PPSTATS_ASSIGN_OR_RETURN(result.value,
-                           Paillier::Decrypt(key, responses[target_row]));
-  result.client_seconds += client_timer.ElapsedSeconds();
+  {
+    obs::ScopedPhaseTimer timer(&result.client_seconds,
+                                obs::kSpanClientDecrypt);
+    PPSTATS_ASSIGN_OR_RETURN(result.value,
+                             Paillier::Decrypt(key, responses[target_row]));
+  }
   return result;
 }
 
@@ -141,24 +147,27 @@ Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
 
   // --- Client: column selector under level 1, row selector under
   // level 2. ------------------------------------------------------------
-  Stopwatch client_timer;
   std::vector<PaillierCiphertext> col_selector;
-  col_selector.reserve(layout.cols);
-  for (size_t j = 0; j < layout.cols; ++j) {
-    PPSTATS_ASSIGN_OR_RETURN(
-        PaillierCiphertext ct,
-        Paillier::Encrypt(pub, BigInt(j == target_col ? 1 : 0), rng));
-    col_selector.push_back(std::move(ct));
-  }
   std::vector<DjCiphertext> row_selector;
-  row_selector.reserve(layout.rows);
-  for (size_t i = 0; i < layout.rows; ++i) {
-    PPSTATS_ASSIGN_OR_RETURN(
-        DjCiphertext ct,
-        DamgardJurik::Encrypt(dj_pub, BigInt(i == target_row ? 1 : 0), rng));
-    row_selector.push_back(std::move(ct));
+  {
+    obs::ScopedPhaseTimer timer(&result.client_seconds,
+                                obs::kSpanClientEncrypt);
+    col_selector.reserve(layout.cols);
+    for (size_t j = 0; j < layout.cols; ++j) {
+      PPSTATS_ASSIGN_OR_RETURN(
+          PaillierCiphertext ct,
+          Paillier::Encrypt(pub, BigInt(j == target_col ? 1 : 0), rng));
+      col_selector.push_back(std::move(ct));
+    }
+    row_selector.reserve(layout.rows);
+    for (size_t i = 0; i < layout.rows; ++i) {
+      PPSTATS_ASSIGN_OR_RETURN(
+          DjCiphertext ct,
+          DamgardJurik::Encrypt(dj_pub, BigInt(i == target_row ? 1 : 0),
+                                rng));
+      row_selector.push_back(std::move(ct));
+    }
   }
-  result.client_seconds += client_timer.ElapsedSeconds();
   result.client_to_server.Record(layout.cols * pub.CiphertextBytes());
   result.client_to_server.Record(layout.rows * dj_pub.CiphertextBytes());
 
@@ -167,7 +176,8 @@ Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
   // The level-2 combine is itself a multi-exponentiation: bases are the
   // row selector, exponents the level-1 row values (valid level-2
   // plaintexts, since each is in [0, n^2)).
-  Stopwatch server_timer;
+  obs::ScopedPhaseTimer server_timer(&result.server_seconds,
+                                     obs::kSpanServerCompute);
   std::vector<PaillierCiphertext> row_values =
       FoldRows(pub, col_selector, cells, layout);
   std::vector<BigInt> row_exponents;
@@ -177,15 +187,18 @@ Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
   }
   DjCiphertext folded =
       DamgardJurik::WeightedFold(dj_pub, row_selector, row_exponents);
-  result.server_seconds += server_timer.ElapsedSeconds();
+  server_timer.Stop();
   result.server_to_client.Record(dj_pub.CiphertextBytes());
 
   // --- Client: peel level 2, then level 1. -----------------------------
-  client_timer.Reset();
-  PPSTATS_ASSIGN_OR_RETURN(BigInt inner, DamgardJurik::Decrypt(dj_key, folded));
-  PPSTATS_ASSIGN_OR_RETURN(result.value,
-                           Paillier::Decrypt(key, PaillierCiphertext{inner}));
-  result.client_seconds += client_timer.ElapsedSeconds();
+  {
+    obs::ScopedPhaseTimer timer(&result.client_seconds,
+                                obs::kSpanClientDecrypt);
+    PPSTATS_ASSIGN_OR_RETURN(BigInt inner,
+                             DamgardJurik::Decrypt(dj_key, folded));
+    PPSTATS_ASSIGN_OR_RETURN(
+        result.value, Paillier::Decrypt(key, PaillierCiphertext{inner}));
+  }
   return result;
 }
 

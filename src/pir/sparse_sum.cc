@@ -3,8 +3,8 @@
 #include <bit>
 
 #include "bigint/modarith.h"
-#include "common/stopwatch.h"
 #include "net/wire.h"
+#include "obs/span.h"
 
 namespace ppstats {
 
@@ -40,13 +40,15 @@ Result<SparseSumResult> RunSparsePrivateSum(
   std::vector<uint64_t> blinded(db.size());
   for (size_t query = 0; query < indices.size(); ++query) {
     // Server: blind the whole table with a fresh r_j.
-    Stopwatch server_timer;
-    uint64_t r = rng.NextBelow(m_mod);
-    blinding_sum = (blinding_sum + r) & (m_mod - 1);
-    for (size_t i = 0; i < db.size(); ++i) {
-      blinded[i] = (db.value(i) + r) & (m_mod - 1);
+    {
+      obs::ScopedPhaseTimer timer(&result.server_seconds,
+                                  obs::kSpanServerCompute);
+      uint64_t r = rng.NextBelow(m_mod);
+      blinding_sum = (blinding_sum + r) & (m_mod - 1);
+      for (size_t i = 0; i < db.size(); ++i) {
+        blinded[i] = (db.value(i) + r) & (m_mod - 1);
+      }
     }
-    result.server_seconds += server_timer.ElapsedSeconds();
 
     // Client retrieves its blinded cell; the two-level response carries
     // exactly one cell, so nothing else about the blinded table leaks.
@@ -66,10 +68,12 @@ Result<SparseSumResult> RunSparsePrivateSum(
   result.server_to_client.Record(reveal.size());
 
   // Client unblinds the sum.
-  Stopwatch client_timer;
-  BigInt m_big(m_mod);
-  result.total = Mod(running - BigInt(blinding_sum), m_big);
-  result.client_seconds += client_timer.ElapsedSeconds();
+  {
+    obs::ScopedPhaseTimer timer(&result.client_seconds,
+                                obs::kSpanClientDecrypt);
+    BigInt m_big(m_mod);
+    result.total = Mod(running - BigInt(blinding_sum), m_big);
+  }
   return result;
 }
 

@@ -1,9 +1,9 @@
 #include "yao/ot.h"
 
 #include "bigint/modarith.h"
-#include "common/stopwatch.h"
 #include "crypto/sha256.h"
 #include "net/wire.h"
+#include "obs/span.h"
 
 namespace ppstats {
 
@@ -57,18 +57,19 @@ Result<OtBatchResult> RunBatchObliviousTransfer(
 
   // --- Sender setup: random C with unknown discrete log (the exponent is
   // drawn and immediately discarded). Sent once for the whole batch.
-  Stopwatch sender_timer;
+  obs::ScopedPhaseTimer sender_timer(&result.sender_seconds, "ot.sender");
   BigInt c_exp = RandomBelow(rng, p - BigInt(1)) + BigInt(1);
   BigInt c_elem = mont.Exp(group.g, c_exp);
   WireWriter setup;
   Status st = setup.WriteFixedBigInt(c_elem, width);
   if (!st.ok()) return st;
   Bytes setup_frame = setup.Take();
-  result.sender_seconds += sender_timer.ElapsedSeconds();
+  sender_timer.Stop();
   result.sender_to_receiver.Record(setup_frame.size());
 
   // --- Receiver: per choice, PK_b = g^k, PK_{1-b} = C / PK_b; send PK_0.
-  Stopwatch receiver_timer;
+  obs::ScopedPhaseTimer receiver_timer(&result.receiver_seconds,
+                                       "ot.receiver");
   std::vector<BigInt> receiver_k(n);
   WireWriter pk_msg;
   for (size_t i = 0; i < n; ++i) {
@@ -80,11 +81,11 @@ Result<OtBatchResult> RunBatchObliviousTransfer(
     PPSTATS_RETURN_IF_ERROR(pk_msg.WriteFixedBigInt(pk0, width));
   }
   Bytes pk_frame = pk_msg.Take();
-  result.receiver_seconds += receiver_timer.ElapsedSeconds();
+  receiver_timer.Stop();
   result.receiver_to_sender.Record(pk_frame.size());
 
   // --- Sender: derive PK_1, encrypt both labels per pair.
-  sender_timer.Reset();
+  obs::ScopedPhaseTimer sender_timer2(&result.sender_seconds, "ot.sender");
   WireReader pk_reader(pk_frame);
   WireWriter enc_msg;
   for (size_t i = 0; i < n; ++i) {
@@ -107,11 +108,12 @@ Result<OtBatchResult> RunBatchObliviousTransfer(
     }
   }
   Bytes enc_frame = enc_msg.Take();
-  result.sender_seconds += sender_timer.ElapsedSeconds();
+  sender_timer2.Stop();
   result.sender_to_receiver.Record(enc_frame.size());
 
   // --- Receiver: decrypt the chosen message of each pair.
-  receiver_timer.Reset();
+  obs::ScopedPhaseTimer receiver_timer2(&result.receiver_seconds,
+                                        "ot.receiver");
   WireReader enc_reader(enc_frame);
   for (size_t i = 0; i < n; ++i) {
     Label chosen{};
@@ -132,7 +134,7 @@ Result<OtBatchResult> RunBatchObliviousTransfer(
     result.received.push_back(chosen);
   }
   PPSTATS_RETURN_IF_ERROR(enc_reader.ExpectEnd());
-  result.receiver_seconds += receiver_timer.ElapsedSeconds();
+  receiver_timer2.Stop();
 
   return result;
 }

@@ -1,0 +1,455 @@
+// Tests for the src/obs telemetry subsystem: bucket math, sharded
+// counters and histograms under concurrency, registry semantics, span /
+// trace recording, and the exporters' wire formats.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace ppstats {
+namespace obs {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Bucket math
+
+TEST(ObsBucketTest, BucketOfEdgeCases) {
+  EXPECT_EQ(BucketOf(0), 0u);
+  EXPECT_EQ(BucketOf(1), 1u);
+  EXPECT_EQ(BucketOf(2), 2u);
+  EXPECT_EQ(BucketOf(3), 2u);
+  EXPECT_EQ(BucketOf(4), 3u);
+  EXPECT_EQ(BucketOf(1023), 10u);
+  EXPECT_EQ(BucketOf(1024), 11u);
+  EXPECT_EQ(BucketOf(UINT64_MAX), 64u);
+  EXPECT_EQ(BucketOf(uint64_t{1} << 63), 64u);
+}
+
+TEST(ObsBucketTest, BucketUpperBoundInvertsBucketOf) {
+  EXPECT_EQ(BucketUpperBound(0), 0u);
+  EXPECT_EQ(BucketUpperBound(1), 1u);
+  EXPECT_EQ(BucketUpperBound(2), 3u);
+  EXPECT_EQ(BucketUpperBound(10), 1023u);
+  EXPECT_EQ(BucketUpperBound(64), UINT64_MAX);
+  // Every value lands in a bucket whose upper bound is >= the value and
+  // whose predecessor's upper bound is < the value.
+  for (uint64_t v : {uint64_t{1}, uint64_t{7}, uint64_t{64}, uint64_t{999},
+                     uint64_t{1} << 40}) {
+    size_t b = BucketOf(v);
+    EXPECT_GE(BucketUpperBound(b), v) << v;
+    EXPECT_LT(BucketUpperBound(b - 1), v) << v;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Counters
+
+TEST(ObsCounterTest, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.Value(), 0u);
+  c.Increment();
+  c.Add(41);
+  EXPECT_EQ(c.Value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.Value(), 0u);
+}
+
+TEST(ObsCounterTest, ConcurrentIncrementsSumExactly) {
+  // Run under TSan in CI: every shard cell is touched from several
+  // threads, and the final sum must be exact (relaxed atomics lose
+  // ordering, never increments).
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.Value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(ObsCounterTest, GaugeSetAddValue) {
+  Gauge g;
+  g.Set(7);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 4);
+  g.Reset();
+  EXPECT_EQ(g.Value(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Histograms
+
+TEST(ObsHistogramTest, SnapshotCountsSumAndBuckets) {
+  Histogram h;
+  h.Record(0);
+  h.Record(1);
+  h.Record(3);
+  h.Record(1000);
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_EQ(snap.sum, 1004u);
+  EXPECT_EQ(snap.buckets[BucketOf(0)], 1u);
+  EXPECT_EQ(snap.buckets[BucketOf(1)], 1u);
+  EXPECT_EQ(snap.buckets[BucketOf(3)], 1u);
+  EXPECT_EQ(snap.buckets[BucketOf(1000)], 1u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 251.0);
+
+  h.Reset();
+  EXPECT_EQ(h.Snapshot().count, 0u);
+}
+
+TEST(ObsHistogramTest, PercentileMath) {
+  HistogramSnapshot snap;
+  // 90 samples of value 1, 9 of value ~500, 1 of value ~1e6.
+  snap.buckets[BucketOf(1)] = 90;
+  snap.buckets[BucketOf(500)] = 9;
+  snap.buckets[BucketOf(1000000)] = 1;
+  snap.count = 100;
+  EXPECT_EQ(snap.ApproxPercentile(0), BucketUpperBound(BucketOf(1)));
+  EXPECT_EQ(snap.ApproxPercentile(50), BucketUpperBound(BucketOf(1)));
+  EXPECT_EQ(snap.ApproxPercentile(90), BucketUpperBound(BucketOf(1)));
+  EXPECT_EQ(snap.ApproxPercentile(91), BucketUpperBound(BucketOf(500)));
+  EXPECT_EQ(snap.ApproxPercentile(99), BucketUpperBound(BucketOf(500)));
+  EXPECT_EQ(snap.ApproxPercentile(100), BucketUpperBound(BucketOf(1000000)));
+  EXPECT_EQ(HistogramSnapshot{}.ApproxPercentile(50), 0u);
+}
+
+TEST(ObsHistogramTest, ShardMergeAcrossThreads) {
+  // Each thread gets its own shard slot; the snapshot must merge all of
+  // them. Also the TSan exercise for Histogram::Record.
+  Histogram h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Record(static_cast<uint64_t>(t) + 1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, static_cast<uint64_t>(kThreads) * kPerThread);
+  uint64_t expected_sum = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    expected_sum += static_cast<uint64_t>(t + 1) * kPerThread;
+  }
+  EXPECT_EQ(snap.sum, expected_sum);
+}
+
+TEST(ObsHistogramTest, SnapshotMergeAdds) {
+  HistogramSnapshot a, b;
+  a.buckets[1] = 2;
+  a.count = 2;
+  a.sum = 2;
+  b.buckets[1] = 1;
+  b.buckets[2] = 1;
+  b.count = 2;
+  b.sum = 4;
+  a.Merge(b);
+  EXPECT_EQ(a.count, 4u);
+  EXPECT_EQ(a.sum, 6u);
+  EXPECT_EQ(a.buckets[1], 3u);
+  EXPECT_EQ(a.buckets[2], 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+TEST(ObsRegistryTest, StablePointersAndReset) {
+  MetricRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  EXPECT_EQ(registry.GetCounter("c"), c);  // same name, same instrument
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h");
+  c->Add(5);
+  g->Set(-2);
+  h->Record(9);
+
+  registry.Reset();
+  // Reset zeroes in place: the pointers must stay usable.
+  EXPECT_EQ(c->Value(), 0u);
+  EXPECT_EQ(g->Value(), 0);
+  EXPECT_EQ(h->Snapshot().count, 0u);
+  c->Increment();
+  EXPECT_EQ(registry.GetCounter("c")->Value(), 1u);
+}
+
+TEST(ObsRegistryTest, SnapshotAndAppendMergeSemantics) {
+  MetricRegistry a, b;
+  a.GetCounter("shared")->Add(2);
+  a.GetGauge("level")->Set(1);
+  a.GetHistogram("hist")->Record(10);
+  b.GetCounter("shared")->Add(3);
+  b.GetCounter("only_b")->Add(7);
+  b.GetGauge("level")->Set(5);
+  b.GetHistogram("hist")->Record(20);
+
+  MetricsSnapshot merged = a.Snapshot();
+  merged.Append(b.Snapshot());
+  EXPECT_EQ(merged.CounterValue("shared"), 5u);  // counters add
+  EXPECT_EQ(merged.CounterValue("only_b"), 7u);
+  for (const auto& [name, value] : merged.gauges) {
+    if (name == "level") {
+      EXPECT_EQ(value, 5);  // gauges: newer wins
+    }
+  }
+  const HistogramSnapshot* hist = merged.FindHistogram("hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_EQ(hist->sum, 30u);
+}
+
+TEST(ObsRegistryTest, ConcurrentGetAndUse) {
+  // Registrations race with lookups of the same names; pointers handed
+  // out must all alias the same instruments.
+  MetricRegistry registry;
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry] {
+      for (int i = 0; i < 1000; ++i) {
+        registry.GetCounter("contended")->Increment();
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(registry.GetCounter("contended")->Value(), 8000u);
+}
+
+// ---------------------------------------------------------------------------
+// Spans, phase timers, trace
+
+TEST(ObsSpanTest, SpanRecordsIntoPrefixedHistogram) {
+  MetricRegistry registry;
+  {
+    ObsSpan span("unit_test_phase", &registry);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* hist = snapshot.FindHistogram("span.unit_test_phase");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  EXPECT_GE(hist->sum, 1000000u);  // >= 1ms in nanoseconds
+}
+
+TEST(ObsSpanTest, StopIsIdempotent) {
+  MetricRegistry registry;
+  ObsSpan span("idem", &registry);
+  double first = span.Stop();
+  EXPECT_GE(first, 0.0);
+  EXPECT_EQ(span.Stop(), 0.0);  // second stop records nothing
+  EXPECT_EQ(registry.Snapshot().FindHistogram("span.idem")->count, 1u);
+}
+
+TEST(ObsSpanTest, DisabledSpanIsInert) {
+  MetricRegistry registry;
+  SetEnabled(false);
+  {
+    ObsSpan span("dark", &registry);
+  }
+  SetEnabled(true);
+  EXPECT_EQ(registry.Snapshot().FindHistogram("span.dark"), nullptr);
+}
+
+TEST(ObsSpanTest, PhaseTimerAccumulatesEvenWhenDisabled) {
+  // The fig2–fig9 series are built from these accumulated doubles; they
+  // must not change when observability is toggled off.
+  MetricRegistry registry;
+  SetEnabled(false);
+  double seconds = 0;
+  {
+    ScopedPhaseTimer timer(&seconds, "dark_phase", &registry);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  SetEnabled(true);
+  EXPECT_GT(seconds, 0.0);
+  EXPECT_EQ(registry.Snapshot().FindHistogram("span.dark_phase"), nullptr);
+
+  // Enabled: accumulates and records the span.
+  double more = 0;
+  {
+    ScopedPhaseTimer timer(&more, "lit_phase", &registry);
+  }
+  EXPECT_GE(more, 0.0);
+  EXPECT_EQ(registry.Snapshot().FindHistogram("span.lit_phase")->count, 1u);
+}
+
+TEST(ObsSpanTest, RecordSpanSecondsClampsAndConverts) {
+  MetricRegistry registry;
+  RecordSpanSeconds("modeled", 0.5, &registry);
+  RecordSpanSeconds("modeled", -1.0, &registry);  // clamps to 0
+  MetricsSnapshot snapshot = registry.Snapshot();
+  const HistogramSnapshot* hist = snapshot.FindHistogram("span.modeled");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 2u);
+  EXPECT_EQ(hist->sum, 500000000u);
+}
+
+TEST(ObsSpanTest, ScopedContextNestsAndRestores) {
+  EXPECT_EQ(CurrentContext().session_id, 0u);
+  {
+    ScopedSpanContext outer({7, 1});
+    EXPECT_EQ(CurrentContext().session_id, 7u);
+    EXPECT_EQ(CurrentContext().query_id, 1u);
+    {
+      ScopedSpanContext inner({7, 2});
+      EXPECT_EQ(CurrentContext().query_id, 2u);
+    }
+    EXPECT_EQ(CurrentContext().query_id, 1u);
+  }
+  EXPECT_EQ(CurrentContext().session_id, 0u);
+}
+
+TEST(ObsTraceTest, EventsCarryAmbientContext) {
+  MetricRegistry registry;
+  TraceLog::Global().Enable();
+  {
+    ScopedSpanContext context({3, 9});
+    ObsSpan span("traced", &registry);
+  }
+  TraceLog::Global().Disable();
+  std::vector<TraceEvent> events = TraceLog::Global().Drain();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].name, "traced");
+  EXPECT_EQ(events[0].session_id, 3u);
+  EXPECT_EQ(events[0].query_id, 9u);
+  EXPECT_GE(events[0].start_s, 0.0);
+  EXPECT_GE(events[0].duration_s, 0.0);
+  EXPECT_TRUE(TraceLog::Global().Drain().empty());  // drained
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+TEST(ObsExportTest, TraceToJsonlGolden) {
+  std::vector<TraceEvent> events(2);
+  events[0].name = "fold";
+  events[0].session_id = 1;
+  events[0].query_id = 2;
+  events[0].start_s = 0.0012;
+  events[0].duration_s = 0.0003;
+  events[1].name = "weird\"name\\";
+  std::string jsonl = TraceToJsonl(events);
+  EXPECT_EQ(jsonl,
+            "{\"name\":\"fold\",\"session\":1,\"query\":2,"
+            "\"start_s\":0.001200000,\"dur_s\":0.000300000}\n"
+            "{\"name\":\"weird\\\"name\\\\\",\"session\":0,\"query\":0,"
+            "\"start_s\":0.000000000,\"dur_s\":0.000000000}\n");
+}
+
+TEST(ObsExportTest, StatsToJsonGolden) {
+  MetricRegistry registry;
+  registry.GetCounter("a.count")->Add(3);
+  registry.GetGauge("b.level")->Set(-1);
+  Histogram* h = registry.GetHistogram("span.fold");
+  h->Record(1);
+  h->Record(3);
+  std::string json = StatsToJson(registry.Snapshot());
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"a.count\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"b.level\": -1\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"span.fold\": {\"count\": 2, \"sum\": 4, "
+            "\"mean\": 2.000000000, \"p50\": 1, \"p90\": 3, \"p99\": 3, "
+            "\"buckets\": [[1, 1], [3, 1]]}\n"
+            "  },\n"
+            "  \"spans_seconds\": {\n"
+            "    \"fold\": 0.000000004\n"
+            "  }\n"
+            "}\n");
+}
+
+TEST(ObsExportTest, EmptySnapshotIsStillValidJson) {
+  std::string json = StatsToJson(MetricsSnapshot{});
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"counters\": {},\n"
+            "  \"gauges\": {},\n"
+            "  \"histograms\": {},\n"
+            "  \"spans_seconds\": {}\n"
+            "}\n");
+}
+
+TEST(ObsExportTest, StatsToTextMentionsEveryInstrument) {
+  MetricRegistry registry;
+  registry.GetCounter("net.frames")->Add(12);
+  registry.GetGauge("pool.level")->Set(4);
+  registry.GetHistogram("span.fold")->Record(100);
+  std::string text = StatsToText(registry.Snapshot());
+  EXPECT_NE(text.find("net.frames"), std::string::npos);
+  EXPECT_NE(text.find("pool.level"), std::string::npos);
+  EXPECT_NE(text.find("span.fold"), std::string::npos);
+  EXPECT_NE(text.find("count=1"), std::string::npos);
+}
+
+TEST(ObsExportTest, WriteFileAtomicLeavesNoTempBehind) {
+  std::string path = std::string(::testing::TempDir()) + "/obs_atomic.json";
+  ASSERT_TRUE(WriteFileAtomic(path, "{\"ok\": true}\n"));
+  std::ifstream in(path);
+  std::stringstream contents;
+  contents << in.rdbuf();
+  EXPECT_EQ(contents.str(), "{\"ok\": true}\n");
+  // The temp file must be gone after the rename.
+  std::ifstream tmp(path + ".tmp");
+  EXPECT_FALSE(tmp.good());
+  std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Overhead
+
+TEST(ObsOverheadTest, DisabledSpanCostsNoMoreThanMicroseconds) {
+  // The acceptance bar is <1% on bench/micro_multiexp (milliseconds of
+  // modexp per fold); here we just pin the absolute cost of a disabled
+  // span to something far below that budget. Bounds are deliberately
+  // generous: CI machines are noisy, and this is a regression tripwire
+  // for "someone made the disabled path take a lock", not a benchmark.
+  SetEnabled(false);
+  constexpr int kIterations = 100000;
+  auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) {
+    ObsSpan span(kSpanFold);
+  }
+  double per_span =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count() /
+      kIterations;
+  SetEnabled(true);
+  EXPECT_LT(per_span, 5e-6);  // 5us per disabled span would be broken
+
+  // Counters stay live when spans are disabled; their cost is one
+  // relaxed fetch_add and gets the same generous tripwire.
+  Counter counter;
+  start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kIterations; ++i) counter.Increment();
+  double per_add =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count() /
+      kIterations;
+  EXPECT_EQ(counter.Value(), static_cast<uint64_t>(kIterations));
+  EXPECT_LT(per_add, 5e-6);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace ppstats

@@ -6,7 +6,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <functional>
+#include <sstream>
 #include <thread>
 
 #include "core/messages.h"
@@ -434,6 +437,84 @@ TEST(ServiceHostTest, RestartOnSamePathResetsPerRunState) {
   ServiceHost::Stats second = host.stats();
   EXPECT_EQ(second.sessions_accepted, 1u);
   EXPECT_EQ(second.distinct_client_keys, 1u);
+}
+
+TEST(ServiceHostTest, SnapshotStatsIsLiveWhileSessionsRun) {
+  // Regression for the stale-stats footgun: stats used to be merged into
+  // the host only when a session finished, so a monitor polling mid-run
+  // saw zeros. Now a query is counted before its response frame is
+  // sent, so a client that has its answer always finds it in the stats.
+  Database db("d", {5, 6, 7});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHost host(&registry, {});
+  std::string path = SocketPath("svc_live");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  auto channel = ConnectUnixSocket(path).ValueOrDie();
+  ChaCha20Rng rng(61);
+  QuerySession session(SharedKeyPair().private_key, rng, {});
+  ASSERT_TRUE(session.Connect(*channel).ok());
+
+  // The session is connected but has not finished; the accept must
+  // already be visible.
+  EXPECT_TRUE(WaitFor([&] { return host.SnapshotStats().sessions_accepted == 1; }));
+  EXPECT_EQ(host.SnapshotStats().sessions_ok, 0u);
+
+  SelectionVector sel = {true, false, true};
+  EXPECT_EQ(session.RunQuery(QuerySpec{}, sel).ValueOrDie(), BigInt(12));
+  // The client has its answer, so the query is already counted — no
+  // WaitFor: this is the ordering guarantee, not a race we ride out.
+  ServiceHost::Stats mid = host.SnapshotStats();
+  EXPECT_EQ(mid.queries_served, 1u);
+  EXPECT_GT(mid.server_compute_s, 0.0);
+  EXPECT_EQ(mid.sessions_ok, 0u);  // still in flight
+
+  ASSERT_TRUE(session.Finish().ok());
+  EXPECT_TRUE(WaitFor([&] { return host.SnapshotStats().sessions_ok == 1; }));
+  host.Stop();
+}
+
+TEST(ServiceHostTest, StatsJsonDumperWritesValidSnapshots) {
+  Database db("d", {1, 2, 3, 4});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHostOptions options;
+  options.stats_json_path =
+      std::string(::testing::TempDir()) + "/svc_stats.json";
+  options.stats_interval_ms = 20;
+  std::remove(options.stats_json_path.c_str());
+  ServiceHost host(&registry, options);
+  std::string path = SocketPath("svc_statsjson");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  // The periodic dumper writes even with no traffic.
+  EXPECT_TRUE(WaitFor([&] {
+    std::ifstream in(options.stats_json_path);
+    return in.good();
+  }));
+
+  {
+    auto channel = ConnectUnixSocket(path).ValueOrDie();
+    ChaCha20Rng rng(62);
+    SelectionVector sel = {true, true, false, false};
+    ClientSession client(SharedKeyPair().private_key, sel, {}, rng);
+    EXPECT_EQ(client.Run(*channel).ValueOrDie(), BigInt(3));
+  }
+  host.Stop();
+
+  // The final snapshot reflects the completed session and parses as one
+  // JSON document with the expected sections.
+  std::ifstream in(options.stats_json_path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  std::string json = buffer.str();
+  EXPECT_NE(json.find("\"uptime_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"host.sessions_ok\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"host.queries_served\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"spans_seconds\""), std::string::npos);
+  EXPECT_EQ(json.back(), '\n');
+  std::remove(options.stats_json_path.c_str());
 }
 
 }  // namespace

@@ -5,7 +5,8 @@
 //                  --rows <n> --select 3,17,42 [--select ...] \
 //                  [--stat sum|sumsq|product] [--column <name>] \
 //                  [--column2 <name>] [--chunk 100] [--seed N] \
-//                  [--retries <n>] [--io-deadline-ms <ms>]
+//                  [--retries <n>] [--io-deadline-ms <ms>] \
+//                  [--trace-json <path>]
 //
 // Each --select runs one query; --stat/--column/--column2 apply to all
 // of them. The server learns nothing about --select; the client learns
@@ -13,6 +14,13 @@
 // with exponential backoff + jitter when the connect or hello exchange
 // fails retryably (server at capacity, transport died);
 // --io-deadline-ms bounds how long any single read/write may stall.
+//
+// --trace-json writes a JSONL phase trace of the whole run: one line per
+// span (handshake, client_encrypt, communication, client_decrypt, each
+// tagged with its 1-based query id) plus a final totals line summing the
+// per-component seconds. The communication spans time the socket calls,
+// so their receive leg includes the server's fold time — the wire cannot
+// tell waiting from transfer (see docs/OBSERVABILITY.md).
 
 #include <chrono>
 #include <cstdio>
@@ -28,6 +36,8 @@
 #include "crypto/key_io.h"
 #include "db/io.h"
 #include "net/socket_channel.h"
+#include "obs/export.h"
+#include "obs/span.h"
 
 namespace {
 
@@ -37,8 +47,35 @@ int Usage() {
                "--rows <n> --select i,j,k [--select ...] "
                "[--stat sum|sumsq|product] [--column <name>] "
                "[--column2 <name>] [--chunk <c>] [--seed <n>] "
-               "[--retries <n>] [--io-deadline-ms <ms>]\n");
+               "[--retries <n>] [--io-deadline-ms <ms>] "
+               "[--trace-json <path>]\n");
   return 2;
+}
+
+/// Matches `--flag value` and `--flag=value`; advances *i past a
+/// consumed separate value argument.
+bool FlagValue(const char* flag, int argc, char** argv, int* i,
+               std::string* out) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
+}
+
+/// Total seconds recorded under the span `name` in `snapshot`.
+double SpanSeconds(const ppstats::obs::MetricsSnapshot& snapshot,
+                   const char* name) {
+  const ppstats::obs::HistogramSnapshot* hist = snapshot.FindHistogram(
+      std::string(ppstats::obs::kSpanMetricPrefix) + name);
+  return hist == nullptr ? 0.0 : static_cast<double>(hist->sum) * 1e-9;
 }
 
 ppstats::Result<ppstats::Bytes> ReadHexFile(const std::string& path) {
@@ -59,8 +96,11 @@ int main(int argc, char** argv) {
   size_t rows = 0, chunk = 0, retries = 0;
   uint32_t io_deadline_ms = 0;
   uint64_t seed = std::random_device{}();
+  std::string trace_json_path;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--key") && i + 1 < argc) {
+    if (FlagValue("--trace-json", argc, argv, &i, &trace_json_path)) {
+      // handled
+    } else if (!std::strcmp(argv[i], "--key") && i + 1 < argc) {
       key_path = argv[++i];
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
       socket_path = argv[++i];
@@ -117,6 +157,8 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  if (!trace_json_path.empty()) obs::TraceLog::Global().Enable();
+
   ChaCha20Rng rng(seed);
   QuerySession session(*key, rng, {chunk});
   ChannelFactory dial = [&socket_path, io_deadline_ms]() {
@@ -161,6 +203,29 @@ int main(int argc, char** argv) {
   if (!finished.ok()) {
     std::fprintf(stderr, "finish: %s\n", finished.ToString().c_str());
     return 1;
+  }
+
+  if (!trace_json_path.empty()) {
+    obs::TraceLog& trace = obs::TraceLog::Global();
+    trace.Disable();
+    std::string out = obs::TraceToJsonl(trace.Drain());
+    obs::MetricsSnapshot snapshot = obs::MetricRegistry::Global().Snapshot();
+    char totals[256];
+    std::snprintf(totals, sizeof(totals),
+                  "{\"totals\":{\"handshake_s\":%.9f,"
+                  "\"client_encrypt_s\":%.9f,\"communication_s\":%.9f,"
+                  "\"client_decrypt_s\":%.9f},\"queries\":%llu}\n",
+                  SpanSeconds(snapshot, obs::kSpanHandshake),
+                  SpanSeconds(snapshot, obs::kSpanClientEncrypt),
+                  SpanSeconds(snapshot, obs::kSpanCommunication),
+                  SpanSeconds(snapshot, obs::kSpanClientDecrypt),
+                  static_cast<unsigned long long>(selects.size()));
+    out += totals;
+    if (!obs::WriteFileAtomic(trace_json_path, out)) {
+      std::fprintf(stderr, "cannot write trace to %s\n",
+                   trace_json_path.c_str());
+      return 1;
+    }
   }
   return 0;
 }

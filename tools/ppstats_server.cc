@@ -4,7 +4,8 @@
 //   ppstats_server --db [name=]values.txt [--db ...] --socket /tmp/pp.sock
 //                  [--default <name>] [--threads <t>] [--once]
 //                  [--max-sessions <n>] [--io-deadline-ms <ms>]
-//                  [--backlog <n>]
+//                  [--backlog <n>] [--stats-json <path>]
+//                  [--stats-interval-ms <ms>]
 //
 // Each --db registers one named column (the name defaults to the file
 // path); v2 clients address columns by name and may run several queries
@@ -14,9 +15,17 @@
 // clients that stall mid-protocol, --backlog sets the kernel listen
 // queue. With --once the server handles exactly one session serially
 // and exits (useful for scripted tests).
+//
+// --stats-json writes the server's metrics (session/query counters,
+// channel byte counts, span histograms — see docs/OBSERVABILITY.md) to
+// the given path as one JSON document: every --stats-interval-ms while
+// running, and a final snapshot on clean shutdown (SIGINT/SIGTERM, or
+// session end in --once mode). Writes are atomic (temp file + rename),
+// so the file is always a complete document.
 
 #include <unistd.h>
 
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -26,16 +35,40 @@
 #include "core/session.h"
 #include "db/io.h"
 #include "net/socket_channel.h"
+#include "obs/export.h"
 
 namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void HandleStopSignal(int) { g_stop = 1; }
 
 int Usage() {
   std::fprintf(stderr,
                "usage: ppstats_server --db [name=]<file> [--db ...] "
                "--socket <path> [--default <name>] [--threads <t>] "
                "[--once] [--max-sessions <n>] [--io-deadline-ms <ms>] "
-               "[--backlog <n>]\n");
+               "[--backlog <n>] [--stats-json <path>] "
+               "[--stats-interval-ms <ms>]\n");
   return 2;
+}
+
+/// Matches `--flag value` and `--flag=value`; advances *i past a
+/// consumed separate value argument.
+bool FlagValue(const char* flag, int argc, char** argv, int* i,
+               std::string* out) {
+  const char* arg = argv[*i];
+  size_t len = std::strlen(flag);
+  if (std::strncmp(arg, flag, len) != 0) return false;
+  if (arg[len] == '=') {
+    *out = arg + len + 1;
+    return true;
+  }
+  if (arg[len] == '\0' && *i + 1 < argc) {
+    *out = argv[++*i];
+    return true;
+  }
+  return false;
 }
 
 }  // namespace
@@ -51,8 +84,17 @@ int main(int argc, char** argv) {
   uint32_t io_deadline_ms = 0;
   int backlog = 16;
   bool once = false;
+  std::string stats_json_path;
+  uint32_t stats_interval_ms = 0;
+  std::string flag_value;
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--db") && i + 1 < argc) {
+    if (FlagValue("--stats-json", argc, argv, &i, &flag_value)) {
+      stats_json_path = flag_value;
+    } else if (FlagValue("--stats-interval-ms", argc, argv, &i,
+                         &flag_value)) {
+      stats_interval_ms =
+          static_cast<uint32_t>(std::strtoul(flag_value.c_str(), nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--db") && i + 1 < argc) {
       db_specs.emplace_back(argv[++i]);
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
       socket_path = argv[++i];
@@ -133,6 +175,13 @@ int main(int argc, char** argv) {
     Status status = session.Serve(**channel);
     std::printf("session: %s (%llu queries)\n", status.ToString().c_str(),
                 static_cast<unsigned long long>(session.metrics().queries));
+    if (!stats_json_path.empty()) {
+      // Serial mode has no host registry; the session recorded into the
+      // process-wide one.
+      (void)obs::WriteFileAtomic(
+          stats_json_path,
+          obs::StatsToJson(obs::MetricRegistry::Global().Snapshot()));
+    }
     return status.ok() ? 0 : 1;
   }
 
@@ -142,6 +191,8 @@ int main(int argc, char** argv) {
   options.max_sessions = max_sessions;
   options.io_deadline_ms = io_deadline_ms;
   options.accept_backlog = backlog;
+  options.stats_json_path = stats_json_path;
+  options.stats_interval_ms = stats_interval_ms;
   ServiceHost host(&registry, options);
   Status started = host.Start(socket_path);
   if (!started.ok()) {
@@ -151,5 +202,11 @@ int main(int argc, char** argv) {
   std::printf("serving %zu column(s) on %s\n", registry.size(),
               socket_path.c_str());
   std::fflush(stdout);
-  for (;;) pause();  // sessions run until the process is killed
+  // SIGINT/SIGTERM trigger a clean Stop(): in-flight sessions drain and
+  // the final stats snapshot is written before exit.
+  std::signal(SIGINT, HandleStopSignal);
+  std::signal(SIGTERM, HandleStopSignal);
+  while (!g_stop) pause();  // pause() returns on each delivered signal
+  host.Stop();
+  return 0;
 }
