@@ -26,8 +26,8 @@ int main() {
     EncryptionPool pool(keys.public_key);
     size_t pooled = static_cast<size_t>(n * coverage);
     // Fill proportionally with 0s and 1s (half the rows are selected).
-    (void)pool.Generate(BigInt(0), pooled / 2 + pooled % 2, rng);
-    (void)pool.Generate(BigInt(1), pooled / 2, rng);
+    pool.Generate(BigInt(0), pooled / 2 + pooled % 2, rng).IgnoreError();
+    pool.Generate(BigInt(1), pooled / 2, rng).IgnoreError();
 
     SumClientOptions options;
     options.encryption_pool = &pool;

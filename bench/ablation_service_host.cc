@@ -105,7 +105,7 @@ int main(int argc, char** argv) {
           Result<BigInt> got = session.RunQuery(spec, sel);
           if (!got.ok() || *got != expected) ++wrong;
         }
-        (void)session.Finish();
+        session.Finish().IgnoreError();
       });
     }
     for (std::thread& t : workers) t.join();
@@ -210,7 +210,7 @@ int RunChaosMode() {
           if (got.ok() && *got == expected) ++ok_queries;
           if (!got.ok()) break;  // transport died; session is unusable
         }
-        (void)session.Finish();
+        session.Finish().IgnoreError();
         if (wrapper != nullptr) faults_injected += wrapper->counters().faults();
       });
     }

@@ -70,8 +70,8 @@ MeasuredRun MeasureSelectedSum(const PaillierKeyPair& keys, size_t n,
     Stopwatch offline;
     size_t ones = 0;
     for (bool s : selection) ones += s ? 1 : 0;
-    (void)pool.Generate(BigInt(0), n - ones, rng);
-    (void)pool.Generate(BigInt(1), ones, rng);
+    pool.Generate(BigInt(0), n - ones, rng).IgnoreError();
+    pool.Generate(BigInt(1), ones, rng).IgnoreError();
     out.offline_preprocess_s = offline.ElapsedSeconds();
     client_options.encryption_pool = &pool;
   }

@@ -47,11 +47,11 @@ class BigInt {
   }
 
   /// Parses a decimal string, optionally prefixed with '-'.
-  static Result<BigInt> FromDecimal(std::string_view s);
+  [[nodiscard]] static Result<BigInt> FromDecimal(std::string_view s);
 
   /// Parses a (case-insensitive) hex string, optionally prefixed with '-'
   /// and/or "0x".
-  static Result<BigInt> FromHexString(std::string_view s);
+  [[nodiscard]] static Result<BigInt> FromHexString(std::string_view s);
 
   /// Interprets big-endian bytes as a non-negative integer.
   static BigInt FromBytes(BytesView bytes);
@@ -94,8 +94,8 @@ class BigInt {
 
   /// Truncated division (C semantics: quotient rounds toward zero,
   /// remainder has the sign of the dividend). Fails on zero divisor.
-  static Result<std::pair<BigInt, BigInt>> DivRem(const BigInt& num,
-                                                  const BigInt& den);
+  [[nodiscard]] static Result<std::pair<BigInt, BigInt>> DivRem(const BigInt& num,
+                                                                const BigInt& den);
 
   /// Truncated quotient / remainder. Divisor must be nonzero (asserted).
   friend BigInt operator/(const BigInt& a, const BigInt& b);

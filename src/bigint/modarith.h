@@ -39,7 +39,7 @@ ExtendedGcdResult ExtendedGcd(const BigInt& a, const BigInt& b);
 
 /// Multiplicative inverse of a modulo m (m > 1). Fails with CryptoError if
 /// gcd(a, m) != 1.
-Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
+[[nodiscard]] Result<BigInt> ModInverse(const BigInt& a, const BigInt& m);
 
 /// base^exp mod m for exp >= 0, m > 0. Uses Montgomery fixed-window
 /// exponentiation for odd moduli and square-and-multiply otherwise.
@@ -52,8 +52,8 @@ BigInt ModExpPlain(const BigInt& base, const BigInt& exp, const BigInt& m);
 /// Chinese Remainder Theorem for two coprime moduli: the unique x in
 /// [0, m1*m2) with x = r1 (mod m1) and x = r2 (mod m2). Fails if the
 /// moduli are not coprime.
-Result<BigInt> CrtCombine(const BigInt& r1, const BigInt& m1,
-                          const BigInt& r2, const BigInt& m2);
+[[nodiscard]] Result<BigInt> CrtCombine(const BigInt& r1, const BigInt& m1,
+                                        const BigInt& r2, const BigInt& m2);
 
 /// Uniform random integer in [0, 2^bits).
 BigInt RandomBits(RandomSource& rng, size_t bits);

@@ -23,7 +23,7 @@ std::string ToHex(BytesView bytes);
 
 /// Decodes lowercase/uppercase hex into bytes. Fails on odd length or
 /// non-hex characters.
-Result<Bytes> FromHex(std::string_view hex);
+[[nodiscard]] Result<Bytes> FromHex(std::string_view hex);
 
 /// Constant-time byte equality (length leaks; contents do not).
 bool ConstantTimeEqual(BytesView a, BytesView b);

@@ -1,0 +1,113 @@
+// Annotated mutex wrappers: the types the thread-safety analysis can see.
+//
+// Clang's -Wthread-safety tracks lock state through attribute-annotated
+// types only; std::mutex and std::lock_guard carry no annotations, so
+// code using them directly gets no static checking. These thin wrappers
+// delegate to the standard primitives (zero behavioral difference —
+// fig2–fig9 determinism is untouched) while exposing the capability
+// attributes from common/thread_annotations.h:
+//
+//   Mutex mu_;
+//   size_t pending_ PPSTATS_GUARDED_BY(mu_);
+//   CondVar cv_;
+//
+//   {
+//     MutexLock lock(mu_);
+//     while (pending_ == 0) cv_.Wait(mu_);   // analyzable wait loop
+//     --pending_;
+//   }
+//
+// CondVar deliberately has no predicate-taking Wait overload: the
+// analysis cannot see through a lambda that touches guarded state, so
+// wait loops are written out at the call site (`while (!pred) Wait`),
+// where every guarded access is visible to the checker.
+
+#ifndef PPSTATS_COMMON_MUTEX_H_
+#define PPSTATS_COMMON_MUTEX_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+namespace ppstats {
+
+/// A std::mutex annotated as a capability. Prefer MutexLock over manual
+/// Lock/Unlock pairs.
+class PPSTATS_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() PPSTATS_ACQUIRE() { mu_.lock(); }
+  void Unlock() PPSTATS_RELEASE() { mu_.unlock(); }
+  [[nodiscard]] bool TryLock() PPSTATS_TRY_ACQUIRE(true) {
+    return mu_.try_lock();
+  }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock scope over a Mutex (std::lock_guard with annotations).
+class PPSTATS_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) PPSTATS_ACQUIRE(mu) : mu_(mu) { mu_.Lock(); }
+  ~MutexLock() PPSTATS_RELEASE() { mu_.Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+/// Condition variable usable with Mutex. Wait/WaitUntil atomically
+/// release the mutex while blocking and reacquire it before returning,
+/// exactly like std::condition_variable — the annotations say the
+/// caller holds the mutex across the call, which is the net effect.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken). Callers loop on their
+  /// predicate: `while (!ready_) cv_.Wait(mu_);`
+  void Wait(Mutex& mu) PPSTATS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still logically holds mu
+  }
+
+  /// Blocks until notified or `deadline` passes. Returns false on
+  /// timeout. Spurious wakeups return true; callers loop on their
+  /// predicate either way.
+  [[nodiscard]] bool WaitUntil(Mutex& mu,
+                               std::chrono::steady_clock::time_point deadline)
+      PPSTATS_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    std::cv_status status = cv_.wait_until(lock, deadline);
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  /// Blocks for at most `timeout`. Returns false on timeout.
+  [[nodiscard]] bool WaitFor(Mutex& mu, std::chrono::milliseconds timeout)
+      PPSTATS_REQUIRES(mu) {
+    return WaitUntil(mu, std::chrono::steady_clock::now() + timeout);
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_COMMON_MUTEX_H_

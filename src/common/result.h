@@ -15,8 +15,12 @@
 namespace ppstats {
 
 /// Holds either a value of type T or an error Status.
+///
+/// Like Status, Result is class-level [[nodiscard]]: discarding a
+/// Result-returning call is a compile warning (-Werror in CI). Use
+/// IgnoreError() where draining a value best-effort is intentional.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs an OK result holding `value`.
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
@@ -26,10 +30,15 @@ class Result {
     assert(!status_.ok() && "Result constructed from OK status without value");
   }
 
-  bool ok() const { return value_.has_value(); }
+  [[nodiscard]] bool ok() const { return value_.has_value(); }
 
   /// The error status; OK when a value is present.
-  const Status& status() const { return status_; }
+  [[nodiscard]] const Status& status() const { return status_; }
+
+  /// Explicitly discards this result (value and error alike). Use only
+  /// where ignoring the outcome is deliberate, e.g. draining a peer's
+  /// final frame on a teardown path.
+  void IgnoreError() const {}
 
   /// The held value. Requires ok().
   const T& value() const& {

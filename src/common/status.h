@@ -4,10 +4,18 @@
 // public library entry points return Status (or Result<T>, see result.h)
 // instead of throwing exceptions. Exceptions remain disabled by policy in
 // all core code paths.
+//
+// Status is class-level [[nodiscard]]: any call that returns a Status by
+// value and ignores it is a compile warning (-Werror in CI). Where
+// dropping a status is intentional — best-effort teardown, shutdown
+// paths — say so explicitly with IgnoreError():
+//
+//   channel->Send(goodbye).IgnoreError();  // peer may already be gone
 
 #ifndef PPSTATS_COMMON_STATUS_H_
 #define PPSTATS_COMMON_STATUS_H_
 
+#include <cstddef>
 #include <ostream>
 #include <string>
 #include <string_view>
@@ -30,15 +38,20 @@ enum class StatusCode {
   kDeadlineExceeded,  ///< a blocking operation ran past its deadline
 };
 
+/// Number of StatusCode values. Keep in sync when adding a code: the
+/// status test walks [0, kStatusCodeCount) and fails if StatusCodeName
+/// does not know every code (switch-exhaustiveness tripwire).
+inline constexpr size_t kStatusCodeCount = 11;
+
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
-std::string_view StatusCodeName(StatusCode code);
+[[nodiscard]] std::string_view StatusCodeName(StatusCode code);
 
 /// Result of an operation: either OK or a code plus a message.
 ///
 /// Statuses are cheap to copy in the OK case (no allocation) and carry a
 /// message string only on error. Use the PPSTATS_RETURN_IF_ERROR macro to
 /// propagate.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -79,12 +92,17 @@ class Status {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  StatusCode code() const { return code_; }
-  const std::string& message() const { return message_; }
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  /// Explicitly discards this status. Use only where ignoring a failure
+  /// is a deliberate decision (best-effort teardown, already-failing
+  /// paths), so the intent survives code review and grep.
+  void IgnoreError() const {}
 
   /// "OK" or "<CodeName>: <message>".
-  std::string ToString() const;
+  [[nodiscard]] std::string ToString() const;
 
   friend bool operator==(const Status& a, const Status& b) {
     return a.code_ == b.code_ && a.message_ == b.message_;
@@ -99,7 +117,7 @@ inline std::ostream& operator<<(std::ostream& os, const Status& s) {
   return os << s.ToString();
 }
 
-/// Propagates a non-OK Status to the caller.
+/// Propagates a non-OK Status to the caller. Evaluates `expr` once.
 #define PPSTATS_RETURN_IF_ERROR(expr)                \
   do {                                               \
     ::ppstats::Status _ppstats_status = (expr);      \

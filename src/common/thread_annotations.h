@@ -1,0 +1,82 @@
+// Clang thread-safety annotation macros (Abseil-style).
+//
+// These expand to Clang's `capability` attributes when compiling with
+// Clang, turning the locking discipline into something the compiler
+// checks on every build (-Wthread-safety, promoted to an error in the
+// CI `analyze` job). Under GCC and other compilers they expand to
+// nothing, so annotated code stays portable.
+//
+// Use them on the wrapper types in common/mutex.h and on the data they
+// protect:
+//
+//   Mutex mu_;
+//   std::vector<Job> jobs_ PPSTATS_GUARDED_BY(mu_);
+//
+//   void Drain() PPSTATS_REQUIRES(mu_);   // caller must hold mu_
+//   void Stop() PPSTATS_EXCLUDES(mu_);    // caller must NOT hold mu_
+//
+// This is a *static* race detector: unlike the TSan CI job, which only
+// sees interleavings the tests happen to produce, these annotations
+// reject any code path that touches guarded state without the lock —
+// including paths no test exercises.
+
+#ifndef PPSTATS_COMMON_THREAD_ANNOTATIONS_H_
+#define PPSTATS_COMMON_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define PPSTATS_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define PPSTATS_THREAD_ANNOTATION_(x)  // no-op outside Clang
+#endif
+
+/// Marks a class as a lockable capability (e.g. a mutex type).
+#define PPSTATS_CAPABILITY(x) PPSTATS_THREAD_ANNOTATION_(capability(x))
+
+/// Marks an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define PPSTATS_SCOPED_CAPABILITY PPSTATS_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define PPSTATS_GUARDED_BY(x) PPSTATS_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data *pointed to* by a pointer member is protected
+/// by the given capability (the pointer itself is not).
+#define PPSTATS_PT_GUARDED_BY(x) PPSTATS_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that a function may only be called while holding the given
+/// capabilities (and does not release them).
+#define PPSTATS_REQUIRES(...) \
+  PPSTATS_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that a function may only be called while *not* holding the
+/// given capabilities (it acquires and releases them itself).
+#define PPSTATS_EXCLUDES(...) \
+  PPSTATS_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Declares that a function acquires the given capabilities and holds
+/// them on return.
+#define PPSTATS_ACQUIRE(...) \
+  PPSTATS_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases the given capabilities, which the
+/// caller must hold on entry.
+#define PPSTATS_RELEASE(...) \
+  PPSTATS_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function attempts to acquire the capability and
+/// returns `result` (true/false) on success.
+#define PPSTATS_TRY_ACQUIRE(...) \
+  PPSTATS_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability
+/// (lets accessors expose a member mutex without losing analysis).
+#define PPSTATS_RETURN_CAPABILITY(x) \
+  PPSTATS_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: disables analysis for one function. Every use must
+/// carry a comment justifying why the analysis cannot see the invariant
+/// (see docs/STATIC_ANALYSIS.md).
+#define PPSTATS_NO_THREAD_SAFETY_ANALYSIS \
+  PPSTATS_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // PPSTATS_COMMON_THREAD_ANNOTATIONS_H_

@@ -37,10 +37,10 @@ ThreadPool::ThreadPool(size_t threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stop_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -54,8 +54,8 @@ void ThreadPool::ExecuteFrom(Job& job) {
     if (job.done.fetch_add(1, std::memory_order_acq_rel) + 1 == job.count) {
       // Take the job mutex so the waiter cannot miss the notification
       // between its predicate check and its wait.
-      std::lock_guard<std::mutex> lock(job.m);
-      job.done_cv.notify_all();
+      MutexLock lock(job.m);
+      job.done_cv.NotifyAll();
     }
   }
   if (executed > 0) Metrics().tasks->Add(executed);
@@ -65,8 +65,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Job> job;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      MutexLock lock(mu_);
+      while (!stop_ && jobs_.empty()) cv_.Wait(mu_);
       if (jobs_.empty()) return;  // stop_ set and nothing left to help with
       job = jobs_.front();
       if (job->next.load(std::memory_order_relaxed) >= job->count) {
@@ -93,23 +93,23 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   job->fn = &fn;
   job->count = n;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     jobs_.push_back(job);
     Metrics().queue_depth->Set(static_cast<int64_t>(jobs_.size()));
   }
   Metrics().jobs->Increment();
-  cv_.notify_all();
+  cv_.NotifyAll();
 
   // Participate, then wait for workers still inside their last index.
   ExecuteFrom(*job);
   {
-    std::unique_lock<std::mutex> lock(job->m);
-    job->done_cv.wait(lock, [&] {
-      return job->done.load(std::memory_order_acquire) == job->count;
-    });
+    MutexLock lock(job->m);
+    while (job->done.load(std::memory_order_acquire) != job->count) {
+      job->done_cv.Wait(job->m);
+    }
   }
   // Retire the batch if a worker has not already done so.
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = std::find(jobs_.begin(), jobs_.end(), job);
   if (it != jobs_.end()) jobs_.erase(it);
   Metrics().queue_depth->Set(static_cast<int64_t>(jobs_.size()));

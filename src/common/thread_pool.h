@@ -15,14 +15,15 @@
 #define PPSTATS_COMMON_THREAD_POOL_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ppstats {
 
@@ -54,18 +55,18 @@ class ThreadPool {
     size_t count = 0;
     std::atomic<size_t> next{0};
     std::atomic<size_t> done{0};
-    std::mutex m;
-    std::condition_variable done_cv;
+    Mutex m;  // serializes the done_cv handshake only; counters are atomic
+    CondVar done_cv;
   };
 
   void WorkerLoop();
   static void ExecuteFrom(Job& job);
 
   std::vector<std::thread> workers_;
-  std::deque<std::shared_ptr<Job>> jobs_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool stop_ = false;
+  Mutex mu_;
+  std::deque<std::shared_ptr<Job>> jobs_ PPSTATS_GUARDED_BY(mu_);
+  bool stop_ PPSTATS_GUARDED_BY(mu_) = false;
+  CondVar cv_;
 };
 
 }  // namespace ppstats

@@ -53,7 +53,7 @@ struct DistributedRunResult {
 /// Runs the protocol against `servers` (horizontal partitions, in
 /// order). `selection` covers the concatenated logical table and is
 /// split at partition boundaries.
-Result<DistributedRunResult> RunDistributedSum(
+[[nodiscard]] Result<DistributedRunResult> RunDistributedSum(
     const PaillierPrivateKey& key, const std::vector<const Database*>& servers,
     const SelectionVector& selection, const DistributedConfig& config,
     RandomSource& rng);

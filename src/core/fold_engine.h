@@ -41,7 +41,7 @@ class RowSource {
 
   /// Reads rows [begin, begin + out.size()) into `out`. The range is
   /// validated by the engine before the call.
-  virtual Status ReadRows(size_t begin, std::span<uint64_t> out) = 0;
+  [[nodiscard]] virtual Status ReadRows(size_t begin, std::span<uint64_t> out) = 0;
 
   /// Largest number of row values this source has held resident at once;
   /// 0 when the source does not track residency (in-memory columns).
@@ -54,7 +54,7 @@ class ColumnRowSource : public RowSource {
   explicit ColumnRowSource(const Database* db) : db_(db) {}
 
   size_t size() const override { return db_->size(); }
-  Status ReadRows(size_t begin, std::span<uint64_t> out) override;
+  [[nodiscard]] Status ReadRows(size_t begin, std::span<uint64_t> out) override;
 
  private:
   const Database* db_;
@@ -66,10 +66,10 @@ class FileRowSource : public RowSource {
  public:
   /// Opens `path`; fails if the file is missing, truncated, or sized
   /// inconsistently with its header.
-  static Result<std::unique_ptr<FileRowSource>> Open(const std::string& path);
+  [[nodiscard]] static Result<std::unique_ptr<FileRowSource>> Open(const std::string& path);
 
   size_t size() const override { return row_count_; }
-  Status ReadRows(size_t begin, std::span<uint64_t> out) override;
+  [[nodiscard]] Status ReadRows(size_t begin, std::span<uint64_t> out) override;
   size_t peak_resident_rows() const override { return peak_resident_rows_; }
 
  private:
@@ -120,7 +120,7 @@ class FoldEngine {
 
   /// Folds one chunk covering rows [start_row, start_row + cts.size()).
   /// Chunks must arrive in order with no gaps, overlap, or overrun.
-  Status FoldChunk(size_t start_row, std::span<const PaillierCiphertext> cts);
+  [[nodiscard]] Status FoldChunk(size_t start_row, std::span<const PaillierCiphertext> cts);
 
   /// True once chunks have covered every row in [begin, end).
   bool done() const { return next_expected_ >= end_; }
@@ -128,7 +128,7 @@ class FoldEngine {
   /// Converts the accumulator out of Montgomery form (the only
   /// conversion in the fold's lifetime) and applies `blinding`.
   /// Requires done().
-  Result<PaillierCiphertext> Finish(const std::optional<BigInt>& blinding);
+  [[nodiscard]] Result<PaillierCiphertext> Finish(const std::optional<BigInt>& blinding);
 
   size_t row_count() const { return rows_->size(); }
   size_t peak_resident_rows() const { return rows_->peak_resident_rows(); }

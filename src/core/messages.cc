@@ -33,8 +33,7 @@ Bytes IndexBatchMessage::Encode(const PaillierPublicKey& pub) const {
   w.WriteU32(static_cast<uint32_t>(ciphertexts.size()));
   for (const PaillierCiphertext& ct : ciphertexts) {
     // Ciphertexts are < n^2 by construction; fixed width cannot fail.
-    Status s = w.WriteFixedBigInt(ct.value, pub.CiphertextBytes());
-    (void)s;
+    w.WriteFixedBigInt(ct.value, pub.CiphertextBytes()).IgnoreError();
   }
   return w.Take();
 }
@@ -67,8 +66,8 @@ Result<IndexBatchMessage> IndexBatchMessage::Decode(
 Bytes SumResponseMessage::Encode(const PaillierPublicKey& pub) const {
   WireWriter w;
   w.WriteU8(static_cast<uint8_t>(MessageType::kSumResponse));
-  Status s = w.WriteFixedBigInt(sum.value, pub.CiphertextBytes());
-  (void)s;
+  // Ciphertexts are < n^2 by construction; fixed width cannot fail.
+  w.WriteFixedBigInt(sum.value, pub.CiphertextBytes()).IgnoreError();
   return w.Take();
 }
 

@@ -36,8 +36,8 @@ struct IndexBatchMessage {
   std::vector<PaillierCiphertext> ciphertexts;
 
   Bytes Encode(const PaillierPublicKey& pub) const;
-  static Result<IndexBatchMessage> Decode(const PaillierPublicKey& pub,
-                                          BytesView frame);
+  [[nodiscard]] static Result<IndexBatchMessage> Decode(const PaillierPublicKey& pub,
+                                                        BytesView frame);
 };
 
 /// The server's single response: the encrypted selected sum.
@@ -45,8 +45,8 @@ struct SumResponseMessage {
   PaillierCiphertext sum;
 
   Bytes Encode(const PaillierPublicKey& pub) const;
-  static Result<SumResponseMessage> Decode(const PaillierPublicKey& pub,
-                                           BytesView frame);
+  [[nodiscard]] static Result<SumResponseMessage> Decode(const PaillierPublicKey& pub,
+                                                         BytesView frame);
 };
 
 /// Multi-client phase 2: running sum of blinded partials around the ring.
@@ -54,7 +54,7 @@ struct RingPartialMessage {
   BigInt running_sum;
 
   Bytes Encode() const;
-  static Result<RingPartialMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<RingPartialMessage> Decode(BytesView frame);
 };
 
 /// Multi-client phase 2: the final unblinded total, broadcast to all.
@@ -62,7 +62,7 @@ struct RingBroadcastMessage {
   BigInt total;
 
   Bytes Encode() const;
-  static Result<RingBroadcastMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<RingBroadcastMessage> Decode(BytesView frame);
 };
 
 /// Session handshake: the client announces its protocol version and the
@@ -72,7 +72,7 @@ struct ClientHelloMessage {
   Bytes public_key_blob;  ///< see crypto/key_io.h
 
   Bytes Encode() const;
-  static Result<ClientHelloMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<ClientHelloMessage> Decode(BytesView frame);
 };
 
 /// Session handshake reply: the server's version and table size (the
@@ -82,7 +82,7 @@ struct ServerHelloMessage {
   uint64_t database_size = 0;
 
   Bytes Encode() const;
-  static Result<ServerHelloMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<ServerHelloMessage> Decode(BytesView frame);
 };
 
 /// Abort frame: carries a status code and a human-readable reason.
@@ -91,7 +91,7 @@ struct ErrorMessage {
   std::string reason;
 
   Bytes Encode() const;
-  static Result<ErrorMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<ErrorMessage> Decode(BytesView frame);
 };
 
 /// v2 sessions: opens one query on an established connection. The kind
@@ -106,7 +106,7 @@ struct QueryHeaderMessage {
   std::string column2;
 
   Bytes Encode() const;
-  static Result<QueryHeaderMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<QueryHeaderMessage> Decode(BytesView frame);
 };
 
 /// v2 sessions: the server's acceptance of a QueryHeader, carrying the
@@ -116,18 +116,18 @@ struct QueryAcceptMessage {
   uint64_t rows = 0;
 
   Bytes Encode() const;
-  static Result<QueryAcceptMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<QueryAcceptMessage> Decode(BytesView frame);
 };
 
 /// v2 sessions: clean end-of-session marker, so the server can tell a
 /// finished client from a vanished one.
 struct GoodbyeMessage {
   Bytes Encode() const;
-  static Result<GoodbyeMessage> Decode(BytesView frame);
+  [[nodiscard]] static Result<GoodbyeMessage> Decode(BytesView frame);
 };
 
 /// Reads the type tag without consuming the frame.
-Result<MessageType> PeekMessageType(BytesView frame);
+[[nodiscard]] Result<MessageType> PeekMessageType(BytesView frame);
 
 }  // namespace ppstats
 

@@ -61,7 +61,7 @@ struct MultiClientRunResult {
 /// clients. `selection` covers the whole database; client i handles the
 /// i-th contiguous partition. Fails unless every key satisfies
 /// 2M <= n_i and there are at least 2 clients.
-Result<MultiClientRunResult> RunMultiClientSum(
+[[nodiscard]] Result<MultiClientRunResult> RunMultiClientSum(
     const std::vector<const PaillierPrivateKey*>& keys, const Database& db,
     const SelectionVector& selection, const MultiClientConfig& config,
     RandomSource& rng);

@@ -50,7 +50,7 @@ struct PackedSumResult {
 /// Every selection must have db.size() entries, and B * slot_bits must
 /// fit in the key's plaintext space (n^s). The queries stay as hidden
 /// from the server as a single query's index vector.
-Result<PackedSumResult> RunPackedMultiSum(
+[[nodiscard]] Result<PackedSumResult> RunPackedMultiSum(
     const DjPrivateKey& key, const Database& db,
     const std::vector<SelectionVector>& queries,
     const PackedSumConfig& config, RandomSource& rng);

@@ -33,7 +33,7 @@ enum class StatisticKind : uint8_t {
 };
 
 /// Validates a wire-decoded statistic kind.
-Result<StatisticKind> StatisticKindFromWire(uint8_t wire);
+[[nodiscard]] Result<StatisticKind> StatisticKindFromWire(uint8_t wire);
 
 /// Human-readable kind name, for diagnostics.
 const char* StatisticKindName(StatisticKind kind);
@@ -102,16 +102,16 @@ struct CompiledQuery {
 /// path used by statistics.cc and the test harnesses; names in the spec
 /// are ignored). `second` is required exactly when kind == kProduct and
 /// must match the primary column's size.
-Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
-                                   const Database* primary,
-                                   const Database* second = nullptr);
+[[nodiscard]] Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
+                                                 const Database* primary,
+                                                 const Database* second = nullptr);
 
 /// Compiles `spec` by resolving its column names in `registry` (the v2
 /// session path). An empty primary name resolves to `default_column`
 /// when provided.
-Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
-                                   const ColumnRegistry& registry,
-                                   const Database* default_column = nullptr);
+[[nodiscard]] Result<CompiledQuery> CompileQuery(const QuerySpec& spec,
+                                                 const ColumnRegistry& registry,
+                                                 const Database* default_column = nullptr);
 
 }  // namespace ppstats
 

@@ -61,7 +61,7 @@ struct RunMetrics {
   /// Total elapsed time with batching/pipeline parallelism (Sec 3.2):
   /// chunked encrypt/transfer/compute overlap, then the response returns
   /// and is decrypted.
-  Result<double> PipelinedSeconds(const ExecutionEnvironment& env) const;
+  [[nodiscard]] Result<double> PipelinedSeconds(const ExecutionEnvironment& env) const;
 
   RunMetrics& Merge(const RunMetrics& other);
 };
@@ -73,7 +73,7 @@ struct SumRunResult {
 };
 
 /// Drives `client` and `server` to completion.
-Result<SumRunResult> RunSelectedSum(SumClient& client, SumServer& server);
+[[nodiscard]] Result<SumRunResult> RunSelectedSum(SumClient& client, SumServer& server);
 
 }  // namespace ppstats
 

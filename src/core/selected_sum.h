@@ -69,12 +69,12 @@ class SumClient {
 
   /// Encrypts and encodes the next chunk of the index vector.
   /// Fails with FailedPrecondition once RequestsDone().
-  Result<Bytes> NextRequest();
+  [[nodiscard]] Result<Bytes> NextRequest();
 
   /// Decrypts the server's response; returns the (possibly blinded) sum.
   /// A SumClient runs one protocol execution: once a response has been
   /// handled, further calls fail with FailedPrecondition.
-  Result<BigInt> HandleResponse(BytesView frame);
+  [[nodiscard]] Result<BigInt> HandleResponse(BytesView frame);
 
   /// Number of request frames this client will send in total.
   size_t TotalChunks() const;
@@ -119,7 +119,7 @@ class SumServer {
 
   /// Consumes one request frame. Returns the encoded response frame once
   /// the last expected row has been processed, std::nullopt before that.
-  Result<std::optional<Bytes>> HandleRequest(BytesView frame);
+  [[nodiscard]] Result<std::optional<Bytes>> HandleRequest(BytesView frame);
 
   /// True once the response has been produced.
   bool Finished() const { return finished_; }

@@ -63,7 +63,7 @@ Status ServiceHost::Start(const std::string& socket_path) {
       SocketListener::Bind(socket_path, options_.accept_backlog));
   listener_.emplace(std::move(listener));
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = false;
     draining_ = false;
     // Per-run state: a restarted host must not report the previous
@@ -84,18 +84,18 @@ Status ServiceHost::Start(const std::string& socket_path) {
 void ServiceHost::Stop() {
   const bool was_running = running();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  dumper_cv_.notify_all();
+  dumper_cv_.NotifyAll();
   if (dumper_thread_.joinable()) dumper_thread_.join();
   if (listener_.has_value()) listener_->Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     draining_ = true;  // no new sessions can appear past this point
   }
-  reaper_cv_.notify_all();
+  reaper_cv_.NotifyAll();
   if (reaper_thread_.joinable()) reaper_thread_.join();
   listener_.reset();
   // Final snapshot, after every session has drained, so a consumer that
@@ -104,7 +104,7 @@ void ServiceHost::Stop() {
 }
 
 size_t ServiceHost::active_sessions() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return sessions_.size();
 }
 
@@ -140,15 +140,20 @@ void ServiceHost::WriteStatsJson() const {
 }
 
 void ServiceHost::DumperLoop() {
-  std::chrono::milliseconds interval(options_.stats_interval_ms);
-  std::unique_lock<std::mutex> lock(mu_);
+  const std::chrono::milliseconds interval(options_.stats_interval_ms);
   for (;;) {
-    if (dumper_cv_.wait_for(lock, interval, [this] { return stopping_; })) {
-      return;  // Stop() writes the final snapshot after draining
+    {
+      MutexLock lock(mu_);
+      const auto deadline = std::chrono::steady_clock::now() + interval;
+      bool timed_out = false;
+      while (!stopping_ && !timed_out) {
+        timed_out = !dumper_cv_.WaitUntil(mu_, deadline);
+      }
+      if (stopping_) {
+        return;  // Stop() writes the final snapshot after draining
+      }
     }
-    lock.unlock();
     WriteStatsJson();
-    lock.lock();
   }
 }
 
@@ -163,7 +168,7 @@ void ServiceHost::AcceptLoop() {
       return listener_->Accept();
     }();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (stopping_) return;
     }
     if (!channel.ok()) {
@@ -184,59 +189,67 @@ void ServiceHost::AcceptLoop() {
       accepted->set_write_deadline(deadline);
     }
 
-    std::unique_lock<std::mutex> lock(mu_);
-    if (stopping_) return;
-    if (options_.max_sessions > 0 &&
-        sessions_.size() >= options_.max_sessions) {
-      sessions_rejected_->Increment();
-      lock.unlock();
+    bool reject = false;
+    {
+      MutexLock lock(mu_);
+      if (stopping_) return;
+      if (options_.max_sessions > 0 &&
+          sessions_.size() >= options_.max_sessions) {
+        sessions_rejected_->Increment();
+        reject = true;
+      } else {
+        sessions_accepted_->Increment();
+        uint64_t id = next_session_id_++;
+        // The session thread's last act takes mu_, so it cannot outrun
+        // this emplace: its handle is in sessions_ before it can move it
+        // out.
+        sessions_.emplace(
+            id, std::thread([this, id, ch = std::move(accepted)]() mutable {
+              // Attribute every span recorded on this thread (handshake,
+              // fold, ...) to the 1-based session id.
+              obs::ScopedSpanContext span_context({id + 1, 0});
+              if (options_.fault_injection.has_value()) {
+                ChaCha20Rng fault_rng(options_.fault_seed + id);
+                FaultInjectingChannel faulty(std::move(ch),
+                                             *options_.fault_injection,
+                                             fault_rng);
+                ServeOne(faulty);
+              } else {
+                ServeOne(*ch);
+              }
+              ch.reset();  // close the transport before the thread is reaped
+              MutexLock lock(mu_);
+              auto it = sessions_.find(id);
+              finished_.push_back(std::move(it->second));
+              sessions_.erase(it);
+              active_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+              reaper_cv_.NotifyAll();
+            }));
+        active_gauge_->Set(static_cast<int64_t>(sessions_.size()));
+      }
+    }
+    if (reject) {
       RejectOverCapacity(std::move(accepted));
       continue;
     }
-    sessions_accepted_->Increment();
-    uint64_t id = next_session_id_++;
-    // The session thread's last act takes mu_, so it cannot outrun this
-    // emplace: its handle is in sessions_ before it can move it out.
-    sessions_.emplace(
-        id, std::thread([this, id, ch = std::move(accepted)]() mutable {
-          // Attribute every span recorded on this thread (handshake,
-          // fold, ...) to the 1-based session id.
-          obs::ScopedSpanContext span_context({id + 1, 0});
-          if (options_.fault_injection.has_value()) {
-            ChaCha20Rng fault_rng(options_.fault_seed + id);
-            FaultInjectingChannel faulty(std::move(ch),
-                                         *options_.fault_injection,
-                                         fault_rng);
-            ServeOne(faulty);
-          } else {
-            ServeOne(*ch);
-          }
-          ch.reset();  // close the transport before the thread is reaped
-          std::lock_guard<std::mutex> lock(mu_);
-          auto it = sessions_.find(id);
-          finished_.push_back(std::move(it->second));
-          sessions_.erase(it);
-          active_gauge_->Set(static_cast<int64_t>(sessions_.size()));
-          reaper_cv_.notify_all();
-        }));
-    active_gauge_->Set(static_cast<int64_t>(sessions_.size()));
   }
 }
 
 void ServiceHost::ReaperLoop() {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    reaper_cv_.wait(lock, [this] {
-      return !finished_.empty() || (draining_ && sessions_.empty());
-    });
-    while (!finished_.empty()) {
-      std::thread done = std::move(finished_.back());
+    std::thread done;
+    {
+      MutexLock lock(mu_);
+      while (finished_.empty() && !(draining_ && sessions_.empty())) {
+        reaper_cv_.Wait(mu_);
+      }
+      if (finished_.empty()) {
+        return;  // draining and no live or finished sessions remain
+      }
+      done = std::move(finished_.back());
       finished_.pop_back();
-      lock.unlock();
-      done.join();  // the thread already left ServeOne; this is prompt
-      lock.lock();
     }
-    if (draining_ && sessions_.empty() && finished_.empty()) return;
+    done.join();  // the thread already left ServeOne; this is prompt
   }
 }
 
@@ -247,11 +260,11 @@ void ServiceHost::RejectOverCapacity(std::unique_ptr<Channel> channel) {
   // Drain the ClientHello (best effort) before answering, so the client
   // never races its hello against our close: it always gets to read the
   // Error frame instead of dying on a broken pipe mid-send.
-  (void)channel->Receive();
+  channel->Receive().IgnoreError();
   ErrorMessage msg;
   msg.code = static_cast<uint8_t>(StatusCode::kResourceExhausted);
   msg.reason = "server at capacity; retry later";
-  (void)channel->Send(msg.Encode());  // best effort; then close
+  channel->Send(msg.Encode()).IgnoreError();  // best effort; then close
 }
 
 void ServiceHost::ServeOne(Channel& channel) {
@@ -273,7 +286,7 @@ void ServiceHost::ServeOne(Channel& channel) {
     ErrorMessage msg;
     msg.code = static_cast<uint8_t>(StatusCode::kDeadlineExceeded);
     msg.reason = "session i/o deadline exceeded";
-    (void)channel.Send(msg.Encode());
+    channel.Send(msg.Encode()).IgnoreError();
   }
 
   if (status.ok()) {

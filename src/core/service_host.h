@@ -38,15 +38,15 @@
 #define PPSTATS_CORE_SERVICE_HOST_H_
 
 #include <chrono>
-#include <condition_variable>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "core/session.h"
 #include "db/column_registry.h"
 #include "net/fault_injection.h"
@@ -132,19 +132,19 @@ class ServiceHost {
   /// Binds `socket_path` and starts accepting clients in the background.
   /// Resets per-run state (stats, key cache), so Stop() + Start() serves
   /// a fresh run — including on the same path.
-  Status Start(const std::string& socket_path);
+  [[nodiscard]] Status Start(const std::string& socket_path);
 
   /// Unblocks the accept loop and drains: sessions already in flight run
   /// to completion (bounded by io_deadline_ms when set), their threads
   /// are reaped, and every host thread is joined. Idempotent.
-  void Stop();
+  void Stop() PPSTATS_EXCLUDES(mu_);
 
   bool running() const { return accept_thread_.joinable(); }
 
   /// Sessions currently being served (live session threads). The reaper
   /// keeps this equal to the number of connected clients, so a test can
   /// assert it returns to zero between clients.
-  size_t active_sessions() const;
+  size_t active_sessions() const PPSTATS_EXCLUDES(mu_);
 
   /// Live, race-free view of the host's counters: safe to call at any
   /// moment, including while sessions are mid-query. A query whose
@@ -163,9 +163,9 @@ class ServiceHost {
   obs::MetricRegistry& metric_registry() { return metric_registry_; }
 
  private:
-  void AcceptLoop();
-  void ReaperLoop();
-  void DumperLoop();
+  void AcceptLoop() PPSTATS_EXCLUDES(mu_);
+  void ReaperLoop() PPSTATS_EXCLUDES(mu_);
+  void DumperLoop() PPSTATS_EXCLUDES(mu_);
   void ServeOne(Channel& channel);
   void RejectOverCapacity(std::unique_ptr<Channel> channel);
   void WriteStatsJson() const;
@@ -192,14 +192,17 @@ class ServiceHost {
   obs::Counter* compute_ns_;
   obs::Gauge* active_gauge_;
 
-  mutable std::mutex mu_;  // guards everything below
-  std::map<uint64_t, std::thread> sessions_;  // live, keyed by session id
-  std::vector<std::thread> finished_;         // done, awaiting join
-  std::condition_variable reaper_cv_;
-  std::condition_variable dumper_cv_;
-  uint64_t next_session_id_ = 0;
-  bool stopping_ = false;
-  bool draining_ = false;  // accept loop gone; reaper exits when idle
+  mutable Mutex mu_;
+  /// Live session threads, keyed by session id.
+  std::map<uint64_t, std::thread> sessions_ PPSTATS_GUARDED_BY(mu_);
+  /// Done session threads, awaiting join by the reaper.
+  std::vector<std::thread> finished_ PPSTATS_GUARDED_BY(mu_);
+  CondVar reaper_cv_;
+  CondVar dumper_cv_;
+  uint64_t next_session_id_ PPSTATS_GUARDED_BY(mu_) = 0;
+  bool stopping_ PPSTATS_GUARDED_BY(mu_) = false;
+  /// Accept loop gone; the reaper exits when idle.
+  bool draining_ PPSTATS_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace ppstats

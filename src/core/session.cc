@@ -31,7 +31,7 @@ Status AbortWith(Channel& channel, Status status) {
   ErrorMessage msg;
   msg.code = static_cast<uint8_t>(status.code());
   msg.reason = status.message();
-  (void)channel.Send(msg.Encode());  // best effort; the session is dead
+  channel.Send(msg.Encode()).IgnoreError();  // best effort; the session is dead
   return status;
 }
 

@@ -75,7 +75,7 @@ class ClientSession {
   /// Runs the full session; blocks on the channel. Returns the decrypted
   /// sum, or the peer's error translated into a Status. A ClientSession
   /// is single-shot: a second Run fails with FailedPrecondition.
-  Result<BigInt> Run(Channel& channel);
+  [[nodiscard]] Result<BigInt> Run(Channel& channel);
 
   /// Like Run, but dials its own channel via `dial` and retries the
   /// whole session (fresh channel each attempt, backoff + jitter drawn
@@ -83,14 +83,14 @@ class ClientSession {
   /// IsRetryableStatus. Safe because a v1 query is a pure read: the
   /// server keeps no cross-session state, so replaying it is
   /// idempotent. Still single-shot overall.
-  Result<BigInt> RunWithRetry(const ChannelFactory& dial,
-                              const RetryOptions& retry);
+  [[nodiscard]] Result<BigInt> RunWithRetry(const ChannelFactory& dial,
+                                            const RetryOptions& retry);
 
   /// Per-attempt counters for the last RunWithRetry.
   const RetryMetrics& retry_metrics() const { return retry_metrics_; }
 
  private:
-  Result<BigInt> RunOnce(Channel& channel);
+  [[nodiscard]] Result<BigInt> RunOnce(Channel& channel);
 
   const PaillierPrivateKey* key_;
   SelectionVector selection_;
@@ -110,15 +110,15 @@ class QuerySession {
 
   /// Performs the hello exchange on `channel`, which must outlive the
   /// session. Single-shot.
-  Status Connect(Channel& channel);
+  [[nodiscard]] Status Connect(Channel& channel);
 
   /// Dials via `dial` and performs the hello exchange, retrying with
   /// exponential backoff + jitter on retryable failures (dead transport,
   /// over-capacity rejection — see IsRetryableStatus). The hello
   /// exchange commits no server state, so redialing it is always safe.
   /// On success the session owns the dialed channel.
-  Status ConnectWithRetry(const ChannelFactory& dial,
-                          const RetryOptions& retry);
+  [[nodiscard]] Status ConnectWithRetry(const ChannelFactory& dial,
+                                        const RetryOptions& retry);
 
   /// Per-attempt counters for the last ConnectWithRetry.
   const RetryMetrics& retry_metrics() const { return retry_metrics_; }
@@ -134,12 +134,12 @@ class QuerySession {
   /// column's size (the server announces it via QueryAccept). On a v1
   /// server only a single plain-sum query over the default column is
   /// possible; anything else fails with FailedPrecondition.
-  Result<BigInt> RunQuery(const QuerySpec& spec,
-                          const SelectionVector& selection);
-  Result<BigInt> RunWeighted(const QuerySpec& spec, WeightVector weights);
+  [[nodiscard]] Result<BigInt> RunQuery(const QuerySpec& spec,
+                                        const SelectionVector& selection);
+  [[nodiscard]] Result<BigInt> RunWeighted(const QuerySpec& spec, WeightVector weights);
 
   /// Ends the session cleanly (v2: sends Goodbye). No queries may follow.
-  Status Finish();
+  [[nodiscard]] Status Finish();
 
  private:
   const PaillierPrivateKey* key_;
@@ -204,16 +204,16 @@ class ServerSession {
 
   /// Handles exactly one client session on the channel. Protocol
   /// failures are reported to the peer (Error frame) and returned.
-  Status Serve(Channel& channel);
+  [[nodiscard]] Status Serve(Channel& channel);
 
   /// Counters for the served session (valid after Serve returns).
   const SessionMetrics& metrics() const { return metrics_; }
 
  private:
-  Status ServeV1(Channel& channel, const PaillierPublicKey& pub);
-  Status ServeV2(Channel& channel, const PaillierPublicKey& pub);
-  Status RunServerQuery(Channel& channel, const PaillierPublicKey& pub,
-                        const CompiledQuery& query);
+  [[nodiscard]] Status ServeV1(Channel& channel, const PaillierPublicKey& pub);
+  [[nodiscard]] Status ServeV2(Channel& channel, const PaillierPublicKey& pub);
+  [[nodiscard]] Status RunServerQuery(Channel& channel, const PaillierPublicKey& pub,
+                                      const CompiledQuery& query);
 
   const ColumnRegistry* registry_ = nullptr;
   ServerSessionOptions options_;

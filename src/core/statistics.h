@@ -46,39 +46,39 @@ struct PrivateWeightedAverageResult {
 };
 
 /// Privately computes the sum of the selected rows of `db`.
-Result<PrivateSumResult> PrivateSelectedSum(const PaillierPrivateKey& key,
-                                            const Database& db,
-                                            const SelectionVector& selection,
-                                            RandomSource& rng,
-                                            SumClientOptions options = {});
+[[nodiscard]] Result<PrivateSumResult> PrivateSelectedSum(const PaillierPrivateKey& key,
+                                                          const Database& db,
+                                                          const SelectionVector& selection,
+                                                          RandomSource& rng,
+                                                          SumClientOptions options = {});
 
 /// Privately computes the weighted sum sum_i w_i x_i.
-Result<PrivateSumResult> PrivateWeightedSum(const PaillierPrivateKey& key,
-                                            const Database& db,
-                                            const WeightVector& weights,
-                                            RandomSource& rng,
-                                            SumClientOptions options = {});
+[[nodiscard]] Result<PrivateSumResult> PrivateWeightedSum(const PaillierPrivateKey& key,
+                                                          const Database& db,
+                                                          const WeightVector& weights,
+                                                          RandomSource& rng,
+                                                          SumClientOptions options = {});
 
 /// Privately computes the mean of the selected rows. Fails on an empty
 /// selection.
-Result<PrivateMeanResult> PrivateMean(const PaillierPrivateKey& key,
-                                      const Database& db,
-                                      const SelectionVector& selection,
-                                      RandomSource& rng,
-                                      SumClientOptions options = {});
+[[nodiscard]] Result<PrivateMeanResult> PrivateMean(const PaillierPrivateKey& key,
+                                                    const Database& db,
+                                                    const SelectionVector& selection,
+                                                    RandomSource& rng,
+                                                    SumClientOptions options = {});
 
 /// Privately computes mean and population variance of the selected rows
 /// with two protocol executions (sum and sum of squares). Fails on an
 /// empty selection.
-Result<PrivateVarianceResult> PrivateVariance(const PaillierPrivateKey& key,
-                                              const Database& db,
-                                              const SelectionVector& selection,
-                                              RandomSource& rng,
-                                              SumClientOptions options = {});
+[[nodiscard]] Result<PrivateVarianceResult> PrivateVariance(const PaillierPrivateKey& key,
+                                                            const Database& db,
+                                                            const SelectionVector& selection,
+                                                            RandomSource& rng,
+                                                            SumClientOptions options = {});
 
 /// Privately computes sum_i w_i x_i / sum_i w_i. Fails when all weights
 /// are zero.
-Result<PrivateWeightedAverageResult> PrivateWeightedAverage(
+[[nodiscard]] Result<PrivateWeightedAverageResult> PrivateWeightedAverage(
     const PaillierPrivateKey& key, const Database& db,
     const WeightVector& weights, RandomSource& rng,
     SumClientOptions options = {});
@@ -99,7 +99,7 @@ struct PrivateCovarianceResult {
 /// rows, with three protocol executions (sum of x, sum of y, sum of
 /// x*y; the products are a local server-side transform). Both columns
 /// must have the database's size. Fails on an empty selection.
-Result<PrivateCovarianceResult> PrivateCovariance(
+[[nodiscard]] Result<PrivateCovarianceResult> PrivateCovariance(
     const PaillierPrivateKey& key, const Database& x, const Database& y,
     const SelectionVector& selection, RandomSource& rng,
     SumClientOptions options = {});
@@ -117,7 +117,7 @@ struct PrivateCorrelationResult {
 /// Privately computes the Pearson correlation coefficient
 /// cov(X,Y) / (sigma_X * sigma_Y) over the selected rows (five protocol
 /// executions). Fails on an empty selection.
-Result<PrivateCorrelationResult> PrivateCorrelation(
+[[nodiscard]] Result<PrivateCorrelationResult> PrivateCorrelation(
     const PaillierPrivateKey& key, const Database& x, const Database& y,
     const SelectionVector& selection, RandomSource& rng,
     SumClientOptions options = {});

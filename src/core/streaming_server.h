@@ -26,19 +26,19 @@ namespace ppstats {
 
 /// Writes a database as the binary column file the streaming server
 /// reads: u32 row count, then row values as little-endian u32.
-Status WriteColumnFile(const Database& db, const std::string& path);
+[[nodiscard]] Status WriteColumnFile(const Database& db, const std::string& path);
 
 /// Selected-sum server streaming its column from disk chunk by chunk.
 class StreamingSumServer {
  public:
   /// Opens `path` (see WriteColumnFile). Fails if the file is missing
   /// or malformed.
-  static Result<StreamingSumServer> Open(PaillierPublicKey pub,
-                                         const std::string& path);
+  [[nodiscard]] static Result<StreamingSumServer> Open(PaillierPublicKey pub,
+                                                       const std::string& path);
 
   /// Same contract as SumServer::HandleRequest: consumes one IndexBatch,
   /// returns the encoded response after the final row.
-  Result<std::optional<Bytes>> HandleRequest(BytesView frame);
+  [[nodiscard]] Result<std::optional<Bytes>> HandleRequest(BytesView frame);
 
   bool Finished() const { return finished_; }
   size_t row_count() const { return engine_.row_count(); }

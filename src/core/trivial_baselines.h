@@ -31,13 +31,13 @@ struct BaselineRunResult {
 
 /// Client sends selected indices in the clear; server sums. Leaks the
 /// selection to the server.
-Result<BaselineRunResult> RunNonPrivateIndexSum(const Database& db,
-                                                const SelectionVector& selection);
+[[nodiscard]] Result<BaselineRunResult> RunNonPrivateIndexSum(const Database& db,
+                                                              const SelectionVector& selection);
 
 /// Server ships the entire database; client sums locally. Leaks the
 /// database to the client.
-Result<BaselineRunResult> RunFullTransferSum(const Database& db,
-                                             const SelectionVector& selection);
+[[nodiscard]] Result<BaselineRunResult> RunFullTransferSum(const Database& db,
+                                                           const SelectionVector& selection);
 
 }  // namespace ppstats
 

@@ -72,12 +72,12 @@ class DjPrivateKey {
   DjPrivateKey() = default;
 
   /// Derives a Damgård–Jurik key with parameter `s` from Paillier primes.
-  static Result<DjPrivateKey> FromPrimes(const BigInt& p, const BigInt& q,
-                                         size_t s);
+  [[nodiscard]] static Result<DjPrivateKey> FromPrimes(const BigInt& p, const BigInt& q,
+                                                       size_t s);
 
   /// Derives one from an existing Paillier private key (same n).
-  static Result<DjPrivateKey> FromPaillier(const PaillierPrivateKey& key,
-                                           size_t s);
+  [[nodiscard]] static Result<DjPrivateKey> FromPaillier(const PaillierPrivateKey& key,
+                                                         size_t s);
 
   const DjPublicKey& public_key() const { return pub_; }
   const BigInt& lambda() const { return lambda_; }
@@ -99,16 +99,16 @@ struct DjKeyPair {
 class DamgardJurik {
  public:
   /// Generates a fresh key: modulus of `modulus_bits`, parameter `s`.
-  static Result<DjKeyPair> GenerateKeyPair(size_t modulus_bits, size_t s,
-                                           RandomSource& rng);
+  [[nodiscard]] static Result<DjKeyPair> GenerateKeyPair(size_t modulus_bits, size_t s,
+                                                         RandomSource& rng);
 
   /// E(m) for m in [0, n^s).
-  static Result<DjCiphertext> Encrypt(const DjPublicKey& pub, const BigInt& m,
-                                      RandomSource& rng);
+  [[nodiscard]] static Result<DjCiphertext> Encrypt(const DjPublicKey& pub, const BigInt& m,
+                                                    RandomSource& rng);
 
   /// Decrypts; fails on out-of-range ciphertexts.
-  static Result<BigInt> Decrypt(const DjPrivateKey& priv,
-                                const DjCiphertext& ct);
+  [[nodiscard]] static Result<BigInt> Decrypt(const DjPrivateKey& priv,
+                                              const DjCiphertext& ct);
 
   /// E(a + b mod n^s).
   static DjCiphertext Add(const DjPublicKey& pub, const DjCiphertext& a,
@@ -130,9 +130,9 @@ class DamgardJurik {
   /// Packs `values` (each < 2^slot_bits) into one plaintext, little-end
   /// first: sum_i values[i] * 2^(i * slot_bits). Fails if the packed
   /// plaintext would not fit in n^s.
-  static Result<BigInt> Pack(const DjPublicKey& pub,
-                             const std::vector<uint64_t>& values,
-                             size_t slot_bits);
+  [[nodiscard]] static Result<BigInt> Pack(const DjPublicKey& pub,
+                                           const std::vector<uint64_t>& values,
+                                           size_t slot_bits);
 
   /// Splits a packed plaintext back into `count` slots.
   static std::vector<uint64_t> Unpack(const BigInt& packed, size_t count,

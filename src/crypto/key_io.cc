@@ -84,7 +84,7 @@ Result<PaillierPrivateKey> DeserializePrivateKey(BytesView bytes) {
 Result<PaillierPublicKey> PublicKeyCache::Deserialize(BytesView blob) {
   Bytes key_bytes(blob.begin(), blob.end());
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(key_bytes);
     if (it != cache_.end()) return it->second;
   }
@@ -92,19 +92,19 @@ Result<PaillierPublicKey> PublicKeyCache::Deserialize(BytesView blob) {
   // expensive part, and concurrent sessions must not serialize on it.
   PPSTATS_ASSIGN_OR_RETURN(PaillierPublicKey key,
                            DeserializePublicKey(blob));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto [it, inserted] = cache_.emplace(std::move(key_bytes), std::move(key));
   (void)inserted;  // a racing first-sight insert wins; both are identical
   return it->second;
 }
 
 size_t PublicKeyCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return cache_.size();
 }
 
 void PublicKeyCache::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   cache_.clear();
 }
 

@@ -7,8 +7,9 @@
 #define PPSTATS_CRYPTO_KEY_IO_H_
 
 #include <map>
-#include <mutex>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "crypto/paillier.h"
 
 namespace ppstats {
@@ -18,7 +19,7 @@ Bytes SerializePublicKey(const PaillierPublicKey& key);
 
 /// Decodes a public key; validates version, field consistency, and that
 /// n has the claimed bit length.
-Result<PaillierPublicKey> DeserializePublicKey(BytesView bytes);
+[[nodiscard]] Result<PaillierPublicKey> DeserializePublicKey(BytesView bytes);
 
 /// Encodes a private key (version, modulus bits, p, q). Handle with the
 /// care the name implies.
@@ -26,7 +27,7 @@ Bytes SerializePrivateKey(const PaillierPrivateKey& key);
 
 /// Decodes and revalidates a private key (rebuilds all derived values;
 /// fails if p, q are not a valid Paillier factorization).
-Result<PaillierPrivateKey> DeserializePrivateKey(BytesView bytes);
+[[nodiscard]] Result<PaillierPrivateKey> DeserializePrivateKey(BytesView bytes);
 
 /// Thread-safe memoization of DeserializePublicKey, keyed by the key
 /// blob. Deserializing a public key builds its Montgomery context for
@@ -37,7 +38,7 @@ class PublicKeyCache {
  public:
   /// Returns the cached key for `blob`, deserializing (and caching) it
   /// on first sight. Invalid blobs are not cached.
-  Result<PaillierPublicKey> Deserialize(BytesView blob);
+  [[nodiscard]] Result<PaillierPublicKey> Deserialize(BytesView blob);
 
   size_t size() const;
 
@@ -45,8 +46,8 @@ class PublicKeyCache {
   void Clear();
 
  private:
-  mutable std::mutex mu_;
-  std::map<Bytes, PaillierPublicKey> cache_;
+  mutable Mutex mu_;
+  std::map<Bytes, PaillierPublicKey> cache_ PPSTATS_GUARDED_BY(mu_);
 };
 
 }  // namespace ppstats

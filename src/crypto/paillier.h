@@ -72,9 +72,9 @@ class PaillierPrivateKey {
 
   /// Builds a private key from the prime factorization of n. Fails if
   /// p == q, p or q is even, or gcd(n, (p-1)(q-1)) != 1.
-  static Result<PaillierPrivateKey> FromPrimes(const BigInt& p,
-                                               const BigInt& q,
-                                               size_t modulus_bits);
+  [[nodiscard]] static Result<PaillierPrivateKey> FromPrimes(const BigInt& p,
+                                                             const BigInt& q,
+                                                             size_t modulus_bits);
 
   const PaillierPublicKey& public_key() const { return pub_; }
   const BigInt& p() const { return p_; }
@@ -112,8 +112,8 @@ class Paillier {
   /// Generates a key pair with an n of exactly `modulus_bits` bits
   /// (two random primes of modulus_bits/2 bits each). modulus_bits must
   /// be even and >= 16.
-  static Result<PaillierKeyPair> GenerateKeyPair(size_t modulus_bits,
-                                                 RandomSource& rng);
+  [[nodiscard]] static Result<PaillierKeyPair> GenerateKeyPair(size_t modulus_bits,
+                                                               RandomSource& rng);
 
   /// The expensive precomputable part of encryption: r^n mod n^2 for a
   /// fresh random unit r.
@@ -121,26 +121,26 @@ class Paillier {
                                      RandomSource& rng);
 
   /// E(m; r) for fresh randomness. Fails if m is outside [0, n).
-  static Result<PaillierCiphertext> Encrypt(const PaillierPublicKey& pub,
-                                            const BigInt& m,
-                                            RandomSource& rng);
+  [[nodiscard]] static Result<PaillierCiphertext> Encrypt(const PaillierPublicKey& pub,
+                                                          const BigInt& m,
+                                                          RandomSource& rng);
 
   /// E(m) using a precomputed factor r^n mod n^2 (see
   /// GenerateRandomFactor); the online cost is two modular
   /// multiplications.
-  static Result<PaillierCiphertext> EncryptWithFactor(
+  [[nodiscard]] static Result<PaillierCiphertext> EncryptWithFactor(
       const PaillierPublicKey& pub, const BigInt& m,
       const BigInt& r_to_n);
 
   /// Decrypts via CRT (the default, fast path). Fails if the ciphertext
   /// is out of range or not a unit mod n^2.
-  static Result<BigInt> Decrypt(const PaillierPrivateKey& priv,
-                                const PaillierCiphertext& ct);
+  [[nodiscard]] static Result<BigInt> Decrypt(const PaillierPrivateKey& priv,
+                                              const PaillierCiphertext& ct);
 
   /// Direct decryption m = L(c^lambda mod n^2) * mu mod n; kept for the
   /// CRT-vs-direct ablation and as a cross-check.
-  static Result<BigInt> DecryptDirect(const PaillierPrivateKey& priv,
-                                      const PaillierCiphertext& ct);
+  [[nodiscard]] static Result<BigInt> DecryptDirect(const PaillierPrivateKey& priv,
+                                                    const PaillierCiphertext& ct);
 
   /// Homomorphic addition: E(a + b mod n).
   static PaillierCiphertext Add(const PaillierPublicKey& pub,
@@ -149,9 +149,9 @@ class Paillier {
 
   /// Homomorphic addition of a plaintext constant: E(a + k mod n), at the
   /// cost of two modular multiplications (no exponentiation).
-  static Result<PaillierCiphertext> AddPlaintext(const PaillierPublicKey& pub,
-                                                 const PaillierCiphertext& a,
-                                                 const BigInt& k);
+  [[nodiscard]] static Result<PaillierCiphertext> AddPlaintext(const PaillierPublicKey& pub,
+                                                               const PaillierCiphertext& a,
+                                                               const BigInt& k);
 
   /// Homomorphic scalar multiplication: E(a * k mod n) = a^k mod n^2.
   /// This is the server-side operation (k is a database value).
@@ -178,7 +178,7 @@ class Paillier {
                                    const PaillierCiphertext& ct);
 
   /// Parses and validates a ciphertext (must decode to a value < n^2).
-  static Result<PaillierCiphertext> DeserializeCiphertext(
+  [[nodiscard]] static Result<PaillierCiphertext> DeserializeCiphertext(
       const PaillierPublicKey& pub, BytesView bytes);
 };
 

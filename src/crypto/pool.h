@@ -29,11 +29,11 @@ class RandomnessPool {
   void Generate(size_t count, RandomSource& rng);
 
   /// Removes and returns one factor; ResourceExhausted when empty.
-  Result<BigInt> Take();
+  [[nodiscard]] Result<BigInt> Take();
 
   /// Encrypts using a pooled factor; falls back to fresh randomness from
   /// `rng` when the pool is empty (counted in misses()).
-  Result<PaillierCiphertext> Encrypt(const BigInt& m, RandomSource& rng);
+  [[nodiscard]] Result<PaillierCiphertext> Encrypt(const BigInt& m, RandomSource& rng);
 
   size_t available() const { return factors_.size(); }
   size_t misses() const { return misses_; }
@@ -52,13 +52,13 @@ class EncryptionPool {
 
   /// Precomputes `count` fresh encryptions of `plaintext` (offline).
   /// Fails if the plaintext is outside [0, n).
-  Status Generate(const BigInt& plaintext, size_t count, RandomSource& rng);
+  [[nodiscard]] Status Generate(const BigInt& plaintext, size_t count, RandomSource& rng);
 
   /// Removes and returns one encryption of `plaintext`; falls back to an
   /// online encryption from `rng` when none is pooled (counted in
   /// misses()).
-  Result<PaillierCiphertext> Take(const BigInt& plaintext,
-                                  RandomSource& rng);
+  [[nodiscard]] Result<PaillierCiphertext> Take(const BigInt& plaintext,
+                                                RandomSource& rng);
 
   size_t available(const BigInt& plaintext) const;
   size_t misses() const { return misses_; }

@@ -8,7 +8,6 @@ Status ColumnRegistry::Register(Database db) {
   }
   std::string name = db.name();
   auto [it, inserted] = columns_.emplace(std::move(name), std::move(db));
-  (void)it;
   if (!inserted) {
     return Status::InvalidArgument("column already registered: " +
                                    it->first);

@@ -23,7 +23,7 @@ class ColumnRegistry {
  public:
   /// Adds a column under its own name. Fails on an empty name or a
   /// duplicate registration.
-  Status Register(Database db);
+  [[nodiscard]] Status Register(Database db);
 
   /// Looks a column up by name; nullptr when absent. The pointer stays
   /// valid until the registry is destroyed.

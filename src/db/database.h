@@ -37,13 +37,13 @@ class Database {
 
   /// Plaintext selected sum — the ground truth the private protocols are
   /// checked against. Fails if the selection length mismatches.
-  Result<uint64_t> SelectedSum(const SelectionVector& selection) const;
+  [[nodiscard]] Result<uint64_t> SelectedSum(const SelectionVector& selection) const;
 
   /// Plaintext weighted sum: sum_i w_i * x_i.
-  Result<uint64_t> WeightedSum(const WeightVector& weights) const;
+  [[nodiscard]] Result<uint64_t> WeightedSum(const WeightVector& weights) const;
 
   /// Plaintext sum of squares over the selection (for variance).
-  Result<uint64_t> SelectedSumOfSquares(const SelectionVector& selection) const;
+  [[nodiscard]] Result<uint64_t> SelectedSumOfSquares(const SelectionVector& selection) const;
 
  private:
   std::string name_;

@@ -14,15 +14,15 @@ namespace ppstats {
 /// Loads a database from a text file: one unsigned 32-bit value per
 /// line; blank lines and lines starting with '#' are skipped. The
 /// database name is the file path.
-Result<Database> LoadDatabaseFromFile(const std::string& path);
+[[nodiscard]] Result<Database> LoadDatabaseFromFile(const std::string& path);
 
 /// Writes a database in the same format.
-Status SaveDatabaseToFile(const Database& db, const std::string& path);
+[[nodiscard]] Status SaveDatabaseToFile(const Database& db, const std::string& path);
 
 /// Parses a comma-separated index list ("3,17,42") into indices, with
 /// range validation against `limit`.
-Result<std::vector<size_t>> ParseIndexList(const std::string& text,
-                                           size_t limit);
+[[nodiscard]] Result<std::vector<size_t>> ParseIndexList(const std::string& text,
+                                                         size_t limit);
 
 }  // namespace ppstats
 

@@ -1,5 +1,10 @@
 #include "net/channel.h"
 
+#include <deque>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
 namespace ppstats {
 
 ChannelMetrics& ChannelMetrics::Get() {
@@ -21,28 +26,30 @@ namespace {
 
 // One direction of a duplex in-memory pipe.
 struct Queue {
-  std::mutex mu;
-  std::condition_variable cv;
-  std::deque<Bytes> messages;
-  bool closed = false;
+  Mutex mu;
+  CondVar cv;
+  std::deque<Bytes> messages PPSTATS_GUARDED_BY(mu);
+  bool closed PPSTATS_GUARDED_BY(mu) = false;
 
-  void Push(BytesView msg) {
+  void Push(BytesView msg) PPSTATS_EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       messages.emplace_back(msg.begin(), msg.end());
     }
-    cv.notify_one();
+    cv.NotifyOne();
   }
 
-  Result<Bytes> Pop(std::chrono::milliseconds deadline) {
-    std::unique_lock<std::mutex> lock(mu);
-    auto ready = [this] { return !messages.empty() || closed; };
+  Result<Bytes> Pop(std::chrono::milliseconds deadline) PPSTATS_EXCLUDES(mu) {
+    MutexLock lock(mu);
     if (deadline.count() > 0) {
-      if (!cv.wait_for(lock, deadline, ready)) {
-        return Status::DeadlineExceeded("receive ran past the deadline");
+      const auto until = std::chrono::steady_clock::now() + deadline;
+      while (messages.empty() && !closed) {
+        if (!cv.WaitUntil(mu, until) && messages.empty() && !closed) {
+          return Status::DeadlineExceeded("receive ran past the deadline");
+        }
       }
     } else {
-      cv.wait(lock, ready);
+      while (messages.empty() && !closed) cv.Wait(mu);
     }
     if (messages.empty()) {
       return Status::ProtocolError("peer closed the channel");
@@ -52,12 +59,17 @@ struct Queue {
     return out;
   }
 
-  void Close() {
+  bool SendClosed() PPSTATS_EXCLUDES(mu) {
+    MutexLock lock(mu);
+    return closed;
+  }
+
+  void Close() PPSTATS_EXCLUDES(mu) {
     {
-      std::lock_guard<std::mutex> lock(mu);
+      MutexLock lock(mu);
       closed = true;
     }
-    cv.notify_all();
+    cv.NotifyAll();
   }
 };
 
@@ -69,11 +81,8 @@ class PipeEndpoint : public Channel {
   ~PipeEndpoint() override { outgoing_->Close(); }
 
   Status Send(BytesView message) override {
-    {
-      std::lock_guard<std::mutex> lock(outgoing_->mu);
-      if (outgoing_->closed) {
-        return Status::ProtocolError("channel is closed");
-      }
+    if (outgoing_->SendClosed()) {
+      return Status::ProtocolError("channel is closed");
     }
     stats_.Record(message.size() + kFrameOverheadBytes);
     ChannelMetrics& metrics = ChannelMetrics::Get();

@@ -13,10 +13,10 @@
 #define PPSTATS_NET_CHANNEL_H_
 
 #include <chrono>
-#include <condition_variable>
-#include <deque>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
-#include <mutex>
+#include <utility>
 
 #include "common/bytes.h"
 #include "common/result.h"
@@ -67,10 +67,10 @@ class Channel {
   virtual ~Channel() = default;
 
   /// Sends one message to the peer.
-  virtual Status Send(BytesView message) = 0;
+  [[nodiscard]] virtual Status Send(BytesView message) = 0;
 
   /// Receives the next message (blocking for threaded channels).
-  virtual Result<Bytes> Receive() = 0;
+  [[nodiscard]] virtual Result<Bytes> Receive() = 0;
 
   /// Traffic sent from this endpoint.
   virtual TrafficStats sent() const = 0;

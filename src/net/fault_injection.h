@@ -80,8 +80,8 @@ class FaultInjectingChannel : public Channel {
   FaultInjectingChannel(std::unique_ptr<Channel> inner,
                         FaultInjectionOptions options, RandomSource& rng);
 
-  Status Send(BytesView message) override;
-  Result<Bytes> Receive() override;
+  [[nodiscard]] Status Send(BytesView message) override;
+  [[nodiscard]] Result<Bytes> Receive() override;
   TrafficStats sent() const override;
   void set_read_deadline(std::chrono::milliseconds deadline) override;
   void set_write_deadline(std::chrono::milliseconds deadline) override;

@@ -40,15 +40,15 @@ class SocketListener {
   /// Binds and listens; fails if the path is too long or bind fails.
   /// `backlog` is the kernel listen(2) queue depth — connections beyond
   /// it are refused by the kernel before accept() ever sees them.
-  static Result<SocketListener> Bind(const std::string& path,
-                                     int backlog = 16);
+  [[nodiscard]] static Result<SocketListener> Bind(const std::string& path,
+                                                   int backlog = 16);
 
   /// Blocks for the next client connection. The failure code tells the
   /// caller whether retrying makes sense: ResourceExhausted for
   /// transient fd/memory pressure (EMFILE/ENFILE/ENOBUFS/ENOMEM — back
   /// off and retry), FailedPrecondition once the listener is shut down.
   /// Per-connection aborts (ECONNABORTED) are retried internally.
-  Result<std::unique_ptr<Channel>> Accept();
+  [[nodiscard]] Result<std::unique_ptr<Channel>> Accept();
 
   /// Shuts the listening socket down, unblocking a concurrent Accept
   /// (which then fails). Safe to call from another thread; the fd itself
@@ -63,7 +63,7 @@ class SocketListener {
 };
 
 /// Connects to a listening AF_UNIX socket path.
-Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path);
+[[nodiscard]] Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path);
 
 }  // namespace ppstats
 

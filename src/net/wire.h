@@ -34,7 +34,7 @@ class WireWriter {
 
   /// Writes a non-negative BigInt as exactly `width` big-endian bytes
   /// with no length prefix (for fixed-width ciphertexts).
-  Status WriteFixedBigInt(const BigInt& v, size_t width);
+  [[nodiscard]] Status WriteFixedBigInt(const BigInt& v, size_t width);
 
   const Bytes& bytes() const { return buffer_; }
   Bytes Take() { return std::move(buffer_); }
@@ -49,21 +49,21 @@ class WireReader {
  public:
   explicit WireReader(BytesView data) : data_(data) {}
 
-  Result<uint8_t> ReadU8();
-  Result<uint32_t> ReadU32();
-  Result<uint64_t> ReadU64();
-  Result<Bytes> ReadBytes();
-  Result<BigInt> ReadBigInt();
-  Result<BigInt> ReadFixedBigInt(size_t width);
+  [[nodiscard]] Result<uint8_t> ReadU8();
+  [[nodiscard]] Result<uint32_t> ReadU32();
+  [[nodiscard]] Result<uint64_t> ReadU64();
+  [[nodiscard]] Result<Bytes> ReadBytes();
+  [[nodiscard]] Result<BigInt> ReadBigInt();
+  [[nodiscard]] Result<BigInt> ReadFixedBigInt(size_t width);
 
   size_t remaining() const { return data_.size() - pos_; }
   bool AtEnd() const { return pos_ == data_.size(); }
 
   /// Fails unless the whole buffer has been consumed.
-  Status ExpectEnd() const;
+  [[nodiscard]] Status ExpectEnd() const;
 
  private:
-  Result<BytesView> Take(size_t count);
+  [[nodiscard]] Result<BytesView> Take(size_t count);
 
   BytesView data_;
   size_t pos_ = 0;

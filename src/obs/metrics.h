@@ -21,10 +21,12 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace ppstats {
 namespace obs {
@@ -176,10 +178,13 @@ class MetricRegistry {
   static MetricRegistry& Global();
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      PPSTATS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      PPSTATS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      PPSTATS_GUARDED_BY(mu_);
 };
 
 /// Master switch for *span* instrumentation (clock reads, histogram

@@ -63,7 +63,7 @@ TraceLog& TraceLog::Global() {
 }
 
 void TraceLog::Enable() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
   epoch_ = std::chrono::steady_clock::now();
   enabled_.store(true, std::memory_order_relaxed);
@@ -74,7 +74,7 @@ void TraceLog::Disable() { enabled_.store(false, std::memory_order_relaxed); }
 double TraceLog::Now() const {
   std::chrono::steady_clock::time_point epoch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     epoch = epoch_;
   }
   if (epoch == std::chrono::steady_clock::time_point{}) return 0;
@@ -83,12 +83,12 @@ double TraceLog::Now() const {
 }
 
 void TraceLog::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceLog::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<TraceEvent> out;
   out.swap(events_);
   return out;

@@ -18,12 +18,14 @@
 #ifndef PPSTATS_OBS_SPAN_H_
 #define PPSTATS_OBS_SPAN_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "obs/metrics.h"
 
 namespace ppstats {
@@ -102,9 +104,9 @@ class TraceLog {
   TraceLog() = default;
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
-  std::chrono::steady_clock::time_point epoch_{};
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ PPSTATS_GUARDED_BY(mu_);
+  std::chrono::steady_clock::time_point epoch_ PPSTATS_GUARDED_BY(mu_){};
 };
 
 /// RAII span: construction starts the clock, destruction records the

@@ -55,15 +55,15 @@ struct PirRunResult {
 
 /// Retrieves db[index] without revealing `index`; O(sqrt(n))
 /// ciphertexts in each direction.
-Result<PirRunResult> RunSingleLevelPir(const Database& db, size_t index,
-                                       const PaillierPrivateKey& key,
-                                       RandomSource& rng);
+[[nodiscard]] Result<PirRunResult> RunSingleLevelPir(const Database& db, size_t index,
+                                                     const PaillierPrivateKey& key,
+                                                     RandomSource& rng);
 
 /// Two-level recursive retrieval: O(sqrt(n)) upstream, ONE ciphertext
 /// downstream. Derives the level-2 Damgård–Jurik key (s=2) from `key`.
-Result<PirRunResult> RunTwoLevelPir(const Database& db, size_t index,
-                                    const PaillierPrivateKey& key,
-                                    RandomSource& rng);
+[[nodiscard]] Result<PirRunResult> RunTwoLevelPir(const Database& db, size_t index,
+                                                  const PaillierPrivateKey& key,
+                                                  RandomSource& rng);
 
 /// Raw-cell variants over an arbitrary 64-bit vector (cells need not be
 /// 32-bit database values; used by the sparse private-sum protocol,
@@ -78,18 +78,18 @@ struct PirRawResult {
   PirLayout layout;
 };
 
-Result<PirRawResult> RunSingleLevelPirRaw(const std::vector<uint64_t>& cells,
-                                          size_t index,
-                                          const PaillierPrivateKey& key,
-                                          RandomSource& rng);
+[[nodiscard]] Result<PirRawResult> RunSingleLevelPirRaw(const std::vector<uint64_t>& cells,
+                                                        size_t index,
+                                                        const PaillierPrivateKey& key,
+                                                        RandomSource& rng);
 
 /// Note: the two-level response reveals exactly one cell to the client
 /// (the fold selects a single row inside the encryption), which the
 /// sparse-sum protocol relies on for database privacy.
-Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
-                                       size_t index,
-                                       const PaillierPrivateKey& key,
-                                       RandomSource& rng);
+[[nodiscard]] Result<PirRawResult> RunTwoLevelPirRaw(const std::vector<uint64_t>& cells,
+                                                     size_t index,
+                                                     const PaillierPrivateKey& key,
+                                                     RandomSource& rng);
 
 }  // namespace ppstats
 

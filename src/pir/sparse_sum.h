@@ -53,7 +53,7 @@ struct SparseSumResult {
 /// Privately sums db[indices[0]] + ... (duplicates allowed, each
 /// occurrence counted). Fails on out-of-range indices, an empty index
 /// list, or a non-power-of-two / oversized blinding modulus.
-Result<SparseSumResult> RunSparsePrivateSum(
+[[nodiscard]] Result<SparseSumResult> RunSparsePrivateSum(
     const PaillierPrivateKey& key, const Database& db,
     const std::vector<size_t>& indices, const SparseSumConfig& config,
     RandomSource& rng);

@@ -21,7 +21,7 @@ class PipelineSchedule {
   /// `stage_durations[s][i]` is the duration of stage `s` for chunk `i`.
   /// All stages must have the same chunk count. Returns the pipelined
   /// makespan (seconds).
-  static Result<double> Makespan(
+  [[nodiscard]] static Result<double> Makespan(
       const std::vector<std::vector<double>>& stage_durations);
 
   /// Sequential (unpipelined) total: the sum of every duration.

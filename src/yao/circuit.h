@@ -55,7 +55,7 @@ struct Circuit {
 /// Evaluates `circuit` in the clear (reference semantics for tests and
 /// for checking the garbled evaluation). Input bit vectors must match
 /// the circuit's input arities.
-Result<std::vector<bool>> EvaluateCircuit(
+[[nodiscard]] Result<std::vector<bool>> EvaluateCircuit(
     const Circuit& circuit, const std::vector<bool>& garbler_bits,
     const std::vector<bool>& evaluator_bits);
 

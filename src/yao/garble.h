@@ -63,13 +63,13 @@ struct GarblerSecrets {
 };
 
 /// Garbles `circuit` with fresh randomness.
-Result<std::pair<GarbledCircuit, GarblerSecrets>> GarbleCircuit(
+[[nodiscard]] Result<std::pair<GarbledCircuit, GarblerSecrets>> GarbleCircuit(
     const Circuit& circuit, RandomSource& rng,
     GarbleScheme scheme = GarbleScheme::kPointAndPermute);
 
 /// Evaluates a garbled circuit given the active label of every input
 /// wire; returns the decoded output bits.
-Result<std::vector<bool>> EvaluateGarbled(
+[[nodiscard]] Result<std::vector<bool>> EvaluateGarbled(
     const Circuit& circuit, const GarbledCircuit& garbled,
     const std::vector<Label>& garbler_input_labels,
     const std::vector<Label>& evaluator_input_labels);

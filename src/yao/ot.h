@@ -52,7 +52,7 @@ struct OtBatchResult {
 /// sender's pair, `choices[i]` the receiver's bit. The real group math
 /// and real serialized messages are used; both roles run in-process with
 /// per-role timing.
-Result<OtBatchResult> RunBatchObliviousTransfer(
+[[nodiscard]] Result<OtBatchResult> RunBatchObliviousTransfer(
     const std::vector<std::pair<Label, Label>>& messages,
     const std::vector<bool>& choices, RandomSource& rng,
     const OtGroup& group = OtGroup::Rfc2409Group2());

@@ -35,7 +35,7 @@ inline constexpr size_t kOtExtensionWidth = 128;
 /// `kOtExtensionWidth` Bellare-Micali base OTs. Same contract as
 /// RunBatchObliviousTransfer; asymptotically the public-key work is
 /// constant while base OT grows linearly in the batch size.
-Result<OtBatchResult> RunIknpObliviousTransfer(
+[[nodiscard]] Result<OtBatchResult> RunIknpObliviousTransfer(
     const std::vector<std::pair<Label, Label>>& messages,
     const std::vector<bool>& choices, RandomSource& rng,
     const OtGroup& group = OtGroup::Rfc2409Group2());

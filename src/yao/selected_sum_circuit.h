@@ -60,7 +60,7 @@ struct YaoRunResult {
 /// selection labels by real OT and evaluates. The result is checked
 /// against nothing — use the returned sum. `scheme` selects the AND-gate
 /// construction (half gates halve the garbled material).
-Result<YaoRunResult> RunYaoSelectedSum(
+[[nodiscard]] Result<YaoRunResult> RunYaoSelectedSum(
     const Database& db, const SelectionVector& selection, RandomSource& rng,
     size_t sum_bits = 0,
     GarbleScheme scheme = GarbleScheme::kPointAndPermute);

@@ -124,7 +124,7 @@ TEST(FaultInjectionTest, DeterministicAcrossRuns) {
     FaultInjectingChannel faulty(std::move(a), options, rng);
     std::vector<Bytes> delivered;
     for (uint8_t i = 0; i < 20; ++i) {
-      (void)faulty.Send(Bytes(8, i));
+      faulty.Send(Bytes(8, i)).IgnoreError();
     }
     b->set_read_deadline(milliseconds(10));
     for (;;) {

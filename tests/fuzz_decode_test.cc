@@ -25,17 +25,17 @@ const PaillierKeyPair& SharedKeyPair() {
 // Feeds a buffer to every frame decoder; none may crash.
 void PokeAllDecoders(BytesView buffer) {
   const PaillierPublicKey& pub = SharedKeyPair().public_key;
-  (void)PeekMessageType(buffer);
-  (void)IndexBatchMessage::Decode(pub, buffer);
-  (void)SumResponseMessage::Decode(pub, buffer);
-  (void)RingPartialMessage::Decode(buffer);
-  (void)RingBroadcastMessage::Decode(buffer);
-  (void)ClientHelloMessage::Decode(buffer);
-  (void)ServerHelloMessage::Decode(buffer);
-  (void)ErrorMessage::Decode(buffer);
-  (void)DeserializePublicKey(buffer);
-  (void)DeserializePrivateKey(buffer);
-  (void)Paillier::DeserializeCiphertext(pub, buffer);
+  PeekMessageType(buffer).IgnoreError();
+  IndexBatchMessage::Decode(pub, buffer).IgnoreError();
+  SumResponseMessage::Decode(pub, buffer).IgnoreError();
+  RingPartialMessage::Decode(buffer).IgnoreError();
+  RingBroadcastMessage::Decode(buffer).IgnoreError();
+  ClientHelloMessage::Decode(buffer).IgnoreError();
+  ServerHelloMessage::Decode(buffer).IgnoreError();
+  ErrorMessage::Decode(buffer).IgnoreError();
+  DeserializePublicKey(buffer).IgnoreError();
+  DeserializePrivateKey(buffer).IgnoreError();
+  Paillier::DeserializeCiphertext(pub, buffer).IgnoreError();
 }
 
 TEST(FuzzDecodeTest, RandomBytesNeverCrashDecoders) {
@@ -118,11 +118,11 @@ TEST(FuzzDecodeTest, WireReaderSurvivesAdversarialSequences) {
     // Interleave reads of every kind until exhaustion; must terminate.
     for (int op = 0; op < 32 && !r.AtEnd(); ++op) {
       switch (op % 5) {
-        case 0: (void)r.ReadU8(); break;
-        case 1: (void)r.ReadU32(); break;
-        case 2: (void)r.ReadU64(); break;
-        case 3: (void)r.ReadBytes(); break;
-        case 4: (void)r.ReadBigInt(); break;
+        case 0: r.ReadU8().IgnoreError(); break;
+        case 1: r.ReadU32().IgnoreError(); break;
+        case 2: r.ReadU64().IgnoreError(); break;
+        case 3: r.ReadBytes().IgnoreError(); break;
+        case 4: r.ReadBigInt().IgnoreError(); break;
       }
     }
   }

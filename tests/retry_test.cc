@@ -84,7 +84,7 @@ struct FlakyDialer {
     servers.emplace_back(
         [this, ch = std::move(server_end)]() mutable {
           ServerSession session(db);
-          (void)session.Serve(*ch);
+          session.Serve(*ch).IgnoreError();
         });
     return std::move(client_end);
   }
@@ -96,7 +96,9 @@ struct FlakyDialer {
 
 TEST(RetryTest, QuerySessionConnectRetriesThenSucceeds) {
   Database db("d", {5, 6, 7, 8});
-  FlakyDialer dialer{&db, /*failures=*/2};
+  FlakyDialer dialer;
+  dialer.db = &db;
+  dialer.failures = 2;
   ChaCha20Rng rng(3);
   QuerySession session(SharedKeyPair().private_key, rng);
   RetryOptions retry;
@@ -162,7 +164,9 @@ TEST(RetryTest, ClientSessionRunWithRetry) {
   SelectionVector sel = gen.RandomSelection(20, 8);
   uint64_t truth = db.SelectedSum(sel).ValueOrDie();
 
-  FlakyDialer dialer{&db, /*failures=*/1};
+  FlakyDialer dialer;
+  dialer.db = &db;
+  dialer.failures = 1;
   ChaCha20Rng client_rng(7);
   ClientSession client(SharedKeyPair().private_key, sel, {5}, client_rng);
   RetryOptions retry;

@@ -142,7 +142,7 @@ TEST(SessionTest, ClientSessionIsSingleShot) {
   auto [client_end, server_end] = DuplexPipe::Create();
   std::thread server_thread([&db, &server_end] {
     ServerSession session(&db);
-    (void)session.Serve(*server_end);
+    session.Serve(*server_end).IgnoreError();
   });
   ChaCha20Rng rng(77);
   ClientSession client(SharedKeyPair().private_key, sel, {}, rng);

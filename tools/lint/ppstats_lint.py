@@ -1,0 +1,167 @@
+#!/usr/bin/env python3
+"""ppstats_lint: repo-specific static checks for the ppstats tree.
+
+Run from anywhere:  python3 tools/lint/ppstats_lint.py [--root <repo>]
+
+Checks (each failure prints `path:line: [check] message`):
+
+  banned-function    rand/srand/sprintf/vsprintf/strcpy/strcat/gets are
+                     banned everywhere: ChaCha20Rng replaces rand, and
+                     the bounded string APIs replace the unbounded ones.
+  include-guard      every header uses a guard named after its path,
+                     e.g. src/net/wire.h -> PPSTATS_NET_WIRE_H_
+                     (no #pragma once).
+  own-header-first   a .cc file's first include is its own header, so
+                     every header is compiled in a context that proves
+                     it is self-contained (backstopped by the
+                     header-compile test target).
+  using-namespace    no top-level `using namespace` in headers.
+  secret-hygiene     outside tests/, no streaming of private-key or
+                     plaintext-sum material to logs: lines that push
+                     identifiers matching (priv, secret, lambda_, mu)
+                     into an ostream are flagged. The protocol's whole
+                     point is that the server never sees plaintext sums
+                     and nobody sees the private key.
+
+Suppress a finding by appending  // ppstats-lint: allow(<check>)
+to the offending line (use sparingly; say why in a comment).
+"""
+
+import argparse
+import pathlib
+import re
+import sys
+
+CHECKED_SUFFIXES = {".cc", ".h", ".cpp"}
+SOURCE_DIRS = ["src", "tools", "bench", "tests", "examples"]
+
+BANNED = re.compile(
+    r"(?<![\w:.>])(rand|srand|sprintf|vsprintf|strcpy|strcat|gets)\s*\("
+)
+ALLOW = re.compile(r"//\s*ppstats-lint:\s*allow\(([a-z-]+)\)")
+USING_NAMESPACE = re.compile(r"^\s*using\s+namespace\s")
+# Log/stream sinks that must never see secret material outside tests/.
+SECRET_SINK = re.compile(r"(std::cout|std::cerr|std::clog)\b")
+SECRET_TOKEN = re.compile(
+    r"\b(priv(ate)?_?key\w*|secret\w*|plaintext_sum\w*|\w*\.lambda\b)",
+    re.IGNORECASE,
+)
+
+
+def strip_comments_and_strings(line: str) -> str:
+    """Crude single-line scrub: drops string literals and // comments so
+    banned-function matching does not fire inside text."""
+    line = re.sub(r'"(?:[^"\\]|\\.)*"', '""', line)
+    line = re.sub(r"'(?:[^'\\]|\\.)*'", "''", line)
+    return line.split("//", 1)[0]
+
+
+def expected_guard(path: pathlib.Path, root: pathlib.Path) -> str:
+    """Guard from the *include path*: src/ is the include root, so it is
+    dropped (src/net/wire.h -> PPSTATS_NET_WIRE_H_); other trees keep
+    their prefix (bench/figlib.h -> PPSTATS_BENCH_FIGLIB_H_)."""
+    rel = path.relative_to(root)
+    if rel.parts[0] == "src":
+        rel = pathlib.Path(*rel.parts[1:])
+    return "PPSTATS_" + re.sub(r"[^A-Za-z0-9]", "_", str(rel)).upper() + "_"
+
+
+def own_header_of(cc: pathlib.Path) -> str:
+    return cc.stem + ".h"
+
+
+def check_file(path: pathlib.Path, root: pathlib.Path, findings: list) -> None:
+    rel = path.relative_to(root)
+    in_tests = rel.parts[0] == "tests"
+    text = path.read_text(encoding="utf-8", errors="replace")
+    lines = text.splitlines()
+
+    def report(num: int, check: str, message: str) -> None:
+        line = lines[num - 1] if 0 < num <= len(lines) else ""
+        m = ALLOW.search(line)
+        if m and m.group(1) == check:
+            return
+        findings.append(f"{rel}:{num}: [{check}] {message}")
+
+    for i, raw in enumerate(lines, 1):
+        code = strip_comments_and_strings(raw)
+        for m in BANNED.finditer(code):
+            report(i, "banned-function",
+                   f"banned function '{m.group(1)}' "
+                   "(use ChaCha20Rng / bounded string APIs)")
+        if path.suffix == ".h" and USING_NAMESPACE.match(code):
+            report(i, "using-namespace",
+                   "headers must not use top-level `using namespace`")
+        if not in_tests and SECRET_SINK.search(code):
+            m = SECRET_TOKEN.search(code)
+            if m:
+                report(i, "secret-hygiene",
+                       f"identifier '{m.group(0)}' streamed to a log sink; "
+                       "secret material must not be logged outside tests/")
+
+    if path.suffix == ".h":
+        m = re.search(r"^#ifndef\s+(\S+)\s*\n#define\s+(\S+)", text, re.M)
+        want = expected_guard(path, root)
+        if "#pragma once" in text:
+            report(text[: text.index("#pragma once")].count("\n") + 1,
+                   "include-guard", "#pragma once is banned; use a named guard")
+        elif not m:
+            report(1, "include-guard", f"missing include guard {want}")
+        elif m.group(1) != want or m.group(2) != want:
+            report(text[: m.start()].count("\n") + 1, "include-guard",
+                   f"guard is {m.group(1)}, expected {want}")
+
+    if path.suffix in (".cc", ".cpp"):
+        first_include = None
+        for i, raw in enumerate(lines, 1):
+            m = re.match(r'\s*#include\s+["<]([^">]+)[">]', raw)
+            if m:
+                first_include = (i, m.group(1))
+                break
+        sibling = path.with_suffix(".h")
+        if first_include is not None and sibling.exists():
+            num, inc = first_include
+            if pathlib.PurePosixPath(inc).name != own_header_of(path):
+                report(num, "own-header-first",
+                       f"first include is '{inc}'; include the file's own "
+                       f"header '{own_header_of(path)}' first so it stays "
+                       "self-contained")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--root", default=None,
+                        help="repo root (default: two levels above this file)")
+    parser.add_argument("paths", nargs="*",
+                        help="restrict to these files (default: whole tree)")
+    args = parser.parse_args()
+
+    root = pathlib.Path(args.root).resolve() if args.root else \
+        pathlib.Path(__file__).resolve().parents[2]
+
+    if args.paths:
+        files = [pathlib.Path(p).resolve() for p in args.paths]
+    else:
+        files = []
+        for d in SOURCE_DIRS:
+            base = root / d
+            if base.is_dir():
+                files.extend(p for p in sorted(base.rglob("*"))
+                             if p.suffix in CHECKED_SUFFIXES)
+
+    findings: list = []
+    for f in files:
+        check_file(f, root, findings)
+
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"\nppstats_lint: {len(findings)} finding(s) in "
+              f"{len(files)} files", file=sys.stderr)
+        return 1
+    print(f"ppstats_lint: OK ({len(files)} files)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,11 +1,11 @@
 // ppstats_client: runs private statistics queries against a
 // ppstats_server, all over one connection (session protocol v2).
 //
-//   ppstats_client --key mykey.priv --socket /tmp/ppstats.sock \
-//                  --rows <n> --select 3,17,42 [--select ...] \
-//                  [--stat sum|sumsq|product] [--column <name>] \
-//                  [--column2 <name>] [--chunk 100] [--seed N] \
-//                  [--retries <n>] [--io-deadline-ms <ms>] \
+//   ppstats_client --key mykey.priv --socket /tmp/ppstats.sock
+//                  --rows <n> --select 3,17,42 [--select ...]
+//                  [--stat sum|sumsq|product] [--column <name>]
+//                  [--column2 <name>] [--chunk 100] [--seed N]
+//                  [--retries <n>] [--io-deadline-ms <ms>]
 //                  [--trace-json <path>]
 //
 // Each --select runs one query; --stat/--column/--column2 apply to all
