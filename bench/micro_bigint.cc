@@ -3,6 +3,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/microlib.h"
+
 #include "bigint/modarith.h"
 #include "bigint/montgomery.h"
 #include "crypto/chacha20_rng.h"
@@ -99,4 +101,4 @@ BENCHMARK(BM_DecimalConversion);
 }  // namespace
 }  // namespace ppstats
 
-BENCHMARK_MAIN();
+PPSTATS_MICRO_BENCH_MAIN("micro_bigint")

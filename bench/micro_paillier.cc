@@ -5,6 +5,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench/microlib.h"
+
 #include "bigint/modarith.h"
 #include "crypto/chacha20_rng.h"
 #include "crypto/paillier.h"
@@ -139,4 +141,4 @@ BENCHMARK(BM_SerializeCiphertext);
 }  // namespace
 }  // namespace ppstats
 
-BENCHMARK_MAIN();
+PPSTATS_MICRO_BENCH_MAIN("micro_paillier")

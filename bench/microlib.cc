@@ -1,0 +1,108 @@
+#include "bench/microlib.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/export.h"
+
+namespace ppstats::bench {
+
+namespace {
+
+struct CapturedRun {
+  std::string name;
+  std::string label;
+  double real_ns = 0;
+  double cpu_ns = 0;
+  uint64_t iterations = 0;
+};
+
+void AppendFormat(std::string* out, const char* format, ...) {
+  char buf[512];
+  va_list args;
+  va_start(args, format);
+  std::vsnprintf(buf, sizeof(buf), format, args);
+  va_end(args);
+  *out += buf;
+}
+
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+/// The normal console table, plus a capture of every successful
+/// per-benchmark run (aggregates and errored runs are skipped) for the
+/// JSON emission after the suite finishes.
+class CapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      if (run.error_occurred) continue;
+      if (run.run_type != Run::RT_Iteration) continue;
+      CapturedRun captured;
+      captured.name = run.benchmark_name();
+      captured.label = run.report_label;
+      captured.iterations = static_cast<uint64_t>(run.iterations);
+      if (run.iterations > 0) {
+        const double iters = static_cast<double>(run.iterations);
+        captured.real_ns = run.real_accumulated_time * 1e9 / iters;
+        captured.cpu_ns = run.cpu_accumulated_time * 1e9 / iters;
+      }
+      captured_.push_back(std::move(captured));
+    }
+    ConsoleReporter::ReportRuns(runs);
+  }
+
+  const std::vector<CapturedRun>& captured() const { return captured_; }
+
+ private:
+  std::vector<CapturedRun> captured_;
+};
+
+void EmitSuiteJson(const char* suite, const std::vector<CapturedRun>& runs) {
+  const char* dir = std::getenv("PPSTATS_BENCH_JSON_DIR");
+  if (dir == nullptr) return;
+  std::string json = "{\n";
+  AppendFormat(&json, "  \"suite\": \"%s\",\n", suite);
+  json += "  \"unit\": \"nanoseconds\",\n  \"benchmarks\": [\n";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    AppendFormat(&json,
+                 "    {\"name\": \"%s\", \"label\": \"%s\", "
+                 "\"real_ns\": %.3f, \"cpu_ns\": %.3f, "
+                 "\"iterations\": %llu}%s\n",
+                 JsonEscape(runs[i].name).c_str(),
+                 JsonEscape(runs[i].label).c_str(), runs[i].real_ns,
+                 runs[i].cpu_ns,
+                 static_cast<unsigned long long>(runs[i].iterations),
+                 i + 1 < runs.size() ? "," : "");
+  }
+  json += "  ]\n}\n";
+  (void)obs::WriteFileAtomic(
+      std::string(dir) + "/BENCH_" + suite + ".json", json);
+}
+
+}  // namespace
+
+int RunMicroSuite(int argc, char** argv, const char* suite) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  EmitSuiteJson(suite, reporter.captured());
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace ppstats::bench

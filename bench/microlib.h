@@ -1,0 +1,30 @@
+// Shared main() for the google-benchmark micro suites.
+//
+// BENCHMARK_MAIN() prints a console table and stops there; the repo's
+// bench trajectory wants one JSON document per suite per run, under the
+// same env contract as the figure benches (figlib's EmitComponentsJson):
+// when PPSTATS_BENCH_JSON_DIR is set, <dir>/BENCH_<suite>.json is
+// written atomically with every benchmark's per-iteration timings.
+// Console output is unchanged either way.
+
+#ifndef PPSTATS_BENCH_MICROLIB_H_
+#define PPSTATS_BENCH_MICROLIB_H_
+
+namespace ppstats::bench {
+
+/// Runs all registered google-benchmark benchmarks (honoring the usual
+/// --benchmark_* flags, so CI can run a filtered short mode) and emits
+/// BENCH_<suite>.json when PPSTATS_BENCH_JSON_DIR is set. Returns the
+/// process exit code.
+int RunMicroSuite(int argc, char** argv, const char* suite);
+
+}  // namespace ppstats::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() in micro suites; `suite`
+/// names the emitted JSON document.
+#define PPSTATS_MICRO_BENCH_MAIN(suite)                      \
+  int main(int argc, char** argv) {                          \
+    return ppstats::bench::RunMicroSuite(argc, argv, suite); \
+  }
+
+#endif  // PPSTATS_BENCH_MICROLIB_H_

@@ -1,0 +1,530 @@
+#include "bigint/mont_backend.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+// The adx kernel is inline asm (GCC 12 does not emit dual carry chains
+// from the _addcarryx_u64 intrinsics), assembled unconditionally on
+// x86-64 — no -madx compile flags needed — and gated at runtime by the
+// CPUID probe in DetectMontCpuFeatures().
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PPSTATS_MONT_HAVE_ADX 1
+#else
+#define PPSTATS_MONT_HAVE_ADX 0
+#endif
+
+namespace ppstats {
+
+namespace {
+
+using uint128 = unsigned __int128;
+
+// ---------------------------------------------------------------------
+// Shared pieces.
+
+// Per-thread scratch for the variable-width kernels. MontgomeryContext
+// objects are shared across ThreadPool workers (SlicedFoldMontgomery
+// hands one context to every slice), so the scratch that replaced the
+// old per-call std::vector allocation must be thread-local rather than
+// context-owned — each worker grows its own buffer once and the
+// kernels stay lock-free with nothing for the thread-safety analysis
+// to guard.
+uint64_t* MontScratch(size_t limbs) {
+  thread_local std::vector<uint64_t> scratch;
+  if (scratch.size() < limbs) scratch.resize(limbs);
+  return scratch.data();
+}
+
+// Final conditional subtraction: `t` holds n limbs plus an overflow
+// limb t[n], together a value in [0, 2m); writes the canonical residue
+// to `out`. out may alias any kernel input — by this point the inputs
+// are dead.
+void ReduceOnceRaw(const uint64_t* t, const uint64_t* mod, size_t n,
+                   uint64_t* out) {
+  bool ge = t[n] != 0;
+  if (!ge) {
+    ge = true;
+    for (size_t i = n; i-- > 0;) {
+      if (t[i] != mod[i]) {
+        ge = t[i] > mod[i];
+        break;
+      }
+    }
+  }
+  if (!ge) {
+    std::copy(t, t + n, out);
+    return;
+  }
+  uint64_t borrow = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint128 d = static_cast<uint128>(t[i]) - mod[i] - borrow;
+    out[i] = static_cast<uint64_t>(d);
+    borrow = (d >> 64) ? 1 : 0;
+  }
+}
+
+// ---------------------------------------------------------------------
+// Generic backend: the CIOS multiply and SOS squaring formerly inside
+// MontgomeryContext, on raw limb pointers with per-thread scratch.
+
+void GenericMontMul(const MontModulusView& mv, const uint64_t* a,
+                    const uint64_t* b, uint64_t* out) {
+  // CIOS (coarsely integrated operand scanning), Koc et al. 1996.
+  const size_t n = mv.n;
+  const uint64_t* mod = mv.mod;
+  uint64_t* t = MontScratch(n + 2);
+  std::fill(t, t + n + 2, 0);
+  for (size_t i = 0; i < n; ++i) {
+    // t += a[i] * b
+    uint64_t carry = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint128 cur = static_cast<uint128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    uint128 s = static_cast<uint128>(t[n]) + carry;
+    t[n] = static_cast<uint64_t>(s);
+    t[n + 1] = static_cast<uint64_t>(s >> 64);
+
+    // t += (t[0] * n0') * m; then t >>= 64
+    uint64_t m = t[0] * mv.n0_inv;
+    uint128 cur = static_cast<uint128>(m) * mod[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);
+    for (size_t j = 1; j < n; ++j) {
+      cur = static_cast<uint128>(m) * mod[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    s = static_cast<uint128>(t[n]) + carry;
+    t[n - 1] = static_cast<uint64_t>(s);
+    t[n] = t[n + 1] + static_cast<uint64_t>(s >> 64);
+    t[n + 1] = 0;
+  }
+  ReduceOnceRaw(t, mod, n, out);
+}
+
+void GenericMontSqr(const MontModulusView& mv, const uint64_t* a,
+                    uint64_t* out) {
+  // SOS (separated operand scanning) squaring: the product phase
+  // computes only the cross terms a[i]*a[j] for i < j (half the
+  // multiplications of a general product), doubles them, and adds the
+  // diagonal squares; the reduction phase is the standard Montgomery
+  // sweep. Net ~1.3x faster than GenericMontMul(a, a).
+  const size_t n = mv.n;
+  const uint64_t* mod = mv.mod;
+  uint64_t* t = MontScratch(2 * n + 1);
+  std::fill(t, t + 2 * n + 1, 0);
+
+  // Upper triangle: t += a[i] * a[j] for j > i.
+  for (size_t i = 0; i + 1 < n; ++i) {
+    uint64_t carry = 0;
+    for (size_t j = i + 1; j < n; ++j) {
+      uint128 cur = static_cast<uint128>(a[i]) * a[j] + t[i + j] + carry;
+      t[i + j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    t[i + n] = carry;  // position i+n is untouched by earlier rows
+  }
+
+  // Double the cross terms: t <<= 1 (cannot overflow 2n limbs since
+  // 2 * triangle <= a^2 - sum a[i]^2 < m^2).
+  uint64_t carry = 0;
+  for (size_t i = 0; i < 2 * n; ++i) {
+    const uint64_t hi = t[i] >> 63;
+    t[i] = (t[i] << 1) | carry;
+    carry = hi;
+  }
+
+  // Add the diagonal squares a[i]^2 at bit offset 128 i.
+  carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const uint128 sq = static_cast<uint128>(a[i]) * a[i];
+    uint128 lo = static_cast<uint128>(t[2 * i]) +
+                 static_cast<uint64_t>(sq) + carry;
+    t[2 * i] = static_cast<uint64_t>(lo);
+    uint128 hi = static_cast<uint128>(t[2 * i + 1]) +
+                 static_cast<uint64_t>(sq >> 64) +
+                 static_cast<uint64_t>(lo >> 64);
+    t[2 * i + 1] = static_cast<uint64_t>(hi);
+    carry = static_cast<uint64_t>(hi >> 64);
+  }
+  t[2 * n] = carry;
+
+  // Montgomery reduction: for each low limb, cancel it with a multiple
+  // of m and carry into the high half.
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t m = t[i] * mv.n0_inv;
+    uint64_t c = 0;
+    for (size_t j = 0; j < n; ++j) {
+      uint128 cur = static_cast<uint128>(m) * mod[j] + t[i + j] + c;
+      t[i + j] = static_cast<uint64_t>(cur);
+      c = static_cast<uint64_t>(cur >> 64);
+    }
+    for (size_t k = i + n; c != 0 && k <= 2 * n; ++k) {
+      uint128 cur = static_cast<uint128>(t[k]) + c;
+      t[k] = static_cast<uint64_t>(cur);
+      c = static_cast<uint64_t>(cur >> 64);
+    }
+  }
+  ReduceOnceRaw(t + n, mod, n, out);
+}
+
+void GenericMontMulBatch(const MontModulusView& mv, size_t count,
+                         const uint64_t* const* a, const uint64_t* const* b,
+                         uint64_t* const* out) {
+  for (size_t i = 0; i < count; ++i) GenericMontMul(mv, a[i], b[i], out[i]);
+}
+
+// ---------------------------------------------------------------------
+// Fixed-width backend: the same CIOS recurrence with the limb count a
+// compile-time constant. The scratch lives on the stack (zero heap
+// traffic per multiply) and every inner loop has a constant trip count
+// the compiler unrolls and schedules flat.
+
+template <size_t N>
+void FixedMontMul(const MontModulusView& mv, const uint64_t* a,
+                  const uint64_t* b, uint64_t* out) {
+  assert(mv.n == N);
+  const uint64_t* mod = mv.mod;
+  uint64_t t[N + 2] = {};
+  for (size_t i = 0; i < N; ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < N; ++j) {
+      uint128 cur = static_cast<uint128>(a[i]) * b[j] + t[j] + carry;
+      t[j] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    uint128 s = static_cast<uint128>(t[N]) + carry;
+    t[N] = static_cast<uint64_t>(s);
+    t[N + 1] = static_cast<uint64_t>(s >> 64);
+
+    const uint64_t m = t[0] * mv.n0_inv;
+    uint128 cur = static_cast<uint128>(m) * mod[0] + t[0];
+    carry = static_cast<uint64_t>(cur >> 64);
+    for (size_t j = 1; j < N; ++j) {
+      cur = static_cast<uint128>(m) * mod[j] + t[j] + carry;
+      t[j - 1] = static_cast<uint64_t>(cur);
+      carry = static_cast<uint64_t>(cur >> 64);
+    }
+    s = static_cast<uint128>(t[N]) + carry;
+    t[N - 1] = static_cast<uint64_t>(s);
+    t[N] = t[N + 1] + static_cast<uint64_t>(s >> 64);
+    t[N + 1] = 0;
+  }
+  ReduceOnceRaw(t, mod, N, out);
+}
+
+template <size_t N>
+void FixedMontSqr(const MontModulusView& mv, const uint64_t* a,
+                  uint64_t* out) {
+  // The width-specialized multiply already beats the generic triangle
+  // squaring (carry-chain latency, not multiplication count, is the
+  // bottleneck at these widths), so squaring is just mul(a, a).
+  FixedMontMul<N>(mv, a, a, out);
+}
+
+template <size_t N>
+void FixedMontMulBatch(const MontModulusView& mv, size_t count,
+                       const uint64_t* const* a, const uint64_t* const* b,
+                       uint64_t* const* out) {
+  for (size_t i = 0; i < count; ++i) FixedMontMul<N>(mv, a[i], b[i], out[i]);
+}
+
+// ---------------------------------------------------------------------
+// adx backend (x86-64): MULX with dual ADCX/ADOX carry chains.
+
+#if PPSTATS_MONT_HAVE_ADX
+
+// t[0..n] += x * s[0..n-1]; returns the carry destined for t[n+1].
+// n must be a positive multiple of 4. The even products ride the CF
+// (adcx) chain and the odd halves the OF (adox) chain, so the two
+// per-limb additions issue in parallel instead of serializing on one
+// flag. Loop control must not clobber either flag mid-chain: lea and
+// jrcxz preserve both (dec would clobber OF), with the count pinned to
+// rcx for jrcxz.
+uint64_t MulAccRowAdx(uint64_t* t, const uint64_t* s, uint64_t x, size_t n) {
+  uint64_t acc;
+  uint64_t c_out;
+  size_t count = n / 4;
+  __asm__ volatile(
+      "xorl %%r11d, %%r11d\n\t"  // clear CF and OF
+      "movq (%[t]), %[acc]\n\t"
+      "1:\n\t"
+      "mulxq (%[s]), %%r8, %%r9\n\t"
+      "adcxq %%r8, %[acc]\n\t"
+      "movq %[acc], (%[t])\n\t"
+      "movq 8(%[t]), %[acc]\n\t"
+      "adoxq %%r9, %[acc]\n\t"
+      "mulxq 8(%[s]), %%r8, %%r9\n\t"
+      "adcxq %%r8, %[acc]\n\t"
+      "movq %[acc], 8(%[t])\n\t"
+      "movq 16(%[t]), %[acc]\n\t"
+      "adoxq %%r9, %[acc]\n\t"
+      "mulxq 16(%[s]), %%r8, %%r9\n\t"
+      "adcxq %%r8, %[acc]\n\t"
+      "movq %[acc], 16(%[t])\n\t"
+      "movq 24(%[t]), %[acc]\n\t"
+      "adoxq %%r9, %[acc]\n\t"
+      "mulxq 24(%[s]), %%r8, %%r9\n\t"
+      "adcxq %%r8, %[acc]\n\t"
+      "movq %[acc], 24(%[t])\n\t"
+      "movq 32(%[t]), %[acc]\n\t"
+      "adoxq %%r9, %[acc]\n\t"
+      "leaq 32(%[t]), %[t]\n\t"
+      "leaq 32(%[s]), %[s]\n\t"
+      "leaq -1(%[count]), %[count]\n\t"
+      "jrcxz 2f\n\t"
+      "jmp 1b\n\t"
+      "2:\n\t"
+      // Tail: the last adox's OF is a carry *out of* position n (it
+      // belongs at t[n+1], not in acc), so capture it before folding
+      // CF into acc. setc/seto preserve both flags.
+      "movl $0, %%r8d\n\t"
+      "movl $0, %%r9d\n\t"
+      "seto %%r9b\n\t"
+      "adcxq %%r8, %[acc]\n\t"
+      "setc %%r8b\n\t"
+      "movq %[acc], (%[t])\n\t"
+      "leaq (%%r8, %%r9), %[c_out]\n\t"
+      : [t] "+r"(t), [s] "+r"(s), [acc] "=&r"(acc), [c_out] "=&r"(c_out),
+        [count] "+c"(count)
+      : "d"(x)
+      : "r8", "r9", "r11", "cc", "memory");
+  return c_out;
+}
+
+// SOS Montgomery multiply on the adx row primitive: full 2n-limb
+// product, then n reduction rows. `t` is caller scratch of 2n+2 zeroed
+// limbs; the reduced (pre-subtraction) value lands at t[n..2n].
+void AdxMontMulInto(const MontModulusView& mv, const uint64_t* a,
+                    const uint64_t* b, uint64_t* t) {
+  const size_t n = mv.n;
+  for (size_t i = 0; i < n; ++i) {
+    // Rows land in order, so t[i+n+1] is still zero: assign, not add.
+    t[i + n + 1] = MulAccRowAdx(t + i, b, a[i], n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t m = t[i] * mv.n0_inv;
+    uint64_t c = MulAccRowAdx(t + i, mv.mod, m, n);
+    for (size_t k = i + n + 1; c != 0; ++k) {
+      assert(k < 2 * n + 2);
+      const uint64_t prev = t[k];
+      t[k] = prev + c;
+      c = t[k] < prev ? 1 : 0;
+    }
+  }
+  assert(t[2 * n + 1] == 0);  // result < 2m fits n+1 limbs at t[n..2n]
+}
+
+void AdxMontMul(const MontModulusView& mv, const uint64_t* a,
+                const uint64_t* b, uint64_t* out) {
+  const size_t n = mv.n;
+  uint64_t* t = MontScratch(2 * n + 2);
+  std::fill(t, t + 2 * n + 2, 0);
+  AdxMontMulInto(mv, a, b, t);
+  ReduceOnceRaw(t + n, mv.mod, n, out);
+}
+
+void AdxMontSqr(const MontModulusView& mv, const uint64_t* a, uint64_t* out) {
+  AdxMontMul(mv, a, a, out);
+}
+
+// Two independent products with their rows interleaved: while product
+// 0's carry chain for row i retires, product 1's row i issues, keeping
+// the multiplier ports fed across the chain-latency bubbles. Both
+// outputs are written only after both products complete.
+void AdxMontMulPair(const MontModulusView& mv, const uint64_t* a0,
+                    const uint64_t* b0, uint64_t* out0, const uint64_t* a1,
+                    const uint64_t* b1, uint64_t* out1) {
+  const size_t n = mv.n;
+  const size_t width = 2 * n + 2;
+  uint64_t* t0 = MontScratch(2 * width);
+  uint64_t* t1 = t0 + width;
+  std::fill(t0, t0 + 2 * width, 0);
+  for (size_t i = 0; i < n; ++i) {
+    t0[i + n + 1] = MulAccRowAdx(t0 + i, b0, a0[i], n);
+    t1[i + n + 1] = MulAccRowAdx(t1 + i, b1, a1[i], n);
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t m0 = t0[i] * mv.n0_inv;
+    uint64_t c0 = MulAccRowAdx(t0 + i, mv.mod, m0, n);
+    const uint64_t m1 = t1[i] * mv.n0_inv;
+    uint64_t c1 = MulAccRowAdx(t1 + i, mv.mod, m1, n);
+    for (size_t k = i + n + 1; c0 != 0; ++k) {
+      const uint64_t prev = t0[k];
+      t0[k] = prev + c0;
+      c0 = t0[k] < prev ? 1 : 0;
+    }
+    for (size_t k = i + n + 1; c1 != 0; ++k) {
+      const uint64_t prev = t1[k];
+      t1[k] = prev + c1;
+      c1 = t1[k] < prev ? 1 : 0;
+    }
+  }
+  ReduceOnceRaw(t0 + n, mv.mod, n, out0);
+  ReduceOnceRaw(t1 + n, mv.mod, n, out1);
+}
+
+void AdxMontMulBatch(const MontModulusView& mv, size_t count,
+                     const uint64_t* const* a, const uint64_t* const* b,
+                     uint64_t* const* out) {
+  size_t i = 0;
+  for (; i + 1 < count; i += 2) {
+    AdxMontMulPair(mv, a[i], b[i], out[i], a[i + 1], b[i + 1], out[i + 1]);
+  }
+  if (i < count) AdxMontMul(mv, a[i], b[i], out[i]);
+}
+
+#endif  // PPSTATS_MONT_HAVE_ADX
+
+// ---------------------------------------------------------------------
+// Registry and dispatch.
+
+const MontBackendOps& GenericOps() {
+  static const MontBackendOps ops = {
+      MontBackendKind::kGeneric,
+      "generic",
+      GenericMontMul,
+      GenericMontSqr,
+      GenericMontMulBatch,
+      obs::MetricRegistry::Global().GetCounter("mont.mul_ops.generic"),
+      obs::MetricRegistry::Global().GetCounter("mont.sqr_ops.generic")};
+  return ops;
+}
+
+template <size_t N>
+const MontBackendOps& FixedOps() {
+  static const MontBackendOps ops = {
+      MontBackendKind::kFixed,
+      "fixed",
+      FixedMontMul<N>,
+      FixedMontSqr<N>,
+      FixedMontMulBatch<N>,
+      obs::MetricRegistry::Global().GetCounter("mont.mul_ops.fixed"),
+      obs::MetricRegistry::Global().GetCounter("mont.sqr_ops.fixed")};
+  return ops;
+}
+
+// The widths Paillier and Damgård–Jurik contexts actually instantiate:
+// mod-n^2 / mod-p^2 / mod-n^(s+1) moduli for 512..2048-bit keys.
+const MontBackendOps* FixedOpsFor(size_t n_limbs) {
+  switch (n_limbs) {
+    case 4: return &FixedOps<4>();
+    case 8: return &FixedOps<8>();
+    case 16: return &FixedOps<16>();
+    case 24: return &FixedOps<24>();
+    case 32: return &FixedOps<32>();
+    case 48: return &FixedOps<48>();
+    case 64: return &FixedOps<64>();
+    default: return nullptr;
+  }
+}
+
+#if PPSTATS_MONT_HAVE_ADX
+const MontBackendOps& AdxOps() {
+  static const MontBackendOps ops = {
+      MontBackendKind::kAdx,
+      "adx",
+      AdxMontMul,
+      AdxMontSqr,
+      AdxMontMulBatch,
+      obs::MetricRegistry::Global().GetCounter("mont.mul_ops.adx"),
+      obs::MetricRegistry::Global().GetCounter("mont.sqr_ops.adx")};
+  return ops;
+}
+#endif
+
+// PPSTATS_FORCE_BACKEND, parsed per context construction (cold path)
+// so tests can flip it with setenv between contexts.
+MontBackendKind ForcedBackendFromEnv() {
+  const char* env = std::getenv("PPSTATS_FORCE_BACKEND");
+  if (env == nullptr || env[0] == '\0') return MontBackendKind::kAuto;
+  const std::string value(env);
+  if (value == "generic") return MontBackendKind::kGeneric;
+  if (value == "fixed") return MontBackendKind::kFixed;
+  if (value == "adx" || value == "intrinsics") return MontBackendKind::kAdx;
+  return MontBackendKind::kAuto;  // unknown values mean "don't force"
+}
+
+}  // namespace
+
+const char* MontBackendKindName(MontBackendKind kind) {
+  switch (kind) {
+    case MontBackendKind::kAuto: return "auto";
+    case MontBackendKind::kGeneric: return "generic";
+    case MontBackendKind::kFixed: return "fixed";
+    case MontBackendKind::kAdx: return "adx";
+  }
+  return "unknown";
+}
+
+const MontCpuFeatures& DetectMontCpuFeatures() {
+  static const MontCpuFeatures features = [] {
+    MontCpuFeatures f;
+#if PPSTATS_MONT_HAVE_ADX
+    f.bmi2 = __builtin_cpu_supports("bmi2") != 0;
+    f.adx = __builtin_cpu_supports("adx") != 0;
+#endif
+    return f;
+  }();
+  return features;
+}
+
+bool MontBackendSupports(MontBackendKind kind, size_t n_limbs) {
+  switch (kind) {
+    case MontBackendKind::kAuto:
+      return n_limbs > 0;
+    case MontBackendKind::kGeneric:
+      return n_limbs > 0;
+    case MontBackendKind::kFixed:
+      return FixedOpsFor(n_limbs) != nullptr;
+    case MontBackendKind::kAdx: {
+      const MontCpuFeatures& cpu = DetectMontCpuFeatures();
+      return cpu.bmi2 && cpu.adx && n_limbs >= 4 && n_limbs % 4 == 0;
+    }
+  }
+  return false;
+}
+
+const MontBackendOps& SelectMontBackend(size_t n_limbs,
+                                        MontBackendKind requested) {
+  MontBackendKind kind =
+      requested == MontBackendKind::kAuto ? ForcedBackendFromEnv() : requested;
+  if (kind == MontBackendKind::kAuto || !MontBackendSupports(kind, n_limbs)) {
+    // Auto dispatch and the fallback for unsupported requests share one
+    // preference order; generic always supports the width.
+    const MontBackendKind order[] = {MontBackendKind::kAdx,
+                                     MontBackendKind::kFixed,
+                                     MontBackendKind::kGeneric};
+    for (MontBackendKind candidate : order) {
+      if (candidate > kind && kind != MontBackendKind::kAuto) continue;
+      if (MontBackendSupports(candidate, n_limbs)) {
+        kind = candidate;
+        break;
+      }
+    }
+  }
+  switch (kind) {
+    case MontBackendKind::kFixed: {
+      const MontBackendOps* ops = FixedOpsFor(n_limbs);
+      assert(ops != nullptr);
+      return *ops;
+    }
+    case MontBackendKind::kAdx:
+#if PPSTATS_MONT_HAVE_ADX
+      return AdxOps();
+#else
+      break;
+#endif
+    default:
+      break;
+  }
+  return GenericOps();
+}
+
+}  // namespace ppstats

@@ -1,0 +1,107 @@
+// Pluggable Montgomery-multiplication backends.
+//
+// Every homomorphic fold bottoms out in the Montgomery product of two
+// n-limb operands, so MontgomeryContext routes its inner loops through
+// one of three interchangeable kernels:
+//
+//   generic  variable-width CIOS multiply / SOS squaring over a
+//            per-thread scratch buffer. Works for every odd modulus and
+//            is the reference the other backends are differentially
+//            tested against.
+//   fixed    width-specialized CIOS with the limb count baked in as a
+//            template parameter and scratch on the stack — zero heap
+//            traffic and a constant-trip inner loop the compiler can
+//            unroll. Covers the widths Paillier / Damgård–Jurik
+//            actually produce (4..64 limbs).
+//   adx      x86-64 kernel built on MULX with dual ADCX/ADOX carry
+//            chains (two independent carry flags, so the two additions
+//            per limb pipeline instead of serializing). Requires BMI2 +
+//            ADX, probed once at startup.
+//
+// All kernels produce the same canonical residue bit for bit: the
+// Montgomery product of canonical inputs is a unique value < m, so the
+// choice of backend can never change a protocol transcript.
+//
+// Selection is automatic (best supported backend for the width) and can
+// be overridden with PPSTATS_FORCE_BACKEND=generic|fixed|adx for
+// benchmarks, differential tests, and fleet debugging.
+
+#ifndef PPSTATS_BIGINT_MONT_BACKEND_H_
+#define PPSTATS_BIGINT_MONT_BACKEND_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace ppstats {
+
+namespace obs {
+class Counter;
+}  // namespace obs
+
+/// Backend identities. kAuto is a *request* (resolve per the dispatch
+/// order, honoring PPSTATS_FORCE_BACKEND); a resolved context always
+/// reports one of the concrete kinds.
+enum class MontBackendKind {
+  kAuto,     ///< dispatcher's choice (env override, then best supported)
+  kGeneric,  ///< variable-width CIOS, per-thread scratch
+  kFixed,    ///< width-templated CIOS, stack scratch
+  kAdx,      ///< x86-64 MULX/ADCX/ADOX dual carry chains
+};
+
+/// Stable lowercase name ("auto", "generic", "fixed", "adx").
+const char* MontBackendKindName(MontBackendKind kind);
+
+/// The modulus constants a kernel needs, borrowed from the owning
+/// MontgomeryContext: n limbs of m plus n0' = -m^{-1} mod 2^64.
+struct MontModulusView {
+  const uint64_t* mod;
+  size_t n;
+  uint64_t n0_inv;
+};
+
+/// One backend's entry points. All operands are n-limb little-endian
+/// arrays; `out` is written only after the inputs are fully consumed,
+/// so an output may alias its own operation's inputs. Within mul_batch
+/// the products are independent: an output must not alias another
+/// product's input (callers batch distinct accumulators only).
+struct MontBackendOps {
+  MontBackendKind kind;
+  const char* name;
+  void (*mul)(const MontModulusView& m, const uint64_t* a, const uint64_t* b,
+              uint64_t* out);
+  void (*sqr)(const MontModulusView& m, const uint64_t* a, uint64_t* out);
+  void (*mul_batch)(const MontModulusView& m, size_t count,
+                    const uint64_t* const* a, const uint64_t* const* b,
+                    uint64_t* const* out);
+  /// Per-backend op counters (mont.mul_ops.<name> / mont.sqr_ops.<name>
+  /// in the global registry), cached here so the hot path never takes
+  /// the registry lock.
+  obs::Counter* mul_ops;
+  obs::Counter* sqr_ops;
+};
+
+/// CPU features relevant to backend dispatch, probed once per process.
+struct MontCpuFeatures {
+  bool bmi2 = false;  ///< MULX
+  bool adx = false;   ///< ADCX/ADOX
+};
+const MontCpuFeatures& DetectMontCpuFeatures();
+
+/// True when `kind` can serve n_limbs-limb operands on this host:
+/// generic always; fixed for the specialized widths {4, 8, 16, 24, 32,
+/// 48, 64}; adx on x86-64 with BMI2+ADX for any positive multiple of 4.
+bool MontBackendSupports(MontBackendKind kind, size_t n_limbs);
+
+/// Resolves a backend for n_limbs-limb moduli. A kAuto request first
+/// honors PPSTATS_FORCE_BACKEND (values generic / fixed / adx, with
+/// "intrinsics" accepted as an alias for adx), then picks the best
+/// supported kind in the order adx > fixed > generic. A concrete
+/// request (or override) that this host/width cannot serve falls back
+/// down the same order, so a forced backend can never produce a context
+/// that fails — only a slower one.
+const MontBackendOps& SelectMontBackend(
+    size_t n_limbs, MontBackendKind requested = MontBackendKind::kAuto);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_BIGINT_MONT_BACKEND_H_

@@ -7,11 +7,11 @@
 #include <utility>
 
 #include "bigint/modarith.h"
+#include "obs/metrics.h"
 
 namespace ppstats {
 
 namespace {
-using uint128 = unsigned __int128;
 
 // Inverse of odd x modulo 2^64 by Newton iteration; 6 steps double the
 // correct low bits from 1 to 64.
@@ -92,12 +92,17 @@ std::pair<size_t, double> PickPippengerWindow(size_t k, size_t bits) {
 }  // namespace
 
 MontgomeryContext::MontgomeryContext(const BigInt& modulus)
+    : MontgomeryContext(modulus, MontBackendKind::kAuto) {}
+
+MontgomeryContext::MontgomeryContext(const BigInt& modulus,
+                                     MontBackendKind backend)
     : modulus_(modulus) {
   assert(modulus.IsOdd());
   assert(modulus > BigInt(1));
   mod_limbs_ = modulus.limbs();
   n_ = mod_limbs_.size();
   n0_inv_ = ~InverseMod2_64(mod_limbs_[0]) + 1;  // -m^{-1} mod 2^64
+  backend_ = &SelectMontBackend(n_, backend);
 
   // R = 2^(64 n); r2_ = R^2 mod m computed with plain BigInt arithmetic.
   BigInt r = BigInt(1) << (64 * n_);
@@ -114,133 +119,56 @@ MontgomeryContext::Limbs MontgomeryContext::ToFixed(const BigInt& x) const {
   return out;
 }
 
-void MontgomeryContext::ReduceOnce(const std::vector<uint64_t>& t,
-                                   size_t offset, Limbs* out) const {
-  // The reduced value t[offset .. offset+n) plus overflow limb
-  // t[offset+n] lies in [0, 2m); subtract m at most once.
-  const size_t n = n_;
-  bool ge = t[offset + n] != 0;
-  if (!ge) {
-    ge = true;
-    for (size_t i = n; i-- > 0;) {
-      if (t[offset + i] != mod_limbs_[i]) {
-        ge = t[offset + i] > mod_limbs_[i];
-        break;
-      }
-    }
-  }
-  out->assign(t.begin() + offset, t.begin() + offset + n);
-  if (ge) {
-    uint64_t borrow = 0;
-    for (size_t i = 0; i < n; ++i) {
-      uint128 d = static_cast<uint128>((*out)[i]) - mod_limbs_[i] - borrow;
-      (*out)[i] = static_cast<uint64_t>(d);
-      borrow = (d >> 64) ? 1 : 0;
-    }
-  }
-}
-
 void MontgomeryContext::MontMul(const Limbs& a, const Limbs& b,
                                 Limbs* out) const {
-  // CIOS (coarsely integrated operand scanning), Koc et al. 1996.
-  const size_t n = n_;
-  std::vector<uint64_t> t(n + 2, 0);
-  for (size_t i = 0; i < n; ++i) {
-    // t += a[i] * b
-    uint64_t carry = 0;
-    for (size_t j = 0; j < n; ++j) {
-      uint128 cur = static_cast<uint128>(a[i]) * b[j] + t[j] + carry;
-      t[j] = static_cast<uint64_t>(cur);
-      carry = static_cast<uint64_t>(cur >> 64);
-    }
-    uint128 s = static_cast<uint128>(t[n]) + carry;
-    t[n] = static_cast<uint64_t>(s);
-    t[n + 1] = static_cast<uint64_t>(s >> 64);
-
-    // t += (t[0] * n0') * m; then t >>= 64
-    uint64_t m = t[0] * n0_inv_;
-    uint128 cur = static_cast<uint128>(m) * mod_limbs_[0] + t[0];
-    carry = static_cast<uint64_t>(cur >> 64);
-    for (size_t j = 1; j < n; ++j) {
-      cur = static_cast<uint128>(m) * mod_limbs_[j] + t[j] + carry;
-      t[j - 1] = static_cast<uint64_t>(cur);
-      carry = static_cast<uint64_t>(cur >> 64);
-    }
-    s = static_cast<uint128>(t[n]) + carry;
-    t[n - 1] = static_cast<uint64_t>(s);
-    t[n] = t[n + 1] + static_cast<uint64_t>(s >> 64);
-    t[n + 1] = 0;
-  }
-  ReduceOnce(t, 0, out);
+  assert(out != &a && out != &b);
+  out->resize(n_);
+  backend_->mul(View(), a.data(), b.data(), out->data());
+  backend_->mul_ops->Increment();
 }
 
 void MontgomeryContext::MontSqr(const Limbs& a, Limbs* out) const {
-  // SOS (separated operand scanning) squaring: the product phase
-  // computes only the cross terms a[i]*a[j] for i < j (half the
-  // multiplications of a general product), doubles them, and adds the
-  // diagonal squares; the reduction phase is the standard Montgomery
-  // sweep. Net ~1.3x faster than MontMul(a, a).
-  const size_t n = n_;
-  std::vector<uint64_t> t(2 * n + 1, 0);
+  assert(out != &a);
+  out->resize(n_);
+  backend_->sqr(View(), a.data(), out->data());
+  backend_->sqr_ops->Increment();
+}
 
-  // Upper triangle: t += a[i] * a[j] for j > i.
-  for (size_t i = 0; i + 1 < n; ++i) {
-    uint64_t carry = 0;
-    for (size_t j = i + 1; j < n; ++j) {
-      uint128 cur = static_cast<uint128>(a[i]) * a[j] + t[i + j] + carry;
-      t[i + j] = static_cast<uint64_t>(cur);
-      carry = static_cast<uint64_t>(cur >> 64);
-    }
-    t[i + n] = carry;  // position i+n is untouched by earlier rows
-  }
-
-  // Double the cross terms: t <<= 1 (cannot overflow 2n limbs since
-  // 2 * triangle <= a^2 - sum a[i]^2 < m^2).
-  uint64_t carry = 0;
-  for (size_t i = 0; i < 2 * n; ++i) {
-    const uint64_t hi = t[i] >> 63;
-    t[i] = (t[i] << 1) | carry;
-    carry = hi;
-  }
-
-  // Add the diagonal squares a[i]^2 at bit offset 128 i.
-  carry = 0;
-  for (size_t i = 0; i < n; ++i) {
-    const uint128 sq = static_cast<uint128>(a[i]) * a[i];
-    uint128 lo = static_cast<uint128>(t[2 * i]) +
-                 static_cast<uint64_t>(sq) + carry;
-    t[2 * i] = static_cast<uint64_t>(lo);
-    uint128 hi = static_cast<uint128>(t[2 * i + 1]) +
-                 static_cast<uint64_t>(sq >> 64) +
-                 static_cast<uint64_t>(lo >> 64);
-    t[2 * i + 1] = static_cast<uint64_t>(hi);
-    carry = static_cast<uint64_t>(hi >> 64);
-  }
-  t[2 * n] = carry;
-
-  // Montgomery reduction: for each low limb, cancel it with a multiple
-  // of m and carry into the high half.
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t m = t[i] * n0_inv_;
-    uint64_t c = 0;
-    for (size_t j = 0; j < n; ++j) {
-      uint128 cur = static_cast<uint128>(m) * mod_limbs_[j] + t[i + j] + c;
-      t[i + j] = static_cast<uint64_t>(cur);
-      c = static_cast<uint64_t>(cur >> 64);
-    }
-    for (size_t k = i + n; c != 0 && k <= 2 * n; ++k) {
-      uint128 cur = static_cast<uint128>(t[k]) + c;
-      t[k] = static_cast<uint64_t>(cur);
-      c = static_cast<uint64_t>(cur >> 64);
-    }
-  }
-  ReduceOnce(t, n, out);
+void MontgomeryContext::MontMulBatch(size_t count, const uint64_t* const* a,
+                                     const uint64_t* const* b,
+                                     uint64_t* const* out) const {
+  backend_->mul_batch(View(), count, a, b, out);
+  backend_->mul_ops->Add(count);
 }
 
 BigInt MontgomeryContext::ToMontgomery(const BigInt& x) const {
   Limbs out;
   MontMul(ToFixed(x), r2_, &out);
   return BigInt::FromLimbs(std::move(out));
+}
+
+std::vector<BigInt> MontgomeryContext::ToMontgomeryBatch(
+    std::span<const BigInt> xs) const {
+  const size_t k = xs.size();
+  std::vector<Limbs> fixed(k);
+  std::vector<Limbs> outs(k);
+  std::vector<const uint64_t*> a(k);
+  std::vector<const uint64_t*> b(k);
+  std::vector<uint64_t*> o(k);
+  for (size_t i = 0; i < k; ++i) {
+    fixed[i] = ToFixed(xs[i]);
+    outs[i].resize(n_);
+    a[i] = fixed[i].data();
+    b[i] = r2_.data();  // every conversion multiplies by the same R^2
+    o[i] = outs[i].data();
+  }
+  MontMulBatch(k, a.data(), b.data(), o.data());
+  std::vector<BigInt> result;
+  result.reserve(k);
+  for (size_t i = 0; i < k; ++i) {
+    result.push_back(BigInt::FromLimbs(std::move(outs[i])));
+  }
+  return result;
 }
 
 BigInt MontgomeryContext::FromMontgomery(const BigInt& x) const {
@@ -330,9 +258,21 @@ MontgomeryContext::Limbs MontgomeryContext::StrausMont(
   for (size_t i = 0; i < k; ++i) {
     tables[i].resize(table_size);
     tables[i][1] = bases[i];
-    for (size_t j = 2; j < table_size; ++j) {
-      MontMul(tables[i][j - 1], bases[i], &tables[i][j]);
+  }
+  // Table level j depends only on level j-1 of the *same* base, so one
+  // batched call per level runs the k independent chains side by side
+  // (the adx backend interleaves row pairs through the carry chains).
+  std::vector<const uint64_t*> prev(k);
+  std::vector<const uint64_t*> base_ptrs(k);
+  std::vector<uint64_t*> next(k);
+  for (size_t i = 0; i < k; ++i) base_ptrs[i] = bases[i].data();
+  for (size_t j = 2; j < table_size; ++j) {
+    for (size_t i = 0; i < k; ++i) {
+      tables[i][j].resize(n_);
+      prev[i] = tables[i][j - 1].data();
+      next[i] = tables[i][j].data();
     }
+    MontMulBatch(k, prev.data(), base_ptrs.data(), next.data());
   }
 
   const size_t windows = (max_bits + window - 1) / window;
@@ -376,6 +316,13 @@ MontgomeryContext::Limbs MontgomeryContext::PippengerMont(
   std::vector<bool> used(bucket_count, false);
   std::vector<size_t> digits;  // occupied digits of the current window
   digits.reserve(std::min(k, bucket_count));
+  // Deferred second-and-later bucket inserts, batched per window:
+  // (digit, base limbs) in arrival order.
+  std::vector<std::pair<size_t, const uint64_t*>> pending;
+  std::vector<uint8_t> in_group(bucket_count, 0);
+  std::vector<const uint64_t*> group_a;
+  std::vector<const uint64_t*> group_b;
+  std::vector<uint64_t*> group_out;
   Limbs acc = one_mont_;
   Limbs tmp;
 
@@ -407,17 +354,42 @@ MontgomeryContext::Limbs MontgomeryContext::PippengerMont(
 
     for (size_t d : digits) used[d] = false;
     digits.clear();
+    pending.clear();
     for (size_t i = 0; i < k; ++i) {
       const size_t digit = WindowDigit(*exps[i], w, window);
       if (digit == 0) continue;
       if (used[digit]) {
-        MontMul(buckets[digit], bases[i], &tmp);
-        buckets[digit].swap(tmp);
+        pending.emplace_back(digit, bases[i].data());
       } else {
         buckets[digit] = bases[i];
         used[digit] = true;
         digits.push_back(digit);
       }
+    }
+    // Flush the deferred bucket multiplies in batches: inserts into
+    // *distinct* buckets are independent products, so consecutive
+    // pending entries run as one batched call until a digit repeats —
+    // that boundary preserves the per-bucket multiply order, keeping
+    // the result bit-identical to the serial insert loop.
+    for (size_t start = 0; start < pending.size();) {
+      size_t end = start;
+      while (end < pending.size() && !in_group[pending[end].first]) {
+        in_group[pending[end].first] = 1;
+        ++end;
+      }
+      group_a.clear();
+      group_b.clear();
+      group_out.clear();
+      for (size_t p = start; p < end; ++p) {
+        const size_t d = pending[p].first;
+        in_group[d] = 0;
+        group_a.push_back(buckets[d].data());
+        group_b.push_back(pending[p].second);
+        group_out.push_back(buckets[d].data());
+      }
+      MontMulBatch(group_a.size(), group_a.data(), group_b.data(),
+                   group_out.data());
+      start = end;
     }
     if (digits.empty()) continue;
     std::sort(digits.begin(), digits.end(), std::greater<size_t>());
@@ -484,11 +456,12 @@ BigInt MontgomeryContext::MultiExp(std::span<const BigInt> bases,
                                    std::span<const BigInt> exponents,
                                    MultiExpSchedule schedule) const {
   assert(bases.size() == exponents.size());
-  std::vector<BigInt> bases_mont;
-  bases_mont.reserve(bases.size());
+  std::vector<BigInt> reduced;
+  reduced.reserve(bases.size());
   for (const BigInt& base : bases) {
-    bases_mont.push_back(ToMontgomery(Mod(base, modulus_)));
+    reduced.push_back(Mod(base, modulus_));
   }
+  const std::vector<BigInt> bases_mont = ToMontgomeryBatch(reduced);
   return FromMontgomery(MultiExpMontgomery(bases_mont, exponents, schedule));
 }
 

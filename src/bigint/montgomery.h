@@ -2,13 +2,17 @@
 // exponentiation, and batched multi-exponentiation.
 //
 // A MontgomeryContext is bound to one odd modulus and caches the values
-// (n0', R^2 mod m) needed for CIOS Montgomery multiplication. Modular
-// exponentiation with a 4-bit fixed window over Montgomery residues is
-// the workhorse of Paillier encryption/decryption, and the batched
-// MultiExp kernel (Pippenger buckets with a Straus fallback for small
-// batches) is the workhorse of the server's homomorphic fold
-// prod_i c_i^{e_i} mod m — the component the paper measures as dominant
-// at every database size.
+// (n0', R^2 mod m) needed for CIOS Montgomery multiplication. The
+// per-limb kernels themselves live behind the pluggable backend layer
+// (bigint/mont_backend.h): the context resolves a backend for its width
+// at construction — generic CIOS, width-specialized CIOS, or the
+// x86-64 MULX/ADX kernel — and every multiply, square, and batched
+// conversion routes through it. Modular exponentiation with a 4-bit
+// fixed window over Montgomery residues is the workhorse of Paillier
+// encryption/decryption, and the batched MultiExp kernel (Pippenger
+// buckets with a Straus fallback for small batches) is the workhorse of
+// the server's homomorphic fold prod_i c_i^{e_i} mod m — the component
+// the paper measures as dominant at every database size.
 
 #ifndef PPSTATS_BIGINT_MONTGOMERY_H_
 #define PPSTATS_BIGINT_MONTGOMERY_H_
@@ -18,6 +22,7 @@
 #include <vector>
 
 #include "bigint/bigint.h"
+#include "bigint/mont_backend.h"
 
 namespace ppstats {
 
@@ -32,13 +37,30 @@ enum class MultiExpSchedule {
 /// Precomputed context for arithmetic modulo a fixed odd modulus.
 class MontgomeryContext {
  public:
-  /// Builds a context for odd `modulus` > 1.
+  /// Builds a context for odd `modulus` > 1, resolving the
+  /// multiplication backend automatically (PPSTATS_FORCE_BACKEND
+  /// override, then best supported for the width).
   explicit MontgomeryContext(const BigInt& modulus);
+
+  /// Same, but pins the backend (benchmarks and differential tests).
+  /// A kind this host/width cannot serve falls back down the dispatch
+  /// order, so construction always succeeds.
+  MontgomeryContext(const BigInt& modulus, MontBackendKind backend);
 
   const BigInt& modulus() const { return modulus_; }
 
+  /// The backend this context resolved to (never kAuto).
+  MontBackendKind backend_kind() const { return backend_->kind; }
+  const char* backend_name() const { return backend_->name; }
+
   /// Converts a canonical residue (0 <= x < m) to Montgomery form.
   BigInt ToMontgomery(const BigInt& x) const;
+
+  /// Batched ToMontgomery: element-for-element identical results, but
+  /// the conversions run through the backend's batch entry point so
+  /// independent multiplies can interleave (the fold engine's per-row
+  /// conversion path).
+  std::vector<BigInt> ToMontgomeryBatch(std::span<const BigInt> xs) const;
 
   /// Converts a Montgomery-form value back to a canonical residue.
   BigInt FromMontgomery(const BigInt& x) const;
@@ -80,18 +102,21 @@ class MontgomeryContext {
  private:
   using Limbs = std::vector<uint64_t>;
 
-  // CIOS Montgomery multiplication on n-limb operands.
-  void MontMul(const Limbs& a, const Limbs& b, Limbs* out) const;
+  // The modulus constants the backend kernels consume.
+  MontModulusView View() const { return {mod_limbs_.data(), n_, n0_inv_}; }
 
-  // SOS Montgomery squaring: triangle product + doubling, then a
-  // separate reduction pass.
+  // Montgomery product / square of n-limb operands via the resolved
+  // backend. `out` is resized to n limbs and must not alias a or b
+  // (resizing could invalidate their storage); internal callers keep a
+  // separate tmp and swap.
+  void MontMul(const Limbs& a, const Limbs& b, Limbs* out) const;
   void MontSqr(const Limbs& a, Limbs* out) const;
 
-  // Final conditional subtraction shared by MontMul/MontSqr: `t` holds
-  // n limbs at `offset` plus an overflow limb at `offset + n`; writes
-  // the canonical (< 2m reduced to < m) result to `out`.
-  void ReduceOnce(const std::vector<uint64_t>& t, size_t offset,
-                  Limbs* out) const;
+  // Batched Montgomery products out[i] = a[i] * b[i] over already-sized
+  // n-limb arrays. An output may alias its own product's inputs, never
+  // another product's (the backend may interleave products).
+  void MontMulBatch(size_t count, const uint64_t* const* a,
+                    const uint64_t* const* b, uint64_t* const* out) const;
 
   // Multi-exponentiation backends over gathered nonzero terms. `bases`
   // are n-limb Montgomery-form operands; both return Montgomery form.
@@ -110,6 +135,9 @@ class MontgomeryContext {
   uint64_t n0_inv_;     // -m^{-1} mod 2^64
   Limbs r2_;            // R^2 mod m, R = 2^(64 n)
   Limbs one_mont_;      // R mod m (Montgomery form of 1)
+  // Resolved multiplication backend; points at a process-lifetime ops
+  // table (bigint/mont_backend.cc), so copies of the context stay valid.
+  const MontBackendOps* backend_ = nullptr;
 };
 
 }  // namespace ppstats

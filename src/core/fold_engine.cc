@@ -1,6 +1,7 @@
 #include "core/fold_engine.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "bigint/modarith.h"
 #include "common/thread_pool.h"
@@ -145,13 +146,23 @@ Status FoldEngine::FoldChunk(size_t start_row,
       [this, &mont, &cts, &values, start_row](size_t begin, size_t end,
                                               std::vector<BigInt>* bases,
                                               std::vector<BigInt>* exps) {
+        // Gather the slice's live rows first, then convert them to
+        // Montgomery form in one batched call: the backend interleaves
+        // the independent conversions instead of running one multiply
+        // per row.
+        std::vector<BigInt> raw;
+        raw.reserve(end - begin);
         for (size_t i = begin; i < end; ++i) {
           BigInt exponent =
               transform_.RowExponent(start_row + i, values[i]);
           if (exponent.IsZero()) continue;  // E(I)^0 == 1: no-op factor
-          bases->push_back(mont.ToMontgomery(cts[i].value));
+          raw.push_back(cts[i].value);
           exps->push_back(Mod(exponent, pub_.n()));
         }
+        std::vector<BigInt> rows_mont = mont.ToMontgomeryBatch(raw);
+        bases->insert(bases->end(),
+                      std::make_move_iterator(rows_mont.begin()),
+                      std::make_move_iterator(rows_mont.end()));
       });
   accumulator_mont_ = mont.MulMontgomery(accumulator_mont_, partial);
   next_expected_ = start_row + cts.size();

@@ -1,0 +1,318 @@
+// Differential tests for the pluggable Montgomery backends
+// (bigint/mont_backend.h): every available kernel must produce
+// bit-identical canonical residues — against each other, against the
+// plain MulMod/ModExpPlain reference arithmetic, and on the carry-edge
+// operands (m-1, values forcing the final conditional subtraction)
+// where CIOS implementations historically break.
+
+#include "bigint/mont_backend.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <vector>
+
+#include "bigint/modarith.h"
+#include "bigint/montgomery.h"
+#include "crypto/chacha20_rng.h"
+#include "obs/metrics.h"
+
+namespace ppstats {
+namespace {
+
+// Exactly `bits` bits (top bit pinned), odd, so the limb count is
+// bits/64 and width-dispatched backends engage.
+BigInt ExactBitsOdd(ChaCha20Rng& rng, size_t bits) {
+  BigInt v = (BigInt(1) << (bits - 1)) + RandomBits(rng, bits - 1);
+  if (v.IsEven()) v += 1;
+  return v;
+}
+
+size_t LimbsForBits(size_t bits) { return (bits + 63) / 64; }
+
+// Every backend kind this host can serve at the given width; always
+// starts with generic (the reference).
+std::vector<MontBackendKind> AvailableKinds(size_t n_limbs) {
+  std::vector<MontBackendKind> kinds{MontBackendKind::kGeneric};
+  if (MontBackendSupports(MontBackendKind::kFixed, n_limbs)) {
+    kinds.push_back(MontBackendKind::kFixed);
+  }
+  if (MontBackendSupports(MontBackendKind::kAdx, n_limbs)) {
+    kinds.push_back(MontBackendKind::kAdx);
+  }
+  return kinds;
+}
+
+// Scoped PPSTATS_FORCE_BACKEND override (nullptr unsets, so tests of
+// the auto path stay valid when the suite itself runs under a forced
+// backend, as CI does) restoring the previous value even when an
+// assertion fails mid-test.
+class ScopedForceBackend {
+ public:
+  explicit ScopedForceBackend(const char* value) {
+    const char* old = std::getenv("PPSTATS_FORCE_BACKEND");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value != nullptr) {
+      setenv("PPSTATS_FORCE_BACKEND", value, 1);
+    } else {
+      unsetenv("PPSTATS_FORCE_BACKEND");
+    }
+  }
+  ~ScopedForceBackend() {
+    if (had_old_) {
+      setenv("PPSTATS_FORCE_BACKEND", old_.c_str(), 1);
+    } else {
+      unsetenv("PPSTATS_FORCE_BACKEND");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(MontBackendTest, KindNamesAreStable) {
+  EXPECT_STREQ(MontBackendKindName(MontBackendKind::kAuto), "auto");
+  EXPECT_STREQ(MontBackendKindName(MontBackendKind::kGeneric), "generic");
+  EXPECT_STREQ(MontBackendKindName(MontBackendKind::kFixed), "fixed");
+  EXPECT_STREQ(MontBackendKindName(MontBackendKind::kAdx), "adx");
+}
+
+TEST(MontBackendTest, DispatcherPicksBestSupportedKind) {
+  ScopedForceBackend no_force(nullptr);
+  ChaCha20Rng rng(101);
+  for (size_t bits : {2048u, 4096u}) {
+    const size_t n = LimbsForBits(bits);
+    MontgomeryContext ctx(ExactBitsOdd(rng, bits));
+    // The resolved kind must be supported, and must be the first
+    // supported entry of the dispatch order adx > fixed > generic.
+    EXPECT_TRUE(MontBackendSupports(ctx.backend_kind(), n));
+    if (MontBackendSupports(MontBackendKind::kAdx, n)) {
+      EXPECT_EQ(ctx.backend_kind(), MontBackendKind::kAdx);
+    } else if (MontBackendSupports(MontBackendKind::kFixed, n)) {
+      EXPECT_EQ(ctx.backend_kind(), MontBackendKind::kFixed);
+    } else {
+      EXPECT_EQ(ctx.backend_kind(), MontBackendKind::kGeneric);
+    }
+  }
+}
+
+TEST(MontBackendTest, EnvOverrideForcesBackend) {
+  ChaCha20Rng rng(102);
+  const BigInt m = ExactBitsOdd(rng, 2048);
+  {
+    ScopedForceBackend force("generic");
+    MontgomeryContext ctx(m);
+    EXPECT_EQ(ctx.backend_kind(), MontBackendKind::kGeneric);
+    EXPECT_STREQ(ctx.backend_name(), "generic");
+  }
+  {
+    // "intrinsics" is an alias for adx; on hosts without ADX the
+    // request falls back down the dispatch order instead of failing.
+    ScopedForceBackend force("intrinsics");
+    MontgomeryContext ctx(m);
+    EXPECT_EQ(ctx.backend_kind(),
+              SelectMontBackend(LimbsForBits(2048), MontBackendKind::kAdx).kind);
+  }
+  {
+    // Unknown values mean "don't force": auto dispatch.
+    ScopedForceBackend force("bogus");
+    MontgomeryContext forced(m);
+    MontgomeryContext plain(m);
+    EXPECT_EQ(forced.backend_kind(), plain.backend_kind());
+  }
+}
+
+TEST(MontBackendTest, ForcedKindFallsBackWhenUnsupported) {
+  ChaCha20Rng rng(103);
+  // 320 bits = 5 limbs: not a fixed width, not a multiple of 4, so both
+  // fast kinds must degrade to generic rather than fail.
+  const BigInt m = ExactBitsOdd(rng, 320);
+  EXPECT_EQ(MontgomeryContext(m, MontBackendKind::kFixed).backend_kind(),
+            MontBackendKind::kGeneric);
+  EXPECT_EQ(MontgomeryContext(m, MontBackendKind::kAdx).backend_kind(),
+            MontBackendKind::kGeneric);
+}
+
+TEST(MontBackendTest, MulMatchesReferenceAcrossBackends) {
+  ChaCha20Rng rng(104);
+  for (size_t bits : {2048u, 4096u}) {
+    const BigInt m = ExactBitsOdd(rng, bits);
+    std::vector<MontgomeryContext> ctxs;
+    for (MontBackendKind kind : AvailableKinds(LimbsForBits(bits))) {
+      ctxs.emplace_back(m, kind);
+      ASSERT_EQ(ctxs.back().backend_kind(), kind);
+    }
+    for (int iter = 0; iter < 12; ++iter) {
+      const BigInt a = RandomBelow(rng, m);
+      const BigInt b = RandomBelow(rng, m);
+      const BigInt expected = MulMod(a, b, m);
+      for (const MontgomeryContext& ctx : ctxs) {
+        const BigInt am = ctx.ToMontgomery(a);
+        const BigInt bm = ctx.ToMontgomery(b);
+        EXPECT_EQ(ctx.FromMontgomery(ctx.MulMontgomery(am, bm)), expected)
+            << bits << " bits, backend " << ctx.backend_name();
+      }
+    }
+  }
+}
+
+TEST(MontBackendTest, CarryEdgeOperands) {
+  ChaCha20Rng rng(105);
+  for (size_t bits : {2048u, 4096u}) {
+    // A modulus just below 2^bits makes m-1 all-ones in nearly every
+    // limb — the worst case for the kernels' carry chains — and
+    // products of near-m operands exercise the final conditional
+    // subtraction.
+    const BigInt near_top = (BigInt(1) << bits) - BigInt(159);
+    for (const BigInt& m : {near_top, ExactBitsOdd(rng, bits)}) {
+      ASSERT_TRUE(m.IsOdd());
+      std::vector<BigInt> edges = {BigInt(0), BigInt(1), BigInt(2),
+                                   m - BigInt(1), m - BigInt(2), m >> 1,
+                                   RandomBelow(rng, m)};
+      for (MontBackendKind kind : AvailableKinds(LimbsForBits(bits))) {
+        MontgomeryContext ctx(m, kind);
+        for (const BigInt& a : edges) {
+          for (const BigInt& b : edges) {
+            const BigInt am = ctx.ToMontgomery(a);
+            const BigInt bm = ctx.ToMontgomery(b);
+            EXPECT_EQ(ctx.FromMontgomery(ctx.MulMontgomery(am, bm)),
+                      MulMod(a, b, m))
+                << bits << " bits, backend " << ctx.backend_name();
+          }
+          EXPECT_EQ(ctx.FromMontgomery(ctx.Sqr(ctx.ToMontgomery(a))),
+                    MulMod(a, a, m))
+              << bits << " bits, backend " << ctx.backend_name();
+        }
+      }
+    }
+  }
+}
+
+TEST(MontBackendTest, SqrMatchesMulAcrossBackends) {
+  ChaCha20Rng rng(106);
+  for (size_t bits : {2048u, 4096u}) {
+    const BigInt m = ExactBitsOdd(rng, bits);
+    for (MontBackendKind kind : AvailableKinds(LimbsForBits(bits))) {
+      MontgomeryContext ctx(m, kind);
+      for (int iter = 0; iter < 8; ++iter) {
+        const BigInt a = RandomBelow(rng, m);
+        const BigInt am = ctx.ToMontgomery(a);
+        EXPECT_EQ(ctx.Sqr(am), ctx.MulMontgomery(am, am))
+            << bits << " bits, backend " << ctx.backend_name();
+        EXPECT_EQ(ctx.FromMontgomery(ctx.Sqr(am)), MulMod(a, a, m))
+            << bits << " bits, backend " << ctx.backend_name();
+      }
+    }
+  }
+}
+
+TEST(MontBackendTest, ExpMatchesPlainExponentiationPerBackend) {
+  ChaCha20Rng rng(107);
+  for (size_t bits : {2048u, 4096u}) {
+    const BigInt m = ExactBitsOdd(rng, bits);
+    const BigInt base = RandomBelow(rng, m);
+    // One short exponent (ScalarMultiply's square-and-multiply regime)
+    // and one past the window threshold, per backend.
+    for (size_t exp_bits : {32u, 64u}) {
+      const BigInt exp = RandomBits(rng, exp_bits) + BigInt(3);
+      const BigInt expected = ModExpPlain(base, exp, m);
+      for (MontBackendKind kind : AvailableKinds(LimbsForBits(bits))) {
+        MontgomeryContext ctx(m, kind);
+        EXPECT_EQ(ctx.Exp(base, exp), expected)
+            << bits << " bits, backend " << ctx.backend_name();
+      }
+    }
+  }
+}
+
+TEST(MontBackendTest, SeededFuzzSweepPerBackend) {
+  // Every fixed width in the dispatch table (4..64 limbs), a few seeded
+  // random operand pairs each, all backends against MulMod.
+  ChaCha20Rng rng(108);
+  for (size_t bits : {256u, 512u, 1024u, 1536u, 2048u, 3072u, 4096u}) {
+    const BigInt m = ExactBitsOdd(rng, bits);
+    for (MontBackendKind kind : AvailableKinds(LimbsForBits(bits))) {
+      MontgomeryContext ctx(m, kind);
+      ASSERT_EQ(ctx.backend_kind(), kind);
+      for (int iter = 0; iter < 4; ++iter) {
+        const BigInt a = RandomBelow(rng, m);
+        const BigInt b = RandomBelow(rng, m);
+        const BigInt am = ctx.ToMontgomery(a);
+        const BigInt bm = ctx.ToMontgomery(b);
+        EXPECT_EQ(ctx.FromMontgomery(ctx.MulMontgomery(am, bm)),
+                  MulMod(a, b, m))
+            << bits << " bits, backend " << ctx.backend_name();
+      }
+    }
+  }
+}
+
+TEST(MontBackendTest, ToMontgomeryBatchMatchesSingles) {
+  ChaCha20Rng rng(109);
+  const BigInt m = ExactBitsOdd(rng, 2048);
+  for (MontBackendKind kind : AvailableKinds(LimbsForBits(2048))) {
+    MontgomeryContext ctx(m, kind);
+    for (size_t count : {0u, 1u, 2u, 3u, 7u}) {
+      std::vector<BigInt> xs;
+      for (size_t i = 0; i < count; ++i) xs.push_back(RandomBelow(rng, m));
+      const std::vector<BigInt> batch = ctx.ToMontgomeryBatch(xs);
+      ASSERT_EQ(batch.size(), count);
+      for (size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(batch[i], ctx.ToMontgomery(xs[i]))
+            << "count " << count << ", backend " << ctx.backend_name();
+      }
+    }
+  }
+}
+
+TEST(MontBackendTest, MultiExpAgreesAcrossBackendsAndSchedules) {
+  ChaCha20Rng rng(110);
+  const BigInt m = ExactBitsOdd(rng, 2048);
+  constexpr size_t kRows = 30;
+  std::vector<BigInt> bases;
+  std::vector<BigInt> exps;
+  for (size_t i = 0; i < kRows; ++i) {
+    bases.push_back(RandomBelow(rng, m));
+    // Include zero exponents so the skip path stays covered.
+    exps.push_back(i % 7 == 0 ? BigInt(0) : RandomBits(rng, 32));
+  }
+  // Naive reference fold.
+  BigInt expected(1);
+  MontgomeryContext ref(m, MontBackendKind::kGeneric);
+  for (size_t i = 0; i < kRows; ++i) {
+    expected = MulMod(expected, ref.Exp(bases[i], exps[i]), m);
+  }
+  for (MontBackendKind kind : AvailableKinds(LimbsForBits(2048))) {
+    MontgomeryContext ctx(m, kind);
+    for (MultiExpSchedule schedule :
+         {MultiExpSchedule::kAuto, MultiExpSchedule::kStraus,
+          MultiExpSchedule::kPippenger}) {
+      EXPECT_EQ(ctx.MultiExp(bases, exps, schedule), expected)
+          << "backend " << ctx.backend_name();
+    }
+  }
+}
+
+TEST(MontBackendTest, OpCountersTick) {
+  ChaCha20Rng rng(111);
+  const BigInt m = ExactBitsOdd(rng, 2048);
+  MontgomeryContext ctx(m, MontBackendKind::kGeneric);
+  obs::Counter* mul_ops =
+      obs::MetricRegistry::Global().GetCounter("mont.mul_ops.generic");
+  obs::Counter* sqr_ops =
+      obs::MetricRegistry::Global().GetCounter("mont.sqr_ops.generic");
+  const uint64_t muls_before = mul_ops->Value();
+  const uint64_t sqrs_before = sqr_ops->Value();
+  const BigInt am = ctx.ToMontgomery(RandomBelow(rng, m));
+  (void)ctx.MulMontgomery(am, am);
+  (void)ctx.Sqr(am);
+  (void)ctx.ToMontgomeryBatch(std::vector<BigInt>{am, am, am});
+  // ToMontgomery + MulMontgomery + 3 batched conversions >= 5 muls.
+  EXPECT_GE(mul_ops->Value(), muls_before + 5);
+  EXPECT_GE(sqr_ops->Value(), sqrs_before + 1);
+}
+
+}  // namespace
+}  // namespace ppstats
