@@ -14,8 +14,16 @@
 // still completed correctly per second — plus the fault and retry
 // counts, quantifying what the robustness layer costs under a noisy
 // transport.
+//
+// --engine=threaded|reactor selects the ServiceHost engine (default
+// threaded): thread-per-session, or the epoll reactor with folds on the
+// shared work-stealing pool. Comparing the two tables isolates what the
+// event-driven engine costs (or saves) at each client count. When
+// PPSTATS_BENCH_JSON_DIR is set the fault-free table is also written to
+// <dir>/BENCH_ablation_service_host_<engine>.json.
 
 #include <atomic>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <thread>
@@ -23,10 +31,11 @@
 #include "bench/figlib.h"
 #include "core/service_host.h"
 #include "net/fault_injection.h"
+#include "obs/export.h"
 
 namespace {
 
-int RunChaosMode();
+int RunChaosMode(ppstats::ServiceEngine engine, const char* engine_name);
 
 }  // namespace
 
@@ -34,9 +43,30 @@ int main(int argc, char** argv) {
   using namespace ppstats;
   using namespace ppstats::bench;
 
+  bool chaos = false;
+  ServiceEngine engine = ServiceEngine::kThreaded;
+  const char* engine_name = "threaded";
   for (int i = 1; i < argc; ++i) {
-    if (!std::strcmp(argv[i], "--chaos")) return RunChaosMode();
+    if (!std::strcmp(argv[i], "--chaos")) {
+      chaos = true;
+    } else if (!std::strcmp(argv[i], "--engine=reactor") ||
+               (!std::strcmp(argv[i], "--engine") && i + 1 < argc &&
+                !std::strcmp(argv[i + 1], "reactor") && ++i)) {
+      engine = ServiceEngine::kReactor;
+      engine_name = "reactor";
+    } else if (!std::strcmp(argv[i], "--engine=threaded") ||
+               (!std::strcmp(argv[i], "--engine") && i + 1 < argc &&
+                !std::strcmp(argv[i + 1], "threaded") && ++i)) {
+      engine = ServiceEngine::kThreaded;
+      engine_name = "threaded";
+    } else {
+      std::fprintf(stderr,
+                   "usage: ablation_service_host [--chaos] "
+                   "[--engine=threaded|reactor]\n");
+      return 2;
+    }
   }
+  if (chaos) return RunChaosMode(engine, engine_name);
 
   const size_t n = FullScale() ? 10000 : 2000;
   const size_t queries_per_client = 4;
@@ -51,15 +81,26 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  std::printf("Ablation: concurrent sessions at n=%zu, %zu queries/client "
-              "(measured)\n",
-              n, queries_per_client);
+  std::printf("Ablation: concurrent sessions at n=%zu, %zu queries/client, "
+              "engine=%s (measured)\n",
+              n, queries_per_client, engine_name);
   std::printf("%10s %12s %14s %12s %10s\n", "clients", "queries", "wall (s)",
               "queries/s", "correct");
+
+  struct Row {
+    size_t clients;
+    size_t queries;
+    double wall_s;
+    double qps;
+    bool correct;
+  };
+  std::vector<Row> rows;
 
   for (size_t clients : {1u, 2u, 4u, 8u}) {
     ServiceHostOptions options;
     options.default_column = "age";
+    options.engine = engine;
+    options.reactor_threads = 2;
     ServiceHost host(&registry, options);
     std::string path = "/tmp/ppstats_svc_bench.sock";
     if (!host.Start(path).ok()) {
@@ -115,17 +156,40 @@ int main(int argc, char** argv) {
     size_t total = clients * queries_per_client;
     std::printf("%10zu %12zu %14.3f %12.2f %10s\n", clients, total, wall,
                 total / wall, wrong.load() == 0 ? "yes" : "NO");
+    rows.push_back({clients, total, wall, total / wall, wrong.load() == 0});
   }
   std::printf(
       "\nexpected shape: aggregate throughput grows with client count until "
       "the cores\nsaturate, then flattens; 'correct yes' on every row is the "
       "invariant.\n\n");
+
+  if (const char* dir = std::getenv("PPSTATS_BENCH_JSON_DIR")) {
+    std::string json = "{\n";
+    json += "  \"figure\": \"ablation_service_host\",\n";
+    json += std::string("  \"engine\": \"") + engine_name + "\",\n";
+    json += "  \"unit\": \"queries_per_second\",\n  \"points\": [\n";
+    for (size_t i = 0; i < rows.size(); ++i) {
+      char line[160];
+      std::snprintf(line, sizeof(line),
+                    "    {\"clients\": %zu, \"queries\": %zu, "
+                    "\"wall_s\": %.6f, \"qps\": %.2f, \"correct\": %s}%s\n",
+                    rows[i].clients, rows[i].queries, rows[i].wall_s,
+                    rows[i].qps, rows[i].correct ? "true" : "false",
+                    i + 1 < rows.size() ? "," : "");
+      json += line;
+    }
+    json += "  ]\n}\n";
+    (void)obs::WriteFileAtomic(std::string(dir) +
+                                   "/BENCH_ablation_service_host_" +
+                                   engine_name + ".json",
+                               json);
+  }
   return 0;
 }
 
 namespace {
 
-int RunChaosMode() {
+int RunChaosMode(ppstats::ServiceEngine engine, const char* engine_name) {
   using namespace ppstats;
   using namespace ppstats::bench;
 
@@ -145,13 +209,16 @@ int RunChaosMode() {
   faults.delay_ms = 20;
 
   std::printf("Ablation: goodput under ~1%% injected faults per frame, "
-              "both directions, n=%zu (measured)\n", n);
+              "both directions, n=%zu, engine=%s (measured)\n", n,
+              engine_name);
   std::printf("%10s %12s %10s %14s %12s %10s %10s\n", "clients", "queries",
               "ok", "wall (s)", "goodput q/s", "faults", "redials");
 
   for (size_t clients : {1u, 2u, 4u, 8u}) {
     ServiceHostOptions options;
     options.default_column = "age";
+    options.engine = engine;
+    options.reactor_threads = 2;
     options.io_deadline_ms = 5000;
     options.fault_injection = faults;
     options.fault_seed = 4100 + clients;

@@ -1,6 +1,7 @@
 #include "common/thread_pool.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "obs/metrics.h"
 
@@ -19,6 +20,15 @@ struct PoolMetrics {
       obs::MetricRegistry::Global().GetGauge("threadpool.queue_depth");
   obs::Gauge* busy_workers =
       obs::MetricRegistry::Global().GetGauge("threadpool.busy_workers");
+  // Work-stealing scheduler (Submit/TrySubmit) instruments.
+  obs::Counter* submitted =
+      obs::MetricRegistry::Global().GetCounter("sched.submitted");
+  obs::Counter* steals =
+      obs::MetricRegistry::Global().GetCounter("sched.steals");
+  obs::Counter* rejected =
+      obs::MetricRegistry::Global().GetCounter("sched.rejected");
+  obs::Histogram* dispatch_ns =
+      obs::MetricRegistry::Global().GetHistogram("sched.dispatch_ns");
 };
 
 PoolMetrics& Metrics() {
@@ -29,9 +39,13 @@ PoolMetrics& Metrics() {
 }  // namespace
 
 ThreadPool::ThreadPool(size_t threads) {
+  queues_.reserve(threads);
+  for (size_t i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<TaskQueue>());
+  }
   workers_.reserve(threads);
   for (size_t i = 0; i < threads; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -61,12 +75,56 @@ void ThreadPool::ExecuteFrom(Job& job) {
   if (executed > 0) Metrics().tasks->Add(executed);
 }
 
-void ThreadPool::WorkerLoop() {
+bool ThreadPool::RunOneTask(size_t self) {
+  TaskItem item;
+  bool stolen = false;
+  {
+    MutexLock lock(queues_[self]->mu);
+    if (!queues_[self]->tasks.empty()) {
+      item = std::move(queues_[self]->tasks.front());
+      queues_[self]->tasks.pop_front();
+    }
+  }
+  if (!item.fn) {
+    // Own deque empty: steal from the back of the first non-empty
+    // sibling (back-stealing keeps the victim's front cache-warm).
+    for (size_t k = 1; k < queues_.size() && !item.fn; ++k) {
+      const size_t victim = (self + k) % queues_.size();
+      MutexLock lock(queues_[victim]->mu);
+      if (!queues_[victim]->tasks.empty()) {
+        item = std::move(queues_[victim]->tasks.back());
+        queues_[victim]->tasks.pop_back();
+        stolen = true;
+      }
+    }
+  }
+  if (!item.fn) return false;
+  pending_tasks_.fetch_sub(1, std::memory_order_relaxed);
+  if (stolen) Metrics().steals->Increment();
+  const auto now = std::chrono::steady_clock::now();
+  Metrics().dispatch_ns->Record(static_cast<uint64_t>(
+      std::max<int64_t>(0, std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               now - item.enqueued)
+                               .count())));
+  Metrics().busy_workers->Add(1);
+  item.fn();
+  Metrics().busy_workers->Add(-1);
+  return true;
+}
+
+void ThreadPool::WorkerLoop(size_t self) {
   for (;;) {
+    if (RunOneTask(self)) continue;
     std::shared_ptr<Job> job;
     {
       MutexLock lock(mu_);
-      while (!stop_ && jobs_.empty()) cv_.Wait(mu_);
+      while (!stop_ && jobs_.empty() &&
+             pending_tasks_.load(std::memory_order_acquire) == 0) {
+        cv_.Wait(mu_);
+      }
+      if (pending_tasks_.load(std::memory_order_acquire) > 0) {
+        continue;  // re-scan the task deques outside mu_
+      }
       if (jobs_.empty()) return;  // stop_ set and nothing left to help with
       job = jobs_.front();
       if (job->next.load(std::memory_order_relaxed) >= job->count) {
@@ -113,6 +171,50 @@ void ThreadPool::Run(size_t n, const std::function<void(size_t)>& fn) {
   auto it = std::find(jobs_.begin(), jobs_.end(), job);
   if (it != jobs_.end()) jobs_.erase(it);
   Metrics().queue_depth->Set(static_cast<int64_t>(jobs_.size()));
+}
+
+void ThreadPool::Enqueue(TaskItem item) {
+  // Increment before the push: a worker that pops the task decrements
+  // after observing the push (same deque lock), so the counter can
+  // never underflow, and TrySubmit's bound counts in-flight enqueues.
+  pending_tasks_.fetch_add(1, std::memory_order_release);
+  const size_t target =
+      submit_cursor_.fetch_add(1, std::memory_order_relaxed) % queues_.size();
+  {
+    MutexLock lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(item));
+  }
+  Metrics().submitted->Increment();
+  {
+    // Empty critical section: pairs with the worker's predicate check
+    // under mu_ so a worker cannot park between our push and notify.
+    MutexLock lock(mu_);
+  }
+  cv_.NotifyOne();
+}
+
+void ThreadPool::Submit(Task task) {
+  if (workers_.empty()) {
+    Metrics().submitted->Increment();
+    task();
+    return;
+  }
+  Enqueue(TaskItem{std::move(task), std::chrono::steady_clock::now()});
+}
+
+Status ThreadPool::TrySubmit(Task task, size_t queue_depth) {
+  if (workers_.empty()) {
+    Metrics().submitted->Increment();
+    task();
+    return Status::OK();
+  }
+  if (queue_depth > 0 &&
+      pending_tasks_.load(std::memory_order_acquire) >= queue_depth) {
+    Metrics().rejected->Increment();
+    return Status::ResourceExhausted("thread pool task queue is full");
+  }
+  Enqueue(TaskItem{std::move(task), std::chrono::steady_clock::now()});
+  return Status::OK();
 }
 
 ThreadPool& ThreadPool::Shared() {

@@ -1,4 +1,5 @@
-// Persistent worker-thread pool for data-parallel folds.
+// Persistent worker-thread pool for data-parallel folds and
+// fire-and-forget tasks.
 //
 // The server-side homomorphic product, the PIR row folds, and the
 // micro-benchmarks all split an associative fold into per-thread slices.
@@ -10,11 +11,20 @@
 // alongside the workers, so a Run() issued from inside a pool worker
 // cannot deadlock — in the worst case the caller simply executes every
 // index itself.
+//
+// Submit()/TrySubmit() feed a work-stealing scheduler layered on the
+// same workers: each worker owns a deque, submissions land round-robin,
+// a worker pops its own deque front-first (FIFO) and steals from the
+// back of a sibling's deque when its own is empty. The reactor host
+// (core/reactor_host.h) posts per-session protocol work here so the
+// event loop never blocks on crypto; TrySubmit's queue_depth bound is
+// its load-shedding valve.
 
 #ifndef PPSTATS_COMMON_THREAD_POOL_H_
 #define PPSTATS_COMMON_THREAD_POOL_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <deque>
 #include <functional>
@@ -23,14 +33,19 @@
 #include <vector>
 
 #include "common/mutex.h"
+#include "common/status.h"
 #include "common/thread_annotations.h"
 
 namespace ppstats {
 
-/// Fixed-size pool of worker threads executing indexed task batches.
+/// Fixed-size pool of worker threads executing indexed task batches and
+/// fire-and-forget tasks.
 class ThreadPool {
  public:
-  /// Starts `threads` workers (0 = no workers; Run() executes inline).
+  using Task = std::function<void()>;
+
+  /// Starts `threads` workers (0 = no workers; Run() and Submit()
+  /// execute inline on the calling thread).
   explicit ThreadPool(size_t threads);
   ~ThreadPool();
 
@@ -43,6 +58,22 @@ class ThreadPool {
   /// returning once every invocation has completed. Concurrent Run()
   /// calls from different threads are safe and share the workers.
   void Run(size_t n, const std::function<void(size_t)>& fn);
+
+  /// Enqueues a fire-and-forget task on one worker's deque (round-robin
+  /// placement; idle workers steal). Pending tasks are drained before
+  /// the destructor returns. With zero workers the task runs inline.
+  void Submit(Task task);
+
+  /// Like Submit(), but fails with ResourceExhausted when `queue_depth`
+  /// tasks are already waiting (the task is not enqueued). The bound is
+  /// approximate under concurrent submitters — it is a load-shedding
+  /// valve, not an exact semaphore. queue_depth 0 means unbounded.
+  [[nodiscard]] Status TrySubmit(Task task, size_t queue_depth);
+
+  /// Tasks submitted but not yet picked up by a worker.
+  size_t QueuedTasks() const {
+    return pending_tasks_.load(std::memory_order_relaxed);
+  }
 
   /// Process-wide pool sized to the hardware; created on first use.
   static ThreadPool& Shared();
@@ -59,10 +90,31 @@ class ThreadPool {
     CondVar done_cv;
   };
 
-  void WorkerLoop();
+  // A submitted task plus its enqueue timestamp (sched.dispatch_ns).
+  struct TaskItem {
+    Task fn;
+    std::chrono::steady_clock::time_point enqueued;
+  };
+
+  // One worker's deque. The owner pops the front; thieves take the
+  // back. Each deque has its own lock so stealing never serializes the
+  // whole pool; a thread holds at most one deque lock at a time.
+  struct TaskQueue {
+    Mutex mu;
+    std::deque<TaskItem> tasks PPSTATS_GUARDED_BY(mu);
+  };
+
+  void WorkerLoop(size_t self);
   static void ExecuteFrom(Job& job);
+  /// Pops one task (own front, else steal a sibling's back) and runs
+  /// it. Returns false if every deque was empty.
+  bool RunOneTask(size_t self);
+  void Enqueue(TaskItem item);
 
   std::vector<std::thread> workers_;
+  std::vector<std::unique_ptr<TaskQueue>> queues_;  // one per worker
+  std::atomic<size_t> pending_tasks_{0};
+  std::atomic<size_t> submit_cursor_{0};  // round-robin placement
   Mutex mu_;
   std::deque<std::shared_ptr<Job>> jobs_ PPSTATS_GUARDED_BY(mu_);
   bool stop_ PPSTATS_GUARDED_BY(mu_) = false;

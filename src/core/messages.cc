@@ -165,6 +165,20 @@ Result<ErrorMessage> ErrorMessage::Decode(BytesView frame) {
   return msg;
 }
 
+Bytes EncodeErrorFrame(const Status& status) {
+  ErrorMessage msg;
+  msg.code = static_cast<uint8_t>(status.code());
+  msg.reason = status.message();
+  return msg.Encode();
+}
+
+Status StatusFromErrorFrame(BytesView frame) {
+  Result<ErrorMessage> msg = ErrorMessage::Decode(frame);
+  if (!msg.ok()) return Status::ProtocolError("undecodable error frame");
+  return Status(static_cast<StatusCode>(msg->code),
+                "peer aborted: " + msg->reason);
+}
+
 Bytes QueryHeaderMessage::Encode() const {
   WireWriter w;
   w.WriteU8(static_cast<uint8_t>(MessageType::kQueryHeader));

@@ -94,6 +94,14 @@ struct ErrorMessage {
   [[nodiscard]] static Result<ErrorMessage> Decode(BytesView frame);
 };
 
+/// Encodes `status` as an Error frame (the abort both session drivers
+/// send before giving up on a peer).
+Bytes EncodeErrorFrame(const Status& status);
+
+/// Translates a received Error frame into a local Status ("peer
+/// aborted: <reason>"); an undecodable frame becomes a ProtocolError.
+[[nodiscard]] Status StatusFromErrorFrame(BytesView frame);
+
 /// v2 sessions: opens one query on an established connection. The kind
 /// is a StatisticKind wire value (validated by the server, not the
 /// decoder, so an unknown kind travels and is answered with an Error

@@ -1,0 +1,743 @@
+#include "core/reactor_host.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <deque>
+#include <utility>
+
+#include "common/thread_pool.h"
+#include "core/messages.h"
+#include "crypto/chacha20_rng.h"
+#include "net/channel.h"
+#include "net/fault_injection.h"
+
+namespace ppstats {
+
+namespace {
+
+/// Same values as the threaded engine (core/service_host.cc).
+constexpr uint32_t kMaxAcceptBackoffMs = 100;
+constexpr uint32_t kRejectWriteDeadlineMs = 100;
+
+/// Inbound frame size limit — matches WrapSocket's default, so both
+/// engines reject the same hostile length prefixes.
+constexpr size_t kMaxMessageBytes = size_t{1} << 28;
+
+/// recv() scratch size per call; the read loop drains to EAGAIN anyway
+/// (edge-triggered contract), this only bounds one copy.
+constexpr size_t kReadChunkBytes = 64 * 1024;
+
+}  // namespace
+
+/// One outbound wire frame (4-byte length prefix already applied), plus
+/// the fault plan that shaped it. Frames flush strictly in order; a
+/// delayed frame holds everything behind it, and a disconnect marker
+/// kills the transport once every earlier frame has hit the wire —
+/// exactly the ordering a blocking FaultInjectingChannel produces.
+struct OutFrame {
+  Bytes wire;
+  uint32_t delay_ms = 0;
+  bool delay_armed = false;
+  bool disconnect = false;
+};
+
+struct ReactorEngine::SessionState {
+  enum class Mode : uint8_t { kServing, kRejecting };
+
+  int fd = -1;
+  uint64_t id = 0;  ///< protocol session ordinal (serving mode only)
+  size_t shard = 0;
+  Mode mode = Mode::kServing;
+
+  // Protocol state. The FSM is touched by exactly one thread at a time:
+  // a pool worker while `processing` is true, the reactor thread
+  // otherwise (the pool and Post() queues provide the handoff fences).
+  std::unique_ptr<ServerProtocolFsm> fsm;
+  std::unique_ptr<ChaCha20Rng> fault_rng;
+  std::optional<FrameFaultPlanner> planner;
+
+  // Read side (reactor thread only).
+  Bytes read_buf;
+  size_t read_pos = 0;
+  std::deque<Bytes> inbox;
+  Bytes current_frame;  ///< owned by the worker while processing
+  bool processing = false;
+
+  // Write side (reactor thread only).
+  std::deque<OutFrame> outbox;
+  size_t wire_off = 0;  ///< bytes of outbox.front().wire already sent
+  bool want_write = false;
+  bool transport_dead = false;
+  Status flush_error = Status::OK();  ///< first send-path failure
+
+  // Errors observed while a worker holds the FSM, applied once it
+  // returns. `pending_error` (send failures) aborts immediately;
+  // `read_error` (EOF/reset) only once the inbox drains, so pipelined
+  // frames that arrived before the close still get served.
+  std::optional<Status> pending_error;
+  std::optional<Status> read_error;
+
+  // Timers (ids into the owning reactor's wheel; 0 = unarmed).
+  uint64_t read_timer = 0;
+  uint64_t write_timer = 0;
+  uint64_t delay_timer = 0;
+  uint64_t retry_timer = 0;
+  uint64_t reject_timer = 0;
+
+  bool closing = false;  ///< terminal: flush the outbox, then close
+  bool closed = false;
+};
+
+ReactorEngine::ReactorEngine(const ColumnRegistry* registry,
+                             const Database* default_column,
+                             const ServiceHostOptions& options,
+                             HostCounters counters, PublicKeyCache* key_cache,
+                             obs::MetricRegistry* metric_registry)
+    : registry_(registry),
+      default_column_(default_column),
+      options_(options),
+      counters_(counters),
+      key_cache_(key_cache),
+      metric_registry_(metric_registry) {}
+
+ReactorEngine::~ReactorEngine() { Stop(); }
+
+Status ReactorEngine::Start(const std::string& socket_path) {
+  if (running_.load(std::memory_order_acquire)) {
+    return Status::FailedPrecondition("reactor engine already running");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(
+      SocketListener listener,
+      SocketListener::Bind(socket_path, options_.accept_backlog));
+  PPSTATS_RETURN_IF_ERROR(SetSocketNonBlocking(listener.fd()));
+  listener_.emplace(std::move(listener));
+
+  const size_t shard_count = std::max<size_t>(1, options_.reactor_threads);
+  shards_.clear();
+  shards_.resize(shard_count);
+  for (Shard& shard : shards_) {
+    ReactorOptions reactor_options;
+    reactor_options.max_events = options_.max_events;
+    reactor_options.force_poll_backend = options_.force_poll_backend;
+    reactor_options.registry = metric_registry_;
+    Result<std::unique_ptr<Reactor>> reactor = Reactor::Create(reactor_options);
+    if (!reactor.ok()) {
+      shards_.clear();
+      listener_.reset();
+      return reactor.status();
+    }
+    shard.reactor = std::move(*reactor);
+  }
+
+  // Register the listener before the loops run (Add is reactor-thread-
+  // only once Run() starts).
+  Status added = shards_[0].reactor->Add(
+      listener_->fd(), kReactorReadable, [this](uint32_t) { AcceptPass(); });
+  if (!added.ok()) {
+    shards_.clear();
+    listener_.reset();
+    return added;
+  }
+  listener_registered_ = true;
+  accept_backoff_ms_ = 1;
+  next_session_id_ = 0;
+  stopping_.store(false, std::memory_order_release);
+
+  // Folds dispatch to the shared pool; creating it here keeps worker
+  // threads out of the per-session accounting observers see after
+  // Start() returns.
+  (void)ThreadPool::Shared().thread_count();
+
+  for (Shard& shard : shards_) {
+    shard.thread = std::thread([r = shard.reactor.get()] { r->Run(); });
+  }
+  // Kick one accept pass immediately: connections (or injected accept
+  // faults) that predate the epoll registration produce no edge, and
+  // edge-triggered listeners only wake on new arrivals.
+  shards_[0].reactor->Post([this] { AcceptPass(); });
+  running_.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void ReactorEngine::Stop() {
+  if (!running_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (listener_.has_value()) listener_->Close();
+  shards_[0].reactor->Post([this] { RemoveListener(); });
+  {
+    // Drain: sessions in flight run to completion (bounded by the I/O
+    // deadline when one is set), exactly like the threaded engine's
+    // reaper join. Worker completions keep landing on the reactors
+    // until the last session finalizes, so the loops must stay up.
+    MutexLock lock(drain_mu_);
+    while (live_sessions_ > 0) drain_cv_.Wait(drain_mu_);
+  }
+  for (Shard& shard : shards_) shard.reactor->Stop();
+  for (Shard& shard : shards_) {
+    if (shard.thread.joinable()) shard.thread.join();
+  }
+  shards_.clear();
+  listener_.reset();
+  running_.store(false, std::memory_order_release);
+}
+
+void ReactorEngine::RemoveListener() {
+  if (!listener_registered_) return;
+  listener_registered_ = false;
+  shards_[0].reactor->Remove(listener_->fd());
+}
+
+void ReactorEngine::AcceptPass() {
+  for (;;) {
+    if (stopping_.load(std::memory_order_acquire)) return;
+    Result<std::optional<int>> next = [this]() -> Result<std::optional<int>> {
+      if (options_.accept_fault_hook) {
+        PPSTATS_RETURN_IF_ERROR(options_.accept_fault_hook());
+      }
+      return listener_->AcceptFd();
+    }();
+    if (!next.ok()) {
+      if (next.status().code() != StatusCode::kResourceExhausted) {
+        // The listener is dead (shutdown or a hard kernel error); stop
+        // accepting, like the threaded accept loop returning.
+        RemoveListener();
+        return;
+      }
+      // Transient fd/memory pressure: capped exponential backoff. The
+      // retry timer re-runs this pass, which also re-drains any
+      // connections that queued while we were backing off (the
+      // edge-triggered backend will not re-announce them).
+      const uint32_t backoff = accept_backoff_ms_;
+      accept_backoff_ms_ = std::min(accept_backoff_ms_ * 2, kMaxAcceptBackoffMs);
+      shards_[0].reactor->ArmTimer(std::chrono::milliseconds(backoff),
+                                   [this] { AcceptPass(); });
+      return;
+    }
+    if (!next->has_value()) return;  // queue drained (EAGAIN)
+    accept_backoff_ms_ = 1;
+
+    const int fd = **next;
+    if (Status nb = SetSocketNonBlocking(fd); !nb.ok()) {
+      ::close(fd);
+      continue;
+    }
+    const bool reject =
+        options_.max_sessions > 0 &&
+        serving_count_.load(std::memory_order_acquire) >= options_.max_sessions;
+    OpenSession(fd, reject);
+  }
+}
+
+void ReactorEngine::OpenSession(int fd, bool reject) {
+  auto session = std::make_shared<SessionState>();
+  session->fd = fd;
+  if (reject) {
+    counters_.rejected->Increment();
+    session->mode = SessionState::Mode::kRejecting;
+    session->shard = 0;  // short-lived; no need to spread the load
+  } else {
+    counters_.accepted->Increment();
+    // Ids count accepted sessions only, like the threaded engine — so
+    // fault_seed + id addresses the same session under either engine.
+    session->id = next_session_id_++;
+    session->shard = shards_.size() > 1 ? session->id % shards_.size() : 0;
+    serving_count_.fetch_add(1, std::memory_order_acq_rel);
+    counters_.active->Set(
+        static_cast<int64_t>(serving_count_.load(std::memory_order_acquire)));
+
+    ServerSessionOptions session_options;
+    session_options.default_column = default_column_;
+    session_options.worker_threads = options_.worker_threads;
+    session_options.key_cache = key_cache_;
+    session_options.registry = metric_registry_;
+    session_options.queries_counter = counters_.queries;
+    session_options.compute_ns_counter = counters_.compute_ns;
+    session->fsm = std::make_unique<ServerProtocolFsm>(
+        registry_, session_options, session->id + 1);
+    if (options_.fault_injection.has_value()) {
+      session->fault_rng =
+          std::make_unique<ChaCha20Rng>(options_.fault_seed + session->id);
+      session->planner.emplace(*options_.fault_injection, *session->fault_rng);
+    }
+  }
+  {
+    MutexLock lock(drain_mu_);
+    ++live_sessions_;
+  }
+  const size_t shard = session->shard;
+  if (shard == 0) {
+    RegisterSession(0, std::move(session));
+  } else {
+    shards_[shard].reactor->Post(
+        [this, shard, session = std::move(session)]() mutable {
+          RegisterSession(shard, std::move(session));
+        });
+  }
+}
+
+void ReactorEngine::RegisterSession(size_t shard,
+                                    std::shared_ptr<SessionState> session) {
+  Shard& sh = shards_[shard];
+  sh.sessions.emplace(session->fd, session);
+  Status added =
+      sh.reactor->Add(session->fd, kReactorReadable,
+                      [this, shard, session](uint32_t ready) {
+                        OnSessionEvent(shard, session, ready);
+                      });
+  if (!added.ok()) {
+    if (session->mode == SessionState::Mode::kServing) {
+      session->fsm->OnTransportError(added);
+    }
+    FinalizeSession(shard, session);
+    return;
+  }
+  if (session->mode == SessionState::Mode::kRejecting) {
+    // Best-effort hello drain before the Error frame, bounded like the
+    // threaded engine's 100ms reject read deadline.
+    session->reject_timer = sh.reactor->ArmTimer(
+        std::chrono::milliseconds(kRejectWriteDeadlineMs),
+        [this, shard, session] {
+          session->reject_timer = 0;
+          if (!session->closed && !session->closing) {
+            BeginReject(shard, session);
+          }
+        });
+  } else {
+    ArmReadTimer(shard, session);  // the hello is due within the deadline
+  }
+}
+
+void ReactorEngine::OnSessionEvent(size_t shard,
+                                   const std::shared_ptr<SessionState>& s,
+                                   uint32_t ready) {
+  if (s->closed) return;
+  if (ready & (kReactorReadable | kReactorClosed)) ReadPass(shard, s);
+  if (s->closed) return;
+  if (ready & kReactorWritable) Flush(shard, s);
+}
+
+void ReactorEngine::ReadPass(size_t shard,
+                             const std::shared_ptr<SessionState>& s) {
+  if (s->transport_dead || s->read_error.has_value()) return;
+  for (;;) {
+    uint8_t buf[kReadChunkBytes];
+    const ssize_t n = ::recv(s->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      // A closing session drains and discards (it owes the peer nothing
+      // more); an open one accumulates for the frame parser.
+      if (!s->closing) s->read_buf.insert(s->read_buf.end(), buf, buf + n);
+      continue;
+    }
+    if (n == 0) {
+      ParseFrames(shard, s);  // bytes before the EOF may complete frames
+      if (!s->closed && !s->read_error.has_value()) {
+        HandleReadFailure(shard, s,
+                          Status::ProtocolError("peer closed the channel"));
+      }
+      return;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    ParseFrames(shard, s);
+    if (!s->closed && !s->read_error.has_value()) {
+      HandleReadFailure(shard, s,
+                        Status::ProtocolError(std::string("recv failed: ") +
+                                              std::strerror(errno)));
+    }
+    return;
+  }
+  ParseFrames(shard, s);
+}
+
+void ReactorEngine::ParseFrames(size_t shard,
+                                const std::shared_ptr<SessionState>& s) {
+  while (!s->closed && !s->closing && !s->read_error.has_value()) {
+    const size_t avail = s->read_buf.size() - s->read_pos;
+    if (avail < kFrameOverheadBytes) break;
+    uint32_t len = 0;
+    for (size_t i = 0; i < kFrameOverheadBytes; ++i) {
+      len = (len << 8) | s->read_buf[s->read_pos + i];
+    }
+    if (len > kMaxMessageBytes) {
+      HandleReadFailure(
+          shard, s, Status::ProtocolError("incoming frame exceeds the limit"));
+      break;
+    }
+    if (avail < kFrameOverheadBytes + len) break;
+    const auto frame_begin =
+        s->read_buf.begin() +
+        static_cast<ptrdiff_t>(s->read_pos + kFrameOverheadBytes);
+    Bytes frame(frame_begin, frame_begin + static_cast<ptrdiff_t>(len));
+    s->read_pos += kFrameOverheadBytes + len;
+    ChannelMetrics& metrics = ChannelMetrics::Get();
+    metrics.frames_received->Increment();
+    metrics.bytes_received->Add(len + kFrameOverheadBytes);
+    OnFrameParsed(shard, s, std::move(frame));
+  }
+  if (s->read_pos > 0) {
+    s->read_buf.erase(s->read_buf.begin(),
+                      s->read_buf.begin() + static_cast<ptrdiff_t>(s->read_pos));
+    s->read_pos = 0;
+  }
+}
+
+void ReactorEngine::OnFrameParsed(size_t shard,
+                                  const std::shared_ptr<SessionState>& s,
+                                  Bytes frame) {
+  if (s->mode == SessionState::Mode::kRejecting) {
+    // The hello arrived (content irrelevant): answer and close.
+    if (!s->closing) BeginReject(shard, s);
+    return;
+  }
+  // A complete frame is what satisfies the whole-frame deadline; partial
+  // bytes never reset it (Slowloris-proof).
+  CancelSessionTimer(shard, s->read_timer);
+  s->inbox.push_back(std::move(frame));
+  PumpProcessing(shard, s);
+}
+
+void ReactorEngine::PumpProcessing(size_t shard,
+                                   const std::shared_ptr<SessionState>& s) {
+  if (s->processing || s->closed || s->closing || s->inbox.empty()) return;
+  if (s->fsm->done()) {
+    s->inbox.clear();  // late frames are noise; the session is over
+    return;
+  }
+  s->current_frame = std::move(s->inbox.front());
+  s->inbox.pop_front();
+  s->processing = true;
+  // The worker exclusively owns fsm + current_frame until its
+  // completion posts back; the reactor thread will not touch either
+  // while `processing` is set.
+  auto task = [this, shard, s] {
+    ServerFsmOutput out = s->fsm->OnFrame(s->current_frame);
+    shards_[shard].reactor->Post([this, shard, s, out = std::move(out)]() mutable {
+      HandleFsmOutput(shard, s, std::move(out));
+    });
+  };
+  if (options_.fold_queue_depth > 0) {
+    Status submitted =
+        ThreadPool::Shared().TrySubmit(task, options_.fold_queue_depth);
+    if (!submitted.ok()) {
+      // Pool saturated: backpressure. The frame goes back to the inbox
+      // and a short timer retries; the read deadline stays cancelled
+      // because the client is not the one stalling.
+      s->processing = false;
+      s->inbox.push_front(std::move(s->current_frame));
+      s->current_frame.clear();
+      if (s->retry_timer == 0) {
+        s->retry_timer = shards_[shard].reactor->ArmTimer(
+            std::chrono::milliseconds(1), [this, shard, s] {
+              s->retry_timer = 0;
+              if (!s->closed) PumpProcessing(shard, s);
+            });
+      }
+      return;
+    }
+  } else {
+    ThreadPool::Shared().Submit(task);
+  }
+}
+
+void ReactorEngine::HandleFsmOutput(size_t shard,
+                                    const std::shared_ptr<SessionState>& s,
+                                    ServerFsmOutput out) {
+  s->processing = false;
+  s->current_frame.clear();
+  if (s->closed) return;
+  for (const Bytes& frame : out.frames) {
+    AppendOutbound(s, frame, /*faultable=*/true);
+  }
+  Flush(shard, s);
+  if (s->closed) return;
+  if (s->pending_error.has_value()) {
+    // A send failed while the worker held the FSM; the session cannot
+    // continue (the blocking engine would have returned mid-Serve).
+    if (!s->fsm->done()) s->fsm->OnTransportError(*s->pending_error);
+    FinalizeSession(shard, s);
+    return;
+  }
+  if (!s->inbox.empty() && !s->fsm->done()) {
+    PumpProcessing(shard, s);
+    return;
+  }
+  if (s->read_error.has_value() && !s->fsm->done()) {
+    // EOF/reset observed earlier; every pipelined frame has now been
+    // served, so the error finally lands.
+    s->fsm->OnTransportError(*s->read_error);
+  }
+  if (s->fsm->done()) {
+    BeginClose(shard, s);
+    return;
+  }
+  ArmReadTimer(shard, s);  // back to waiting on the client
+}
+
+void ReactorEngine::AppendOutbound(const std::shared_ptr<SessionState>& s,
+                                   BytesView payload, bool faultable) {
+  if (s->transport_dead) return;
+  uint32_t delay_ms = 0;
+  Bytes body;
+  if (faultable && s->planner.has_value()) {
+    FaultPlan plan = s->planner->Plan(payload);
+    if (plan.kind.has_value()) {
+      switch (*plan.kind) {
+        case FaultKind::kDelay:
+          delay_ms = plan.delay_ms;
+          body.assign(payload.begin(), payload.end());
+          break;
+        case FaultKind::kTruncate:
+        case FaultKind::kGarble:
+          body = std::move(plan.payload);
+          break;
+        case FaultKind::kDrop:
+          return;  // the peer waits for a frame that never comes
+        case FaultKind::kDisconnect: {
+          OutFrame marker;
+          marker.disconnect = true;
+          s->outbox.push_back(std::move(marker));
+          return;
+        }
+      }
+    } else {
+      body.assign(payload.begin(), payload.end());
+    }
+  } else {
+    body.assign(payload.begin(), payload.end());
+  }
+  OutFrame frame;
+  frame.delay_ms = delay_ms;
+  frame.wire.reserve(kFrameOverheadBytes + body.size());
+  const uint32_t len = static_cast<uint32_t>(body.size());
+  for (size_t i = 0; i < kFrameOverheadBytes; ++i) {
+    frame.wire.push_back(
+        static_cast<uint8_t>(len >> (8 * (kFrameOverheadBytes - 1 - i))));
+  }
+  frame.wire.insert(frame.wire.end(), body.begin(), body.end());
+  s->outbox.push_back(std::move(frame));
+}
+
+void ReactorEngine::Flush(size_t shard, const std::shared_ptr<SessionState>& s) {
+  if (s->closed || s->transport_dead) return;
+  while (!s->outbox.empty()) {
+    OutFrame& head = s->outbox.front();
+    if (head.disconnect) {
+      // Injected disconnect: everything before the marker is on the
+      // wire; kill the transport so the peer sees EOF, like the
+      // blocking FaultInjectingChannel closing its inner channel.
+      ::shutdown(s->fd, SHUT_RDWR);
+      HandleSendFailure(
+          shard, s,
+          Status::ProtocolError("channel closed by injected disconnect"));
+      return;
+    }
+    if (head.delay_ms > 0) {
+      if (!head.delay_armed) {
+        head.delay_armed = true;
+        s->delay_timer = shards_[shard].reactor->ArmTimer(
+            std::chrono::milliseconds(head.delay_ms), [this, shard, s] {
+              s->delay_timer = 0;
+              if (s->closed || s->outbox.empty()) return;
+              s->outbox.front().delay_ms = 0;
+              Flush(shard, s);
+            });
+      }
+      break;  // later frames must not overtake the delayed one
+    }
+    const ssize_t n = ::send(s->fd, head.wire.data() + s->wire_off,
+                             head.wire.size() - s->wire_off, MSG_NOSIGNAL);
+    if (n >= 0) {
+      s->wire_off += static_cast<size_t>(n);
+      if (s->wire_off == head.wire.size()) {
+        ChannelMetrics& metrics = ChannelMetrics::Get();
+        metrics.frames_sent->Increment();
+        metrics.bytes_sent->Add(head.wire.size());
+        s->wire_off = 0;
+        s->outbox.pop_front();
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      SetWriteInterest(shard, s, true);
+      ArmWriteTimer(shard, s);
+      return;
+    }
+    HandleSendFailure(shard, s,
+                      Status::ProtocolError(std::string("send failed: ") +
+                                            std::strerror(errno)));
+    return;
+  }
+  // Outbox drained (or holding for a delay, which keeps its own timer).
+  if (s->outbox.empty()) {
+    CancelSessionTimer(shard, s->write_timer);
+    SetWriteInterest(shard, s, false);
+    if (s->closing) FinalizeSession(shard, s);
+  }
+}
+
+void ReactorEngine::ArmReadTimer(size_t shard,
+                                 const std::shared_ptr<SessionState>& s) {
+  if (options_.io_deadline_ms == 0 || s->read_timer != 0 || s->closing ||
+      s->closed) {
+    return;
+  }
+  s->read_timer = shards_[shard].reactor->ArmTimer(
+      std::chrono::milliseconds(options_.io_deadline_ms),
+      [this, shard, s] {
+        s->read_timer = 0;
+        OnReadDeadline(shard, s);
+      });
+}
+
+void ReactorEngine::ArmWriteTimer(size_t shard,
+                                  const std::shared_ptr<SessionState>& s) {
+  const uint32_t deadline_ms = s->mode == SessionState::Mode::kRejecting
+                                   ? kRejectWriteDeadlineMs
+                                   : options_.io_deadline_ms;
+  if (deadline_ms == 0 || s->write_timer != 0) return;
+  s->write_timer = shards_[shard].reactor->ArmTimer(
+      std::chrono::milliseconds(deadline_ms), [this, shard, s] {
+        s->write_timer = 0;
+        if (s->closed) return;
+        ChannelMetrics::Get().deadline_expirations->Increment();
+        HandleSendFailure(
+            shard, s,
+            Status::DeadlineExceeded("channel i/o ran past the deadline"));
+      });
+}
+
+void ReactorEngine::CancelSessionTimer(size_t shard, uint64_t& id) {
+  if (id == 0) return;
+  shards_[shard].reactor->CancelTimer(id);
+  id = 0;
+}
+
+void ReactorEngine::SetWriteInterest(size_t shard,
+                                     const std::shared_ptr<SessionState>& s,
+                                     bool enable) {
+  if (s->want_write == enable) return;
+  s->want_write = enable;
+  uint32_t interest = kReactorReadable;
+  if (enable) interest |= kReactorWritable;
+  shards_[shard].reactor->Modify(s->fd, interest).IgnoreError();
+}
+
+void ReactorEngine::BeginReject(size_t shard,
+                                const std::shared_ptr<SessionState>& s) {
+  CancelSessionTimer(shard, s->reject_timer);
+  // The rejection frame bypasses fault injection, like the threaded
+  // engine's RejectOverCapacity writing to the raw accepted channel.
+  AppendOutbound(
+      s,
+      EncodeErrorFrame(
+          Status::ResourceExhausted("server at capacity; retry later")),
+      /*faultable=*/false);
+  s->closing = true;
+  Flush(shard, s);
+}
+
+void ReactorEngine::BeginClose(size_t shard,
+                               const std::shared_ptr<SessionState>& s) {
+  s->closing = true;
+  CancelSessionTimer(shard, s->read_timer);
+  Flush(shard, s);  // finalizes once the outbox drains
+}
+
+void ReactorEngine::OnReadDeadline(size_t shard,
+                                   const std::shared_ptr<SessionState>& s) {
+  // The timer is only armed while the session idles waiting on the
+  // client, so the FSM is safe to touch here.
+  if (s->closed || s->closing || s->processing) return;
+  ChannelMetrics::Get().deadline_expirations->Increment();
+  ServerFsmOutput out = s->fsm->OnDeadline();
+  for (const Bytes& frame : out.frames) {
+    AppendOutbound(s, frame, /*faultable=*/true);
+  }
+  BeginClose(shard, s);
+}
+
+void ReactorEngine::HandleReadFailure(size_t shard,
+                                      const std::shared_ptr<SessionState>& s,
+                                      Status error) {
+  CancelSessionTimer(shard, s->read_timer);
+  if (s->mode == SessionState::Mode::kRejecting) {
+    // Parity with RejectOverCapacity: the hello drain is best-effort
+    // (Receive().IgnoreError()); the Error frame is sent regardless.
+    if (!s->closing) BeginReject(shard, s);
+    return;
+  }
+  s->read_error = std::move(error);
+  if (s->processing || !s->inbox.empty()) return;  // applied after drain
+  if (!s->fsm->done()) s->fsm->OnTransportError(*s->read_error);
+  BeginClose(shard, s);
+}
+
+void ReactorEngine::HandleSendFailure(size_t shard,
+                                      const std::shared_ptr<SessionState>& s,
+                                      Status error) {
+  s->transport_dead = true;
+  if (s->flush_error.ok()) s->flush_error = error;
+  s->outbox.clear();
+  s->wire_off = 0;
+  CancelSessionTimer(shard, s->write_timer);
+  CancelSessionTimer(shard, s->delay_timer);
+  if (s->mode == SessionState::Mode::kRejecting) {
+    FinalizeSession(shard, s);
+    return;
+  }
+  if (s->processing) {
+    s->pending_error = std::move(error);  // applied when the worker returns
+    return;
+  }
+  if (!s->fsm->done()) s->fsm->OnTransportError(std::move(error));
+  FinalizeSession(shard, s);
+}
+
+void ReactorEngine::FinalizeSession(size_t shard,
+                                    const std::shared_ptr<SessionState>& s) {
+  if (s->closed) return;
+  s->closed = true;
+  CancelSessionTimer(shard, s->read_timer);
+  CancelSessionTimer(shard, s->write_timer);
+  CancelSessionTimer(shard, s->delay_timer);
+  CancelSessionTimer(shard, s->retry_timer);
+  CancelSessionTimer(shard, s->reject_timer);
+  shards_[shard].reactor->Remove(s->fd);
+  ::close(s->fd);
+  shards_[shard].sessions.erase(s->fd);
+
+  if (s->mode == SessionState::Mode::kServing) {
+    // Same outcome mapping as the threaded ServeOne: the FSM's own
+    // abort status wins; a send-path failure only surfaces when the
+    // protocol itself ended cleanly.
+    Status status = s->fsm->final_status();
+    if (status.ok() && !s->fsm->done()) {
+      status = Status::Internal("session closed before completion");
+    }
+    if (status.ok() && !s->flush_error.ok()) status = s->flush_error;
+    if (status.ok()) {
+      counters_.ok->Increment();
+    } else {
+      counters_.failed->Increment();
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        counters_.evicted->Increment();
+      }
+    }
+    serving_count_.fetch_sub(1, std::memory_order_acq_rel);
+    counters_.active->Set(
+        static_cast<int64_t>(serving_count_.load(std::memory_order_acquire)));
+  }
+  {
+    MutexLock lock(drain_mu_);
+    --live_sessions_;
+  }
+  drain_cv_.NotifyAll();
+}
+
+}  // namespace ppstats

@@ -1,0 +1,172 @@
+// ReactorEngine: the event-driven session engine behind
+// ServiceHost::Start when ServiceHostOptions::engine == kReactor.
+//
+// Instead of one blocking thread per client, a fixed set of reactor
+// threads (net/reactor.h) owns every fd non-blocking: the listener and
+// all session sockets. Each accepted session is pinned to one reactor
+// and driven as an explicit state machine:
+//
+//   accept ─▶ read bytes ─▶ parse length-prefixed frames ─▶ inbox
+//     inbox ─▶ ThreadPool::Submit(fsm.OnFrame)   (CPU work off-loop)
+//     completion ─▶ Reactor::Post ─▶ append reply frames ─▶ flush
+//
+// At most one worker task runs per session at a time (frames queue in
+// the session's inbox), so the ServerProtocolFsm never sees concurrent
+// calls; the reactor thread owns all other session state. Folds land on
+// the shared work-stealing ThreadPool, so CPU parallelism stays bounded
+// no matter how many clients are connected — the property that lets one
+// host hold thousands of idle or slow sessions with a flat thread
+// count.
+//
+// Parity with the threaded engine (core/service_host.cc) is a hard
+// requirement — same Error frames, same counters, same eviction and
+// rejection behavior:
+//  * io_deadline_ms is a whole-frame deadline. The read timer arms when
+//    the host starts waiting for a frame and is cancelled only by a
+//    complete frame, so a client trickling single bytes (Slowloris)
+//    is still evicted. Stalled writes are bounded the same way.
+//  * Over-capacity connects get the ResourceExhausted Error frame after
+//    a best-effort hello drain, then the socket closes.
+//  * Session outcomes map onto the same host.* counters, and queries
+//    are counted before their response frame reaches the wire.
+//  * options.fault_injection applies the same per-send fault plan
+//    (FrameFaultPlanner) in the same RNG draw order, so chaos seeds
+//    reproduce identical fault sequences under either engine.
+
+#ifndef PPSTATS_CORE_REACTOR_HOST_H_
+#define PPSTATS_CORE_REACTOR_HOST_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "core/service_host.h"
+#include "core/session_fsm.h"
+#include "net/reactor.h"
+#include "net/socket_channel.h"
+#include "obs/metrics.h"
+
+namespace ppstats {
+
+/// See the file comment. Owned by ServiceHost; one engine per Start().
+class ReactorEngine {
+ public:
+  /// The owning host's registry-backed counters; the engine bumps the
+  /// same instruments the threaded engine does, so SnapshotStats() is
+  /// engine-agnostic.
+  struct HostCounters {
+    obs::Counter* accepted = nullptr;
+    obs::Counter* ok = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Counter* rejected = nullptr;
+    obs::Counter* evicted = nullptr;
+    obs::Counter* queries = nullptr;
+    obs::Counter* compute_ns = nullptr;
+    obs::Gauge* active = nullptr;
+  };
+
+  /// All pointers must outlive the engine. `default_column` is the
+  /// host's resolved default (may be null).
+  ReactorEngine(const ColumnRegistry* registry, const Database* default_column,
+                const ServiceHostOptions& options, HostCounters counters,
+                PublicKeyCache* key_cache,
+                obs::MetricRegistry* metric_registry);
+  ~ReactorEngine();
+
+  ReactorEngine(const ReactorEngine&) = delete;
+  ReactorEngine& operator=(const ReactorEngine&) = delete;
+
+  /// Binds the socket path and starts the reactor threads.
+  [[nodiscard]] Status Start(const std::string& socket_path);
+
+  /// Stops accepting, waits for in-flight sessions to drain (bounded by
+  /// io_deadline_ms when set, exactly like the threaded engine), then
+  /// stops and joins every reactor thread. Idempotent.
+  void Stop();
+
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// Sessions currently being served (rejected connects excluded).
+  size_t active_sessions() const {
+    return serving_count_.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct SessionState;  // defined in the .cc; reactor-thread-owned
+
+  /// One reactor thread plus the sessions pinned to it (keyed by fd).
+  /// `sessions` is touched only on the shard's reactor thread.
+  struct Shard {
+    std::unique_ptr<Reactor> reactor;
+    std::thread thread;
+    std::unordered_map<int, std::shared_ptr<SessionState>> sessions;
+  };
+
+  // Accept path (shard 0's reactor thread only).
+  void AcceptPass();
+  void RemoveListener();
+  void OpenSession(int fd, bool reject);
+
+  // Session path (the owning shard's reactor thread only).
+  void RegisterSession(size_t shard, std::shared_ptr<SessionState> session);
+  void OnSessionEvent(size_t shard, const std::shared_ptr<SessionState>& s,
+                      uint32_t ready);
+  void ReadPass(size_t shard, const std::shared_ptr<SessionState>& s);
+  void ParseFrames(size_t shard, const std::shared_ptr<SessionState>& s);
+  void OnFrameParsed(size_t shard, const std::shared_ptr<SessionState>& s,
+                     Bytes frame);
+  void PumpProcessing(size_t shard, const std::shared_ptr<SessionState>& s);
+  void HandleFsmOutput(size_t shard, const std::shared_ptr<SessionState>& s,
+                       ServerFsmOutput out);
+  void AppendOutbound(const std::shared_ptr<SessionState>& s, BytesView payload,
+                      bool faultable);
+  void Flush(size_t shard, const std::shared_ptr<SessionState>& s);
+  void ArmReadTimer(size_t shard, const std::shared_ptr<SessionState>& s);
+  void ArmWriteTimer(size_t shard, const std::shared_ptr<SessionState>& s);
+  void CancelSessionTimer(size_t shard, uint64_t& id);
+  void SetWriteInterest(size_t shard, const std::shared_ptr<SessionState>& s,
+                        bool enable);
+  void BeginReject(size_t shard, const std::shared_ptr<SessionState>& s);
+  void BeginClose(size_t shard, const std::shared_ptr<SessionState>& s);
+  void OnReadDeadline(size_t shard, const std::shared_ptr<SessionState>& s);
+  void HandleReadFailure(size_t shard, const std::shared_ptr<SessionState>& s,
+                         Status error);
+  void HandleSendFailure(size_t shard, const std::shared_ptr<SessionState>& s,
+                         Status error);
+  void FinalizeSession(size_t shard, const std::shared_ptr<SessionState>& s);
+
+  const ColumnRegistry* registry_;
+  const Database* default_column_;
+  ServiceHostOptions options_;
+  HostCounters counters_;
+  PublicKeyCache* key_cache_;
+  obs::MetricRegistry* metric_registry_;
+
+  std::optional<SocketListener> listener_;
+  std::vector<Shard> shards_;
+  // Shard-0 reactor thread only (or before the threads start).
+  bool listener_registered_ = false;
+  uint32_t accept_backoff_ms_ = 1;
+  uint64_t next_session_id_ = 0;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::atomic<size_t> serving_count_{0};
+
+  // Stop() blocks here until every session (serving and rejecting) has
+  // been finalized by its reactor thread.
+  mutable Mutex drain_mu_;
+  size_t live_sessions_ PPSTATS_GUARDED_BY(drain_mu_) = 0;
+  CondVar drain_cv_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_REACTOR_HOST_H_

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "core/messages.h"
+#include "core/reactor_host.h"
 #include "crypto/chacha20_rng.h"
 #include "obs/export.h"
 #include "obs/span.h"
@@ -58,6 +59,32 @@ Status ServiceHost::Start(const std::string& socket_path) {
     default_column_ = registry_->Find(registry_->ColumnNames().front());
   }
 
+  if (options_.engine == ServiceEngine::kReactor) {
+    {
+      MutexLock lock(mu_);
+      stopping_ = false;
+      draining_ = false;
+      metric_registry_.Reset();
+      key_cache_.Clear();
+    }
+    // The engine bumps the host's own registry counters, so every
+    // stats/metrics accessor below works unchanged under either engine.
+    auto engine = std::make_unique<ReactorEngine>(
+        registry_, default_column_, options_,
+        ReactorEngine::HostCounters{sessions_accepted_, sessions_ok_,
+                                    sessions_failed_, sessions_rejected_,
+                                    sessions_evicted_, queries_served_,
+                                    compute_ns_, active_gauge_},
+        &key_cache_, &metric_registry_);
+    PPSTATS_RETURN_IF_ERROR(engine->Start(socket_path));
+    reactor_engine_ = std::move(engine);
+    started_at_ = std::chrono::steady_clock::now();
+    if (!options_.stats_json_path.empty() && options_.stats_interval_ms > 0) {
+      dumper_thread_ = std::thread([this] { DumperLoop(); });
+    }
+    return Status::OK();
+  }
+
   PPSTATS_ASSIGN_OR_RETURN(
       SocketListener listener,
       SocketListener::Bind(socket_path, options_.accept_backlog));
@@ -89,6 +116,15 @@ void ServiceHost::Stop() {
   }
   dumper_cv_.NotifyAll();
   if (dumper_thread_.joinable()) dumper_thread_.join();
+  if (reactor_engine_ != nullptr) {
+    // Stops accepting, drains in-flight sessions, joins the reactor
+    // threads — the engine's analogue of the listener/accept/reaper
+    // teardown below.
+    reactor_engine_->Stop();
+    reactor_engine_.reset();
+    if (was_running && !options_.stats_json_path.empty()) WriteStatsJson();
+    return;
+  }
   if (listener_.has_value()) listener_->Close();
   if (accept_thread_.joinable()) accept_thread_.join();
   {
@@ -104,6 +140,7 @@ void ServiceHost::Stop() {
 }
 
 size_t ServiceHost::active_sessions() const {
+  if (reactor_engine_ != nullptr) return reactor_engine_->active_sessions();
   MutexLock lock(mu_);
   return sessions_.size();
 }

@@ -38,8 +38,10 @@
 #define PPSTATS_CORE_SERVICE_HOST_H_
 
 #include <chrono>
+#include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <thread>
@@ -54,6 +56,18 @@
 #include "obs/metrics.h"
 
 namespace ppstats {
+
+class ReactorEngine;
+
+/// Which concurrency engine serves sessions.
+enum class ServiceEngine : uint8_t {
+  /// One blocking thread per session (the original host).
+  kThreaded,
+  /// Event-driven: a fixed set of reactor threads owns every socket
+  /// non-blocking and folds run on the shared work-stealing ThreadPool
+  /// (core/reactor_host.h). Thread count stays flat in the client count.
+  kReactor,
+};
 
 /// Host configuration.
 struct ServiceHostOptions {
@@ -101,6 +115,27 @@ struct ServiceHostOptions {
   /// final Stop() snapshot is still written when stats_json_path is
   /// set).
   uint32_t stats_interval_ms = 0;
+
+  /// Session concurrency engine. Both engines implement identical
+  /// protocol, deadline, rejection, and counter semantics.
+  ServiceEngine engine = ServiceEngine::kThreaded;
+
+  /// Reactor engine: number of event-loop threads. Sessions are pinned
+  /// round-robin; the listener lives on the first reactor.
+  size_t reactor_threads = 1;
+
+  /// Reactor engine: backend wait batch size (epoll_wait maxevents).
+  int max_events = 64;
+
+  /// Reactor engine: use the portable poll(2) backend even where epoll
+  /// is available (exercised by tests).
+  bool force_poll_backend = false;
+
+  /// Reactor engine: bound on ThreadPool tasks queued by session frame
+  /// processing. When the pool backlog reaches this depth, new frames
+  /// wait in their session's inbox instead of piling onto the pool
+  /// (backpressure, not rejection). 0 = unbounded.
+  size_t fold_queue_depth = 0;
 };
 
 /// Serves ServerSessions concurrently on a filesystem socket path.
@@ -139,7 +174,9 @@ class ServiceHost {
   /// are reaped, and every host thread is joined. Idempotent.
   void Stop() PPSTATS_EXCLUDES(mu_);
 
-  bool running() const { return accept_thread_.joinable(); }
+  bool running() const {
+    return accept_thread_.joinable() || reactor_engine_ != nullptr;
+  }
 
   /// Sessions currently being served (live session threads). The reaper
   /// keeps this equal to the number of connected clients, so a test can
@@ -174,6 +211,8 @@ class ServiceHost {
   ServiceHostOptions options_;
   const Database* default_column_ = nullptr;  // resolved at Start
   PublicKeyCache key_cache_;
+  /// Non-null while running with engine == kReactor; created per Start.
+  std::unique_ptr<ReactorEngine> reactor_engine_;
   std::optional<SocketListener> listener_;
   std::thread accept_thread_;
   std::thread reaper_thread_;

@@ -28,20 +28,13 @@ RetryCounters& Retries() {
 
 // Sends an Error frame; returns the original status for propagation.
 Status AbortWith(Channel& channel, Status status) {
-  ErrorMessage msg;
-  msg.code = static_cast<uint8_t>(status.code());
-  msg.reason = status.message();
-  channel.Send(msg.Encode()).IgnoreError();  // best effort; the session is dead
+  // Best effort; the session is dead either way.
+  channel.Send(EncodeErrorFrame(status)).IgnoreError();
   return status;
 }
 
 // Translates a received Error frame into a local Status.
-Status FromErrorFrame(BytesView frame) {
-  Result<ErrorMessage> msg = ErrorMessage::Decode(frame);
-  if (!msg.ok()) return Status::ProtocolError("undecodable error frame");
-  return Status(static_cast<StatusCode>(msg->code),
-                "peer aborted: " + msg->reason);
-}
+Status FromErrorFrame(BytesView frame) { return StatusFromErrorFrame(frame); }
 
 // Drives one SumClient execution over the channel (shared by the v1 and
 // v2 client paths; the per-query framing around it differs).

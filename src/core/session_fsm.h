@@ -1,0 +1,117 @@
+// ServerProtocolFsm: the server side of the session protocol as a
+// sans-IO state machine.
+//
+// ServerSession::Serve drives the same protocol with blocking channel
+// calls — one thread per client. The reactor host (core/reactor_host.h)
+// cannot block, so this class re-expresses Serve as explicit
+// transitions over complete frames:
+//
+//   kHandshake ──ClientHello──▶ kAwaitQuery          (v2)
+//        │                          │  ▲
+//        │ (v1)                     │QueryHeader
+//        ▼                          ▼  │SumResponse
+//   kAwaitChunks ◀──────────── kAwaitChunks
+//        │IndexBatch*                │Goodbye/Error
+//        ▼                          ▼
+//      kDone ◀───────────────────kDone
+//
+// The caller feeds each complete inbound frame to OnFrame() and writes
+// the returned frames to its transport in order; eviction and transport
+// failure enter through OnDeadline()/OnTransportError(). Frame
+// processing is CPU-heavy (key deserialization, homomorphic folds), so
+// event loops run OnFrame on a worker pool, never on the loop thread.
+//
+// Semantics match ServerSession exactly: the same Error frames on the
+// same inputs, v1 fallback, the zero-row rejection, and live-stats
+// counter parity — queries_counter is bumped *before* the SumResponse
+// frame is handed back, so a client that has its answer is guaranteed
+// to find the query in the host's snapshot.
+
+#ifndef PPSTATS_CORE_SESSION_FSM_H_
+#define PPSTATS_CORE_SESSION_FSM_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/query.h"
+#include "core/selected_sum.h"
+#include "core/session.h"
+#include "db/column_registry.h"
+
+namespace ppstats {
+
+/// Protocol phases of a server-side session.
+enum class ServerFsmPhase : uint8_t {
+  kHandshake,    ///< waiting for ClientHello
+  kAwaitQuery,   ///< v2: waiting for QueryHeader / Goodbye
+  kAwaitChunks,  ///< waiting for IndexBatch frames of the open query
+  kDone,         ///< terminal; final_status() says how it ended
+};
+
+/// What one FSM entry point produced: frames to send, in order, and
+/// whether the session reached its terminal state.
+struct ServerFsmOutput {
+  std::vector<Bytes> frames;
+  bool done = false;
+};
+
+/// See the file comment. Not thread-safe: the owner must serialize
+/// calls (the reactor host runs at most one worker task per session).
+class ServerProtocolFsm {
+ public:
+  /// Mirrors ServerSession's constructor; `session_ordinal` becomes the
+  /// 1-based session id in span contexts (0 = unattributed).
+  ServerProtocolFsm(const ColumnRegistry* registry,
+                    ServerSessionOptions options, uint64_t session_ordinal = 0);
+
+  /// Consumes one complete inbound frame. CPU-heavy; run off the event
+  /// loop. Frames arriving after kDone are ignored.
+  ServerFsmOutput OnFrame(BytesView frame);
+
+  /// The peer stalled past its I/O deadline: produces the eviction
+  /// Error frame and moves to kDone with DeadlineExceeded.
+  ServerFsmOutput OnDeadline();
+
+  /// The transport died (EOF mid-protocol, reset, write failure): moves
+  /// to kDone with `error`; nothing can be sent.
+  void OnTransportError(Status error);
+
+  ServerFsmPhase phase() const { return phase_; }
+  bool done() const { return phase_ == ServerFsmPhase::kDone; }
+
+  /// How the session ended (valid once done()): OK for a clean Goodbye
+  /// (or completed v1 query), the abort status otherwise.
+  const Status& final_status() const { return final_status_; }
+
+  /// Counter parity with ServerSession::metrics().
+  const SessionMetrics& metrics() const { return metrics_; }
+
+ private:
+  /// Appends an Error frame for `status` and terminates the session —
+  /// the FSM's AbortWith.
+  void Abort(ServerFsmOutput& out, Status status);
+  void Finish(Status status);
+
+  void OnHandshakeFrame(BytesView frame, ServerFsmOutput& out);
+  void OnQueryFrame(BytesView frame, ServerFsmOutput& out);
+  void OnChunkFrame(BytesView frame, ServerFsmOutput& out);
+  /// Opens the v1 implicit query (plain sum over the default column).
+  void OpenV1Query(ServerFsmOutput& out);
+
+  const ColumnRegistry* registry_;
+  ServerSessionOptions options_;
+  uint64_t session_ordinal_;
+  ServerFsmPhase phase_ = ServerFsmPhase::kHandshake;
+  Status final_status_ = Status::OK();
+  SessionMetrics metrics_;
+  uint16_t version_ = 0;
+  std::optional<PaillierPublicKey> pub_;
+  std::optional<CompiledQuery> query_;  // outlives sum_server_
+  std::unique_ptr<SumServer> sum_server_;
+};
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CORE_SESSION_FSM_H_

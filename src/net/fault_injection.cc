@@ -7,12 +7,11 @@
 
 namespace ppstats {
 
-FaultInjectingChannel::FaultInjectingChannel(std::unique_ptr<Channel> inner,
-                                             FaultInjectionOptions options,
-                                             RandomSource& rng)
-    : inner_(std::move(inner)), options_(options), rng_(&rng) {}
+FrameFaultPlanner::FrameFaultPlanner(FaultInjectionOptions options,
+                                     RandomSource& rng)
+    : options_(options), rng_(&rng) {}
 
-bool FaultInjectingChannel::ShouldFault() {
+bool FrameFaultPlanner::ShouldFault() {
   if (counters_.frames <= options_.skip_frames) return false;
   if (counters_.faults() >= options_.max_faults) return false;
   double rate = std::clamp(options_.fault_rate, 0.0, 1.0);
@@ -22,7 +21,7 @@ bool FaultInjectingChannel::ShouldFault() {
   return rng_->NextBelow(kScale) < static_cast<uint64_t>(rate * kScale);
 }
 
-FaultKind FaultInjectingChannel::PickKind() {
+FaultKind FrameFaultPlanner::PickKind() {
   std::vector<FaultKind> enabled;
   if (options_.delay) enabled.push_back(FaultKind::kDelay);
   if (options_.truncate) enabled.push_back(FaultKind::kTruncate);
@@ -33,45 +32,77 @@ FaultKind FaultInjectingChannel::PickKind() {
   return enabled[rng_->NextBelow(enabled.size())];
 }
 
-Status FaultInjectingChannel::Send(BytesView message) {
-  if (inner_ == nullptr) {
-    return Status::ProtocolError("channel closed by injected disconnect");
-  }
+FaultPlan FrameFaultPlanner::Plan(BytesView message) {
+  FaultPlan plan;
   ++counters_.frames;
-  if (!ShouldFault()) return inner_->Send(message);
+  if (!ShouldFault()) return plan;
 
   switch (PickKind()) {
     case FaultKind::kDelay:
       ++counters_.delays;
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(options_.delay_ms));
-      return inner_->Send(message);
+      plan.kind = FaultKind::kDelay;
+      plan.delay_ms = options_.delay_ms;
+      return plan;
     case FaultKind::kTruncate: {
       if (message.empty()) {
         ++counters_.drops;  // nothing to truncate; losing it is a drop
-        return Status::OK();
+        plan.kind = FaultKind::kDrop;
+        return plan;
       }
       ++counters_.truncations;
+      plan.kind = FaultKind::kTruncate;
       size_t keep = static_cast<size_t>(rng_->NextBelow(message.size()));
-      return inner_->Send(message.subspan(0, keep));
+      plan.payload.assign(message.begin(), message.begin() + keep);
+      return plan;
     }
     case FaultKind::kGarble: {
       ++counters_.garbles;
-      Bytes copy(message.begin(), message.end());
-      if (!copy.empty()) {
+      plan.kind = FaultKind::kGarble;
+      plan.payload.assign(message.begin(), message.end());
+      if (!plan.payload.empty()) {
         size_t flips = 1 + static_cast<size_t>(rng_->NextBelow(8));
         for (size_t i = 0; i < flips; ++i) {
-          size_t at = static_cast<size_t>(rng_->NextBelow(copy.size()));
-          copy[at] ^= static_cast<uint8_t>(1 + rng_->NextBelow(255));
+          size_t at =
+              static_cast<size_t>(rng_->NextBelow(plan.payload.size()));
+          plan.payload[at] ^= static_cast<uint8_t>(1 + rng_->NextBelow(255));
         }
       }
-      return inner_->Send(copy);
+      return plan;
     }
     case FaultKind::kDrop:
       ++counters_.drops;
-      return Status::OK();  // the peer waits for a frame that never comes
+      plan.kind = FaultKind::kDrop;
+      return plan;
     case FaultKind::kDisconnect:
       ++counters_.disconnects;
+      plan.kind = FaultKind::kDisconnect;
+      return plan;
+  }
+  plan.kind = FaultKind::kDrop;  // unreachable
+  return plan;
+}
+
+FaultInjectingChannel::FaultInjectingChannel(std::unique_ptr<Channel> inner,
+                                             FaultInjectionOptions options,
+                                             RandomSource& rng)
+    : inner_(std::move(inner)), planner_(options, rng) {}
+
+Status FaultInjectingChannel::Send(BytesView message) {
+  if (inner_ == nullptr) {
+    return Status::ProtocolError("channel closed by injected disconnect");
+  }
+  FaultPlan plan = planner_.Plan(message);
+  if (!plan.kind.has_value()) return inner_->Send(message);
+  switch (*plan.kind) {
+    case FaultKind::kDelay:
+      std::this_thread::sleep_for(std::chrono::milliseconds(plan.delay_ms));
+      return inner_->Send(message);
+    case FaultKind::kTruncate:
+    case FaultKind::kGarble:
+      return inner_->Send(plan.payload);
+    case FaultKind::kDrop:
+      return Status::OK();  // the peer waits for a frame that never comes
+    case FaultKind::kDisconnect:
       final_stats_ = inner_->sent();
       inner_.reset();  // closes the transport; the peer sees EOF
       return Status::ProtocolError("channel closed by injected disconnect");

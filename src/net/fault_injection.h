@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 
 #include "common/random.h"
 #include "net/channel.h"
@@ -70,6 +71,43 @@ struct FaultCounters {
   }
 };
 
+/// One frame's fate, as decided by FrameFaultPlanner::Plan.
+struct FaultPlan {
+  /// nullopt = deliver the frame untouched.
+  std::optional<FaultKind> kind;
+  /// For kDelay: how long to stall before delivering.
+  uint32_t delay_ms = 0;
+  /// For kTruncate/kGarble: the transformed payload to deliver instead.
+  Bytes payload;
+};
+
+/// The fault decision core, decoupled from any transport so blocking
+/// (FaultInjectingChannel) and event-driven (core/reactor_host) send
+/// paths inject identically distributed faults from the same seeded
+/// stream. Each Plan() call advances the frame counter and draws from
+/// the RNG exactly as FaultInjectingChannel::Send always has; the
+/// caller applies the plan however its transport requires (a reactor
+/// arms a timer where a blocking channel would sleep). Not thread-safe:
+/// confine each planner to one thread or one event loop.
+class FrameFaultPlanner {
+ public:
+  /// `rng` must outlive the planner.
+  FrameFaultPlanner(FaultInjectionOptions options, RandomSource& rng);
+
+  /// Decides what happens to the next outbound frame.
+  FaultPlan Plan(BytesView message);
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  bool ShouldFault();
+  FaultKind PickKind();
+
+  FaultInjectionOptions options_;
+  RandomSource* rng_;
+  FaultCounters counters_;
+};
+
 /// Decorates a Channel with send-side fault injection. Receive passes
 /// through (wrap both endpoints to fault both directions). After an
 /// injected disconnect the wrapped channel is destroyed — the peer sees
@@ -86,17 +124,11 @@ class FaultInjectingChannel : public Channel {
   void set_read_deadline(std::chrono::milliseconds deadline) override;
   void set_write_deadline(std::chrono::milliseconds deadline) override;
 
-  const FaultCounters& counters() const { return counters_; }
+  const FaultCounters& counters() const { return planner_.counters(); }
 
  private:
-  /// Draws the fault (if any) for the current frame.
-  bool ShouldFault();
-  FaultKind PickKind();
-
   std::unique_ptr<Channel> inner_;
-  FaultInjectionOptions options_;
-  RandomSource* rng_;
-  FaultCounters counters_;
+  FrameFaultPlanner planner_;
   TrafficStats final_stats_;  // snapshot once inner_ is torn down
   std::chrono::milliseconds read_deadline_{0};
   std::chrono::milliseconds write_deadline_{0};

@@ -1,5 +1,6 @@
 #include "net/socket_channel.h"
 
+#include <fcntl.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -7,6 +8,7 @@
 
 #include <cerrno>
 #include <chrono>
+#include <climits>
 #include <optional>
 #include <string>
 #include <cstring>
@@ -14,6 +16,40 @@
 namespace ppstats {
 
 namespace {
+
+using TimePoint = std::chrono::steady_clock::time_point;
+
+/// Polls `fd` for `events` until ready or `deadline` passes. The
+/// deadline is absolute: every retry (EINTR included) recomputes the
+/// remaining budget from it, so a signal storm cannot stretch the
+/// wait. Rounds the poll timeout up to the next millisecond so the
+/// deadline is never declared early by sub-millisecond truncation.
+Status PollUntilDeadline(int fd, short events,
+                         const std::optional<TimePoint>& deadline) {
+  for (;;) {
+    int timeout_ms = -1;  // no deadline: block until ready
+    if (deadline.has_value()) {
+      auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
+          *deadline - std::chrono::steady_clock::now());
+      if (remaining.count() <= 0) {
+        return Status::DeadlineExceeded("channel i/o ran past the deadline");
+      }
+      timeout_ms = static_cast<int>(
+          std::min<int64_t>(remaining.count(), INT_MAX));
+    }
+    pollfd pfd{fd, events, 0};
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready > 0) return Status::OK();  // readable/writable or HUP/ERR,
+                                         // which recv/send will surface
+    if (ready == 0) {
+      return Status::DeadlineExceeded("channel i/o ran past the deadline");
+    }
+    if (errno != EINTR) {
+      return Status::ProtocolError(std::string("poll failed: ") +
+                                   std::strerror(errno));
+    }
+  }
+}
 
 class SocketChannel : public Channel {
  public:
@@ -77,8 +113,6 @@ class SocketChannel : public Channel {
   }
 
  private:
-  using TimePoint = std::chrono::steady_clock::time_point;
-
   Result<Bytes> ReceiveFrame() {
     std::optional<TimePoint> deadline = AbsoluteDeadline(read_deadline_);
     uint8_t header[4];
@@ -103,24 +137,7 @@ class SocketChannel : public Channel {
   // With no deadline the subsequent recv/send blocks instead.
   Status WaitReady(short events, const std::optional<TimePoint>& deadline) {
     if (!deadline.has_value()) return Status::OK();
-    for (;;) {
-      auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
-          *deadline - std::chrono::steady_clock::now());
-      if (remaining.count() <= 0) {
-        return Status::DeadlineExceeded("channel i/o ran past the deadline");
-      }
-      pollfd pfd{fd_, events, 0};
-      int ready = ::poll(&pfd, 1, static_cast<int>(remaining.count()));
-      if (ready > 0) return Status::OK();  // readable/writable or HUP/ERR,
-                                           // which recv/send will surface
-      if (ready == 0) {
-        return Status::DeadlineExceeded("channel i/o ran past the deadline");
-      }
-      if (errno != EINTR) {
-        return Status::ProtocolError(std::string("poll failed: ") +
-                                     std::strerror(errno));
-      }
-    }
+    return PollUntilDeadline(fd_, events, deadline);
   }
 
   Status WriteAll(const uint8_t* data, size_t size,
@@ -176,6 +193,20 @@ class SocketChannel : public Channel {
 };
 
 }  // namespace
+
+Status SetSocketNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
+                            std::strerror(errno));
+  }
+  int fdflags = ::fcntl(fd, F_GETFD, 0);
+  if (fdflags < 0 || ::fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) < 0) {
+    return Status::Internal(std::string("fcntl(FD_CLOEXEC): ") +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
 
 std::unique_ptr<Channel> WrapSocket(int fd, size_t max_message_bytes) {
   return std::make_unique<SocketChannel>(fd, max_message_bytes);
@@ -244,15 +275,20 @@ void SocketListener::Close() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
-Result<std::unique_ptr<Channel>> SocketListener::Accept() {
+Result<std::optional<int>> SocketListener::AcceptFd() {
   if (fd_ < 0) return Status::FailedPrecondition("listener is closed");
   for (;;) {
     int client = ::accept(fd_, nullptr, nullptr);
-    if (client >= 0) return WrapSocket(client);
+    if (client >= 0) return std::optional<int>(client);
     switch (errno) {
       case EINTR:
       case ECONNABORTED:  // that one connection died; the listener is fine
         continue;
+      case EAGAIN:  // non-blocking listener with an empty queue
+#if EAGAIN != EWOULDBLOCK
+      case EWOULDBLOCK:
+#endif
+        return std::optional<int>(std::nullopt);
       case EMFILE:  // transient resource pressure: the caller should
       case ENFILE:  // back off and call Accept again once fds/memory
       case ENOBUFS:  // free up, instead of tearing the server down
@@ -265,6 +301,15 @@ Result<std::unique_ptr<Channel>> SocketListener::Accept() {
         return Status::FailedPrecondition(std::string("accept failed: ") +
                                           std::strerror(errno));
     }
+  }
+}
+
+Result<std::unique_ptr<Channel>> SocketListener::Accept() {
+  for (;;) {
+    Result<std::optional<int>> client = AcceptFd();
+    if (!client.ok()) return client.status();
+    // A blocking listener never yields EAGAIN; loop anyway for safety.
+    if (client->has_value()) return WrapSocket(**client);
   }
 }
 
@@ -282,9 +327,30 @@ Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path) {
                             std::strerror(errno));
   }
   if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-    ::close(fd);
-    return Status::Internal(std::string("connect failed: ") +
-                            std::strerror(errno));
+    if (errno == EINTR) {
+      // POSIX: a connect interrupted by a signal completes
+      // asynchronously. Reissuing it would fail; wait for writability
+      // and read the outcome from SO_ERROR instead.
+      pollfd pfd{fd, POLLOUT, 0};
+      int ready;
+      do {
+        ready = ::poll(&pfd, 1, -1);
+      } while (ready < 0 && errno == EINTR);
+      int so_error = 0;
+      socklen_t len = sizeof(so_error);
+      if (ready < 0 ||
+          ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+          so_error != 0) {
+        if (so_error != 0) errno = so_error;
+        ::close(fd);
+        return Status::Internal(std::string("connect failed: ") +
+                                std::strerror(errno));
+      }
+    } else {
+      ::close(fd);
+      return Status::Internal(std::string("connect failed: ") +
+                              std::strerror(errno));
+    }
   }
   return WrapSocket(fd);
 }

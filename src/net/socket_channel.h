@@ -9,11 +9,15 @@
 #define PPSTATS_NET_SOCKET_CHANNEL_H_
 
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "net/channel.h"
 
 namespace ppstats {
+
+/// Puts `fd` into non-blocking, close-on-exec mode (reactor sockets).
+[[nodiscard]] Status SetSocketNonBlocking(int fd);
 
 /// Creates a connected pair of socket-backed channels (socketpair(2)).
 /// Each endpoint owns its file descriptor; destruction closes it, which
@@ -49,6 +53,19 @@ class SocketListener {
   /// off and retry), FailedPrecondition once the listener is shut down.
   /// Per-connection aborts (ECONNABORTED) are retried internally.
   [[nodiscard]] Result<std::unique_ptr<Channel>> Accept();
+
+  /// Accepts the next pending connection as a raw fd (caller owns it).
+  /// Returns std::nullopt when the listener is non-blocking and no
+  /// connection is queued (EAGAIN). Error codes follow Accept():
+  /// ResourceExhausted for transient fd/memory pressure,
+  /// FailedPrecondition once the listener is shut down; EINTR and
+  /// ECONNABORTED are retried internally. Used by the reactor host,
+  /// which frames and buffers the socket itself.
+  [[nodiscard]] Result<std::optional<int>> AcceptFd();
+
+  /// The listening descriptor, for event-loop registration. The
+  /// listener retains ownership.
+  int fd() const { return fd_; }
 
   /// Shuts the listening socket down, unblocking a concurrent Accept
   /// (which then fails). Safe to call from another thread; the fd itself

@@ -66,9 +66,29 @@ const PaillierKeyPair& SharedKeyPair() {
   return *kp;
 }
 
-std::string SocketPath(const std::string& name) {
-  return std::string(::testing::TempDir()) + "/" + name + ".sock";
-}
+// The whole matrix runs once per engine: chaos seeds must reproduce the
+// same typed outcomes under the blocking and the reactor host.
+class ServiceChaosTest : public ::testing::TestWithParam<ServiceEngine> {
+ protected:
+  ServiceHostOptions BaseOptions() const {
+    ServiceHostOptions options;
+    options.engine = GetParam();
+    return options;
+  }
+
+  std::string SocketPath(const std::string& name) const {
+    const char* suffix =
+        GetParam() == ServiceEngine::kReactor ? "_r" : "_t";
+    return std::string(::testing::TempDir()) + "/" + name + suffix + ".sock";
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ServiceChaosTest,
+    ::testing::Values(ServiceEngine::kThreaded, ServiceEngine::kReactor),
+    [](const ::testing::TestParamInfo<ServiceEngine>& info) {
+      return info.param == ServiceEngine::kReactor ? "Reactor" : "Threaded";
+    });
 
 bool WaitFor(const std::function<bool()>& pred,
              milliseconds timeout = seconds(10 * kTimeScale)) {
@@ -182,13 +202,13 @@ constexpr FaultKind kAllKinds[] = {FaultKind::kDelay, FaultKind::kTruncate,
                                    FaultKind::kGarble, FaultKind::kDrop,
                                    FaultKind::kDisconnect};
 
-TEST(ServiceChaosTest, ClientSideFaultMatrix) {
+TEST_P(ServiceChaosTest, ClientSideFaultMatrix) {
   // Fault every client frame class — ClientHello (0), QueryHeader (1),
   // chunk stream (2, 3) — with every fault kind, against one host that
   // must keep serving clean clients throughout.
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(TestColumn()).ok());
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.io_deadline_ms = kServerDeadlineMs;
   ServiceHost host(&registry, options);
   std::string path = SocketPath("chaos_client_matrix");
@@ -219,7 +239,7 @@ TEST(ServiceChaosTest, ClientSideFaultMatrix) {
   EXPECT_GE(stats.sessions_ok, chaos_runs);
 }
 
-TEST(ServiceChaosTest, ServerSideFaultMatrix) {
+TEST_P(ServiceChaosTest, ServerSideFaultMatrix) {
   // Fault every server frame class — ServerHello (0), QueryAccept (1),
   // SumResponse (2) — with every fault kind, via the host's built-in
   // injection hook. Each scenario needs its own host configuration.
@@ -230,7 +250,7 @@ TEST(ServiceChaosTest, ServerSideFaultMatrix) {
     for (uint64_t phase : {0u, 1u, 2u}) {
       SCOPED_TRACE("kind=" + std::to_string(static_cast<int>(kind)) +
                    " phase=" + std::to_string(phase));
-      ServiceHostOptions options;
+      ServiceHostOptions options = BaseOptions();
       options.io_deadline_ms = kServerDeadlineMs;
       options.fault_injection = FaultAtPhase(kind, phase);
       options.fault_seed = ++seed;
@@ -248,12 +268,12 @@ TEST(ServiceChaosTest, ServerSideFaultMatrix) {
   }
 }
 
-TEST(ServiceChaosTest, SixteenSeedRandomSweep) {
+TEST_P(ServiceChaosTest, SixteenSeedRandomSweep) {
   // Random faults (all kinds, 20% per frame) across a fixed sweep of 16
   // seeds: every run must terminate typed and leave the host serving.
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(TestColumn()).ok());
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.io_deadline_ms = kServerDeadlineMs;
   ServiceHost host(&registry, options);
   std::string path = SocketPath("chaos_sweep");
@@ -274,13 +294,13 @@ TEST(ServiceChaosTest, SixteenSeedRandomSweep) {
   EXPECT_EQ(host.stats().sessions_accepted, 17u);
 }
 
-TEST(ServiceChaosTest, TruncatedHeaderThenSilenceIsEvicted) {
+TEST_P(ServiceChaosTest, TruncatedHeaderThenSilenceIsEvicted) {
   // A raw peer that sends a length header promising a frame it never
   // delivers must be evicted by the I/O deadline, with the typed Error
   // frame on the wire, and the host must keep accepting.
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(TestColumn()).ok());
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.io_deadline_ms = kServerDeadlineMs;
   ServiceHost host(&registry, options);
   std::string path = SocketPath("chaos_header");
@@ -308,14 +328,14 @@ TEST(ServiceChaosTest, TruncatedHeaderThenSilenceIsEvicted) {
   EXPECT_EQ(host.stats().sessions_evicted, 1u);
 }
 
-TEST(ServiceChaosTest, ThirtyTwoConcurrentClientsUnderOnePercentFaults) {
+TEST_P(ServiceChaosTest, ThirtyTwoConcurrentClientsUnderOnePercentFaults) {
   // The acceptance run: 32 concurrent clients, faults injected on both
   // sides of the wire at ~1% per frame. Every client must terminate
   // with a typed status, no session thread may leak, and the host must
   // serve a clean client afterwards.
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(TestColumn()).ok());
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.io_deadline_ms = 500 * kTimeScale;
   options.worker_threads = 2;
   FaultInjectionOptions server_faults;  // defaults: 1% rate, all kinds

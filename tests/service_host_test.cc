@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <dirent.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <chrono>
@@ -10,11 +13,13 @@
 #include <fstream>
 #include <functional>
 #include <sstream>
+#include <string>
 #include <thread>
 
 #include "core/messages.h"
 #include "core/session.h"
 #include "crypto/chacha20_rng.h"
+#include "crypto/key_io.h"
 #include "db/workload.h"
 
 namespace ppstats {
@@ -45,6 +50,21 @@ size_t CountProcessThreads() {
   return count;
 }
 
+/// Connects a bare blocking socket to `path` — for tests that must send
+/// bytes the Channel framing layer would refuse to produce.
+int RawConnect(const std::string& path) {
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s", path.c_str());
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
 const PaillierKeyPair& SharedKeyPair() {
   static const PaillierKeyPair* kp = [] {
     ChaCha20Rng rng(7070);
@@ -54,28 +74,48 @@ const PaillierKeyPair& SharedKeyPair() {
   return *kp;
 }
 
-std::string SocketPath(const char* name) {
-  return std::string(::testing::TempDir()) + "/" + name + ".sock";
-}
+// The whole suite runs once per engine: both must expose identical
+// protocol, rejection, eviction, restart, and stats behavior.
+class ServiceHostTest : public ::testing::TestWithParam<ServiceEngine> {
+ protected:
+  ServiceHostOptions BaseOptions() const {
+    ServiceHostOptions options;
+    options.engine = GetParam();
+    return options;
+  }
 
-TEST(ServiceHostTest, StartRequiresColumns) {
+  std::string SocketPath(const char* name) const {
+    const char* suffix =
+        GetParam() == ServiceEngine::kReactor ? "_r" : "_t";
+    return std::string(::testing::TempDir()) + "/" + name + suffix + ".sock";
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, ServiceHostTest,
+    ::testing::Values(ServiceEngine::kThreaded, ServiceEngine::kReactor),
+    [](const ::testing::TestParamInfo<ServiceEngine>& info) {
+      return info.param == ServiceEngine::kReactor ? "Reactor" : "Threaded";
+    });
+
+TEST_P(ServiceHostTest, StartRequiresColumns) {
   ColumnRegistry empty;
-  ServiceHost host(&empty, {});
+  ServiceHost host(&empty, BaseOptions());
   EXPECT_FALSE(host.Start(SocketPath("svc_empty")).ok());
-  ServiceHost null_host(nullptr, {});
+  ServiceHost null_host(nullptr, BaseOptions());
   EXPECT_FALSE(null_host.Start(SocketPath("svc_null")).ok());
 }
 
-TEST(ServiceHostTest, UnknownDefaultColumnRejectedAtStart) {
+TEST_P(ServiceHostTest, UnknownDefaultColumnRejectedAtStart) {
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(Database("a", {1})).ok());
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.default_column = "nope";
   ServiceHost host(&registry, options);
   EXPECT_FALSE(host.Start(SocketPath("svc_baddefault")).ok());
 }
 
-TEST(ServiceHostTest, ConcurrentClientsRunMixedQueries) {
+TEST_P(ServiceHostTest, ConcurrentClientsRunMixedQueries) {
   // The tentpole end-to-end check: several clients, each with its own
   // key, hammer one host concurrently over real AF_UNIX sockets, each
   // running multiple queries of mixed kinds on one connection. Every
@@ -88,9 +128,10 @@ TEST(ServiceHostTest, ConcurrentClientsRunMixedQueries) {
   ASSERT_TRUE(registry.Register(age).ok());
   ASSERT_TRUE(registry.Register(income).ok());
 
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.default_column = "age";
   options.worker_threads = 2;
+  options.reactor_threads = 2;  // exercise multi-shard session pinning
   ServiceHost host(&registry, options);
   std::string path = SocketPath("svc_concurrent");
   ASSERT_TRUE(host.Start(path).ok());
@@ -166,11 +207,12 @@ TEST(ServiceHostTest, ConcurrentClientsRunMixedQueries) {
   EXPECT_GT(stats.server_compute_s, 0.0);
 }
 
-TEST(ServiceHostTest, ServesV1ClientsAndCountsFailedSessions) {
+TEST_P(ServiceHostTest, ServesV1ClientsAndCountsFailedSessions) {
   Database db("d", {5, 6, 7, 8});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHost host(&registry, {});  // sole column becomes the default
+  // Sole column becomes the default.
+  ServiceHost host(&registry, BaseOptions());
   std::string path = SocketPath("svc_v1");
   ASSERT_TRUE(host.Start(path).ok());
 
@@ -223,11 +265,11 @@ TEST(ServiceHostTest, ServesV1ClientsAndCountsFailedSessions) {
   EXPECT_EQ(stats.distinct_client_keys, 1u);
 }
 
-TEST(ServiceHostTest, StopIsIdempotentAndRestartable) {
+TEST_P(ServiceHostTest, StopIsIdempotentAndRestartable) {
   Database db("d", {1, 2});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHost host(&registry, {});
+  ServiceHost host(&registry, BaseOptions());
   std::string path = SocketPath("svc_restart");
   ASSERT_TRUE(host.Start(path).ok());
   EXPECT_TRUE(host.running());
@@ -239,13 +281,14 @@ TEST(ServiceHostTest, StopIsIdempotentAndRestartable) {
   host.Stop();
 }
 
-TEST(ServiceHostTest, ReaperReturnsThreadCountToBaseline) {
-  // Regression: session threads used to be joined only in Stop(), so a
-  // long-running host accumulated one dead thread per served client.
+TEST_P(ServiceHostTest, ThreadCountReturnsToBaselineBetweenClients) {
+  // Threaded engine: the reaper joins finished session threads while
+  // the host keeps running. Reactor engine: sessions never get a thread
+  // at all, so the count stays at the post-Start baseline throughout.
   Database db("d", {1, 2, 3, 4});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHost host(&registry, {});
+  ServiceHost host(&registry, BaseOptions());
   std::string path = SocketPath("svc_reaper");
   ASSERT_TRUE(host.Start(path).ok());
   size_t baseline = CountProcessThreads();
@@ -262,8 +305,6 @@ TEST(ServiceHostTest, ReaperReturnsThreadCountToBaseline) {
                   .ValueOrDie(),
               BigInt(3));
     ASSERT_TRUE(session.Finish().ok());
-    // The reaper joins the finished session while the host keeps
-    // running — no Stop() needed to get back to baseline.
     EXPECT_TRUE(WaitFor([&] { return host.active_sessions() == 0; }));
     EXPECT_TRUE(WaitFor([&] { return CountProcessThreads() <= baseline; }));
   }
@@ -274,18 +315,18 @@ TEST(ServiceHostTest, ReaperReturnsThreadCountToBaseline) {
   EXPECT_EQ(stats.sessions_ok, static_cast<uint64_t>(kClients));
 }
 
-TEST(ServiceHostTest, SilentClientEvictedWithinDeadline) {
+TEST_P(ServiceHostTest, SilentClientEvictedWithinDeadline) {
   Database db("d", {1, 2});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.io_deadline_ms = 100;
   ServiceHost host(&registry, options);
   std::string path = SocketPath("svc_evict");
   ASSERT_TRUE(host.Start(path).ok());
 
   // Connect and say nothing: the server's first read (ClientHello) must
-  // hit its 100ms deadline instead of pinning the session thread.
+  // hit its 100ms deadline instead of pinning the session forever.
   auto channel = ConnectUnixSocket(path).ValueOrDie();
   auto start = steady_clock::now();
   Result<Bytes> frame = channel->Receive();  // blocks until eviction
@@ -307,11 +348,49 @@ TEST(ServiceHostTest, SilentClientEvictedWithinDeadline) {
   EXPECT_EQ(stats.sessions_evicted, 1u);
 }
 
-TEST(ServiceHostTest, OverCapacityConnectGetsTypedRejection) {
+TEST_P(ServiceHostTest, SlowlorisTricklerEvictedDespiteSteadyBytes) {
+  // The deadline is per whole frame, not per byte: a client feeding one
+  // byte at a time (classic Slowloris) must still be evicted, because
+  // partial progress never resets the frame deadline.
+  Database db("d", {1, 2});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHostOptions options = BaseOptions();
+  options.io_deadline_ms = 150;
+  ServiceHost host(&registry, options);
+  std::string path = SocketPath("svc_slowloris");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  int fd = RawConnect(path);
+  ASSERT_GE(fd, 0);
+  // Claim an enormous frame, then trickle single bytes faster than any
+  // per-read deadline would fire — but the whole frame can never
+  // complete, so the whole-frame deadline must evict us.
+  auto start = steady_clock::now();
+  uint8_t drip = 0x00;  // first header byte of an announced 1 MiB frame
+  bool evicted = false;
+  for (int i = 0; i < 400 && !evicted; ++i) {
+    (void)::send(fd, &drip, 1, MSG_NOSIGNAL);
+    drip = 0x41;
+    std::this_thread::sleep_for(milliseconds(10));
+    evicted = host.SnapshotStats().sessions_evicted == 1;
+  }
+  auto elapsed = steady_clock::now() - start;
+  ::close(fd);
+  EXPECT_TRUE(evicted);
+  EXPECT_LT(elapsed, seconds(4));
+
+  EXPECT_TRUE(WaitFor([&] { return host.active_sessions() == 0; }));
+  host.Stop();
+  ServiceHost::Stats stats = host.stats();
+  EXPECT_EQ(stats.sessions_evicted, 1u);
+}
+
+TEST_P(ServiceHostTest, OverCapacityConnectGetsTypedRejection) {
   Database db("d", {3, 4, 5});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.max_sessions = 1;
   ServiceHost host(&registry, options);
   std::string path = SocketPath("svc_cap");
@@ -356,7 +435,7 @@ TEST(ServiceHostTest, OverCapacityConnectGetsTypedRejection) {
   EXPECT_EQ(stats.sessions_ok, 2u);
 }
 
-TEST(ServiceHostTest, AcceptLoopSurvivesFdExhaustion) {
+TEST_P(ServiceHostTest, AcceptLoopSurvivesFdExhaustion) {
   // Regression: the accept loop used to exit permanently on any
   // accept() failure, so one EMFILE burst silently killed the daemon.
   // Real fd exhaustion cannot be forced portably (sandboxed kernels
@@ -368,7 +447,7 @@ TEST(ServiceHostTest, AcceptLoopSurvivesFdExhaustion) {
   ASSERT_TRUE(registry.Register(db).ok());
   std::atomic<int> bursts_left{5};
   std::atomic<int> injected{0};
-  ServiceHostOptions options;
+  ServiceHostOptions options = BaseOptions();
   options.accept_fault_hook = [&]() -> Status {
     if (bursts_left.load() > 0) {
       bursts_left.fetch_sub(1);
@@ -399,13 +478,13 @@ TEST(ServiceHostTest, AcceptLoopSurvivesFdExhaustion) {
   EXPECT_EQ(host.stats().sessions_ok, 1u);
 }
 
-TEST(ServiceHostTest, RestartOnSamePathResetsPerRunState) {
+TEST_P(ServiceHostTest, RestartOnSamePathResetsPerRunState) {
   // Regression: Stop() + Start() used to keep the previous run's stats
   // and cached client keys.
   Database db("d", {9, 10});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHost host(&registry, {});
+  ServiceHost host(&registry, BaseOptions());
   std::string path = SocketPath("svc_reset");
   ASSERT_TRUE(host.Start(path).ok());
   {
@@ -439,7 +518,7 @@ TEST(ServiceHostTest, RestartOnSamePathResetsPerRunState) {
   EXPECT_EQ(second.distinct_client_keys, 1u);
 }
 
-TEST(ServiceHostTest, SnapshotStatsIsLiveWhileSessionsRun) {
+TEST_P(ServiceHostTest, SnapshotStatsIsLiveWhileSessionsRun) {
   // Regression for the stale-stats footgun: stats used to be merged into
   // the host only when a session finished, so a monitor polling mid-run
   // saw zeros. Now a query is counted before its response frame is
@@ -447,7 +526,7 @@ TEST(ServiceHostTest, SnapshotStatsIsLiveWhileSessionsRun) {
   Database db("d", {5, 6, 7});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHost host(&registry, {});
+  ServiceHost host(&registry, BaseOptions());
   std::string path = SocketPath("svc_live");
   ASSERT_TRUE(host.Start(path).ok());
 
@@ -475,13 +554,12 @@ TEST(ServiceHostTest, SnapshotStatsIsLiveWhileSessionsRun) {
   host.Stop();
 }
 
-TEST(ServiceHostTest, StatsJsonDumperWritesValidSnapshots) {
+TEST_P(ServiceHostTest, StatsJsonDumperWritesValidSnapshots) {
   Database db("d", {1, 2, 3, 4});
   ColumnRegistry registry;
   ASSERT_TRUE(registry.Register(db).ok());
-  ServiceHostOptions options;
-  options.stats_json_path =
-      std::string(::testing::TempDir()) + "/svc_stats.json";
+  ServiceHostOptions options = BaseOptions();
+  options.stats_json_path = SocketPath("svc_stats_json") + ".json";
   options.stats_interval_ms = 20;
   std::remove(options.stats_json_path.c_str());
   ServiceHost host(&registry, options);
@@ -515,6 +593,72 @@ TEST(ServiceHostTest, StatsJsonDumperWritesValidSnapshots) {
   EXPECT_NE(json.find("\"spans_seconds\""), std::string::npos);
   EXPECT_EQ(json.back(), '\n');
   std::remove(options.stats_json_path.c_str());
+}
+
+TEST_P(ServiceHostTest, PipelinedGoodbyeThenHalfCloseCountsOk) {
+  // A client may write its whole protocol, half-close, and only then
+  // read the replies. Both engines must serve every pipelined frame
+  // before acting on the EOF — the session ended with a clean Goodbye,
+  // so it counts ok, never failed.
+  Database db("d", {2, 3});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHost host(&registry, BaseOptions());
+  std::string path = SocketPath("svc_pipeline");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  auto frame = [](const Bytes& payload) {
+    Bytes wire;
+    const uint32_t len = static_cast<uint32_t>(payload.size());
+    for (int shift = 24; shift >= 0; shift -= 8) {
+      wire.push_back(static_cast<uint8_t>(len >> shift));
+    }
+    wire.insert(wire.end(), payload.begin(), payload.end());
+    return wire;
+  };
+  int fd = RawConnect(path);
+  ASSERT_GE(fd, 0);
+  ClientHelloMessage hello;
+  hello.protocol_version = kSessionProtocolV2;
+  hello.public_key_blob = SerializePublicKey(SharedKeyPair().public_key);
+  Bytes wire = frame(hello.Encode());
+  Bytes bye = frame(GoodbyeMessage{}.Encode());
+  wire.insert(wire.end(), bye.begin(), bye.end());
+  ASSERT_EQ(::send(fd, wire.data(), wire.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(wire.size()));
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);  // EOF races the frames in
+  // Drain the ServerHello until the server closes in turn.
+  uint8_t sink[256];
+  while (::read(fd, sink, sizeof(sink)) > 0) {
+  }
+  ::close(fd);
+
+  EXPECT_TRUE(WaitFor([&] { return host.SnapshotStats().sessions_ok == 1; }));
+  host.Stop();
+  ServiceHost::Stats stats = host.stats();
+  EXPECT_EQ(stats.sessions_ok, 1u);
+  EXPECT_EQ(stats.sessions_failed, 0u);
+}
+
+TEST_P(ServiceHostTest, OversizedFramePrefixFailsSessionCleanly) {
+  // A hostile length prefix beyond the frame limit must fail the
+  // session with a typed error, not allocate 4 GiB or hang.
+  Database db("d", {2, 3});
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(db).ok());
+  ServiceHost host(&registry, BaseOptions());
+  std::string path = SocketPath("svc_oversize");
+  ASSERT_TRUE(host.Start(path).ok());
+
+  int fd = RawConnect(path);
+  ASSERT_GE(fd, 0);
+  const uint8_t huge[4] = {0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_EQ(::send(fd, huge, sizeof(huge), MSG_NOSIGNAL), 4);
+
+  EXPECT_TRUE(WaitFor([&] { return host.SnapshotStats().sessions_failed == 1; }));
+  ::close(fd);
+  host.Stop();
+  EXPECT_EQ(host.stats().sessions_ok, 0u);
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <thread>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace ppstats {
 namespace {
@@ -52,6 +56,130 @@ TEST(ThreadPoolTest, SequentialJobsReuseWorkers) {
 TEST(ThreadPoolTest, SharedPoolIsASingleton) {
   EXPECT_EQ(&ThreadPool::Shared(), &ThreadPool::Shared());
   EXPECT_GE(ThreadPool::Shared().thread_count(), 1u);
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllExecute) {
+  ThreadPool pool(3);
+  std::atomic<int> executed{0};
+  constexpr int kTasks = 500;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&executed] { executed.fetch_add(1); });
+  }
+  // The destructor drains pending tasks; nothing may be lost.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (executed.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(executed.load(), kTasks);
+}
+
+TEST(ThreadPoolTest, IdleWorkersStealQueuedTasks) {
+  // Round-robin placement puts consecutive submissions on different
+  // deques, but even if every task landed on one worker's deque, the
+  // others must steal: with 4 workers and one long blocker, the
+  // remaining tasks still finish promptly.
+  ThreadPool pool(4);
+  Mutex gate_mu;
+  bool gate_open = false;
+  CondVar gate_cv;
+  pool.Submit([&] {
+    MutexLock lock(gate_mu);
+    while (!gate_open) gate_cv.Wait(gate_mu);
+  });
+  std::atomic<int> done{0};
+  constexpr int kTasks = 64;
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit([&done] { done.fetch_add(1); });
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), kTasks);  // finished while the blocker still held
+  {
+    MutexLock lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.NotifyAll();
+}
+
+TEST(ThreadPoolTest, TrySubmitShedsLoadAtQueueDepth) {
+  // Saturate every worker with blockers, then fill the queue to the
+  // bound: the next TrySubmit must fail typed, and the failed task must
+  // never run.
+  ThreadPool pool(2);
+  Mutex gate_mu;
+  bool gate_open = false;
+  CondVar gate_cv;
+  std::atomic<int> blockers_running{0};
+  for (int i = 0; i < 2; ++i) {
+    pool.Submit([&] {
+      blockers_running.fetch_add(1);
+      MutexLock lock(gate_mu);
+      while (!gate_open) gate_cv.Wait(gate_mu);
+    });
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (blockers_running.load() < 2 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(blockers_running.load(), 2);
+
+  constexpr size_t kDepth = 4;
+  std::atomic<int> ran{0};
+  size_t accepted = 0;
+  Status rejected = Status::OK();
+  for (int i = 0; i < 16; ++i) {
+    Status s = pool.TrySubmit([&ran] { ran.fetch_add(1); }, kDepth);
+    if (s.ok()) {
+      ++accepted;
+    } else {
+      rejected = s;
+    }
+  }
+  EXPECT_EQ(accepted, kDepth);
+  EXPECT_EQ(rejected.code(), StatusCode::kResourceExhausted);
+  EXPECT_GE(pool.QueuedTasks(), kDepth);
+
+  {
+    MutexLock lock(gate_mu);
+    gate_open = true;
+  }
+  gate_cv.NotifyAll();
+  while (ran.load() < static_cast<int>(accepted) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Exactly the accepted tasks ran — rejected ones were never enqueued.
+  EXPECT_EQ(ran.load(), static_cast<int>(accepted));
+}
+
+TEST(ThreadPoolTest, TrySubmitUnboundedWithZeroDepth) {
+  ThreadPool pool(1);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(pool.TrySubmit([&ran] { ran.fetch_add(1); }, 0).ok());
+  }
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (ran.load() < 100 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(ran.load(), 100);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsPendingSubmissions) {
+  std::atomic<int> ran{0};
+  constexpr int kTasks = 200;
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < kTasks; ++i) {
+      pool.Submit([&ran] { ran.fetch_add(1); });
+    }
+  }  // ~ThreadPool joins after draining
+  EXPECT_EQ(ran.load(), kTasks);
 }
 
 }  // namespace

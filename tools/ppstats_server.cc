@@ -6,6 +6,8 @@
 //                  [--max-sessions <n>] [--io-deadline-ms <ms>]
 //                  [--backlog <n>] [--stats-json <path>]
 //                  [--stats-interval-ms <ms>]
+//                  [--engine threaded|reactor] [--reactor-threads <n>]
+//                  [--max-events <n>]
 //
 // Each --db registers one named column (the name defaults to the file
 // path); v2 clients address columns by name and may run several queries
@@ -15,6 +17,12 @@
 // clients that stall mid-protocol, --backlog sets the kernel listen
 // queue. With --once the server handles exactly one session serially
 // and exits (useful for scripted tests).
+//
+// --engine reactor replaces thread-per-session with the epoll event
+// loop: --reactor-threads sets the number of event-loop shards and
+// --max-events the epoll_wait batch size per wakeup. Protocol behavior
+// (framing, deadlines, capacity rejection) is identical to the default
+// threaded engine.
 //
 // --stats-json writes the server's metrics (session/query counters,
 // channel byte counts, span histograms — see docs/OBSERVABILITY.md) to
@@ -49,7 +57,9 @@ int Usage() {
                "--socket <path> [--default <name>] [--threads <t>] "
                "[--once] [--max-sessions <n>] [--io-deadline-ms <ms>] "
                "[--backlog <n>] [--stats-json <path>] "
-               "[--stats-interval-ms <ms>]\n");
+               "[--stats-interval-ms <ms>] "
+               "[--engine threaded|reactor] [--reactor-threads <n>] "
+               "[--max-events <n>]\n");
   return 2;
 }
 
@@ -86,9 +96,27 @@ int main(int argc, char** argv) {
   bool once = false;
   std::string stats_json_path;
   uint32_t stats_interval_ms = 0;
+  ServiceEngine engine = ServiceEngine::kThreaded;
+  size_t reactor_threads = 1;
+  size_t max_events = 64;
   std::string flag_value;
   for (int i = 1; i < argc; ++i) {
-    if (FlagValue("--stats-json", argc, argv, &i, &flag_value)) {
+    if (FlagValue("--engine", argc, argv, &i, &flag_value)) {
+      if (flag_value == "threaded") {
+        engine = ServiceEngine::kThreaded;
+      } else if (flag_value == "reactor") {
+        engine = ServiceEngine::kReactor;
+      } else {
+        std::fprintf(stderr, "unknown engine: %s\n", flag_value.c_str());
+        return Usage();
+      }
+    } else if (FlagValue("--reactor-threads", argc, argv, &i, &flag_value)) {
+      reactor_threads =
+          static_cast<size_t>(std::strtoull(flag_value.c_str(), nullptr, 10));
+    } else if (FlagValue("--max-events", argc, argv, &i, &flag_value)) {
+      max_events =
+          static_cast<size_t>(std::strtoull(flag_value.c_str(), nullptr, 10));
+    } else if (FlagValue("--stats-json", argc, argv, &i, &flag_value)) {
       stats_json_path = flag_value;
     } else if (FlagValue("--stats-interval-ms", argc, argv, &i,
                          &flag_value)) {
@@ -193,6 +221,9 @@ int main(int argc, char** argv) {
   options.accept_backlog = backlog;
   options.stats_json_path = stats_json_path;
   options.stats_interval_ms = stats_interval_ms;
+  options.engine = engine;
+  options.reactor_threads = reactor_threads;
+  options.max_events = max_events;
   ServiceHost host(&registry, options);
   Status started = host.Start(socket_path);
   if (!started.ok()) {
