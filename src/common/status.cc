@@ -26,6 +26,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
   }
   return "Unknown";
 }

@@ -36,12 +36,13 @@ enum class StatusCode {
   kResourceExhausted, ///< a pool or buffer ran out
   kInternal,          ///< invariant violation inside the library
   kDeadlineExceeded,  ///< a blocking operation ran past its deadline
+  kAlreadyExists,     ///< the entity (socket path, name) is already taken
 };
 
 /// Number of StatusCode values. Keep in sync when adding a code: the
 /// status test walks [0, kStatusCodeCount) and fails if StatusCodeName
 /// does not know every code (switch-exhaustiveness tripwire).
-inline constexpr size_t kStatusCodeCount = 11;
+inline constexpr size_t kStatusCodeCount = 12;
 
 /// Human-readable name of a StatusCode ("OK", "InvalidArgument", ...).
 [[nodiscard]] std::string_view StatusCodeName(StatusCode code);
@@ -90,6 +91,9 @@ class [[nodiscard]] Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
   }
 
   [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }

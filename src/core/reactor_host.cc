@@ -1,6 +1,7 @@
 #include "core/reactor_host.h"
 
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,6 +32,11 @@ constexpr size_t kMaxMessageBytes = size_t{1} << 28;
 /// recv() scratch size per call; the read loop drains to EAGAIN anyway
 /// (edge-triggered contract), this only bounds one copy.
 constexpr size_t kReadChunkBytes = 64 * 1024;
+
+/// Frames gathered into one sendmsg() when the writev outbox is on.
+/// Well under IOV_MAX; one batch per syscall, re-gathered after partial
+/// writes.
+constexpr size_t kWritevBatchFrames = 64;
 
 }  // namespace
 
@@ -107,20 +113,47 @@ ReactorEngine::ReactorEngine(const ColumnRegistry* registry,
 
 ReactorEngine::~ReactorEngine() { Stop(); }
 
-Status ReactorEngine::Start(const std::string& socket_path) {
+Status ReactorEngine::Start(const Endpoint& endpoint) {
   if (running_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("reactor engine already running");
   }
-  PPSTATS_ASSIGN_OR_RETURN(
-      SocketListener listener,
-      SocketListener::Bind(socket_path, options_.accept_backlog));
-  PPSTATS_RETURN_IF_ERROR(SetSocketNonBlocking(listener.fd()));
-  listener_.emplace(std::move(listener));
-
   const size_t shard_count = std::max<size_t>(1, options_.reactor_threads);
+
+  // One listener per shard. TCP shards each bind the same address with
+  // SO_REUSEPORT (set on every listener, including the first), so the
+  // kernel spreads incoming connections across shards. AF_UNIX has no
+  // per-path SO_REUSEPORT balancing; extra shards dup() the first
+  // listening description instead — every shard's epoll sees the edge
+  // and the losers read EAGAIN.
+  ListenOptions listen_options;
+  listen_options.backlog = options_.accept_backlog;
+  listen_options.sndbuf_bytes = options_.so_sndbuf;
+  listen_options.reuse_port =
+      endpoint.kind == EndpointKind::kTcp && shard_count > 1;
+  PPSTATS_ASSIGN_OR_RETURN(SocketListener first,
+                           SocketListener::Bind(endpoint, listen_options));
+  PPSTATS_RETURN_IF_ERROR(SetSocketNonBlocking(first.fd()));
+  endpoint_ = first.endpoint();  // ephemeral TCP ports resolve here
+
+  std::vector<SocketListener> listeners;
+  listeners.push_back(std::move(first));
+  for (size_t i = 1; i < shard_count; ++i) {
+    if (endpoint_.kind == EndpointKind::kTcp) {
+      PPSTATS_ASSIGN_OR_RETURN(SocketListener extra,
+                               SocketListener::Bind(endpoint_, listen_options));
+      PPSTATS_RETURN_IF_ERROR(SetSocketNonBlocking(extra.fd()));
+      listeners.push_back(std::move(extra));
+    } else {
+      // Shares the first listener's file description (and its
+      // O_NONBLOCK flag); only the first owns the socket path.
+      PPSTATS_ASSIGN_OR_RETURN(SocketListener dup, listeners[0].Duplicate());
+      listeners.push_back(std::move(dup));
+    }
+  }
+
   shards_.clear();
   shards_.resize(shard_count);
-  for (Shard& shard : shards_) {
+  for (size_t i = 0; i < shard_count; ++i) {
     ReactorOptions reactor_options;
     reactor_options.max_events = options_.max_events;
     reactor_options.force_poll_backend = options_.force_poll_backend;
@@ -128,24 +161,31 @@ Status ReactorEngine::Start(const std::string& socket_path) {
     Result<std::unique_ptr<Reactor>> reactor = Reactor::Create(reactor_options);
     if (!reactor.ok()) {
       shards_.clear();
-      listener_.reset();
       return reactor.status();
     }
-    shard.reactor = std::move(*reactor);
+    shards_[i].reactor = std::move(*reactor);
+    shards_[i].listener.emplace(std::move(listeners[i]));
+    shards_[i].accepts =
+        metric_registry_->GetCounter("net.accepts." + std::to_string(i));
   }
+  writev_calls_ = metric_registry_->GetCounter("net.writev_calls");
+  writev_frames_ = metric_registry_->GetCounter("net.writev_frames");
 
-  // Register the listener before the loops run (Add is reactor-thread-
-  // only once Run() starts).
-  Status added = shards_[0].reactor->Add(
-      listener_->fd(), kReactorReadable, [this](uint32_t) { AcceptPass(); });
-  if (!added.ok()) {
-    shards_.clear();
-    listener_.reset();
-    return added;
+  // Register every listener before the loops run (Add is reactor-
+  // thread-only once Run() starts).
+  for (size_t i = 0; i < shard_count; ++i) {
+    Shard& shard = shards_[i];
+    Status added =
+        shard.reactor->Add(shard.listener->fd(), kReactorReadable,
+                           [this, i](uint32_t) { AcceptPass(i); });
+    if (!added.ok()) {
+      shards_.clear();
+      return added;
+    }
+    shard.listener_registered = true;
+    shard.accept_backoff_ms = 1;
   }
-  listener_registered_ = true;
-  accept_backoff_ms_ = 1;
-  next_session_id_ = 0;
+  next_session_id_.store(0, std::memory_order_relaxed);
   stopping_.store(false, std::memory_order_release);
 
   // Folds dispatch to the shared pool; creating it here keeps worker
@@ -156,10 +196,12 @@ Status ReactorEngine::Start(const std::string& socket_path) {
   for (Shard& shard : shards_) {
     shard.thread = std::thread([r = shard.reactor.get()] { r->Run(); });
   }
-  // Kick one accept pass immediately: connections (or injected accept
-  // faults) that predate the epoll registration produce no edge, and
-  // edge-triggered listeners only wake on new arrivals.
-  shards_[0].reactor->Post([this] { AcceptPass(); });
+  // Kick one accept pass per shard immediately: connections (or
+  // injected accept faults) that predate the epoll registration produce
+  // no edge, and edge-triggered listeners only wake on new arrivals.
+  for (size_t i = 0; i < shard_count; ++i) {
+    shards_[i].reactor->Post([this, i] { AcceptPass(i); });
+  }
   running_.store(true, std::memory_order_release);
   return Status::OK();
 }
@@ -167,8 +209,12 @@ Status ReactorEngine::Start(const std::string& socket_path) {
 void ReactorEngine::Stop() {
   if (!running_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
-  if (listener_.has_value()) listener_->Close();
-  shards_[0].reactor->Post([this] { RemoveListener(); });
+  for (Shard& shard : shards_) {
+    if (shard.listener.has_value()) shard.listener->Close();
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].reactor->Post([this, i] { RemoveListener(i); });
+  }
   {
     // Drain: sessions in flight run to completion (bounded by the I/O
     // deadline when one is set), exactly like the threaded engine's
@@ -182,44 +228,50 @@ void ReactorEngine::Stop() {
     if (shard.thread.joinable()) shard.thread.join();
   }
   shards_.clear();
-  listener_.reset();
   running_.store(false, std::memory_order_release);
 }
 
-void ReactorEngine::RemoveListener() {
-  if (!listener_registered_) return;
-  listener_registered_ = false;
-  shards_[0].reactor->Remove(listener_->fd());
+void ReactorEngine::RemoveListener(size_t shard) {
+  Shard& sh = shards_[shard];
+  if (!sh.listener_registered) return;
+  sh.listener_registered = false;
+  sh.reactor->Remove(sh.listener->fd());
 }
 
-void ReactorEngine::AcceptPass() {
+void ReactorEngine::AcceptPass(size_t shard) {
+  Shard& sh = shards_[shard];
   for (;;) {
     if (stopping_.load(std::memory_order_acquire)) return;
-    Result<std::optional<int>> next = [this]() -> Result<std::optional<int>> {
+    Result<std::optional<int>> next = [&]() -> Result<std::optional<int>> {
+      // The hook may be consulted from any shard's reactor thread;
+      // hooks that keep state must use atomics.
       if (options_.accept_fault_hook) {
         PPSTATS_RETURN_IF_ERROR(options_.accept_fault_hook());
       }
-      return listener_->AcceptFd();
+      return sh.listener->AcceptFd();
     }();
     if (!next.ok()) {
       if (next.status().code() != StatusCode::kResourceExhausted) {
         // The listener is dead (shutdown or a hard kernel error); stop
-        // accepting, like the threaded accept loop returning.
-        RemoveListener();
+        // accepting on this shard, like the threaded accept loop
+        // returning.
+        RemoveListener(shard);
         return;
       }
       // Transient fd/memory pressure: capped exponential backoff. The
       // retry timer re-runs this pass, which also re-drains any
       // connections that queued while we were backing off (the
       // edge-triggered backend will not re-announce them).
-      const uint32_t backoff = accept_backoff_ms_;
-      accept_backoff_ms_ = std::min(accept_backoff_ms_ * 2, kMaxAcceptBackoffMs);
-      shards_[0].reactor->ArmTimer(std::chrono::milliseconds(backoff),
-                                   [this] { AcceptPass(); });
+      const uint32_t backoff = sh.accept_backoff_ms;
+      sh.accept_backoff_ms =
+          std::min(sh.accept_backoff_ms * 2, kMaxAcceptBackoffMs);
+      sh.reactor->ArmTimer(std::chrono::milliseconds(backoff),
+                           [this, shard] { AcceptPass(shard); });
       return;
     }
     if (!next->has_value()) return;  // queue drained (EAGAIN)
-    accept_backoff_ms_ = 1;
+    sh.accept_backoff_ms = 1;
+    sh.accepts->Increment();
 
     const int fd = **next;
     if (Status nb = SetSocketNonBlocking(fd); !nb.ok()) {
@@ -229,23 +281,27 @@ void ReactorEngine::AcceptPass() {
     const bool reject =
         options_.max_sessions > 0 &&
         serving_count_.load(std::memory_order_acquire) >= options_.max_sessions;
-    OpenSession(fd, reject);
+    OpenSession(shard, fd, reject);
   }
 }
 
-void ReactorEngine::OpenSession(int fd, bool reject) {
+void ReactorEngine::OpenSession(size_t shard, int fd, bool reject) {
   auto session = std::make_shared<SessionState>();
   session->fd = fd;
+  // Sessions stay on the shard whose listener accepted them: the
+  // registration below runs inline on this shard's own reactor thread,
+  // with no cross-shard handoff.
+  session->shard = shard;
   if (reject) {
     counters_.rejected->Increment();
     session->mode = SessionState::Mode::kRejecting;
-    session->shard = 0;  // short-lived; no need to spread the load
   } else {
     counters_.accepted->Increment();
     // Ids count accepted sessions only, like the threaded engine — so
-    // fault_seed + id addresses the same session under either engine.
-    session->id = next_session_id_++;
-    session->shard = shards_.size() > 1 ? session->id % shards_.size() : 0;
+    // fault_seed + id addresses the same session under either engine
+    // whenever the accept order is deterministic (single-client chaos
+    // tests; multi-shard runs only promise id uniqueness).
+    session->id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
     serving_count_.fetch_add(1, std::memory_order_acq_rel);
     counters_.active->Set(
         static_cast<int64_t>(serving_count_.load(std::memory_order_acquire)));
@@ -269,15 +325,7 @@ void ReactorEngine::OpenSession(int fd, bool reject) {
     MutexLock lock(drain_mu_);
     ++live_sessions_;
   }
-  const size_t shard = session->shard;
-  if (shard == 0) {
-    RegisterSession(0, std::move(session));
-  } else {
-    shards_[shard].reactor->Post(
-        [this, shard, session = std::move(session)]() mutable {
-          RegisterSession(shard, std::move(session));
-        });
-  }
+  RegisterSession(shard, std::move(session));
 }
 
 void ReactorEngine::RegisterSession(size_t shard,
@@ -343,11 +391,12 @@ void ReactorEngine::ReadPass(size_t shard,
     }
     if (errno == EINTR) continue;
     if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    const int recv_errno = errno;  // ParseFrames may clobber errno
     ParseFrames(shard, s);
     if (!s->closed && !s->read_error.has_value()) {
       HandleReadFailure(shard, s,
-                        Status::ProtocolError(std::string("recv failed: ") +
-                                              std::strerror(errno)));
+                        ErrnoStatus(StatusCode::kProtocolError, "recv failed",
+                                    recv_errno));
     }
     return;
   }
@@ -549,17 +598,51 @@ void ReactorEngine::Flush(size_t shard, const std::shared_ptr<SessionState>& s) 
       }
       break;  // later frames must not overtake the delayed one
     }
-    const ssize_t n = ::send(s->fd, head.wire.data() + s->wire_off,
-                             head.wire.size() - s->wire_off, MSG_NOSIGNAL);
+    ssize_t n;
+    if (options_.outbox_writev) {
+      // Gather every flushable frame behind the head into one
+      // sendmsg(): the batch stops at a delay barrier or disconnect
+      // marker, which later frames must not overtake.
+      struct iovec iov[kWritevBatchFrames];
+      size_t iov_count = 0;
+      for (const OutFrame& f : s->outbox) {
+        if (iov_count == kWritevBatchFrames || f.disconnect || f.delay_ms > 0) {
+          break;
+        }
+        const size_t off = iov_count == 0 ? s->wire_off : 0;
+        iov[iov_count].iov_base =
+            const_cast<uint8_t*>(f.wire.data() + off);
+        iov[iov_count].iov_len = f.wire.size() - off;
+        ++iov_count;
+      }
+      struct msghdr msg = {};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iov_count;
+      n = ::sendmsg(s->fd, &msg, MSG_NOSIGNAL);
+      if (n >= 0) writev_calls_->Increment();
+    } else {
+      n = ::send(s->fd, head.wire.data() + s->wire_off,
+                 head.wire.size() - s->wire_off, MSG_NOSIGNAL);
+    }
     if (n >= 0) {
-      s->wire_off += static_cast<size_t>(n);
-      if (s->wire_off == head.wire.size()) {
+      // Advance across the batch: whole frames pop (a gathered call can
+      // complete several at once), a partial tail resumes at wire_off.
+      size_t sent = static_cast<size_t>(n);
+      do {
+        OutFrame& front = s->outbox.front();
+        const size_t remaining = front.wire.size() - s->wire_off;
+        if (sent < remaining) {
+          s->wire_off += sent;
+          break;
+        }
+        sent -= remaining;
         ChannelMetrics& metrics = ChannelMetrics::Get();
         metrics.frames_sent->Increment();
-        metrics.bytes_sent->Add(head.wire.size());
+        metrics.bytes_sent->Add(front.wire.size());
+        if (options_.outbox_writev) writev_frames_->Increment();
         s->wire_off = 0;
         s->outbox.pop_front();
-      }
+      } while (sent > 0 && !s->outbox.empty());
       continue;
     }
     if (errno == EINTR) continue;
@@ -568,9 +651,10 @@ void ReactorEngine::Flush(size_t shard, const std::shared_ptr<SessionState>& s) 
       ArmWriteTimer(shard, s);
       return;
     }
-    HandleSendFailure(shard, s,
-                      Status::ProtocolError(std::string("send failed: ") +
-                                            std::strerror(errno)));
+    // Same "send failed" prefix on both paths, for parity with the
+    // threaded engine's SocketChannel::Send.
+    HandleSendFailure(
+        shard, s, ErrnoStatus(StatusCode::kProtocolError, "send failed", errno));
     return;
   }
   // Outbox drained (or holding for a delay, which keeps its own timer).
@@ -597,6 +681,16 @@ void ReactorEngine::ArmReadTimer(size_t shard,
 
 void ReactorEngine::ArmWriteTimer(size_t shard,
                                   const std::shared_ptr<SessionState>& s) {
+  // Same guard as ArmReadTimer: the steady-state timer never arms on a
+  // session that is tearing down. A closing session's final flush is
+  // still bounded — BeginClose/BeginReject arm the flush deadline
+  // explicitly via ArmFlushDeadline.
+  if (s->closing || s->closed) return;
+  ArmFlushDeadline(shard, s);
+}
+
+void ReactorEngine::ArmFlushDeadline(size_t shard,
+                                     const std::shared_ptr<SessionState>& s) {
   const uint32_t deadline_ms = s->mode == SessionState::Mode::kRejecting
                                    ? kRejectWriteDeadlineMs
                                    : options_.io_deadline_ms;
@@ -640,6 +734,10 @@ void ReactorEngine::BeginReject(size_t shard,
       /*faultable=*/false);
   s->closing = true;
   Flush(shard, s);
+  // Closing sessions get their flush bound here (ArmWriteTimer refuses
+  // to arm once closing), so a peer that never drains cannot pin the
+  // rejection through Stop().
+  if (!s->closed && !s->outbox.empty()) ArmFlushDeadline(shard, s);
 }
 
 void ReactorEngine::BeginClose(size_t shard,
@@ -647,6 +745,7 @@ void ReactorEngine::BeginClose(size_t shard,
   s->closing = true;
   CancelSessionTimer(shard, s->read_timer);
   Flush(shard, s);  // finalizes once the outbox drains
+  if (!s->closed && !s->outbox.empty()) ArmFlushDeadline(shard, s);
 }
 
 void ReactorEngine::OnReadDeadline(size_t shard,

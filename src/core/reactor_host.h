@@ -2,9 +2,14 @@
 // ServiceHost::Start when ServiceHostOptions::engine == kReactor.
 //
 // Instead of one blocking thread per client, a fixed set of reactor
-// threads (net/reactor.h) owns every fd non-blocking: the listener and
-// all session sockets. Each accepted session is pinned to one reactor
-// and driven as an explicit state machine:
+// threads (net/reactor.h) owns every fd non-blocking: the listeners and
+// all session sockets. Every shard owns its own listener — TCP shards
+// bind the same address with SO_REUSEPORT so the kernel load-balances
+// connections across them; AF_UNIX shards share one listening file
+// description via dup() — so a session is accepted on, and pinned to,
+// the shard that will serve it, with no cross-shard handoff and no
+// accept bottleneck on shard 0. Each session is driven as an explicit
+// state machine:
 //
 //   accept ─▶ read bytes ─▶ parse length-prefixed frames ─▶ inbox
 //     inbox ─▶ ThreadPool::Submit(fsm.OnFrame)   (CPU work off-loop)
@@ -83,8 +88,13 @@ class ReactorEngine {
   ReactorEngine(const ReactorEngine&) = delete;
   ReactorEngine& operator=(const ReactorEngine&) = delete;
 
-  /// Binds the socket path and starts the reactor threads.
-  [[nodiscard]] Status Start(const std::string& socket_path);
+  /// Binds one listener per shard on `endpoint` (unix or tcp) and
+  /// starts the reactor threads.
+  [[nodiscard]] Status Start(const Endpoint& endpoint);
+
+  /// The resolved bind address (ephemeral TCP ports filled in). Valid
+  /// after a successful Start() until the next Start().
+  const Endpoint& endpoint() const { return endpoint_; }
 
   /// Stops accepting, waits for in-flight sessions to drain (bounded by
   /// io_deadline_ms when set, exactly like the threaded engine), then
@@ -101,18 +111,23 @@ class ReactorEngine {
  private:
   struct SessionState;  // defined in the .cc; reactor-thread-owned
 
-  /// One reactor thread plus the sessions pinned to it (keyed by fd).
-  /// `sessions` is touched only on the shard's reactor thread.
+  /// One reactor thread plus its listener and the sessions pinned to it
+  /// (keyed by fd). Everything but `reactor` and `thread` is touched
+  /// only on the shard's reactor thread (or before the threads start).
   struct Shard {
     std::unique_ptr<Reactor> reactor;
     std::thread thread;
     std::unordered_map<int, std::shared_ptr<SessionState>> sessions;
+    std::optional<SocketListener> listener;
+    bool listener_registered = false;
+    uint32_t accept_backoff_ms = 1;
+    obs::Counter* accepts = nullptr;  ///< net.accepts.<shard>
   };
 
-  // Accept path (shard 0's reactor thread only).
-  void AcceptPass();
-  void RemoveListener();
-  void OpenSession(int fd, bool reject);
+  // Accept path (each shard's own reactor thread only).
+  void AcceptPass(size_t shard);
+  void RemoveListener(size_t shard);
+  void OpenSession(size_t shard, int fd, bool reject);
 
   // Session path (the owning shard's reactor thread only).
   void RegisterSession(size_t shard, std::shared_ptr<SessionState> session);
@@ -130,6 +145,7 @@ class ReactorEngine {
   void Flush(size_t shard, const std::shared_ptr<SessionState>& s);
   void ArmReadTimer(size_t shard, const std::shared_ptr<SessionState>& s);
   void ArmWriteTimer(size_t shard, const std::shared_ptr<SessionState>& s);
+  void ArmFlushDeadline(size_t shard, const std::shared_ptr<SessionState>& s);
   void CancelSessionTimer(size_t shard, uint64_t& id);
   void SetWriteInterest(size_t shard, const std::shared_ptr<SessionState>& s,
                         bool enable);
@@ -149,12 +165,13 @@ class ReactorEngine {
   PublicKeyCache* key_cache_;
   obs::MetricRegistry* metric_registry_;
 
-  std::optional<SocketListener> listener_;
   std::vector<Shard> shards_;
-  // Shard-0 reactor thread only (or before the threads start).
-  bool listener_registered_ = false;
-  uint32_t accept_backoff_ms_ = 1;
-  uint64_t next_session_id_ = 0;
+  Endpoint endpoint_;  ///< resolved bind address (set by Start)
+  // Session ids count accepted sessions across all shards; atomic
+  // because every shard's reactor thread assigns ids during accept.
+  std::atomic<uint64_t> next_session_id_{0};
+  obs::Counter* writev_calls_ = nullptr;   ///< net.writev_calls
+  obs::Counter* writev_frames_ = nullptr;  ///< net.writev_frames
 
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};

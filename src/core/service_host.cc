@@ -42,13 +42,14 @@ ServiceHost::ServiceHost(const ColumnRegistry* registry,
 
 ServiceHost::~ServiceHost() { Stop(); }
 
-Status ServiceHost::Start(const std::string& socket_path) {
+Status ServiceHost::Start(const std::string& uri) {
   if (running()) {
     return Status::FailedPrecondition("service host already running");
   }
   if (registry_ == nullptr || registry_->empty()) {
     return Status::FailedPrecondition("service host has no columns");
   }
+  PPSTATS_ASSIGN_OR_RETURN(Endpoint endpoint, ParseEndpoint(uri));
   if (!options_.default_column.empty()) {
     default_column_ = registry_->Find(options_.default_column);
     if (default_column_ == nullptr) {
@@ -76,8 +77,9 @@ Status ServiceHost::Start(const std::string& socket_path) {
                                     sessions_evicted_, queries_served_,
                                     compute_ns_, active_gauge_},
         &key_cache_, &metric_registry_);
-    PPSTATS_RETURN_IF_ERROR(engine->Start(socket_path));
+    PPSTATS_RETURN_IF_ERROR(engine->Start(endpoint));
     reactor_engine_ = std::move(engine);
+    bound_endpoint_ = reactor_engine_->endpoint();
     started_at_ = std::chrono::steady_clock::now();
     if (!options_.stats_json_path.empty() && options_.stats_interval_ms > 0) {
       dumper_thread_ = std::thread([this] { DumperLoop(); });
@@ -85,10 +87,13 @@ Status ServiceHost::Start(const std::string& socket_path) {
     return Status::OK();
   }
 
-  PPSTATS_ASSIGN_OR_RETURN(
-      SocketListener listener,
-      SocketListener::Bind(socket_path, options_.accept_backlog));
+  ListenOptions listen_options;
+  listen_options.backlog = options_.accept_backlog;
+  listen_options.sndbuf_bytes = options_.so_sndbuf;
+  PPSTATS_ASSIGN_OR_RETURN(SocketListener listener,
+                           SocketListener::Bind(endpoint, listen_options));
   listener_.emplace(std::move(listener));
+  bound_endpoint_ = listener_->endpoint();
   {
     MutexLock lock(mu_);
     stopping_ = false;

@@ -118,10 +118,11 @@ struct ServiceHostOptions {
 
   /// Session concurrency engine. Both engines implement identical
   /// protocol, deadline, rejection, and counter semantics.
-  ServiceEngine engine = ServiceEngine::kThreaded;
+  ServiceEngine engine = ServiceEngine::kReactor;
 
-  /// Reactor engine: number of event-loop threads. Sessions are pinned
-  /// round-robin; the listener lives on the first reactor.
+  /// Reactor engine: number of event-loop threads. Every shard owns its
+  /// own listener (SO_REUSEPORT for tcp, a dup()'d description for
+  /// unix), and a session is served by the shard that accepted it.
   size_t reactor_threads = 1;
 
   /// Reactor engine: backend wait batch size (epoll_wait maxevents).
@@ -136,6 +137,17 @@ struct ServiceHostOptions {
   /// wait in their session's inbox instead of piling onto the pool
   /// (backpressure, not rejection). 0 = unbounded.
   size_t fold_queue_depth = 0;
+
+  /// Reactor engine: flush each session's outbox with one gathered
+  /// sendmsg() over every pending frame instead of one send() per
+  /// frame. Off is kept as a bench ablation axis, not a deployment
+  /// choice.
+  bool outbox_writev = true;
+
+  /// SO_SNDBUF for accepted session sockets, both engines. 0 keeps the
+  /// kernel default; tests set tiny values to force partial writes
+  /// (the kernel clamps to its floor, ~4.6KB on Linux).
+  int so_sndbuf = 0;
 };
 
 /// Serves ServerSessions concurrently on a filesystem socket path.
@@ -164,10 +176,17 @@ class ServiceHost {
   ServiceHost(const ServiceHost&) = delete;
   ServiceHost& operator=(const ServiceHost&) = delete;
 
-  /// Binds `socket_path` and starts accepting clients in the background.
-  /// Resets per-run state (stats, key cache), so Stop() + Start() serves
-  /// a fresh run — including on the same path.
-  [[nodiscard]] Status Start(const std::string& socket_path);
+  /// Binds `uri` — "unix:/path", "tcp:host:port" (port 0 picks an
+  /// ephemeral port; see bound_uri()), or a bare socket path — and
+  /// starts accepting clients in the background. Resets per-run state
+  /// (stats, key cache), so Stop() + Start() serves a fresh run —
+  /// including on the same address.
+  [[nodiscard]] Status Start(const std::string& uri);
+
+  /// The resolved listen address after a successful Start(): ephemeral
+  /// TCP ports are filled in, bare paths normalized to "unix:...".
+  /// Clients can dial this string verbatim (net/retry.h UriDialer).
+  std::string bound_uri() const { return bound_endpoint_.ToUri(); }
 
   /// Unblocks the accept loop and drains: sessions already in flight run
   /// to completion (bounded by io_deadline_ms when set), their threads
@@ -214,6 +233,7 @@ class ServiceHost {
   /// Non-null while running with engine == kReactor; created per Start.
   std::unique_ptr<ReactorEngine> reactor_engine_;
   std::optional<SocketListener> listener_;
+  Endpoint bound_endpoint_;  ///< resolved listen address (set by Start)
   std::thread accept_thread_;
   std::thread reaper_thread_;
   std::thread dumper_thread_;

@@ -109,6 +109,12 @@ Result<BigInt> ClientSession::RunWithRetry(const ChannelFactory& dial,
   return last;
 }
 
+Result<BigInt> ClientSession::RunWithRetry(const std::string& uri,
+                                           const RetryOptions& retry,
+                                           uint32_t io_deadline_ms) {
+  return RunWithRetry(UriDialer(uri, io_deadline_ms), retry);
+}
+
 Result<BigInt> ClientSession::RunOnce(Channel& channel) {
   // Handshake.
   obs::ObsSpan handshake(obs::kSpanHandshake);
@@ -200,6 +206,12 @@ Status QuerySession::ConnectWithRetry(const ChannelFactory& dial,
     last = status;
   }
   return last;
+}
+
+Status QuerySession::ConnectWithRetry(const std::string& uri,
+                                      const RetryOptions& retry,
+                                      uint32_t io_deadline_ms) {
+  return ConnectWithRetry(UriDialer(uri, io_deadline_ms), retry);
 }
 
 Result<BigInt> QuerySession::RunQuery(const QuerySpec& spec,

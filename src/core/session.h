@@ -86,6 +86,13 @@ class ClientSession {
   [[nodiscard]] Result<BigInt> RunWithRetry(const ChannelFactory& dial,
                                             const RetryOptions& retry);
 
+  /// RunWithRetry against an endpoint URI ("unix:/path",
+  /// "tcp:host:port", or a bare socket path), dialing a fresh channel
+  /// per attempt with the given per-call I/O deadline (0 = none).
+  [[nodiscard]] Result<BigInt> RunWithRetry(const std::string& uri,
+                                            const RetryOptions& retry,
+                                            uint32_t io_deadline_ms = 0);
+
   /// Per-attempt counters for the last RunWithRetry.
   const RetryMetrics& retry_metrics() const { return retry_metrics_; }
 
@@ -119,6 +126,13 @@ class QuerySession {
   /// On success the session owns the dialed channel.
   [[nodiscard]] Status ConnectWithRetry(const ChannelFactory& dial,
                                         const RetryOptions& retry);
+
+  /// ConnectWithRetry against an endpoint URI ("unix:/path",
+  /// "tcp:host:port", or a bare socket path), dialing a fresh channel
+  /// per attempt with the given per-call I/O deadline (0 = none).
+  [[nodiscard]] Status ConnectWithRetry(const std::string& uri,
+                                        const RetryOptions& retry,
+                                        uint32_t io_deadline_ms = 0);
 
   /// Per-attempt counters for the last ConnectWithRetry.
   const RetryMetrics& retry_metrics() const { return retry_metrics_; }

@@ -9,6 +9,8 @@
 #include <algorithm>
 #include <string>
 
+#include "net/socket_channel.h"
+
 #if defined(__linux__)
 #include <sys/epoll.h>
 #include <sys/eventfd.h>
@@ -25,13 +27,11 @@ constexpr uint64_t kWakeGen = 0;
 [[maybe_unused]] Status SetNonBlockingCloexec(int fd) {
   int flags = fcntl(fd, F_GETFL, 0);
   if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
-    return Status::Internal(std::string("fcntl(O_NONBLOCK): ") +
-                            strerror(errno));
+    return ErrnoStatus(StatusCode::kInternal, "fcntl(O_NONBLOCK)", errno);
   }
   int fdflags = fcntl(fd, F_GETFD, 0);
   if (fdflags < 0 || fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) < 0) {
-    return Status::Internal(std::string("fcntl(FD_CLOEXEC): ") +
-                            strerror(errno));
+    return ErrnoStatus(StatusCode::kInternal, "fcntl(FD_CLOEXEC)", errno);
   }
   return Status::OK();
 }
@@ -143,19 +143,18 @@ Status Reactor::Init() {
   if (!options_.force_poll_backend) {
     epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
     if (epoll_fd_ < 0) {
-      return Status::Internal(std::string("epoll_create1: ") +
-                              strerror(errno));
+      return ErrnoStatus(StatusCode::kInternal, "epoll_create1", errno);
     }
   }
   wake_read_fd_ = eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
   if (wake_read_fd_ < 0) {
-    return Status::Internal(std::string("eventfd: ") + strerror(errno));
+    return ErrnoStatus(StatusCode::kInternal, "eventfd", errno);
   }
   wake_write_fd_ = wake_read_fd_;
 #else
   int pipe_fds[2];
   if (pipe(pipe_fds) < 0) {
-    return Status::Internal(std::string("pipe: ") + strerror(errno));
+    return ErrnoStatus(StatusCode::kInternal, "pipe", errno);
   }
   wake_read_fd_ = pipe_fds[0];
   wake_write_fd_ = pipe_fds[1];
@@ -171,8 +170,7 @@ Status Reactor::Init() {
     ev.events = EPOLLIN;
     ev.data.u64 = kWakeGen;
     if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_read_fd_, &ev) < 0) {
-      return Status::Internal(std::string("epoll_ctl(wake): ") +
-                              strerror(errno));
+      return ErrnoStatus(StatusCode::kInternal, "epoll_ctl(wake)", errno);
     }
   }
 #endif
@@ -197,8 +195,7 @@ Status Reactor::BackendAdd(int fd, uint32_t interest, uint64_t gen) {
     if (interest & kReactorWritable) ev.events |= EPOLLOUT;
     ev.data.u64 = gen;
     if (epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
-      return Status::Internal(std::string("epoll_ctl(ADD): ") +
-                              strerror(errno));
+      return ErrnoStatus(StatusCode::kInternal, "epoll_ctl(ADD)", errno);
     }
   }
 #else
@@ -219,8 +216,7 @@ Status Reactor::BackendModify(int fd, uint32_t interest, uint64_t gen) {
     if (interest & kReactorWritable) ev.events |= EPOLLOUT;
     ev.data.u64 = gen;
     if (epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
-      return Status::Internal(std::string("epoll_ctl(MOD): ") +
-                              strerror(errno));
+      return ErrnoStatus(StatusCode::kInternal, "epoll_ctl(MOD)", errno);
     }
   }
 #else

@@ -1,6 +1,10 @@
 #include "net/retry.h"
 
 #include <algorithm>
+#include <chrono>
+#include <utility>
+
+#include "net/socket_channel.h"
 
 namespace ppstats {
 
@@ -30,6 +34,19 @@ bool IsRetryableStatus(const Status& status) {
     default:
       return false;
   }
+}
+
+DialFn UriDialer(std::string uri, uint32_t io_deadline_ms) {
+  return [uri = std::move(uri),
+          io_deadline_ms]() -> Result<std::unique_ptr<Channel>> {
+    Result<std::unique_ptr<Channel>> channel = ConnectChannel(uri);
+    if (channel.ok() && io_deadline_ms > 0) {
+      const std::chrono::milliseconds deadline(io_deadline_ms);
+      (*channel)->set_read_deadline(deadline);
+      (*channel)->set_write_deadline(deadline);
+    }
+    return channel;
+  };
 }
 
 }  // namespace ppstats

@@ -12,9 +12,13 @@
 #define PPSTATS_NET_RETRY_H_
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
 
 #include "common/random.h"
 #include "common/status.h"
+#include "net/channel.h"
 
 namespace ppstats {
 
@@ -54,6 +58,17 @@ uint32_t RetryBackoffMs(size_t retry, const RetryOptions& options,
 /// NotFound, FailedPrecondition, version mismatches) will fail the same
 /// way every time and are not retryable.
 bool IsRetryableStatus(const Status& status);
+
+/// A reusable dial closure: each call opens a fresh connection. The type
+/// matches core/session.h's ChannelFactory, so a dialer plugs straight
+/// into ConnectWithRetry/RunWithRetry.
+using DialFn = std::function<Result<std::unique_ptr<Channel>>()>;
+
+/// Builds a dialer for an endpoint URI ("unix:/path", "tcp:host:port",
+/// or a bare socket path). When io_deadline_ms > 0 every dialed channel
+/// gets that read and write deadline. The URI is validated lazily, per
+/// dial — a bad URI fails with InvalidArgument (not retryable).
+[[nodiscard]] DialFn UriDialer(std::string uri, uint32_t io_deadline_ms = 0);
 
 }  // namespace ppstats
 

@@ -1,13 +1,22 @@
-// SocketChannel: the Channel interface over a real kernel socket pair
-// (AF_UNIX, SOCK_STREAM) with 4-byte length framing.
+// SocketChannel: the Channel interface over a real kernel socket
+// (AF_UNIX or TCP, SOCK_STREAM) with 4-byte length framing.
 //
 // The in-memory DuplexPipe is enough for measurements; this exists so
 // the protocol stack is exercised over actual file descriptors — partial
 // reads, kernel buffering, EOF semantics — as a deployment would see.
+//
+// Addresses are Endpoints, written as URIs:
+//   unix:/tmp/pp.sock     filesystem AF_UNIX socket
+//   tcp:127.0.0.1:7000    TCP over IPv4 (port 0 binds an ephemeral port)
+//   tcp:[::1]:7000        TCP over IPv6 (host in brackets)
+//   /tmp/pp.sock          bare path, kept as an AF_UNIX shorthand
+// Framing and protocol are identical over both families; TCP sockets
+// get TCP_NODELAY so small frames are not Nagle-delayed.
 
 #ifndef PPSTATS_NET_SOCKET_CHANNEL_H_
 #define PPSTATS_NET_SOCKET_CHANNEL_H_
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -15,6 +24,51 @@
 #include "net/channel.h"
 
 namespace ppstats {
+
+/// Builds "<prefix>: <strerror> (errno <n>)" with the given code. The
+/// numeric errno rides along with the human text so a log line is
+/// greppable against errno tables even when strerror wording differs
+/// across libcs. Call sites pass `err` explicitly (capture errno before
+/// anything that might clobber it).
+[[nodiscard]] Status ErrnoStatus(StatusCode code, const std::string& prefix,
+                                 int err);
+
+/// Address family of an Endpoint.
+enum class EndpointKind : uint8_t { kUnix, kTcp };
+
+/// A listen/connect address: a filesystem socket path or a TCP
+/// host:port. Produced by ParseEndpoint, consumed by SocketListener and
+/// the connectors.
+struct Endpoint {
+  EndpointKind kind = EndpointKind::kUnix;
+  std::string path;   ///< kUnix: filesystem socket path
+  std::string host;   ///< kTcp: numeric address or hostname
+  uint16_t port = 0;  ///< kTcp: port (0 = kernel-assigned ephemeral)
+
+  /// Canonical URI form ("unix:/p", "tcp:host:port", "tcp:[v6]:port").
+  [[nodiscard]] std::string ToUri() const;
+};
+
+/// Parses "unix:<path>", "tcp:<host>:<port>" (IPv6 hosts in brackets),
+/// or a bare filesystem path (treated as unix, the historical form).
+[[nodiscard]] Result<Endpoint> ParseEndpoint(const std::string& uri);
+
+/// Listener tuning beyond the address.
+struct ListenOptions {
+  /// Kernel listen(2) queue depth — connections beyond it are refused
+  /// by the kernel before accept() ever sees them.
+  int backlog = 16;
+
+  /// TCP only: bind with SO_REUSEPORT so several listeners can share
+  /// one port and the kernel load-balances accepts across them
+  /// (per-reactor-shard listeners).
+  bool reuse_port = false;
+
+  /// When > 0, every accepted socket gets SO_SNDBUF set to this many
+  /// bytes. A test knob: a tiny send buffer forces partial writes and
+  /// EAGAIN mid-frame, exercising the backpressure paths.
+  int sndbuf_bytes = 0;
+};
 
 /// Puts `fd` into non-blocking, close-on-exec mode (reactor sockets).
 [[nodiscard]] Status SetSocketNonBlocking(int fd);
@@ -32,8 +86,9 @@ CreateSocketChannelPair();
 std::unique_ptr<Channel> WrapSocket(int fd,
                                     size_t max_message_bytes = 1 << 28);
 
-/// Listens on a filesystem AF_UNIX socket path (the path is unlinked on
-/// bind and on destruction). Used by the command-line server tool.
+/// Listens on an Endpoint: a filesystem AF_UNIX socket path (unlinked
+/// on destruction) or a TCP host:port. Used by ServiceHost and the
+/// command-line server tool.
 class SocketListener {
  public:
   SocketListener(SocketListener&& other) noexcept;
@@ -41,11 +96,24 @@ class SocketListener {
   SocketListener(const SocketListener&) = delete;
   ~SocketListener();
 
-  /// Binds and listens; fails if the path is too long or bind fails.
-  /// `backlog` is the kernel listen(2) queue depth — connections beyond
-  /// it are refused by the kernel before accept() ever sees them.
+  /// Binds and listens on `endpoint`. A unix path that a live server
+  /// still answers on fails with AlreadyExists (the socket is in use —
+  /// never steal it); a stale socket file (nothing accepting) is
+  /// replaced. A TCP endpoint with port 0 binds an ephemeral port;
+  /// endpoint() reports the resolved one.
+  [[nodiscard]] static Result<SocketListener> Bind(
+      const Endpoint& endpoint, const ListenOptions& options = {});
+
+  /// Historical form: binds an AF_UNIX path (or any endpoint URI).
   [[nodiscard]] static Result<SocketListener> Bind(const std::string& path,
                                                    int backlog = 16);
+
+  /// Duplicates the listener: the copy shares the same open file
+  /// description (dup(2)), so both see the same accept queue. Used for
+  /// per-reactor-shard accept on AF_UNIX, where SO_REUSEPORT does not
+  /// apply; the duplicate never unlinks the socket path (the original
+  /// owns it).
+  [[nodiscard]] Result<SocketListener> Duplicate() const;
 
   /// Blocks for the next client connection. The failure code tells the
   /// caller whether retrying makes sense: ResourceExhausted for
@@ -59,13 +127,18 @@ class SocketListener {
   /// connection is queued (EAGAIN). Error codes follow Accept():
   /// ResourceExhausted for transient fd/memory pressure,
   /// FailedPrecondition once the listener is shut down; EINTR and
-  /// ECONNABORTED are retried internally. Used by the reactor host,
-  /// which frames and buffers the socket itself.
+  /// ECONNABORTED are retried internally. Accepted TCP sockets get
+  /// TCP_NODELAY; ListenOptions::sndbuf_bytes applies here. Used by the
+  /// reactor host, which frames and buffers the socket itself.
   [[nodiscard]] Result<std::optional<int>> AcceptFd();
 
   /// The listening descriptor, for event-loop registration. The
   /// listener retains ownership.
   int fd() const { return fd_; }
+
+  /// The bound address. For a TCP bind to port 0 this carries the
+  /// kernel-assigned port, so endpoint().ToUri() is always dialable.
+  const Endpoint& endpoint() const { return endpoint_; }
 
   /// Shuts the listening socket down, unblocking a concurrent Accept
   /// (which then fails). Safe to call from another thread; the fd itself
@@ -73,11 +146,28 @@ class SocketListener {
   void Close();
 
  private:
-  SocketListener(int fd, std::string path) : fd_(fd), path_(std::move(path)) {}
+  SocketListener(int fd, Endpoint endpoint, bool owns_path, int sndbuf)
+      : fd_(fd),
+        endpoint_(std::move(endpoint)),
+        owns_path_(owns_path),
+        sndbuf_bytes_(sndbuf) {}
 
   int fd_ = -1;
-  std::string path_;
+  Endpoint endpoint_;
+  /// Unix only: this listener unlinks the socket path on destruction.
+  /// Duplicates leave that to the original.
+  bool owns_path_ = false;
+  int sndbuf_bytes_ = 0;
 };
+
+/// Connects to an Endpoint (either family). TCP connections get
+/// TCP_NODELAY.
+[[nodiscard]] Result<std::unique_ptr<Channel>> ConnectEndpoint(
+    const Endpoint& endpoint);
+
+/// Connects to an endpoint URI ("unix:/p", "tcp:host:port", bare path).
+[[nodiscard]] Result<std::unique_ptr<Channel>> ConnectChannel(
+    const std::string& uri);
 
 /// Connects to a listening AF_UNIX socket path.
 [[nodiscard]] Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path);

@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <dirent.h>
+#include <netinet/in.h>
 #include <sys/resource.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -491,6 +492,83 @@ TEST(ReactorC10kTest, ThousandsOfIdleAndSlowClientsFlatThreadCount) {
   ServiceHost::Stats stats = host.stats();
   // Idle clients hung up mid-handshake: every session resolved, none ok.
   EXPECT_EQ(stats.sessions_ok + stats.sessions_failed, kTarget);
+}
+
+int RawConnectTcp(uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+TEST(ReactorC10kTest, TcpLoopbackSpreadsAcceptsAcrossShardListeners) {
+  // The TCP variant of the C10k property, plus the sharded-accept
+  // claim: every reactor shard owns its own SO_REUSEPORT listener, so
+  // with thousands of connections the kernel must hand accepts to both
+  // shards — no shard-0 bottleneck, no cross-shard handoff.
+  rlimit limit{};
+  ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &limit), 0);
+  rlim_t want = std::min<rlim_t>(limit.rlim_max, 8192);
+  if (limit.rlim_cur < want) {
+    limit.rlim_cur = want;
+    (void)::setrlimit(RLIMIT_NOFILE, &limit);
+    ASSERT_EQ(::getrlimit(RLIMIT_NOFILE, &limit), 0);
+  }
+  const size_t budget = limit.rlim_cur > 256 ? (limit.rlim_cur - 256) / 2 : 0;
+  const size_t kTarget = std::min<size_t>(2000, budget);
+  if (kTarget < 1000) {
+    GTEST_SKIP() << "RLIMIT_NOFILE " << limit.rlim_cur
+                 << " leaves room for only " << budget
+                 << " sessions; need 1000";
+  }
+
+  ColumnRegistry registry;
+  ASSERT_TRUE(registry.Register(Database("col", {1, 2, 3})).ok());
+  ServiceHostOptions options;
+  options.engine = ServiceEngine::kReactor;
+  options.reactor_threads = 2;
+  options.accept_backlog = 1024;
+  ServiceHost host(&registry, options);
+  ASSERT_TRUE(host.Start("tcp:127.0.0.1:0").ok());
+  Result<Endpoint> bound = ParseEndpoint(host.bound_uri());
+  ASSERT_TRUE(bound.ok());
+  ASSERT_NE(bound->port, 0);
+  const size_t baseline = CountProcessThreads();
+
+  std::vector<int> fds;
+  fds.reserve(kTarget);
+  for (size_t i = 0; i < kTarget; ++i) {
+    int fd = RawConnectTcp(bound->port);
+    ASSERT_GE(fd, 0) << "connect " << i << ": " << std::strerror(errno);
+    fds.push_back(fd);
+  }
+
+  EXPECT_TRUE(WaitFor([&] { return host.active_sessions() == kTarget; },
+                      seconds(30)))
+      << "active=" << host.active_sessions();
+  EXPECT_LE(CountProcessThreads(), baseline + 2)
+      << "thread count grew with " << kTarget << " clients";
+  EXPECT_EQ(host.SnapshotStats().sessions_accepted, kTarget);
+  // The kernel load-balances SO_REUSEPORT accepts by connection hash:
+  // over 1000+ connections both shard listeners must have fired.
+  obs::MetricsSnapshot snapshot = host.SnapshotMetrics();
+  const uint64_t shard0 = snapshot.CounterValue("net.accepts.0");
+  const uint64_t shard1 = snapshot.CounterValue("net.accepts.1");
+  EXPECT_GT(shard0, 0u) << "shard 0 accepted nothing";
+  EXPECT_GT(shard1, 0u) << "shard 1 accepted nothing";
+  EXPECT_EQ(shard0 + shard1, kTarget);
+
+  for (int fd : fds) ::close(fd);
+  EXPECT_TRUE(WaitFor([&] { return host.active_sessions() == 0; },
+                      seconds(30)));
+  host.Stop();
 }
 
 }  // namespace

@@ -1,15 +1,16 @@
 // ppstats_client: runs private statistics queries against a
 // ppstats_server, all over one connection (session protocol v2).
 //
-//   ppstats_client --key mykey.priv --socket /tmp/ppstats.sock
+//   ppstats_client --key mykey.priv --connect unix:/tmp/ppstats.sock
 //                  --rows <n> --select 3,17,42 [--select ...]
 //                  [--stat sum|sumsq|product] [--column <name>]
 //                  [--column2 <name>] [--chunk 100] [--seed N]
 //                  [--retries <n>] [--io-deadline-ms <ms>]
 //                  [--trace-json <path>]
 //
-// Each --select runs one query; --stat/--column/--column2 apply to all
-// of them. The server learns nothing about --select; the client learns
+// --connect takes an endpoint URI: "unix:/path", "tcp:host:port", or a
+// bare socket path (--socket is kept as an alias). Each --select runs
+// one query; --stat/--column/--column2 apply to all of them. The server learns nothing about --select; the client learns
 // only the requested statistic over the selected rows. --retries redials
 // with exponential backoff + jitter when the connect or hello exchange
 // fails retryably (server at capacity, transport died);
@@ -43,7 +44,8 @@ namespace {
 
 int Usage() {
   std::fprintf(stderr,
-               "usage: ppstats_client --key <file.priv> --socket <path> "
+               "usage: ppstats_client --key <file.priv> "
+               "--connect <unix:path|tcp:host:port> "
                "--rows <n> --select i,j,k [--select ...] "
                "[--stat sum|sumsq|product] [--column <name>] "
                "[--column2 <name>] [--chunk <c>] [--seed <n>] "
@@ -102,8 +104,10 @@ int main(int argc, char** argv) {
       // handled
     } else if (!std::strcmp(argv[i], "--key") && i + 1 < argc) {
       key_path = argv[++i];
+    } else if (FlagValue("--connect", argc, argv, &i, &socket_path)) {
+      // handled
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
-      socket_path = argv[++i];
+      socket_path = argv[++i];  // alias of --connect
     } else if (!std::strcmp(argv[i], "--select") && i + 1 < argc) {
       selects.emplace_back(argv[++i]);
     } else if (!std::strcmp(argv[i], "--stat") && i + 1 < argc) {
@@ -161,19 +165,10 @@ int main(int argc, char** argv) {
 
   ChaCha20Rng rng(seed);
   QuerySession session(*key, rng, {chunk});
-  ChannelFactory dial = [&socket_path, io_deadline_ms]() {
-    Result<std::unique_ptr<Channel>> channel =
-        ConnectUnixSocket(socket_path);
-    if (channel.ok() && io_deadline_ms > 0) {
-      std::chrono::milliseconds deadline(io_deadline_ms);
-      (*channel)->set_read_deadline(deadline);
-      (*channel)->set_write_deadline(deadline);
-    }
-    return channel;
-  };
   RetryOptions retry;
   retry.max_attempts = retries + 1;
-  Status connected = session.ConnectWithRetry(dial, retry);
+  Status connected =
+      session.ConnectWithRetry(socket_path, retry, io_deadline_ms);
   if (!connected.ok()) {
     std::fprintf(stderr, "connect: %s (%llu attempts)\n",
                  connected.ToString().c_str(),

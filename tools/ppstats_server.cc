@@ -1,13 +1,18 @@
 // ppstats_server: serves private statistics queries from one or more
-// database files over a Unix socket.
+// database files over a Unix or TCP socket.
 //
-//   ppstats_server --db [name=]values.txt [--db ...] --socket /tmp/pp.sock
+//   ppstats_server --db [name=]values.txt [--db ...] --listen unix:/tmp/pp.sock
 //                  [--default <name>] [--threads <t>] [--once]
 //                  [--max-sessions <n>] [--io-deadline-ms <ms>]
 //                  [--backlog <n>] [--stats-json <path>]
 //                  [--stats-interval-ms <ms>]
 //                  [--engine threaded|reactor] [--reactor-threads <n>]
 //                  [--max-events <n>]
+//
+// --listen takes an endpoint URI: "unix:/path", "tcp:host:port" (port 0
+// binds an ephemeral port), or a bare socket path. --socket is kept as
+// an alias. The server prints "listening on <uri>" with the resolved
+// address — scripts dialing an ephemeral TCP port read it from there.
 //
 // Each --db registers one named column (the name defaults to the file
 // path); v2 clients address columns by name and may run several queries
@@ -18,11 +23,12 @@
 // queue. With --once the server handles exactly one session serially
 // and exits (useful for scripted tests).
 //
-// --engine reactor replaces thread-per-session with the epoll event
-// loop: --reactor-threads sets the number of event-loop shards and
-// --max-events the epoll_wait batch size per wakeup. Protocol behavior
-// (framing, deadlines, capacity rejection) is identical to the default
-// threaded engine.
+// The default --engine reactor serves sessions on an epoll event loop:
+// --reactor-threads sets the number of event-loop shards (each with its
+// own listener; TCP shards share the port via SO_REUSEPORT) and
+// --max-events the epoll_wait batch size per wakeup. --engine threaded
+// selects thread-per-session instead; protocol behavior (framing,
+// deadlines, capacity rejection) is identical under both.
 //
 // --stats-json writes the server's metrics (session/query counters,
 // channel byte counts, span histograms — see docs/OBSERVABILITY.md) to
@@ -54,7 +60,8 @@ void HandleStopSignal(int) { g_stop = 1; }
 int Usage() {
   std::fprintf(stderr,
                "usage: ppstats_server --db [name=]<file> [--db ...] "
-               "--socket <path> [--default <name>] [--threads <t>] "
+               "--listen <unix:path|tcp:host:port> [--default <name>] "
+               "[--threads <t>] "
                "[--once] [--max-sessions <n>] [--io-deadline-ms <ms>] "
                "[--backlog <n>] [--stats-json <path>] "
                "[--stats-interval-ms <ms>] "
@@ -96,7 +103,7 @@ int main(int argc, char** argv) {
   bool once = false;
   std::string stats_json_path;
   uint32_t stats_interval_ms = 0;
-  ServiceEngine engine = ServiceEngine::kThreaded;
+  ServiceEngine engine = ServiceEngine::kReactor;
   size_t reactor_threads = 1;
   size_t max_events = 64;
   std::string flag_value;
@@ -124,8 +131,10 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(flag_value.c_str(), nullptr, 10));
     } else if (!std::strcmp(argv[i], "--db") && i + 1 < argc) {
       db_specs.emplace_back(argv[++i]);
+    } else if (FlagValue("--listen", argc, argv, &i, &flag_value)) {
+      socket_path = flag_value;
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
-      socket_path = argv[++i];
+      socket_path = argv[++i];  // alias of --listen
     } else if (!std::strcmp(argv[i], "--default") && i + 1 < argc) {
       default_column = argv[++i];
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
@@ -173,12 +182,22 @@ int main(int argc, char** argv) {
 
   if (once) {
     // Serial single-session mode for scripted tests.
-    Result<SocketListener> listener = SocketListener::Bind(socket_path);
+    Result<Endpoint> endpoint = ParseEndpoint(socket_path);
+    if (!endpoint.ok()) {
+      std::fprintf(stderr, "%s\n", endpoint.status().ToString().c_str());
+      return 1;
+    }
+    ListenOptions listen_options;
+    listen_options.backlog = backlog;
+    Result<SocketListener> listener =
+        SocketListener::Bind(*endpoint, listen_options);
     if (!listener.ok()) {
       std::fprintf(stderr, "%s\n", listener.status().ToString().c_str());
       return 1;
     }
-    std::printf("serving one session on %s\n", socket_path.c_str());
+    std::printf("serving one session on %s\n",
+                listener->endpoint().ToUri().c_str());
+    std::printf("listening on %s\n", listener->endpoint().ToUri().c_str());
     std::fflush(stdout);
     Result<std::unique_ptr<Channel>> channel = listener->Accept();
     if (!channel.ok()) {
@@ -231,7 +250,8 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("serving %zu column(s) on %s\n", registry.size(),
-              socket_path.c_str());
+              host.bound_uri().c_str());
+  std::printf("listening on %s\n", host.bound_uri().c_str());
   std::fflush(stdout);
   // SIGINT/SIGTERM trigger a clean Stop(): in-flight sessions drain and
   // the final stats snapshot is written before exit.
