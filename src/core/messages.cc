@@ -20,7 +20,7 @@ Result<MessageType> PeekMessageType(BytesView frame) {
   }
   uint8_t tag = frame[0];
   if (tag < static_cast<uint8_t>(MessageType::kIndexBatch) ||
-      tag > static_cast<uint8_t>(MessageType::kGoodbye)) {
+      tag > static_cast<uint8_t>(MessageType::kPartialResult)) {
     return Status::ProtocolError("unknown message type tag");
   }
   return static_cast<MessageType>(tag);
@@ -179,6 +179,15 @@ Status StatusFromErrorFrame(BytesView frame) {
                 "peer aborted: " + msg->reason);
 }
 
+namespace {
+
+// QueryHeader extension flag bits. The extension block is only encoded
+// when a flag is set, so frames from old encoders (no block) and new
+// encoders (no blinding requested) stay byte-identical.
+constexpr uint8_t kQueryHeaderBlindPartial = 0x01;
+
+}  // namespace
+
 Bytes QueryHeaderMessage::Encode() const {
   WireWriter w;
   w.WriteU8(static_cast<uint8_t>(MessageType::kQueryHeader));
@@ -187,6 +196,10 @@ Bytes QueryHeaderMessage::Encode() const {
                          column.size()));
   w.WriteBytes(BytesView(reinterpret_cast<const uint8_t*>(column2.data()),
                          column2.size()));
+  if (blind_partial) {
+    w.WriteU8(kQueryHeaderBlindPartial);
+    w.WriteU64(blind_nonce);
+  }
   return w.Take();
 }
 
@@ -199,6 +212,14 @@ Result<QueryHeaderMessage> QueryHeaderMessage::Decode(BytesView frame) {
   msg.column.assign(column.begin(), column.end());
   PPSTATS_ASSIGN_OR_RETURN(Bytes column2, r.ReadBytes());
   msg.column2.assign(column2.begin(), column2.end());
+  if (r.remaining() > 0) {
+    PPSTATS_ASSIGN_OR_RETURN(uint8_t flags, r.ReadU8());
+    if (flags != kQueryHeaderBlindPartial) {
+      return Status::ProtocolError("unknown query header extension flags");
+    }
+    msg.blind_partial = true;
+    PPSTATS_ASSIGN_OR_RETURN(msg.blind_nonce, r.ReadU64());
+  }
   PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
   return msg;
 }
@@ -230,6 +251,37 @@ Result<GoodbyeMessage> GoodbyeMessage::Decode(BytesView frame) {
   PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kGoodbye));
   PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
   return GoodbyeMessage{};
+}
+
+Bytes PartialResultMessage::Encode(const PaillierPublicKey& pub) const {
+  WireWriter w;
+  w.WriteU8(static_cast<uint8_t>(MessageType::kPartialResult));
+  // Ciphertexts are < n^2 by construction; fixed width cannot fail.
+  w.WriteFixedBigInt(sum.value, pub.CiphertextBytes()).IgnoreError();
+  w.WriteU64(shards_total);
+  w.WriteU64(shards_responded);
+  w.WriteU64(rows_covered);
+  return w.Take();
+}
+
+Result<PartialResultMessage> PartialResultMessage::Decode(
+    const PaillierPublicKey& pub, BytesView frame) {
+  WireReader r(frame);
+  PPSTATS_RETURN_IF_ERROR(ExpectType(r, MessageType::kPartialResult));
+  PartialResultMessage msg;
+  PPSTATS_ASSIGN_OR_RETURN(msg.sum.value,
+                           r.ReadFixedBigInt(pub.CiphertextBytes()));
+  if (msg.sum.value >= pub.n_squared()) {
+    return Status::ProtocolError("sum ciphertext >= n^2");
+  }
+  PPSTATS_ASSIGN_OR_RETURN(msg.shards_total, r.ReadU64());
+  PPSTATS_ASSIGN_OR_RETURN(msg.shards_responded, r.ReadU64());
+  PPSTATS_ASSIGN_OR_RETURN(msg.rows_covered, r.ReadU64());
+  if (msg.shards_responded == 0 || msg.shards_responded > msg.shards_total) {
+    return Status::ProtocolError("implausible partial-result shard counts");
+  }
+  PPSTATS_RETURN_IF_ERROR(r.ExpectEnd());
+  return msg;
 }
 
 Bytes RingBroadcastMessage::Encode() const {

@@ -27,6 +27,7 @@ enum class MessageType : uint8_t {
   kQueryHeader = 8,     ///< v2: statistic kind + named column(s) for one query
   kQueryAccept = 9,     ///< v2: server accepts a query, announces its rows
   kGoodbye = 10,        ///< v2: client ends the session cleanly
+  kPartialResult = 11,  ///< coordinator -> client: sum over responsive shards only
 };
 
 /// A chunk of the encrypted index vector covering rows
@@ -108,10 +109,19 @@ Bytes EncodeErrorFrame(const Status& status);
 /// frame); column names resolve against the server's ColumnRegistry. An
 /// empty primary name means the server's default column; column2 is
 /// only meaningful for two-column statistics.
+///
+/// The header carries an optional extension block (absent on old
+/// encoders, so the wire stays backward compatible): a coordinator
+/// fanning a query out sets blind_partial so each shard adds its
+/// zero-share of the per-query nonce to the partial fold (see
+/// crypto/zero_share.h). Ordinary clients never set it; a server
+/// without shard-blinding configuration rejects it with an Error frame.
 struct QueryHeaderMessage {
   uint8_t kind = 0;  ///< StatisticKind wire value
   std::string column;
   std::string column2;
+  bool blind_partial = false;
+  uint64_t blind_nonce = 0;  ///< unique per query under one blinding seed
 
   Bytes Encode() const;
   [[nodiscard]] static Result<QueryHeaderMessage> Decode(BytesView frame);
@@ -132,6 +142,22 @@ struct QueryAcceptMessage {
 struct GoodbyeMessage {
   Bytes Encode() const;
   [[nodiscard]] static Result<GoodbyeMessage> Decode(BytesView frame);
+};
+
+/// Cluster sessions: a coordinator answers with this instead of
+/// SumResponse when some shards failed but the per-query policy allows
+/// serving the merged fold over the responsive ones. The flag fields
+/// tell the client exactly how much of the row space the sum covers, so
+/// a partial answer can never masquerade as a complete one.
+struct PartialResultMessage {
+  PaillierCiphertext sum;         ///< merged fold over responsive shards
+  uint64_t shards_total = 0;      ///< shards in the column's shard map
+  uint64_t shards_responded = 0;  ///< shards whose partial is included
+  uint64_t rows_covered = 0;      ///< global rows the sum covers
+
+  Bytes Encode(const PaillierPublicKey& pub) const;
+  [[nodiscard]] static Result<PartialResultMessage> Decode(
+      const PaillierPublicKey& pub, BytesView frame);
 };
 
 /// Reads the type tag without consuming the frame.

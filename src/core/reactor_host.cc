@@ -313,6 +313,10 @@ void ReactorEngine::OpenSession(size_t shard, int fd, bool reject) {
     session_options.registry = metric_registry_;
     session_options.queries_counter = counters_.queries;
     session_options.compute_ns_counter = counters_.compute_ns;
+    session_options.shard_blind = options_.shard_blind;
+    if (options_.router_factory != nullptr) {
+      session_options.router = options_.router_factory();
+    }
     session->fsm = std::make_unique<ServerProtocolFsm>(
         registry_, session_options, session->id + 1);
     if (options_.fault_injection.has_value()) {

@@ -46,17 +46,20 @@ Status ServiceHost::Start(const std::string& uri) {
   if (running()) {
     return Status::FailedPrecondition("service host already running");
   }
-  if (registry_ == nullptr || registry_->empty()) {
+  // A routed host (cluster coordinator) resolves queries through its
+  // router factory and needs no local columns at all.
+  const bool routed = options_.router_factory != nullptr;
+  if (!routed && (registry_ == nullptr || registry_->empty())) {
     return Status::FailedPrecondition("service host has no columns");
   }
   PPSTATS_ASSIGN_OR_RETURN(Endpoint endpoint, ParseEndpoint(uri));
-  if (!options_.default_column.empty()) {
+  if (!routed && !options_.default_column.empty()) {
     default_column_ = registry_->Find(options_.default_column);
     if (default_column_ == nullptr) {
       return Status::NotFound("default column not in the registry: " +
                               options_.default_column);
     }
-  } else if (registry_->size() == 1) {
+  } else if (!routed && registry_->size() == 1) {
     default_column_ = registry_->Find(registry_->ColumnNames().front());
   }
 
@@ -320,6 +323,10 @@ void ServiceHost::ServeOne(Channel& channel) {
   // stale-until-Stop.
   session_options.queries_counter = queries_served_;
   session_options.compute_ns_counter = compute_ns_;
+  session_options.shard_blind = options_.shard_blind;
+  if (options_.router_factory != nullptr) {
+    session_options.router = options_.router_factory();
+  }
   ServerSession session(registry_, session_options);
   Status status = session.Serve(channel);
   if (status.code() == StatusCode::kDeadlineExceeded) {

@@ -148,6 +148,19 @@ struct ServiceHostOptions {
   /// kernel default; tests set tiny values to force partial writes
   /// (the kernel clamps to its floor, ~4.6KB on Linux).
   int so_sndbuf = 0;
+
+  /// When set, each session's query resolution/execution is delegated
+  /// to a fresh router from this factory instead of the local
+  /// registry + SumServer path (the cluster coordinator plugs in
+  /// here; see src/cluster/coordinator.h). A host with a router
+  /// factory may run without local columns: Start() skips the
+  /// empty-registry check and default-column resolution.
+  std::function<std::shared_ptr<QueryRouter>()> router_factory;
+
+  /// Shard-side zero-share blinding for the local query path (see
+  /// ShardBlindConfig in core/query_exec.h). Ignored when
+  /// router_factory is set.
+  std::optional<ShardBlindConfig> shard_blind;
 };
 
 /// Serves ServerSessions concurrently on a filesystem socket path.

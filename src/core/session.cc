@@ -4,6 +4,7 @@
 #include <thread>
 #include <utility>
 
+#include "bigint/modarith.h"
 #include "core/messages.h"
 #include "obs/span.h"
 
@@ -43,7 +44,10 @@ Status FromErrorFrame(BytesView frame) { return StatusFromErrorFrame(frame); }
 // own component spans. Note the receive leg necessarily includes the
 // wait for the server's fold — the wire cannot tell propagation from
 // peer compute (docs/OBSERVABILITY.md discusses reconciliation).
-Result<BigInt> RunClientQuery(Channel& channel, SumClient& client) {
+Result<BigInt> RunClientQuery(Channel& channel, SumClient& client,
+                              const PaillierPublicKey& pub,
+                              bool accept_partial,
+                              std::optional<PartialResultInfo>* partial_out) {
   while (!client.RequestsDone()) {
     PPSTATS_ASSIGN_OR_RETURN(Bytes request, client.NextRequest());
     obs::ObsSpan send_span(obs::kSpanCommunication);
@@ -56,6 +60,24 @@ Result<BigInt> RunClientQuery(Channel& channel, SumClient& client) {
   PPSTATS_RETURN_IF_ERROR(response.status());
   PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(*response));
   if (type == MessageType::kError) return FromErrorFrame(*response);
+  if (type == MessageType::kPartialResult) {
+    if (!accept_partial) {
+      return AbortWith(channel,
+                       Status::FailedPrecondition(
+                           "server answered with a partial result; set "
+                           "accept_partial to use it"));
+    }
+    PPSTATS_ASSIGN_OR_RETURN(PartialResultMessage partial,
+                             PartialResultMessage::Decode(pub, *response));
+    if (partial_out != nullptr) {
+      *partial_out = PartialResultInfo{partial.shards_total,
+                                       partial.shards_responded,
+                                       partial.rows_covered};
+    }
+    SumResponseMessage as_sum;
+    as_sum.sum = partial.sum;
+    return client.HandleResponse(as_sum.Encode(pub));
+  }
   return client.HandleResponse(*response);
 }
 
@@ -111,8 +133,10 @@ Result<BigInt> ClientSession::RunWithRetry(const ChannelFactory& dial,
 
 Result<BigInt> ClientSession::RunWithRetry(const std::string& uri,
                                            const RetryOptions& retry,
-                                           uint32_t io_deadline_ms) {
-  return RunWithRetry(UriDialer(uri, io_deadline_ms), retry);
+                                           uint32_t io_deadline_ms,
+                                           uint32_t connect_deadline_ms) {
+  return RunWithRetry(UriDialer(uri, io_deadline_ms, connect_deadline_ms),
+                      retry);
 }
 
 Result<BigInt> ClientSession::RunOnce(Channel& channel) {
@@ -142,7 +166,8 @@ Result<BigInt> ClientSession::RunOnce(Channel& channel) {
   SumClientOptions client_options;
   client_options.chunk_size = options_.chunk_size;
   SumClient client(*key_, selection_, client_options, *rng_);
-  return RunClientQuery(channel, client);
+  return RunClientQuery(channel, client, key_->public_key(),
+                        /*accept_partial=*/false, nullptr);
 }
 
 QuerySession::QuerySession(const PaillierPrivateKey& key, RandomSource& rng,
@@ -210,8 +235,10 @@ Status QuerySession::ConnectWithRetry(const ChannelFactory& dial,
 
 Status QuerySession::ConnectWithRetry(const std::string& uri,
                                       const RetryOptions& retry,
-                                      uint32_t io_deadline_ms) {
-  return ConnectWithRetry(UriDialer(uri, io_deadline_ms), retry);
+                                      uint32_t io_deadline_ms,
+                                      uint32_t connect_deadline_ms) {
+  return ConnectWithRetry(UriDialer(uri, io_deadline_ms, connect_deadline_ms),
+                          retry);
 }
 
 Result<BigInt> QuerySession::RunQuery(const QuerySpec& spec,
@@ -275,7 +302,14 @@ Result<BigInt> QuerySession::RunWeighted(const QuerySpec& spec,
   // its 1-based index within the session.
   obs::ScopedSpanContext context({obs::CurrentContext().session_id,
                                   static_cast<uint64_t>(queries_run_ + 1)});
-  PPSTATS_ASSIGN_OR_RETURN(BigInt value, RunClientQuery(*channel_, client));
+  last_partial_.reset();
+  PPSTATS_ASSIGN_OR_RETURN(
+      BigInt value,
+      RunClientQuery(*channel_, client, key_->public_key(),
+                     options_.accept_partial, &last_partial_));
+  if (options_.result_modulus.has_value()) {
+    value = Mod(value, *options_.result_modulus);
+  }
   ++queries_run_;
   if (version_ == kSessionProtocolV1) finished_ = true;  // one query only
   return value;
@@ -294,8 +328,16 @@ Status QuerySession::Finish() {
 }
 
 Status ServerSession::Serve(Channel& channel) {
-  if (registry_ == nullptr && options_.default_column == nullptr) {
-    return Status::FailedPrecondition("server has no database");
+  std::shared_ptr<QueryRouter> router = options_.router;
+  if (router == nullptr) {
+    if (registry_ == nullptr && options_.default_column == nullptr) {
+      return Status::FailedPrecondition("server has no database");
+    }
+    LocalRouterConfig config;
+    config.default_column = options_.default_column;
+    config.worker_threads = options_.worker_threads;
+    config.shard_blind = options_.shard_blind;
+    router = std::make_shared<LocalQueryRouter>(registry_, std::move(config));
   }
   obs::MetricRegistry* metric_registry =
       options_.registry != nullptr ? options_.registry
@@ -312,7 +354,7 @@ Status ServerSession::Serve(Channel& channel) {
                                   "unsupported protocol version"));
   }
   const uint16_t version = static_cast<uint16_t>(hello->protocol_version);
-  if (version == kSessionProtocolV1 && options_.default_column == nullptr) {
+  if (version == kSessionProtocolV1 && !router->HasDefault()) {
     return AbortWith(channel, Status::FailedPrecondition(
                                   "server has no default column"));
   }
@@ -321,30 +363,30 @@ Status ServerSession::Serve(Channel& channel) {
           ? options_.key_cache->Deserialize(hello->public_key_blob)
           : DeserializePublicKey(hello->public_key_blob);
   if (!pub.ok()) return AbortWith(channel, pub.status());
+  Status hello_status = router->OnClientHello(hello->public_key_blob, *pub);
+  if (!hello_status.ok()) return AbortWith(channel, hello_status);
   metrics_.negotiated_version = version;
 
   ServerHelloMessage server_hello;
   server_hello.protocol_version = version;
-  server_hello.database_size =
-      options_.default_column != nullptr ? options_.default_column->size() : 0;
+  server_hello.database_size = router->DefaultRows();
   PPSTATS_RETURN_IF_ERROR(channel.Send(server_hello.Encode()));
   handshake.Stop();
 
-  return version == kSessionProtocolV1 ? ServeV1(channel, *pub)
-                                       : ServeV2(channel, *pub);
+  return version == kSessionProtocolV1 ? ServeV1(channel, *pub, *router)
+                                       : ServeV2(channel, *pub, *router);
 }
 
-Status ServerSession::ServeV1(Channel& channel, const PaillierPublicKey& pub) {
-  QuerySpec spec;  // plain sum over the whole default column
-  Result<CompiledQuery> query = CompileQuery(spec, options_.default_column);
+Status ServerSession::ServeV1(Channel& channel, const PaillierPublicKey& pub,
+                              QueryRouter& router) {
+  // The v1 implicit query: a plain sum over the whole default column.
+  Result<OpenedQuery> query = router.OpenDefault(pub);
   if (!query.ok()) return AbortWith(channel, query.status());
-  return RunServerQuery(channel, pub, *query);
+  return RunServerQuery(channel, *query->execution);
 }
 
-Status ServerSession::ServeV2(Channel& channel, const PaillierPublicKey& pub) {
-  static const ColumnRegistry kEmptyRegistry;
-  const ColumnRegistry& registry =
-      registry_ != nullptr ? *registry_ : kEmptyRegistry;
+Status ServerSession::ServeV2(Channel& channel, const PaillierPublicKey& pub,
+                              QueryRouter& router) {
   for (;;) {
     PPSTATS_ASSIGN_OR_RETURN(Bytes frame, channel.Receive());
     PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(frame));
@@ -353,55 +395,43 @@ Status ServerSession::ServeV2(Channel& channel, const PaillierPublicKey& pub) {
     Result<QueryHeaderMessage> header = QueryHeaderMessage::Decode(frame);
     if (!header.ok()) return AbortWith(channel, header.status());
 
-    Result<StatisticKind> kind = StatisticKindFromWire(header->kind);
-    if (!kind.ok()) return AbortWith(channel, kind.status());
-    QuerySpec spec;
-    spec.kind = *kind;
-    spec.column = header->column;
-    spec.column2 = header->column2;
-    Result<CompiledQuery> query =
-        CompileQuery(spec, registry, options_.default_column);
+    // Resolution (unknown kind/column, zero-row cover — a zero-row
+    // query would deadlock: the client has no chunks to send and the
+    // server would wait for one) happens inside the router.
+    Result<OpenedQuery> query = router.Open(*header, pub);
     if (!query.ok()) return AbortWith(channel, query.status());
-    if (query->rows() == 0) {
-      // A zero-row query would deadlock: the client has no chunks to
-      // send and the server would wait for one.
-      return AbortWith(channel,
-                       Status::InvalidArgument("query covers no rows"));
-    }
 
     QueryAcceptMessage accept;
-    accept.rows = query->rows();
+    accept.rows = query->rows;
     PPSTATS_RETURN_IF_ERROR(channel.Send(accept.Encode()));
-    PPSTATS_RETURN_IF_ERROR(RunServerQuery(channel, pub, *query));
+    PPSTATS_RETURN_IF_ERROR(RunServerQuery(channel, *query->execution));
   }
 }
 
 Status ServerSession::RunServerQuery(Channel& channel,
-                                     const PaillierPublicKey& pub,
-                                     const CompiledQuery& query) {
+                                     QueryExecution& execution) {
   // Attribute this query's fold spans to its 1-based index within the
   // session (the session id comes from the enclosing ServiceHost).
   obs::ScopedSpanContext context({obs::CurrentContext().session_id,
                                   static_cast<uint64_t>(metrics_.queries + 1)});
-  SumServer server(pub, query, options_.worker_threads);
-  while (!server.Finished()) {
+  while (!execution.Finished()) {
     PPSTATS_ASSIGN_OR_RETURN(Bytes frame, channel.Receive());
     PPSTATS_ASSIGN_OR_RETURN(MessageType type, PeekMessageType(frame));
     if (type == MessageType::kError) return FromErrorFrame(frame);
-    Result<std::optional<Bytes>> response = server.HandleRequest(frame);
+    Result<std::optional<Bytes>> response = execution.HandleRequest(frame);
     if (!response.ok()) return AbortWith(channel, response.status());
     if (response->has_value()) {
       // Account the query *before* its SumResponse reaches the wire: a
       // client that has seen its answer is guaranteed to find the query
       // in the host's live stats (no stale-until-Stop window).
       ++metrics_.queries;
-      metrics_.server_compute_s += server.compute_seconds();
+      metrics_.server_compute_s += execution.compute_seconds();
       if (options_.queries_counter != nullptr) {
         options_.queries_counter->Increment();
       }
       if (options_.compute_ns_counter != nullptr) {
         options_.compute_ns_counter->Add(
-            static_cast<uint64_t>(server.compute_seconds() * 1e9));
+            static_cast<uint64_t>(execution.compute_seconds() * 1e9));
       }
       PPSTATS_RETURN_IF_ERROR(channel.Send(**response));
     }

@@ -35,9 +35,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 
 #include "core/query.h"
+#include "core/query_exec.h"
 #include "core/selected_sum.h"
 #include "crypto/key_io.h"
 #include "net/channel.h"
@@ -56,6 +58,25 @@ inline constexpr uint16_t kSessionProtocolVersion = kSessionProtocolV2;
 /// Client-side session options.
 struct ClientSessionOptions {
   size_t chunk_size = 0;  ///< index-batch chunking, as in SumClientOptions
+
+  /// Accept flagged PartialResult frames (a cluster coordinator may
+  /// answer with one when shards are down and its policy allows
+  /// serving the responsive subset). Off by default: without opt-in a
+  /// partial answer fails the query instead of silently passing for a
+  /// complete one. See QuerySession::last_partial().
+  bool accept_partial = false;
+
+  /// When set, decrypted results are reduced mod this value. Blinded
+  /// cluster deployments need it: shard zero-shares only cancel mod M,
+  /// so the raw plaintext is total + kM for some 0 <= k < #shards.
+  std::optional<BigInt> result_modulus;
+};
+
+/// Shard coverage of the last partial result a session accepted.
+struct PartialResultInfo {
+  uint64_t shards_total = 0;
+  uint64_t shards_responded = 0;
+  uint64_t rows_covered = 0;
 };
 
 /// Dials a fresh channel to the server, once per connection attempt
@@ -88,10 +109,12 @@ class ClientSession {
 
   /// RunWithRetry against an endpoint URI ("unix:/path",
   /// "tcp:host:port", or a bare socket path), dialing a fresh channel
-  /// per attempt with the given per-call I/O deadline (0 = none).
+  /// per attempt with the given per-call I/O deadline and per-attempt
+  /// connect deadline (0 = none; see UriDialer).
   [[nodiscard]] Result<BigInt> RunWithRetry(const std::string& uri,
                                             const RetryOptions& retry,
-                                            uint32_t io_deadline_ms = 0);
+                                            uint32_t io_deadline_ms = 0,
+                                            uint32_t connect_deadline_ms = 0);
 
   /// Per-attempt counters for the last RunWithRetry.
   const RetryMetrics& retry_metrics() const { return retry_metrics_; }
@@ -129,10 +152,12 @@ class QuerySession {
 
   /// ConnectWithRetry against an endpoint URI ("unix:/path",
   /// "tcp:host:port", or a bare socket path), dialing a fresh channel
-  /// per attempt with the given per-call I/O deadline (0 = none).
+  /// per attempt with the given per-call I/O deadline and per-attempt
+  /// connect deadline (0 = none; see UriDialer).
   [[nodiscard]] Status ConnectWithRetry(const std::string& uri,
                                         const RetryOptions& retry,
-                                        uint32_t io_deadline_ms = 0);
+                                        uint32_t io_deadline_ms = 0,
+                                        uint32_t connect_deadline_ms = 0);
 
   /// Per-attempt counters for the last ConnectWithRetry.
   const RetryMetrics& retry_metrics() const { return retry_metrics_; }
@@ -155,6 +180,13 @@ class QuerySession {
   /// Ends the session cleanly (v2: sends Goodbye). No queries may follow.
   [[nodiscard]] Status Finish();
 
+  /// Coverage of the last query's answer when it was a flagged partial
+  /// result (requires ClientSessionOptions::accept_partial); empty when
+  /// the last answer was complete.
+  const std::optional<PartialResultInfo>& last_partial() const {
+    return last_partial_;
+  }
+
  private:
   const PaillierPrivateKey* key_;
   RandomSource* rng_;
@@ -162,6 +194,7 @@ class QuerySession {
   std::unique_ptr<Channel> owned_channel_;  // set by ConnectWithRetry
   Channel* channel_ = nullptr;
   RetryMetrics retry_metrics_;
+  std::optional<PartialResultInfo> last_partial_;
   uint16_t version_ = 0;
   uint64_t server_rows_ = 0;
   size_t queries_run_ = 0;
@@ -202,6 +235,16 @@ struct ServerSessionOptions {
   /// accumulates fold time in integer nanoseconds.
   obs::Counter* queries_counter = nullptr;
   obs::Counter* compute_ns_counter = nullptr;
+
+  /// Per-session query router. When null the session builds a
+  /// LocalQueryRouter over its registry/default column (the classic
+  /// in-process fold). A cluster coordinator installs its fan-out
+  /// router here via ServiceHostOptions::router_factory.
+  std::shared_ptr<QueryRouter> router;
+
+  /// Shard-side blinding for the local router (see ShardBlindConfig);
+  /// ignored when `router` is set.
+  std::optional<ShardBlindConfig> shard_blind;
 };
 
 /// Serves private-sum queries from a column registry (or a single
@@ -224,10 +267,12 @@ class ServerSession {
   const SessionMetrics& metrics() const { return metrics_; }
 
  private:
-  [[nodiscard]] Status ServeV1(Channel& channel, const PaillierPublicKey& pub);
-  [[nodiscard]] Status ServeV2(Channel& channel, const PaillierPublicKey& pub);
-  [[nodiscard]] Status RunServerQuery(Channel& channel, const PaillierPublicKey& pub,
-                                      const CompiledQuery& query);
+  [[nodiscard]] Status ServeV1(Channel& channel, const PaillierPublicKey& pub,
+                               QueryRouter& router);
+  [[nodiscard]] Status ServeV2(Channel& channel, const PaillierPublicKey& pub,
+                               QueryRouter& router);
+  [[nodiscard]] Status RunServerQuery(Channel& channel,
+                                      QueryExecution& execution);
 
   const ColumnRegistry* registry_ = nullptr;
   ServerSessionOptions options_;

@@ -26,8 +26,7 @@ ServerProtocolFsm::ServerProtocolFsm(const ColumnRegistry* registry,
 void ServerProtocolFsm::Finish(Status status) {
   phase_ = ServerFsmPhase::kDone;
   final_status_ = std::move(status);
-  sum_server_.reset();
-  query_.reset();
+  execution_.reset();
 }
 
 void ServerProtocolFsm::Abort(ServerFsmOutput& out, Status status) {
@@ -69,11 +68,19 @@ void ServerProtocolFsm::OnTransportError(Status error) {
 
 void ServerProtocolFsm::OnHandshakeFrame(BytesView frame,
                                          ServerFsmOutput& out) {
-  if (registry_ == nullptr && options_.default_column == nullptr) {
-    // Same as ServerSession::Serve: a misconfigured server fails
-    // locally, before it owes the peer any frame.
-    Finish(Status::FailedPrecondition("server has no database"));
-    return;
+  router_ = options_.router;
+  if (router_ == nullptr) {
+    if (registry_ == nullptr && options_.default_column == nullptr) {
+      // Same as ServerSession::Serve: a misconfigured server fails
+      // locally, before it owes the peer any frame.
+      Finish(Status::FailedPrecondition("server has no database"));
+      return;
+    }
+    LocalRouterConfig config;
+    config.default_column = options_.default_column;
+    config.worker_threads = options_.worker_threads;
+    config.shard_blind = options_.shard_blind;
+    router_ = std::make_shared<LocalQueryRouter>(registry_, std::move(config));
   }
   obs::ScopedSpanContext context({session_ordinal_, 0});
   obs::ObsSpan handshake(obs::kSpanHandshake, ResolveRegistry(options_));
@@ -85,7 +92,7 @@ void ServerProtocolFsm::OnHandshakeFrame(BytesView frame,
     return Abort(out, Status::ProtocolError("unsupported protocol version"));
   }
   const uint16_t version = static_cast<uint16_t>(hello->protocol_version);
-  if (version == kSessionProtocolV1 && options_.default_column == nullptr) {
+  if (version == kSessionProtocolV1 && !router_->HasDefault()) {
     return Abort(out,
                  Status::FailedPrecondition("server has no default column"));
   }
@@ -94,14 +101,15 @@ void ServerProtocolFsm::OnHandshakeFrame(BytesView frame,
           ? options_.key_cache->Deserialize(hello->public_key_blob)
           : DeserializePublicKey(hello->public_key_blob);
   if (!pub.ok()) return Abort(out, pub.status());
+  Status hello_status = router_->OnClientHello(hello->public_key_blob, *pub);
+  if (!hello_status.ok()) return Abort(out, std::move(hello_status));
   metrics_.negotiated_version = version;
   version_ = version;
   pub_ = std::move(*pub);
 
   ServerHelloMessage server_hello;
   server_hello.protocol_version = version;
-  server_hello.database_size =
-      options_.default_column != nullptr ? options_.default_column->size() : 0;
+  server_hello.database_size = router_->DefaultRows();
   out.frames.push_back(server_hello.Encode());
   handshake.Stop();
 
@@ -113,12 +121,10 @@ void ServerProtocolFsm::OnHandshakeFrame(BytesView frame,
 }
 
 void ServerProtocolFsm::OpenV1Query(ServerFsmOutput& out) {
-  QuerySpec spec;  // plain sum over the whole default column
-  Result<CompiledQuery> query = CompileQuery(spec, options_.default_column);
+  // The v1 implicit query: a plain sum over the whole default column.
+  Result<OpenedQuery> query = router_->OpenDefault(*pub_);
   if (!query.ok()) return Abort(out, query.status());
-  query_ = std::move(*query);
-  sum_server_ =
-      std::make_unique<SumServer>(*pub_, *query_, options_.worker_threads);
+  execution_ = std::move(query->execution);
   phase_ = ServerFsmPhase::kAwaitChunks;
 }
 
@@ -130,29 +136,15 @@ void ServerProtocolFsm::OnQueryFrame(BytesView frame, ServerFsmOutput& out) {
   Result<QueryHeaderMessage> header = QueryHeaderMessage::Decode(frame);
   if (!header.ok()) return Abort(out, header.status());
 
-  Result<StatisticKind> kind = StatisticKindFromWire(header->kind);
-  if (!kind.ok()) return Abort(out, kind.status());
-  QuerySpec spec;
-  spec.kind = *kind;
-  spec.column = header->column;
-  spec.column2 = header->column2;
-  static const ColumnRegistry kEmptyRegistry;
-  const ColumnRegistry& registry =
-      registry_ != nullptr ? *registry_ : kEmptyRegistry;
-  Result<CompiledQuery> query =
-      CompileQuery(spec, registry, options_.default_column);
+  // Resolution (unknown kind/column, zero-row cover — a zero-row query
+  // would deadlock: the client has no chunks to send and the server
+  // would wait for one) happens inside the router.
+  Result<OpenedQuery> query = router_->Open(*header, *pub_);
   if (!query.ok()) return Abort(out, query.status());
-  if (query->rows() == 0) {
-    // A zero-row query would deadlock: the client has no chunks to send
-    // and the server would wait for one.
-    return Abort(out, Status::InvalidArgument("query covers no rows"));
-  }
 
-  query_ = std::move(*query);
-  sum_server_ =
-      std::make_unique<SumServer>(*pub_, *query_, options_.worker_threads);
   QueryAcceptMessage accept;
-  accept.rows = query_->rows();
+  accept.rows = query->rows;
+  execution_ = std::move(query->execution);
   out.frames.push_back(accept.Encode());
   phase_ = ServerFsmPhase::kAwaitChunks;
 }
@@ -166,26 +158,25 @@ void ServerProtocolFsm::OnChunkFrame(BytesView frame, ServerFsmOutput& out) {
   // session, as ServerSession::RunServerQuery does for the whole query.
   obs::ScopedSpanContext context(
       {session_ordinal_, static_cast<uint64_t>(metrics_.queries + 1)});
-  Result<std::optional<Bytes>> response = sum_server_->HandleRequest(frame);
+  Result<std::optional<Bytes>> response = execution_->HandleRequest(frame);
   if (!response.ok()) return Abort(out, response.status());
   if (response->has_value()) {
     // Account the query *before* its SumResponse frame is handed to the
     // caller: by the time the client observes its answer, the host's
     // live stats already include the query.
     ++metrics_.queries;
-    metrics_.server_compute_s += sum_server_->compute_seconds();
+    metrics_.server_compute_s += execution_->compute_seconds();
     if (options_.queries_counter != nullptr) {
       options_.queries_counter->Increment();
     }
     if (options_.compute_ns_counter != nullptr) {
       options_.compute_ns_counter->Add(
-          static_cast<uint64_t>(sum_server_->compute_seconds() * 1e9));
+          static_cast<uint64_t>(execution_->compute_seconds() * 1e9));
     }
     out.frames.push_back(std::move(**response));
   }
-  if (sum_server_ != nullptr && sum_server_->Finished()) {
-    sum_server_.reset();
-    query_.reset();
+  if (execution_ != nullptr && execution_->Finished()) {
+    execution_.reset();
     if (version_ == kSessionProtocolV1) {
       Finish(Status::OK());
     } else {

@@ -36,6 +36,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "core/query_exec.h"
 #include "core/selected_sum.h"
 #include "core/session.h"
 #include "db/column_registry.h"
@@ -108,8 +109,8 @@ class ServerProtocolFsm {
   SessionMetrics metrics_;
   uint16_t version_ = 0;
   std::optional<PaillierPublicKey> pub_;
-  std::optional<CompiledQuery> query_;  // outlives sum_server_
-  std::unique_ptr<SumServer> sum_server_;
+  std::shared_ptr<QueryRouter> router_;       // set at handshake
+  std::unique_ptr<QueryExecution> execution_; // the open query, if any
 };
 
 }  // namespace ppstats

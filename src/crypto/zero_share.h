@@ -1,0 +1,43 @@
+// Pairwise-PRF additive shares of zero, the blinding primitive behind
+// the paper's Sec 3.5 multi-party protocol (see core/distributed.h for
+// the in-process variant, which draws shares from one RNG).
+//
+// d parties agree on a master seed out of band. For every unordered
+// pair {a, b} with a < b and a per-query nonce, both endpoints derive
+// the same pseudorandom value v_ab = PRF(seed, a, b, nonce) mod M;
+// party a adds it to its share and party b subtracts it. Party i's
+// share
+//
+//   R_i = sum_{i < j} v_ij - sum_{a < i} v_ai  (mod M)
+//
+// then satisfies sum_i R_i = 0 (mod M) exactly: each v_ab appears once
+// with each sign. A coordinator seeing blinded partials p_i + R_i mod M
+// learns nothing about any individual p_i beyond the final aggregate,
+// which is recovered by summing all d shares and reducing mod M.
+//
+// The nonce MUST be unique per query under one seed: reusing a nonce
+// reuses the shares, letting an observer cancel blinding across
+// queries by subtracting two blinded partials from the same shard.
+
+#ifndef PPSTATS_CRYPTO_ZERO_SHARE_H_
+#define PPSTATS_CRYPTO_ZERO_SHARE_H_
+
+#include <cstdint>
+
+#include "bigint/bigint.h"
+#include "common/bytes.h"
+#include "common/status.h"
+
+namespace ppstats {
+
+/// Derives party `index`'s additive share of zero among `count` parties
+/// for the given seed/nonce, reduced into [0, modulus). The shares of
+/// all `count` indices sum to 0 mod modulus. Fails when count == 0,
+/// index >= count, the seed is empty, or modulus < 2.
+[[nodiscard]] Result<BigInt> DeriveZeroShare(BytesView seed, uint32_t index,
+                                             uint32_t count, uint64_t nonce,
+                                             const BigInt& modulus);
+
+}  // namespace ppstats
+
+#endif  // PPSTATS_CRYPTO_ZERO_SHARE_H_

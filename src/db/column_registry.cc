@@ -1,5 +1,9 @@
 #include "db/column_registry.h"
 
+#include <algorithm>
+#include <set>
+#include <utility>
+
 namespace ppstats {
 
 Status ColumnRegistry::Register(Database db) {
@@ -24,6 +28,76 @@ std::vector<std::string> ColumnRegistry::ColumnNames() const {
   std::vector<std::string> names;
   names.reserve(columns_.size());
   for (const auto& [name, db] : columns_) names.push_back(name);
+  return names;
+}
+
+Status ColumnRegistry::SetShards(const std::string& name,
+                                 std::vector<ShardDescriptor> shards) {
+  if (name.empty()) {
+    return Status::InvalidArgument("sharded column has no name");
+  }
+  if (shards.empty()) {
+    return Status::InvalidArgument("shard map is empty: " + name);
+  }
+  if (shards_.count(name) != 0) {
+    return Status::InvalidArgument("shard map already registered: " + name);
+  }
+  std::sort(shards.begin(), shards.end(),
+            [](const ShardDescriptor& a, const ShardDescriptor& b) {
+              return a.begin < b.begin;
+            });
+  std::set<uint32_t> ids;
+  std::set<std::string> uris;
+  uint64_t expected = 0;
+  for (const ShardDescriptor& shard : shards) {
+    if (shard.uri.empty()) {
+      return Status::InvalidArgument("shard " + std::to_string(shard.id) +
+                                     " has no endpoint uri");
+    }
+    if (shard.end <= shard.begin) {
+      return Status::InvalidArgument("shard " + std::to_string(shard.id) +
+                                     " covers no rows");
+    }
+    if (shard.begin != expected) {
+      return Status::InvalidArgument(
+          (shard.begin > expected ? "shard map has a gap at row "
+                                  : "shard map overlaps at row ") +
+          std::to_string(shard.begin));
+    }
+    expected = shard.end;
+    if (!ids.insert(shard.id).second) {
+      return Status::InvalidArgument("duplicate shard id " +
+                                     std::to_string(shard.id));
+    }
+    if (!uris.insert(shard.uri).second) {
+      return Status::InvalidArgument("duplicate shard endpoint: " + shard.uri);
+    }
+  }
+  if (const Database* local = Find(name);
+      local != nullptr && local->size() != expected) {
+    return Status::InvalidArgument(
+        "shard map covers " + std::to_string(expected) + " rows but column " +
+        name + " has " + std::to_string(local->size()));
+  }
+  shards_.emplace(name, std::move(shards));
+  return Status::OK();
+}
+
+const std::vector<ShardDescriptor>* ColumnRegistry::FindShards(
+    const std::string& name) const {
+  auto it = shards_.find(name);
+  return it == shards_.end() ? nullptr : &it->second;
+}
+
+uint64_t ColumnRegistry::ShardedRows(const std::string& name) const {
+  const std::vector<ShardDescriptor>* shards = FindShards(name);
+  return shards == nullptr ? 0 : shards->back().end;
+}
+
+std::vector<std::string> ColumnRegistry::ShardedColumnNames() const {
+  std::vector<std::string> names;
+  names.reserve(shards_.size());
+  for (const auto& [name, map] : shards_) names.push_back(name);
   return names;
 }
 

@@ -36,10 +36,12 @@ bool IsRetryableStatus(const Status& status) {
   }
 }
 
-DialFn UriDialer(std::string uri, uint32_t io_deadline_ms) {
-  return [uri = std::move(uri),
-          io_deadline_ms]() -> Result<std::unique_ptr<Channel>> {
-    Result<std::unique_ptr<Channel>> channel = ConnectChannel(uri);
+DialFn UriDialer(std::string uri, uint32_t io_deadline_ms,
+                 uint32_t connect_deadline_ms) {
+  return [uri = std::move(uri), io_deadline_ms,
+          connect_deadline_ms]() -> Result<std::unique_ptr<Channel>> {
+    Result<std::unique_ptr<Channel>> channel =
+        ConnectChannel(uri, connect_deadline_ms);
     if (channel.ok() && io_deadline_ms > 0) {
       const std::chrono::milliseconds deadline(io_deadline_ms);
       (*channel)->set_read_deadline(deadline);

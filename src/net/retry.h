@@ -66,9 +66,14 @@ using DialFn = std::function<Result<std::unique_ptr<Channel>>()>;
 
 /// Builds a dialer for an endpoint URI ("unix:/path", "tcp:host:port",
 /// or a bare socket path). When io_deadline_ms > 0 every dialed channel
-/// gets that read and write deadline. The URI is validated lazily, per
-/// dial — a bad URI fails with InvalidArgument (not retryable).
-[[nodiscard]] DialFn UriDialer(std::string uri, uint32_t io_deadline_ms = 0);
+/// gets that read and write deadline. When connect_deadline_ms > 0 each
+/// connect attempt itself is bounded too — without it, a TCP connect to
+/// a blackholed host blocks on the kernel's own timeout (minutes) and
+/// starves the backoff schedule; with it, the attempt fails
+/// DeadlineExceeded (retryable) on time. The URI is validated lazily,
+/// per dial — a bad URI fails with InvalidArgument (not retryable).
+[[nodiscard]] DialFn UriDialer(std::string uri, uint32_t io_deadline_ms = 0,
+                               uint32_t connect_deadline_ms = 0);
 
 }  // namespace ppstats
 

@@ -270,6 +270,51 @@ Status FinishInterruptedConnect(int fd) {
   return Status::OK();
 }
 
+/// Connects `fd` to `addr` with an upper bound of `deadline_ms` on the
+/// handshake (0 = plain blocking connect, bounded only by the kernel's
+/// own timeout — minutes against a blackholed host). The bounded path
+/// connects non-blocking, waits for writability, reads the outcome from
+/// SO_ERROR, and restores blocking mode on success, so callers get the
+/// same kind of channel either way. A timeout maps to DeadlineExceeded,
+/// which net/retry treats as retryable.
+Status ConnectWithDeadline(int fd, const sockaddr* addr, socklen_t addr_len,
+                           uint32_t deadline_ms) {
+  if (deadline_ms == 0) {
+    if (::connect(fd, addr, addr_len) != 0) {
+      if (errno == EINTR) return FinishInterruptedConnect(fd);
+      return ErrnoStatus(StatusCode::kInternal, "connect failed", errno);
+    }
+    return Status::OK();
+  }
+  PPSTATS_RETURN_IF_ERROR(SetSocketNonBlocking(fd));
+  if (::connect(fd, addr, addr_len) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR && errno != EAGAIN) {
+      return ErrnoStatus(StatusCode::kInternal, "connect failed", errno);
+    }
+    const TimePoint deadline = std::chrono::steady_clock::now() +
+                               std::chrono::milliseconds(deadline_ms);
+    Status ready =
+        PollUntilDeadline(fd, POLLOUT, std::optional<TimePoint>(deadline));
+    if (!ready.ok()) {
+      return ready.code() == StatusCode::kDeadlineExceeded
+                 ? Status::DeadlineExceeded("connect ran past the deadline")
+                 : ready;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof(so_error);
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0 ||
+        so_error != 0) {
+      return ErrnoStatus(StatusCode::kInternal, "connect failed",
+                         so_error != 0 ? so_error : errno);
+    }
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK) != 0) {
+    return ErrnoStatus(StatusCode::kInternal, "fcntl failed", errno);
+  }
+  return Status::OK();
+}
+
 /// True when something is accepting on the unix socket at `path`. Used
 /// by Bind to distinguish a live server (never steal its socket) from a
 /// stale file left by a crashed one. The probe connects non-blocking: a
@@ -576,7 +621,8 @@ Result<std::unique_ptr<Channel>> SocketListener::Accept() {
   }
 }
 
-Result<std::unique_ptr<Channel>> ConnectEndpoint(const Endpoint& endpoint) {
+Result<std::unique_ptr<Channel>> ConnectEndpoint(const Endpoint& endpoint,
+                                                 uint32_t connect_deadline_ms) {
   if (endpoint.kind == EndpointKind::kUnix) {
     sockaddr_un addr{};
     PPSTATS_RETURN_IF_ERROR(FillUnixAddr(endpoint.path, &addr));
@@ -584,18 +630,11 @@ Result<std::unique_ptr<Channel>> ConnectEndpoint(const Endpoint& endpoint) {
     if (fd < 0) {
       return ErrnoStatus(StatusCode::kInternal, "socket failed", errno);
     }
-    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
-        0) {
-      if (errno == EINTR) {
-        if (Status done = FinishInterruptedConnect(fd); !done.ok()) {
-          ::close(fd);
-          return done;
-        }
-      } else {
-        const int err = errno;
-        ::close(fd);
-        return ErrnoStatus(StatusCode::kInternal, "connect failed", err);
-      }
+    if (Status c = ConnectWithDeadline(fd, reinterpret_cast<sockaddr*>(&addr),
+                                       sizeof(addr), connect_deadline_ms);
+        !c.ok()) {
+      ::close(fd);
+      return c;
     }
     return WrapSocket(fd);
   }
@@ -611,18 +650,12 @@ Result<std::unique_ptr<Channel>> ConnectEndpoint(const Endpoint& endpoint) {
       last = ErrnoStatus(StatusCode::kInternal, "socket failed", errno);
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) != 0) {
-      if (errno == EINTR) {
-        if (Status done = FinishInterruptedConnect(fd); !done.ok()) {
-          ::close(fd);
-          last = std::move(done);
-          continue;
-        }
-      } else {
-        last = ErrnoStatus(StatusCode::kInternal, "connect failed", errno);
-        ::close(fd);
-        continue;
-      }
+    if (Status c = ConnectWithDeadline(fd, ai->ai_addr, ai->ai_addrlen,
+                                       connect_deadline_ms);
+        !c.ok()) {
+      ::close(fd);
+      last = std::move(c);
+      continue;
     }
     SetTcpNoDelay(fd);
     return WrapSocket(fd);
@@ -630,9 +663,10 @@ Result<std::unique_ptr<Channel>> ConnectEndpoint(const Endpoint& endpoint) {
   return last;
 }
 
-Result<std::unique_ptr<Channel>> ConnectChannel(const std::string& uri) {
+Result<std::unique_ptr<Channel>> ConnectChannel(const std::string& uri,
+                                                uint32_t connect_deadline_ms) {
   PPSTATS_ASSIGN_OR_RETURN(Endpoint endpoint, ParseEndpoint(uri));
-  return ConnectEndpoint(endpoint);
+  return ConnectEndpoint(endpoint, connect_deadline_ms);
 }
 
 Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path) {

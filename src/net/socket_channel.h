@@ -161,13 +161,17 @@ class SocketListener {
 };
 
 /// Connects to an Endpoint (either family). TCP connections get
-/// TCP_NODELAY.
+/// TCP_NODELAY. `connect_deadline_ms` bounds the connect handshake
+/// itself: 0 keeps the historical blocking connect (bounded only by
+/// the kernel, which can be minutes against a blackholed host); > 0
+/// fails with DeadlineExceeded — retryable under net/retry — once the
+/// budget elapses, so a dialer's backoff schedule stays in charge.
 [[nodiscard]] Result<std::unique_ptr<Channel>> ConnectEndpoint(
-    const Endpoint& endpoint);
+    const Endpoint& endpoint, uint32_t connect_deadline_ms = 0);
 
 /// Connects to an endpoint URI ("unix:/p", "tcp:host:port", bare path).
 [[nodiscard]] Result<std::unique_ptr<Channel>> ConnectChannel(
-    const std::string& uri);
+    const std::string& uri, uint32_t connect_deadline_ms = 0);
 
 /// Connects to a listening AF_UNIX socket path.
 [[nodiscard]] Result<std::unique_ptr<Channel>> ConnectUnixSocket(const std::string& path);

@@ -40,6 +40,10 @@ inline constexpr const char kSpanClientDecrypt[] = "client_decrypt";
 inline constexpr const char kSpanHandshake[] = "handshake";
 inline constexpr const char kSpanFold[] = "fold";
 inline constexpr const char kSpanRetryAttempt[] = "retry_attempt";
+// Cluster coordinator phases (src/cluster/coordinator.h): one fan-out
+// per query, one shard_query per upstream leg (all attempts included).
+inline constexpr const char kSpanClusterFanout[] = "cluster_fanout";
+inline constexpr const char kSpanClusterShardQuery[] = "cluster_shard_query";
 
 /// Prefix under which span durations appear in a registry, e.g. the
 /// histogram "span.fold" holds nanoseconds per fold span.

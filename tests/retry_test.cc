@@ -2,13 +2,16 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <memory>
 #include <thread>
+#include <vector>
 
 #include "core/session.h"
 #include "crypto/chacha20_rng.h"
 #include "db/workload.h"
 #include "net/channel.h"
+#include "net/socket_channel.h"
 
 namespace ppstats {
 namespace {
@@ -153,6 +156,55 @@ TEST(RetryTest, NonRetryableFailureStopsImmediately) {
       retry);
   EXPECT_EQ(status.code(), StatusCode::kNotFound);
   EXPECT_EQ(dials, 1u);  // semantic failures are not retried
+}
+
+TEST(RetryTest, ConnectDeadlineBoundsABlackholedEndpoint) {
+  // A host that silently drops SYNs blocks a plain connect() on the
+  // kernel's own timeout — minutes — starving the backoff loop. The
+  // per-attempt connect deadline turns that into a prompt retryable
+  // DeadlineExceeded. Simulated locally: a listener that never accepts
+  // and whose tiny backlog we fill, so further SYNs are dropped on the
+  // floor (Linux leaves the dialer in SYN-SENT rather than refusing).
+  Result<SocketListener> listener =
+      SocketListener::Bind(std::string("tcp:127.0.0.1:0"), /*backlog=*/1);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ChannelFactory dial = UriDialer(listener->endpoint().ToUri(),
+                                  /*io_deadline_ms=*/0,
+                                  /*connect_deadline_ms=*/100);
+  std::vector<std::unique_ptr<Channel>> queued;  // keeps the backlog full
+  Status blackholed = Status::OK();
+  auto overall_start = std::chrono::steady_clock::now();
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    const auto start = std::chrono::steady_clock::now();
+    Result<std::unique_ptr<Channel>> channel = dial();
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    // Every attempt — queued or dropped — must come back promptly.
+    ASSERT_LT(elapsed, std::chrono::seconds(30));
+    if (!channel.ok()) {
+      blackholed = channel.status();
+      break;
+    }
+    queued.push_back(std::move(*channel));
+  }
+  ASSERT_FALSE(blackholed.ok()) << "backlog never filled";
+  EXPECT_EQ(blackholed.code(), StatusCode::kDeadlineExceeded)
+      << blackholed.ToString();
+  EXPECT_TRUE(IsRetryableStatus(blackholed));
+  // The whole probe stayed near the 100 ms budget, not a kernel timeout.
+  EXPECT_LT(std::chrono::steady_clock::now() - overall_start,
+            std::chrono::seconds(30));
+}
+
+TEST(RetryTest, ConnectDeadlineStillDialsALiveListener) {
+  // The non-blocking connect path must not break ordinary dials.
+  Result<SocketListener> listener =
+      SocketListener::Bind(std::string("tcp:127.0.0.1:0"));
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  ChannelFactory dial = UriDialer(listener->endpoint().ToUri(),
+                                  /*io_deadline_ms=*/0,
+                                  /*connect_deadline_ms=*/2000);
+  Result<std::unique_ptr<Channel>> channel = dial();
+  EXPECT_TRUE(channel.ok()) << channel.status().ToString();
 }
 
 TEST(RetryTest, ClientSessionRunWithRetry) {

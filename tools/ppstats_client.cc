@@ -6,15 +6,24 @@
 //                  [--stat sum|sumsq|product] [--column <name>]
 //                  [--column2 <name>] [--chunk 100] [--seed N]
 //                  [--retries <n>] [--io-deadline-ms <ms>]
-//                  [--trace-json <path>]
+//                  [--connect-deadline-ms <ms>] [--accept-partial]
+//                  [--result-mod-bits <b>] [--trace-json <path>]
 //
 // --connect takes an endpoint URI: "unix:/path", "tcp:host:port", or a
-// bare socket path (--socket is kept as an alias). Each --select runs
-// one query; --stat/--column/--column2 apply to all of them. The server learns nothing about --select; the client learns
+// bare socket path (--socket is kept as a deprecated alias). Each
+// --select runs one query; --stat/--column/--column2 apply to all of
+// them. The server learns nothing about --select; the client learns
 // only the requested statistic over the selected rows. --retries redials
 // with exponential backoff + jitter when the connect or hello exchange
 // fails retryably (server at capacity, transport died);
-// --io-deadline-ms bounds how long any single read/write may stall.
+// --io-deadline-ms bounds how long any single read/write may stall and
+// --connect-deadline-ms each connect() attempt itself.
+//
+// Cluster coordinators (src/cluster): --accept-partial opts into
+// flagged PartialResult answers when shards are down (the coverage is
+// printed to stderr); --result-mod-bits reduces decrypted values mod
+// 2^<b>, required against blinded-partial deployments, whose shard
+// zero-shares only cancel mod that modulus.
 //
 // --trace-json writes a JSONL phase trace of the whole run: one line per
 // span (handshake, client_encrypt, communication, client_decrypt, each
@@ -50,7 +59,8 @@ int Usage() {
                "[--stat sum|sumsq|product] [--column <name>] "
                "[--column2 <name>] [--chunk <c>] [--seed <n>] "
                "[--retries <n>] [--io-deadline-ms <ms>] "
-               "[--trace-json <path>]\n");
+               "[--connect-deadline-ms <ms>] [--accept-partial] "
+               "[--result-mod-bits <b>] [--trace-json <path>]\n");
   return 2;
 }
 
@@ -97,6 +107,9 @@ int main(int argc, char** argv) {
   std::vector<std::string> selects;
   size_t rows = 0, chunk = 0, retries = 0;
   uint32_t io_deadline_ms = 0;
+  uint32_t connect_deadline_ms = 0;
+  bool accept_partial = false;
+  size_t result_mod_bits = 0;
   uint64_t seed = std::random_device{}();
   std::string trace_json_path;
   for (int i = 1; i < argc; ++i) {
@@ -108,6 +121,8 @@ int main(int argc, char** argv) {
       // handled
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
       socket_path = argv[++i];  // alias of --connect
+      std::fprintf(stderr,
+                   "note: --socket is deprecated; use --connect <uri>\n");
     } else if (!std::strcmp(argv[i], "--select") && i + 1 < argc) {
       selects.emplace_back(argv[++i]);
     } else if (!std::strcmp(argv[i], "--stat") && i + 1 < argc) {
@@ -127,6 +142,15 @@ int main(int argc, char** argv) {
     } else if (!std::strcmp(argv[i], "--io-deadline-ms") && i + 1 < argc) {
       io_deadline_ms =
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--connect-deadline-ms") &&
+               i + 1 < argc) {
+      connect_deadline_ms =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+    } else if (!std::strcmp(argv[i], "--accept-partial")) {
+      accept_partial = true;
+    } else if (!std::strcmp(argv[i], "--result-mod-bits") && i + 1 < argc) {
+      result_mod_bits =
+          static_cast<size_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       return Usage();
     }
@@ -164,11 +188,18 @@ int main(int argc, char** argv) {
   if (!trace_json_path.empty()) obs::TraceLog::Global().Enable();
 
   ChaCha20Rng rng(seed);
-  QuerySession session(*key, rng, {chunk});
+  ClientSessionOptions session_options;
+  session_options.chunk_size = chunk;
+  session_options.accept_partial = accept_partial;
+  if (result_mod_bits > 0) {
+    session_options.result_modulus = BigInt(1) << result_mod_bits;
+  }
+  QuerySession session(*key, rng, session_options);
   RetryOptions retry;
   retry.max_attempts = retries + 1;
-  Status connected =
-      session.ConnectWithRetry(socket_path, retry, io_deadline_ms);
+  Status connected = session.ConnectWithRetry(socket_path, retry,
+                                              io_deadline_ms,
+                                              connect_deadline_ms);
   if (!connected.ok()) {
     std::fprintf(stderr, "connect: %s (%llu attempts)\n",
                  connected.ToString().c_str(),
@@ -193,6 +224,14 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("%s\n", value->ToDecimal().c_str());
+    if (session.last_partial().has_value()) {
+      const PartialResultInfo& partial = *session.last_partial();
+      std::fprintf(stderr,
+                   "partial result: %llu/%llu shards, %llu rows covered\n",
+                   static_cast<unsigned long long>(partial.shards_responded),
+                   static_cast<unsigned long long>(partial.shards_total),
+                   static_cast<unsigned long long>(partial.rows_covered));
+    }
   }
   Status finished = session.Finish();
   if (!finished.ok()) {

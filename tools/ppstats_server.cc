@@ -8,11 +8,21 @@
 //                  [--stats-interval-ms <ms>]
 //                  [--engine threaded|reactor] [--reactor-threads <n>]
 //                  [--max-events <n>]
+//                  [--shard-blind <index>:<count>:<seed-hex>[:<mod-bits>]]
 //
 // --listen takes an endpoint URI: "unix:/path", "tcp:host:port" (port 0
 // binds an ephemeral port), or a bare socket path. --socket is kept as
-// an alias. The server prints "listening on <uri>" with the resolved
-// address — scripts dialing an ephemeral TCP port read it from there.
+// a deprecated alias. The server prints "listening on <uri>" with the
+// resolved address — scripts dialing an ephemeral TCP port read it
+// from there.
+//
+// --shard-blind enrolls this server as shard <index> of <count> in a
+// coordinator deployment (src/cluster): queries flagged blind_partial
+// get the shard's pairwise zero-share (derived from the shared
+// <seed-hex>, modulo 2^<mod-bits>, default 64) added to the encrypted
+// partial, so the coordinator learns nothing from individual shard
+// responses. All shards and the coordinator must agree on the seed,
+// count, and modulus.
 //
 // Each --db registers one named column (the name defaults to the file
 // path); v2 clients address columns by name and may run several queries
@@ -42,9 +52,12 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "common/bytes.h"
 #include "core/service_host.h"
 #include "core/session.h"
 #include "db/io.h"
@@ -66,8 +79,36 @@ int Usage() {
                "[--backlog <n>] [--stats-json <path>] "
                "[--stats-interval-ms <ms>] "
                "[--engine threaded|reactor] [--reactor-threads <n>] "
-               "[--max-events <n>]\n");
+               "[--max-events <n>] "
+               "[--shard-blind <index>:<count>:<seed-hex>[:<mod-bits>]]\n");
   return 2;
+}
+
+/// Parses "<index>:<count>:<seed-hex>[:<mod-bits>]".
+bool ParseShardBlind(const std::string& spec, ppstats::ShardBlindConfig* out) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t colon = spec.find(':', start);
+    parts.push_back(spec.substr(start, colon - start));
+    if (colon == std::string::npos) break;
+    start = colon + 1;
+  }
+  if (parts.size() < 3 || parts.size() > 4) return false;
+  out->shard_index =
+      static_cast<uint32_t>(std::strtoul(parts[0].c_str(), nullptr, 10));
+  out->shard_count =
+      static_cast<uint32_t>(std::strtoul(parts[1].c_str(), nullptr, 10));
+  ppstats::Result<ppstats::Bytes> seed = ppstats::FromHex(parts[2]);
+  if (!seed.ok() || seed->empty()) return false;
+  out->seed = std::move(*seed);
+  if (parts.size() == 4) {
+    size_t bits =
+        static_cast<size_t>(std::strtoul(parts[3].c_str(), nullptr, 10));
+    if (bits == 0) return false;
+    out->modulus = ppstats::BigInt(1) << bits;
+  }
+  return out->shard_count > 0 && out->shard_index < out->shard_count;
 }
 
 /// Matches `--flag value` and `--flag=value`; advances *i past a
@@ -103,6 +144,7 @@ int main(int argc, char** argv) {
   bool once = false;
   std::string stats_json_path;
   uint32_t stats_interval_ms = 0;
+  std::optional<ShardBlindConfig> shard_blind;
   ServiceEngine engine = ServiceEngine::kReactor;
   size_t reactor_threads = 1;
   size_t max_events = 64;
@@ -135,6 +177,9 @@ int main(int argc, char** argv) {
       socket_path = flag_value;
     } else if (!std::strcmp(argv[i], "--socket") && i + 1 < argc) {
       socket_path = argv[++i];  // alias of --listen
+      std::fprintf(stderr,
+                   "note: --socket is deprecated; use --listen <uri> "
+                   "(or --connect on the client)\n");
     } else if (!std::strcmp(argv[i], "--default") && i + 1 < argc) {
       default_column = argv[++i];
     } else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc) {
@@ -147,6 +192,14 @@ int main(int argc, char** argv) {
           static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
     } else if (!std::strcmp(argv[i], "--backlog") && i + 1 < argc) {
       backlog = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (FlagValue("--shard-blind", argc, argv, &i, &flag_value)) {
+      ShardBlindConfig config;
+      if (!ParseShardBlind(flag_value, &config)) {
+        std::fprintf(stderr, "bad --shard-blind spec: %s\n",
+                     flag_value.c_str());
+        return Usage();
+      }
+      shard_blind = std::move(config);
     } else if (!std::strcmp(argv[i], "--once")) {
       once = true;
     } else {
@@ -218,6 +271,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     options.worker_threads = threads;
+    options.shard_blind = shard_blind;
     ServerSession session(&registry, options);
     Status status = session.Serve(**channel);
     std::printf("session: %s (%llu queries)\n", status.ToString().c_str(),
@@ -243,6 +297,7 @@ int main(int argc, char** argv) {
   options.engine = engine;
   options.reactor_threads = reactor_threads;
   options.max_events = max_events;
+  options.shard_blind = shard_blind;
   ServiceHost host(&registry, options);
   Status started = host.Start(socket_path);
   if (!started.ok()) {
