@@ -77,7 +77,8 @@ class CoordinatorRouter : public QueryRouter {
   /// The live channel to `uri`, dialing and handshaking a new session
   /// if none is cached. The returned pointer stays valid until
   /// DropUpstream(uri) or destruction.
-  [[nodiscard]] Result<Channel*> UpstreamChannel(const std::string& uri) {
+  [[nodiscard]] Result<Channel*> UpstreamChannel(const std::string& uri)
+      PPSTATS_EXCLUDES(conn_mu_) {
     ShardConn* conn = Slot(uri);
     if (conn->channel != nullptr) return conn->channel.get();
     coordinator_->upstream_redials_->Increment();
@@ -105,14 +106,16 @@ class CoordinatorRouter : public QueryRouter {
   /// Forgets the cached connection to `uri` (after any failure: the
   /// session on it is in an unknown protocol state, so the next attempt
   /// redials from scratch).
-  void DropUpstream(const std::string& uri) { Slot(uri)->channel.reset(); }
+  void DropUpstream(const std::string& uri) PPSTATS_EXCLUDES(conn_mu_) {
+    Slot(uri)->channel.reset();
+  }
 
  private:
   struct ShardConn {
     std::unique_ptr<Channel> channel;
   };
 
-  ShardConn* Slot(const std::string& uri) {
+  ShardConn* Slot(const std::string& uri) PPSTATS_EXCLUDES(conn_mu_) {
     MutexLock lock(conn_mu_);
     return &conns_[uri];  // map nodes are stable across inserts
   }
@@ -120,9 +123,10 @@ class CoordinatorRouter : public QueryRouter {
   ShardCoordinator* coordinator_;
   Bytes key_blob_;
   Mutex conn_mu_;
-  /// See the class comment for the locking discipline; not GUARDED_BY
-  /// because node *contents* are intentionally used outside the lock.
-  std::map<std::string, ShardConn> conns_;
+  /// Map *structure* only — see the class comment: node contents are
+  /// used outside the lock through the stable ShardConn* that Slot()
+  /// hands out, which the annotation (deliberately) does not track.
+  std::map<std::string, ShardConn> conns_ PPSTATS_GUARDED_BY(conn_mu_);
 };
 
 /// One fan-out query: buffers the client's encrypted index vector in

@@ -52,6 +52,13 @@ struct ShardBlindConfig {
 /// One in-flight query: frames in, at most one response frame out.
 /// Mirrors SumServer::HandleRequest so local and remote execution are
 /// interchangeable to the protocol drivers.
+///
+/// Threading: like its QueryRouter, an execution belongs to exactly
+/// one session and is only ever driven from that session's driver
+/// thread (the blocking ServerSession loop or the reactor shard that
+/// owns the connection), so implementations hold no locks. Anything
+/// an implementation fans out to other threads internally (e.g. the
+/// SumServer worker pool) must be joined before HandleRequest returns.
 class QueryExecution {
  public:
   virtual ~QueryExecution() = default;

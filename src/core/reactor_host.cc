@@ -493,6 +493,9 @@ void ReactorEngine::PumpProcessing(size_t shard,
       return;
     }
   } else {
+    // ppstats-analyze: allow(reactor-blocking): Submit() only takes the
+    // pool mutex to enqueue (never waits for the task); unbounded mode
+    // is the operator's explicit opt-out of TrySubmit backpressure.
     ThreadPool::Shared().Submit(task);
   }
 }

@@ -335,7 +335,10 @@ bool UnixSocketIsLive(const std::string& path) {
 }  // namespace
 
 Status ErrnoStatus(StatusCode code, const std::string& prefix, int err) {
-  return Status(code, prefix + ": " + std::strerror(err) + " (errno " +
+  // The one place strerror may appear in src/net: this helper IS the
+  // ErrnoStatus discipline the errno-status lint check enforces.
+  return Status(code, prefix + ": " + std::strerror(err) +  // ppstats-lint: allow(errno-status)
+                          " (errno " +
                           std::to_string(err) + ")");
 }
 

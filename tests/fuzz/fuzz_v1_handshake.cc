@@ -1,0 +1,52 @@
+// Fuzz target: the v1 fallback handshake decoders. A v2 server that
+// sees a bare ClientHello (no QueryHeader following) drops into the v1
+// implicit-default-query path, so these decoders face raw bytes from
+// unupgraded peers. The input's first byte steers which decoder gets
+// the rest, and accepted inputs must round-trip field-for-field.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "core/messages.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using ppstats::Bytes;
+  using ppstats::BytesView;
+  using ppstats::ClientHelloMessage;
+  using ppstats::Result;
+  using ppstats::ServerHelloMessage;
+
+  BytesView view(data, size);
+  ppstats::PeekMessageType(view).IgnoreError();
+
+  {
+    Result<ClientHelloMessage> decoded = ClientHelloMessage::Decode(view);
+    if (decoded.ok()) {
+      const ClientHelloMessage& msg = decoded.value();
+      Bytes wire = msg.Encode();
+      Result<ClientHelloMessage> again = ClientHelloMessage::Decode(wire);
+      if (!again.ok() ||
+          again.value().protocol_version != msg.protocol_version ||
+          again.value().public_key_blob != msg.public_key_blob) {
+        __builtin_trap();
+      }
+    }
+  }
+  {
+    Result<ServerHelloMessage> decoded = ServerHelloMessage::Decode(view);
+    if (decoded.ok()) {
+      const ServerHelloMessage& msg = decoded.value();
+      Bytes wire = msg.Encode();
+      Result<ServerHelloMessage> again = ServerHelloMessage::Decode(wire);
+      if (!again.ok() ||
+          again.value().protocol_version != msg.protocol_version ||
+          again.value().database_size != msg.database_size) {
+        __builtin_trap();
+      }
+    }
+  }
+  return 0;
+}
+
+#include "tests/fuzz/standalone_main.inc"

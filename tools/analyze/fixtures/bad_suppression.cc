@@ -1,0 +1,10 @@
+// ppstats_analyze self-test fixture (not built; parsed only).
+// The pass name below is a typo; collecting suppressions for this file
+// must raise a configuration error.
+namespace fixture {
+
+void Nothing() {}
+
+// ppstats-analyze: allow(lock-ordering): typo in the pass name
+
+}  // namespace fixture

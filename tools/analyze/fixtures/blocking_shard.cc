@@ -1,0 +1,35 @@
+// ppstats_analyze self-test fixture (not built; parsed only).
+// A reactor-posted callback reaches std::this_thread::sleep_for through
+// a helper — the seeded reactor-blocking violation. The pool-submitted
+// lambda blocks on a CondVar, which is legal off the shard and must NOT
+// be reported.
+#include "common/mutex.h"
+#include "common/thread_pool.h"
+#include "net/reactor.h"
+
+class ShardFixture {
+ public:
+  void Start();
+  void SlowPath();
+  void PoolSideFold();
+
+ private:
+  ppstats::Reactor* reactor_ = nullptr;
+  ppstats::ThreadPool* pool_ = nullptr;
+  ppstats::Mutex mu_;
+  ppstats::CondVar cv_;
+};
+
+void ShardFixture::SlowPath() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+void ShardFixture::PoolSideFold() {
+  ppstats::MutexLock lock(mu_);
+  cv_.Wait(mu_);
+}
+
+void ShardFixture::Start() {
+  reactor_->Post([this] { SlowPath(); });
+  pool_->Submit([this] { PoolSideFold(); });
+}

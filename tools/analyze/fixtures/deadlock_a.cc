@@ -1,0 +1,26 @@
+// ppstats_analyze self-test fixture (not built; parsed only).
+// One half of a deliberate cross-TU deadlock: PairA::Forward locks
+// a_mu_ and calls PairB::Grab (deadlock_b.cc), which locks b_mu_.
+// The reverse order lives in deadlock_b.cc, closing the cycle
+// PairA::a_mu_ -> PairB::b_mu_ -> PairA::a_mu_.
+#include "common/mutex.h"
+
+class PairB;
+
+class PairA {
+ public:
+  void Forward(PairB& other);
+  void Touch();
+
+ private:
+  ppstats::Mutex a_mu_;
+};
+
+void PairA::Touch() {
+  ppstats::MutexLock lock(a_mu_);
+}
+
+void PairA::Forward(PairB& other) {
+  ppstats::MutexLock lock(a_mu_);
+  other.Grab();
+}

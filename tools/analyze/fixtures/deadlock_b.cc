@@ -1,0 +1,28 @@
+// ppstats_analyze self-test fixture (not built; parsed only).
+// The other half of the seeded deadlock: PairB::Reverse locks b_mu_
+// and calls back into PairA::Touch (deadlock_a.cc), which locks a_mu_
+// — the opposite order from PairA::Forward.
+#include "common/mutex.h"
+
+class PairA {
+ public:
+  void Touch();
+};
+
+class PairB {
+ public:
+  void Grab();
+  void Reverse(PairA& alpha);
+
+ private:
+  ppstats::Mutex b_mu_;
+};
+
+void PairB::Grab() {
+  ppstats::MutexLock lock(b_mu_);
+}
+
+void PairB::Reverse(PairA& alpha) {
+  ppstats::MutexLock lock(b_mu_);
+  alpha.Touch();
+}

@@ -1,0 +1,15 @@
+// ppstats_analyze self-test fixture (not built; parsed only).
+// The seeded secret-taint violation: a Paillier private-key accessor
+// result flows into a std::cerr log line.
+#include <iostream>
+
+#include "crypto/paillier.h"
+
+namespace fixture {
+
+void DumpKey(const ppstats::PaillierPrivateKey& priv) {
+  auto secret = priv.lambda();
+  std::cerr << "lambda=" << secret << "\n";
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// ppstats_analyze self-test fixture (not built; parsed only).
+// Same shape as secret_leak.cc, but the sink carries a justified
+// suppression — the analyzer must stay quiet on this file.
+#include <iostream>
+
+#include "crypto/paillier.h"
+
+namespace fixture {
+
+void AuditedDump(const ppstats::PaillierPrivateKey& priv) {
+  auto secret = priv.hp();
+  // ppstats-analyze: allow(secret-taint): fixture for the suppression
+  std::cerr << "hp=" << secret << "\n";
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// ppstats_analyze self-test fixture (not built; parsed only).
+// The allow() below names a real pass but has no justification, so it
+// must NOT suppress — the finding has to survive.
+#include <iostream>
+
+#include "crypto/paillier.h"
+
+namespace fixture {
+
+void SloppyDump(const ppstats::PaillierPrivateKey& priv) {
+  auto secret = priv.hq();
+  // ppstats-analyze: allow(secret-taint)
+  std::cerr << "hq=" << secret << "\n";
+}
+
+}  // namespace fixture

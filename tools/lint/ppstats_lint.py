@@ -22,6 +22,16 @@ Checks (each failure prints `path:line: [check] message`):
                      into an ostream are flagged. The protocol's whole
                      point is that the server never sees plaintext sums
                      and nobody sees the private key.
+  errno-status       inside src/net, errno must reach humans through
+                     ErrnoStatus() (socket_channel.h): direct strerror
+                     calls or raw errno formatting (<< errno,
+                     std::to_string(errno)) are flagged so every error
+                     string carries the uniform "<text> (errno <n>)"
+                     shape. gai_strerror is exempt (getaddrinfo errors
+                     are not errno values).
+
+Files under a `fixtures/` directory are skipped entirely: those are
+seeded analyzer/test inputs whose whole point is to violate the rules.
 
 Suppress a finding by appending  // ppstats-lint: allow(<check>)
 to the offending line (use sparingly; say why in a comment).
@@ -45,6 +55,12 @@ SECRET_SINK = re.compile(r"(std::cout|std::cerr|std::clog)\b")
 SECRET_TOKEN = re.compile(
     r"\b(priv(ate)?_?key\w*|secret\w*|plaintext_sum\w*|\w*\.lambda\b)",
     re.IGNORECASE,
+)
+# src/net errno discipline: strerror (but not gai_strerror) and raw
+# errno formatting must go through ErrnoStatus().
+ERRNO_STRERROR = re.compile(r"(?<![\w.])(?:(?:std)?::)?strerror\s*\(")
+ERRNO_RAW_FORMAT = re.compile(
+    r"(?:<<\s*errno\b|(?:std::)?to_string\s*\(\s*errno\b)"
 )
 
 
@@ -98,6 +114,12 @@ def check_file(path: pathlib.Path, root: pathlib.Path, findings: list) -> None:
                 report(i, "secret-hygiene",
                        f"identifier '{m.group(0)}' streamed to a log sink; "
                        "secret material must not be logged outside tests/")
+        if rel.parts[:2] == ("src", "net"):
+            if ERRNO_STRERROR.search(code) or ERRNO_RAW_FORMAT.search(code):
+                report(i, "errno-status",
+                       "format errno through ErrnoStatus() so every "
+                       "src/net error string has the uniform "
+                       "'<text> (errno <n>)' shape")
 
     if path.suffix == ".h":
         m = re.search(r"^#ifndef\s+(\S+)\s*\n#define\s+(\S+)", text, re.M)
@@ -147,7 +169,8 @@ def main() -> int:
             base = root / d
             if base.is_dir():
                 files.extend(p for p in sorted(base.rglob("*"))
-                             if p.suffix in CHECKED_SUFFIXES)
+                             if p.suffix in CHECKED_SUFFIXES
+                             and "fixtures" not in p.parts)
 
     findings: list = []
     for f in files:
